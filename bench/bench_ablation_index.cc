@@ -1,0 +1,51 @@
+// Ablation: solution-set index structure (§5.3).
+//
+// "If the optimizer chooses a hash strategy, S is stored in an updateable
+// hash table; a sort-based strategy stores S in a sorted index (B+-Tree)."
+// This ablation forces each structure under the same (CoGroup) plan.
+//
+// Expected: the hash index wins on point lookups; the B+-tree stays within
+// a small factor and would enable ordered access.
+#include <benchmark/benchmark.h>
+
+#include "algos/connected_components.h"
+#include "common/env.h"
+#include "graph/generators.h"
+
+namespace sfdf {
+namespace {
+
+const Graph& BenchGraph() {
+  static const Graph* graph = [] {
+    RmatOptions opt;
+    opt.num_vertices = static_cast<int64_t>(16384 * ScaleFactor());
+    opt.num_edges = static_cast<int64_t>(100000 * ScaleFactor());
+    opt.seed = 42;
+    return new Graph(GenerateRmat(opt));
+  }();
+  return *graph;
+}
+
+void RunWithIndex(benchmark::State& state, int force_index) {
+  const Graph& graph = BenchGraph();
+  for (auto _ : state) {
+    CcOptions options;
+    options.variant = CcVariant::kIncrementalCoGroup;
+    options.force_solution_index = force_index;
+    options.record_superstep_stats = false;
+    auto result = RunConnectedComponents(graph, options);
+    if (!result.ok()) state.SkipWithError(result.status().ToString().c_str());
+    benchmark::DoNotOptimize(result);
+  }
+}
+
+void BM_HashIndex(benchmark::State& state) { RunWithIndex(state, 1); }
+void BM_BTreeIndex(benchmark::State& state) { RunWithIndex(state, 2); }
+
+BENCHMARK(BM_HashIndex)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_BTreeIndex)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace sfdf
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Shared helpers for the experiment harness. Every bench binary regenerates
+// one table or figure of the paper's evaluation section and prints:
+//   * a human-readable table,
+//   * machine-readable "metric=value" rows (consumed by EXPERIMENTS.md),
+//   * the paper's expected shape, so deviations are visible at a glance.
+//
+// Scale: SFDF_SCALE (default 1.0) scales every synthetic dataset;
+// SFDF_THREADS sets the worker count ("nodes").
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+#include "common/env.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace sfdf {
+namespace bench {
+
+/// Memory budget of the Spark-like baseline (boxed shuffle buffers).
+/// Sized so the Wikipedia/Hollywood stand-ins fit and the Webbase/Twitter
+/// stand-ins exceed it — reproducing the paper's OOM failures
+/// ("the number of messages created exceeds the heap size on each node").
+inline int64_t SparkBudget() {
+  return static_cast<int64_t>((56LL << 20) * ScaleFactor());
+}
+
+/// Message-memory budget of the Giraph-like baseline.
+inline int64_t GiraphBudget() {
+  return static_cast<int64_t>((22LL << 20) * ScaleFactor());
+}
+
+inline void Header(const char* figure, const char* title,
+                   const char* expected_shape) {
+  std::printf("=====================================================\n");
+  std::printf("%s — %s\n", figure, title);
+  std::printf("scale=%.3f workers=%d\n", ScaleFactor(), DefaultParallelism());
+  std::printf("paper-expected shape: %s\n", expected_shape);
+  std::printf("=====================================================\n");
+}
+
+/// Formats a runtime cell: seconds, "OOM", or "n/a".
+inline std::string Cell(const Result<double>& seconds) {
+  char buffer[64];
+  if (seconds.ok()) {
+    std::snprintf(buffer, sizeof(buffer), "%10.3f", *seconds);
+  } else if (seconds.status().code() == StatusCode::kOutOfMemory) {
+    std::snprintf(buffer, sizeof(buffer), "%10s", "OOM");
+  } else {
+    std::snprintf(buffer, sizeof(buffer), "%10s", "error");
+  }
+  return buffer;
+}
+
+}  // namespace bench
+}  // namespace sfdf

@@ -1,0 +1,84 @@
+// Figure 7: total execution times for the PageRank algorithm (20
+// iterations) on Wikipedia, Webbase and Twitter, across four systems:
+// Spark, Giraph, Stratosphere-partition and Stratosphere-broadcast.
+//
+// Expected shape (paper):
+//  * On Wikipedia all systems are roughly comparable; the broadcast plan is
+//    cheapest (saves the per-iteration shuffle of the contributions).
+//  * Spark and Giraph run out of memory on Webbase and Twitter (no message
+//    spilling).
+//  * The broadcast plan degrades on Webbase (rebuilding the replicated rank
+//    table dominates as the vector grows).
+#include <cstdio>
+#include <string>
+
+#include "algos/pagerank.h"
+#include "baselines/giraph/giraph.h"
+#include "baselines/spark/spark.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "graph/datasets.h"
+
+namespace sfdf {
+namespace {
+
+constexpr int kIterations = 20;
+
+Result<double> RunSpark(const Graph& graph) {
+  spark::SparkOptions options;
+  options.memory_budget_bytes = bench::SparkBudget();
+  Stopwatch watch;
+  auto result = spark::PageRank(graph, kIterations, 0.85, options);
+  if (!result.ok()) return result.status();
+  return watch.ElapsedSeconds();
+}
+
+Result<double> RunGiraph(const Graph& graph) {
+  giraph::GiraphOptions options;
+  options.message_budget_bytes = bench::GiraphBudget();
+  Stopwatch watch;
+  auto result = giraph::PageRank(graph, kIterations, 0.85, options);
+  if (!result.ok()) return result.status();
+  return watch.ElapsedSeconds();
+}
+
+Result<double> RunStratosphere(const Graph& graph, PageRankPlan plan) {
+  PageRankOptions options;
+  options.iterations = kIterations;
+  options.plan = plan;
+  Stopwatch watch;
+  auto result = RunPageRank(graph, options);
+  if (!result.ok()) return result.status();
+  return watch.ElapsedSeconds();
+}
+
+}  // namespace
+}  // namespace sfdf
+
+int main() {
+  using namespace sfdf;
+  bench::Header("Figure 7", "PageRank total execution times (seconds)",
+                "comparable systems on wikipedia; Spark/Giraph OOM on the "
+                "large sets; broadcast plan degrades on webbase");
+
+  std::printf("%-11s %10s %10s %10s %10s\n", "dataset", "spark", "giraph",
+              "strato-prt", "strato-bc");
+  for (const char* name : {"wikipedia", "webbase", "twitter"}) {
+    Graph graph = DatasetByName(name).generate(ScaleFactor());
+    auto spark_time = RunSpark(graph);
+    auto giraph_time = RunGiraph(graph);
+    auto part_time = RunStratosphere(graph, PageRankPlan::kPartition);
+    auto bc_time = RunStratosphere(graph, PageRankPlan::kBroadcast);
+    std::printf("%-11s %s %s %s %s\n", name,
+                bench::Cell(spark_time).c_str(),
+                bench::Cell(giraph_time).c_str(),
+                bench::Cell(part_time).c_str(),
+                bench::Cell(bc_time).c_str());
+    std::printf(
+        "row dataset=%s spark=%s giraph=%s strato_part=%s strato_bc=%s\n",
+        name, bench::Cell(spark_time).c_str(),
+        bench::Cell(giraph_time).c_str(), bench::Cell(part_time).c_str(),
+        bench::Cell(bc_time).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,74 @@
+// Figure 8: execution times of the individual iterations for PageRank on
+// the Wikipedia dataset (Spark, Giraph, Stratosphere-partition).
+//
+// Expected shape: Stratosphere and Giraph have near-constant iteration
+// times with a longer first iteration (constant-path execution / vertex
+// setup); Spark's per-iteration times sit higher and vary more (per-message
+// object churn — the JVM's GC pressure in the paper, allocation churn
+// here).
+#include <cstdio>
+#include <vector>
+
+#include "algos/pagerank.h"
+#include "baselines/giraph/giraph.h"
+#include "baselines/spark/spark.h"
+#include "bench_common.h"
+#include "graph/datasets.h"
+
+int main() {
+  using namespace sfdf;
+  bench::Header("Figure 8", "PageRank per-iteration times, Wikipedia (ms)",
+                "constant iteration times for Giraph/Stratosphere with a "
+                "longer first iteration; higher and noisier times for Spark");
+
+  Graph graph = DatasetByName("wikipedia").generate(ScaleFactor());
+  const int kIterations = 20;
+
+  std::vector<double> spark_ms;
+  {
+    spark::SparkOptions options;
+    options.memory_budget_bytes = bench::SparkBudget();
+    auto result = spark::PageRank(graph, kIterations, 0.85, options);
+    if (result.ok()) {
+      for (const auto& it : result->stats.iterations) {
+        spark_ms.push_back(it.millis);
+      }
+    }
+  }
+  std::vector<double> giraph_ms;
+  {
+    giraph::GiraphOptions options;
+    options.message_budget_bytes = bench::GiraphBudget();
+    auto result = giraph::PageRank(graph, kIterations, 0.85, options);
+    if (result.ok()) {
+      for (const auto& s : result->stats.supersteps) {
+        giraph_ms.push_back(s.millis);
+      }
+    }
+  }
+  std::vector<double> strato_ms;
+  {
+    PageRankOptions options;
+    options.iterations = kIterations;
+    options.plan = PageRankPlan::kPartition;
+    auto result = RunPageRank(graph, options);
+    if (result.ok()) {
+      for (const auto& s : result->exec.bulk_reports[0].supersteps) {
+        strato_ms.push_back(s.millis);
+      }
+    }
+  }
+
+  std::printf("%-10s %12s %12s %12s\n", "iteration", "spark", "giraph",
+              "strato-prt");
+  for (int i = 0; i < kIterations; ++i) {
+    auto cell = [&](const std::vector<double>& series) {
+      return i < static_cast<int>(series.size()) ? series[i] : -1.0;
+    };
+    std::printf("%-10d %12.2f %12.2f %12.2f\n", i + 1, cell(spark_ms),
+                cell(giraph_ms), cell(strato_ms));
+    std::printf("row iteration=%d spark_ms=%.2f giraph_ms=%.2f strato_ms=%.2f\n",
+                i + 1, cell(spark_ms), cell(giraph_ms), cell(strato_ms));
+  }
+  return 0;
+}

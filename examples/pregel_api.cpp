@@ -1,0 +1,78 @@
+// The Section 7.2 claim, executable: a Pregel-style vertex program running
+// on top of the workset-iteration abstraction. The partial solution holds
+// the vertex states, the workset holds the messages; ∆ gathers messages,
+// runs compute(), and fans new messages out along the topology.
+//
+//   $ ./build/examples/pregel_api
+#include <algorithm>
+#include <cstdio>
+
+#include "algos/pregel.h"
+#include "graph/generators.h"
+#include "graph/union_find.h"
+
+namespace {
+
+/// Classic HCC: propagate the minimum label; halt when nothing improves.
+class MinLabel : public sfdf::VertexProgram {
+ public:
+  bool Compute(sfdf::VertexId vid, int64_t current,
+               const std::vector<int64_t>& messages,
+               int64_t* new_value) const override {
+    (void)vid;
+    int64_t best = current;
+    for (int64_t msg : messages) best = std::min(best, msg);
+    if (best < current) {
+      *new_value = best;
+      return true;  // changed: message all neighbors
+    }
+    return false;  // vote to halt
+  }
+
+  int64_t MessageValue(sfdf::VertexId vid, int64_t value) const override {
+    (void)vid;
+    return value;
+  }
+};
+
+}  // namespace
+
+int main() {
+  using namespace sfdf;
+
+  RmatOptions graph_options;
+  graph_options.num_vertices = 1 << 13;
+  graph_options.num_edges = 1 << 15;
+  Graph graph = GenerateRmat(graph_options);
+  std::printf("graph: %s\n", graph.ToString().c_str());
+
+  // Initial state: every vertex is its own component; superstep-0 messages
+  // introduce every vertex to its neighbors.
+  std::vector<int64_t> initial(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) initial[v] = v;
+  std::vector<std::pair<VertexId, int64_t>> messages;
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (const VertexId* v = graph.NeighborsBegin(u);
+         v != graph.NeighborsEnd(u); ++v) {
+      messages.emplace_back(*v, u);
+    }
+  }
+
+  MinLabel program;
+  auto result = RunPregel(graph, std::move(initial), std::move(messages),
+                          program, PregelOptions{});
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("converged after %d supersteps\n", result->supersteps);
+
+  std::vector<VertexId> reference = ReferenceComponents(graph);
+  bool correct = true;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    correct &= result->values[v] == reference[v];
+  }
+  std::printf("matches union-find ground truth: %s\n",
+              correct ? "yes" : "NO");
+  return correct ? 0 : 1;
+}

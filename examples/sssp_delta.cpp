@@ -1,0 +1,55 @@
+// Single-Source Shortest Paths as a delta/workset iteration — the Figure 5
+// template applied beyond Connected Components. The solution set maps each
+// vertex to its tentative distance; the workset carries relaxations; the
+// comparator keeps the shorter distance on conflicts.
+//
+//   $ ./build/examples/sssp_delta
+#include <cmath>
+#include <cstdio>
+
+#include "algos/sssp.h"
+#include "graph/generators.h"
+
+int main() {
+  using namespace sfdf;
+
+  RmatOptions graph_options;
+  graph_options.num_vertices = 1 << 13;
+  graph_options.num_edges = 1 << 15;
+  Graph graph = GenerateRmat(graph_options);
+  std::printf("graph: %s\n", graph.ToString().c_str());
+
+  SsspOptions options;
+  options.source = 0;
+  options.max_weight = 16;  // deterministic pseudo-weights in [1, 16]
+
+  auto result = RunSssp(graph, options);
+  if (!result.ok()) {
+    std::printf("error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("converged after %d supersteps\n", result->iterations);
+
+  // Validate against Dijkstra.
+  std::vector<double> reference =
+      ReferenceSssp(graph, options.source, options.max_weight);
+  int64_t reachable = 0;
+  double max_diff = 0;
+  for (size_t v = 0; v < reference.size(); ++v) {
+    if (std::isinf(reference[v])) continue;
+    ++reachable;
+    max_diff = std::max(max_diff,
+                        std::abs(result->distances[v] - reference[v]));
+  }
+  std::printf("%lld reachable vertices, max deviation from Dijkstra: %.2e\n",
+              static_cast<long long>(reachable), max_diff);
+
+  // The workset shrinks as distant regions settle.
+  std::printf("%-10s %-12s %-12s\n", "superstep", "workset", "relaxed");
+  for (const SuperstepStats& s : result->exec.workset_reports[0].supersteps) {
+    std::printf("%-10d %-12lld %-12lld\n", s.superstep,
+                static_cast<long long>(s.workset_size),
+                static_cast<long long>(s.delta_applied));
+  }
+  return max_diff < 1e-9 ? 0 : 1;
+}

@@ -1,0 +1,120 @@
+// The paper's core motivation (§1), end to end: "an integrated approach
+// enables many analytical pipelines to be expressed in a unified fashion,
+// eliminating the need for an orchestration framework."
+//
+// One single dataflow plan — no orchestration between systems — that:
+//   1. loads a raw edge list from disk,
+//   2. PRE-processes it with relational-style operators (dedup, filter),
+//   3. runs the incremental Connected Components iteration,
+//   4. POST-processes the result (component sizes, top components),
+// all compiled by one optimizer and executed by one engine.
+//
+//   $ ./build/examples/unified_pipeline
+#include <algorithm>
+#include <cstdio>
+
+#include "dataflow/plan_builder.h"
+#include "graph/generators.h"
+#include "graph/io.h"
+#include "optimizer/optimizer.h"
+#include "record/comparator.h"
+#include "runtime/executor.h"
+
+int main() {
+  using namespace sfdf;
+
+  // Stage 0: materialize a raw dataset on disk (simulating the crawl dump).
+  RmatOptions graph_options;
+  graph_options.num_vertices = 1 << 13;
+  graph_options.num_edges = 1 << 15;
+  Graph graph = GenerateRmat(graph_options);
+  std::string path = "/tmp/sfdf_pipeline_edges.txt";
+  if (!WriteEdgeList(path, graph).ok()) return 1;
+  auto loaded = ReadEdgeList(path);
+  if (!loaded.ok()) return 1;
+  std::printf("loaded %s\n", loaded->ToString().c_str());
+
+  // Raw inputs for the unified plan.
+  std::vector<Record> edges;
+  std::vector<Record> labels;
+  std::vector<Record> workset;
+  for (VertexId u = 0; u < loaded->num_vertices(); ++u) {
+    labels.push_back(Record::OfInts(u, u));
+    for (const VertexId* v = loaded->NeighborsBegin(u);
+         v != loaded->NeighborsEnd(u); ++v) {
+      edges.push_back(Record::OfInts(u, *v));
+      workset.push_back(Record::OfInts(*v, u));
+    }
+  }
+
+  std::vector<Record> component_sizes;
+  PlanBuilder pb;
+  // --- preprocessing: drop self-loops (defensive; relational filter) ---
+  auto raw_edges = pb.Source("rawEdges", std::move(edges));
+  auto clean_edges = pb.Filter("dropSelfLoops", raw_edges, [](const Record& e) {
+    return e.GetInt(0) != e.GetInt(1);
+  });
+  auto s0 = pb.Source("labels", std::move(labels));
+  auto w0 = pb.Source("workset", std::move(workset));
+
+  // --- the incremental iteration (Figure 5) ---
+  auto it = pb.BeginWorksetIteration("cc", s0, w0, {0},
+                                     OrderByIntFieldDesc(1));
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                        [](const Record& cand, const Record& cur,
+                           Collector* c) {
+                          if (cand.GetInt(1) < cur.GetInt(1)) {
+                            c->Emit(Record::OfInts(cand.GetInt(0),
+                                                   cand.GetInt(1)));
+                          }
+                        });
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  auto next = pb.Match("fanout", delta, clean_edges, {0}, {0},
+                       [](const Record& d, const Record& e, Collector* c) {
+                         c->Emit(Record::OfInts(e.GetInt(1), d.GetInt(1)));
+                       });
+  pb.DeclarePreserved(next, 1, 1, 0);
+  auto components = it.Close(delta, next);
+
+  // --- postprocessing: component histogram, keep only big components ---
+  auto sizes = pb.Reduce("componentSizes", components, {1},
+                         [](const std::vector<Record>& group, Collector* c) {
+                           c->Emit(Record::OfInts(
+                               group.front().GetInt(1),
+                               static_cast<int64_t>(group.size())));
+                         });
+  auto big = pb.Filter("bigComponents", sizes, [](const Record& rec) {
+    return rec.GetInt(1) >= 10;
+  });
+  pb.Sink("sizes", big, &component_sizes);
+  Plan plan = std::move(pb).Finish();
+
+  Optimizer optimizer;
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) {
+    std::printf("optimize error: %s\n", physical.status().ToString().c_str());
+    return 1;
+  }
+  Executor executor;
+  auto result = executor.Run(*physical);
+  if (!result.ok()) {
+    std::printf("run error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::sort(component_sizes.begin(), component_sizes.end(),
+            [](const Record& a, const Record& b) {
+              return a.GetInt(1) > b.GetInt(1);
+            });
+  std::printf("components with ≥10 members: %zu; largest:\n",
+              component_sizes.size());
+  for (size_t i = 0; i < 5 && i < component_sizes.size(); ++i) {
+    std::printf("  component %-8lld size %lld\n",
+                static_cast<long long>(component_sizes[i].GetInt(0)),
+                static_cast<long long>(component_sizes[i].GetInt(1)));
+  }
+  std::printf("one plan, one optimizer pass, one execution — no "
+              "orchestration framework.\n");
+  std::remove(path.c_str());
+  return 0;
+}

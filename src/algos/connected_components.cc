@@ -1,0 +1,217 @@
+#include "algos/connected_components.h"
+
+#include <algorithm>
+
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+
+namespace sfdf {
+
+namespace {
+
+std::vector<Record> BuildInitialLabels(const Graph& graph) {
+  std::vector<Record> labels;
+  labels.reserve(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    labels.push_back(Record::OfInts(v, v));
+  }
+  return labels;
+}
+
+/// Initial workset: for every edge (u,v), u's initial component id (= u)
+/// is a candidate for v (INCR-CC of Table 1: w contains all pairs (v, c)
+/// where c is the component id of a neighbor of v).
+std::vector<Record> BuildInitialWorkset(const Graph& graph) {
+  std::vector<Record> workset;
+  workset.reserve(graph.num_directed_edges());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (const VertexId* v = graph.NeighborsBegin(u);
+         v != graph.NeighborsEnd(u); ++v) {
+      workset.push_back(Record::OfInts(*v, u));
+    }
+  }
+  return workset;
+}
+
+/// FIXPOINT-CC as a bulk iteration.
+Result<CcResult> RunBulk(const Graph& graph, const CcOptions& options,
+                         std::vector<Record>* output) {
+  PlanBuilder pb;
+  auto labels = pb.Source("V", BuildInitialLabels(graph));
+  auto edges = pb.Source("N", BuildEdgeRecords(graph));
+
+  auto it = pb.BeginBulkIteration("cc", labels, options.max_iterations,
+                                  /*solution_key=*/{0});
+  // Each vertex offers its current cid to every neighbor.
+  auto candidates = pb.Match(
+      "propagate", it.PartialSolution(), edges, {0}, {0},
+      [](const Record& label, const Record& edge, Collector* out) {
+        out->Emit(Record::OfInts(edge.GetInt(1), label.GetInt(1)));
+      });
+  pb.DeclarePreserved(candidates, 1, 1, 0);
+  // Keep the vertex's own cid in the running (min of self and neighbors).
+  auto unioned = pb.Union("selfAndCandidates", candidates,
+                          it.PartialSolution());
+  // Note: no combiner here — the paper's bulk CC ships the raw candidate
+  // records every iteration (Figure 12 shows an essentially constant, high
+  // message count for the bulk plan), which is exactly what makes bulk
+  // iterations pay for the converged regions.
+  auto next = pb.Reduce(
+      "minCid", unioned, {0},
+      [](const std::vector<Record>& group, Collector* out) {
+        int64_t min_cid = group.front().GetInt(1);
+        for (const Record& rec : group) {
+          min_cid = std::min(min_cid, rec.GetInt(1));
+        }
+        out->Emit(Record::OfInts(group.front().GetInt(0), min_cid));
+      });
+  pb.DeclarePreserved(next, 0, 0, 0);
+  // T: emit a record for every vertex whose component id still changed.
+  auto term = pb.Match("changed", it.PartialSolution(), next, {0}, {0},
+                       [](const Record& oldl, const Record& newl,
+                          Collector* out) {
+                         if (newl.GetInt(1) < oldl.GetInt(1)) {
+                           out->Emit(Record::OfInts(1));
+                         }
+                       });
+  auto result = it.Close(next, term);
+  pb.Sink("labels", result, output);
+  Plan plan = std::move(pb).Finish();
+
+  OptimizerOptions oopt;
+  oopt.parallelism = options.parallelism;
+  oopt.enable_caching = options.enable_caching;
+  Optimizer optimizer(oopt);
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  ExecutionOptions eopt;
+  eopt.parallelism = options.parallelism;
+  eopt.record_superstep_stats = options.record_superstep_stats;
+  Executor executor(eopt);
+  auto exec = executor.Run(*physical);
+  if (!exec.ok()) return exec.status();
+
+  CcResult cc;
+  cc.exec = std::move(exec).value();
+  cc.iterations = cc.exec.bulk_reports[0].iterations;
+  cc.converged = cc.exec.bulk_reports[0].converged;
+  return cc;
+}
+
+/// INCR-CC / MICRO-CC as a workset iteration (Figure 5).
+Result<CcResult> RunIncremental(const Graph& graph, const CcOptions& options,
+                                std::vector<Record>* output) {
+  const bool match_variant = options.variant != CcVariant::kIncrementalCoGroup;
+  PlanBuilder pb;
+  auto labels = pb.Source("V", BuildInitialLabels(graph));
+  auto workset0 = pb.Source("W0", BuildInitialWorkset(graph));
+  auto edges = pb.Source("N", BuildEdgeRecords(graph));
+
+  IterationMode mode = options.variant == CcVariant::kAsyncMicrostep
+                           ? IterationMode::kMicrostep
+                           : IterationMode::kAuto;
+  // Progress in the CPO means a lower component id: the record with the
+  // smaller cid wins the ∪̇ conflict resolution.
+  auto it = pb.BeginWorksetIteration("cc", labels, workset0,
+                                     /*solution_key=*/{0},
+                                     OrderByIntFieldDesc(1), mode,
+                                     options.max_iterations);
+
+  DataSet delta;
+  if (match_variant) {
+    // MICRO-CC: each candidate individually probes (and possibly updates)
+    // the partial solution.
+    delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                     [](const Record& cand, const Record& current,
+                        Collector* out) {
+                       if (cand.GetInt(1) < current.GetInt(1)) {
+                         out->Emit(Record::OfInts(cand.GetInt(0),
+                                                  cand.GetInt(1)));
+                       }
+                     });
+    pb.DeclarePreserved(delta, 1, 0, 0);  // S.vid -> D.vid: local updates
+  } else {
+    // INCR-CC: group all candidates of a vertex, touch the solution once.
+    delta = pb.InnerCoGroup(
+        "update", it.Workset(), it.SolutionSet(), {0}, {0},
+        [](const std::vector<Record>& candidates,
+           const std::vector<Record>& current, Collector* out) {
+          int64_t min_cid = candidates.front().GetInt(1);
+          for (const Record& rec : candidates) {
+            min_cid = std::min(min_cid, rec.GetInt(1));
+          }
+          if (min_cid < current.front().GetInt(1)) {
+            out->Emit(Record::OfInts(current.front().GetInt(0), min_cid));
+          }
+        });
+    pb.DeclarePreserved(delta, 1, 0, 0);
+  }
+  // A changed vertex offers its new cid to all neighbors (Figure 5's Match
+  // between D and the neighborhood mapping N).
+  auto next_workset = pb.Match(
+      "neighbors", delta, edges, {0}, {0},
+      [](const Record& changed, const Record& edge, Collector* out) {
+        out->Emit(Record::OfInts(edge.GetInt(1), changed.GetInt(1)));
+      });
+  pb.DeclarePreserved(next_workset, 1, 1, 0);
+
+  auto result = it.Close(delta, next_workset);
+  pb.Sink("labels", result, output);
+  Plan plan = std::move(pb).Finish();
+
+  OptimizerOptions oopt;
+  oopt.parallelism = options.parallelism;
+  oopt.enable_caching = options.enable_caching;
+  oopt.force_solution_index = options.force_solution_index;
+  oopt.disable_immediate_apply = options.disable_immediate_apply;
+  Optimizer optimizer(oopt);
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  ExecutionOptions eopt;
+  eopt.parallelism = options.parallelism;
+  eopt.record_superstep_stats = options.record_superstep_stats;
+  Executor executor(eopt);
+  auto exec = executor.Run(*physical);
+  if (!exec.ok()) return exec.status();
+
+  CcResult cc;
+  cc.exec = std::move(exec).value();
+  cc.iterations = cc.exec.workset_reports[0].iterations;
+  cc.converged = cc.exec.workset_reports[0].converged;
+  return cc;
+}
+
+}  // namespace
+
+std::vector<Record> BuildEdgeRecords(const Graph& graph) {
+  std::vector<Record> edges;
+  edges.reserve(graph.num_directed_edges());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (const VertexId* v = graph.NeighborsBegin(u);
+         v != graph.NeighborsEnd(u); ++v) {
+      edges.push_back(Record::OfInts(u, *v));
+    }
+  }
+  return edges;
+}
+
+Result<CcResult> RunConnectedComponents(const Graph& graph,
+                                        const CcOptions& options) {
+  std::vector<Record> output;
+  Result<CcResult> result =
+      options.variant == CcVariant::kBulk
+          ? RunBulk(graph, options, &output)
+          : RunIncremental(graph, options, &output);
+  if (!result.ok()) return result;
+
+  CcResult cc = std::move(result).value();
+  cc.labels.assign(graph.num_vertices(), -1);
+  for (const Record& rec : output) {
+    cc.labels[rec.GetInt(0)] = rec.GetInt(1);
+  }
+  return cc;
+}
+
+}  // namespace sfdf

@@ -1,0 +1,63 @@
+// Connected Components in all the paper's flavours (Table 1, Figure 5).
+//
+//  * kBulk            — FIXPOINT-CC as a bulk iteration: every superstep,
+//                        every vertex takes the minimum component id of
+//                        itself and all neighbors.
+//  * kIncrementalCoGroup — INCR-CC as a workset iteration whose update
+//                        function is an InnerCoGroup (batch incremental:
+//                        all candidates of a vertex are grouped, the
+//                        solution is touched once per vertex).
+//  * kIncrementalMatch — MICRO-CC semantics via a Match update function:
+//                        every workset element probes and possibly updates
+//                        the solution individually. Executed with
+//                        supersteps, like the paper's experiments.
+//  * kAsyncMicrostep  — the same Match plan executed as an asynchronous
+//                        fused microstep loop (Section 5.2) with
+//                        quiescence-based termination.
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+
+enum class CcVariant {
+  kBulk,
+  kIncrementalCoGroup,
+  kIncrementalMatch,
+  kAsyncMicrostep,
+};
+
+struct CcOptions {
+  CcVariant variant = CcVariant::kIncrementalCoGroup;
+  /// Iteration cap (the bulk variant uses its T criterion to stop earlier;
+  /// workset variants stop when the workset drains).
+  int max_iterations = 1000;
+  int parallelism = 0;
+  bool record_superstep_stats = true;
+  /// Ablation toggles (forwarded to the optimizer).
+  int force_solution_index = 0;  ///< 0 auto, 1 hash, 2 B+-tree
+  bool enable_caching = true;
+  bool disable_immediate_apply = false;  ///< buffer D until superstep end
+};
+
+struct CcResult {
+  /// labels[v] = component id of vertex v (the minimum vid in v's
+  /// component when the algorithm converged).
+  std::vector<VertexId> labels;
+  ExecutionResult exec;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs the selected Connected Components variant on the dataflow engine.
+Result<CcResult> RunConnectedComponents(const Graph& graph,
+                                        const CcOptions& options);
+
+/// Builds the (src, dst) neighborhood records N of `graph`.
+std::vector<Record> BuildEdgeRecords(const Graph& graph);
+
+}  // namespace sfdf

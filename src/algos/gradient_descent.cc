@@ -1,0 +1,162 @@
+#include "algos/gradient_descent.h"
+
+#include <cmath>
+
+#include "common/rng.h"
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+
+namespace sfdf {
+
+Result<GradientDescentResult> RunGradientDescent(
+    const std::vector<Sample1D>& samples,
+    const GradientDescentOptions& options) {
+  if (samples.empty()) {
+    return Status::InvalidArgument("no training samples");
+  }
+  std::vector<Record> sample_records;
+  sample_records.reserve(samples.size());
+  for (size_t i = 0; i < samples.size(); ++i) {
+    Record rec;
+    rec.AppendInt(static_cast<int64_t>(i));
+    rec.AppendDouble(samples[i].x);
+    rec.AppendDouble(samples[i].y);
+    sample_records.push_back(rec);
+  }
+  // The model: a single record (0, w, b), initialized to zero.
+  std::vector<Record> model0;
+  {
+    Record rec;
+    rec.AppendInt(0);
+    rec.AppendDouble(0.0);
+    rec.AppendDouble(0.0);
+    model0.push_back(rec);
+  }
+  const double rate = options.learning_rate;
+  const double inv_n = 1.0 / static_cast<double>(samples.size());
+  const double epsilon = options.epsilon;
+
+  std::vector<Record> output;
+  PlanBuilder pb;
+  auto data = pb.Source("samples", std::move(sample_records));
+  auto model_source = pb.Source("model0", std::move(model0));
+
+  auto it = pb.BeginBulkIteration("bgd", model_source, options.max_iterations,
+                                  {0});
+  // Per-sample gradient of the squared loss under the current model.
+  auto gradients = pb.Cross(
+      "pointGradients", data, it.PartialSolution(),
+      [](const Record& sample, const Record& model, Collector* out) {
+        double x = sample.GetDouble(1);
+        double y = sample.GetDouble(2);
+        double err = model.GetDouble(1) * x + model.GetDouble(2) - y;
+        Record rec;
+        rec.AppendInt(0);
+        rec.AppendDouble(err * x);  // ∂loss/∂w
+        rec.AppendDouble(err);      // ∂loss/∂b
+        out->Emit(rec);
+      });
+  auto gradient_sum = pb.Reduce(
+      "sumGradients", gradients, {0},
+      [](const std::vector<Record>& group, Collector* out) {
+        double gw = 0;
+        double gb = 0;
+        for (const Record& rec : group) {
+          gw += rec.GetDouble(1);
+          gb += rec.GetDouble(2);
+        }
+        Record rec;
+        rec.AppendInt(0);
+        rec.AppendDouble(gw);
+        rec.AppendDouble(gb);
+        out->Emit(rec);
+      },
+      /*combiner=*/
+      [](const Record& a, const Record& b) {
+        Record rec;
+        rec.AppendInt(0);
+        rec.AppendDouble(a.GetDouble(1) + b.GetDouble(1));
+        rec.AppendDouble(a.GetDouble(2) + b.GetDouble(2));
+        return rec;
+      });
+  pb.DeclarePreserved(gradient_sum, 0, 0, 0);
+  // Apply the step: w' = w − η·∇w/n, b' = b − η·∇b/n.
+  auto next = pb.Match(
+      "applyStep", it.PartialSolution(), gradient_sum, {0}, {0},
+      [rate, inv_n](const Record& model, const Record& grad, Collector* out) {
+        Record rec;
+        rec.AppendInt(0);
+        rec.AppendDouble(model.GetDouble(1) - rate * grad.GetDouble(1) * inv_n);
+        rec.AppendDouble(model.GetDouble(2) - rate * grad.GetDouble(2) * inv_n);
+        out->Emit(rec);
+      });
+  pb.DeclarePreserved(next, 0, 0, 0);
+  auto term = pb.Match("stillMoving", it.PartialSolution(), next, {0}, {0},
+                       [epsilon](const Record& oldm, const Record& newm,
+                                 Collector* out) {
+                         double step =
+                             std::abs(oldm.GetDouble(1) - newm.GetDouble(1)) +
+                             std::abs(oldm.GetDouble(2) - newm.GetDouble(2));
+                         if (step > epsilon) out->Emit(Record::OfInts(1));
+                       });
+  auto result = it.Close(next, term);
+  pb.Sink("model", result, &output);
+  Plan plan = std::move(pb).Finish();
+
+  OptimizerOptions oopt;
+  oopt.parallelism = options.parallelism;
+  Optimizer optimizer(oopt);
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  ExecutionOptions eopt;
+  eopt.parallelism = options.parallelism;
+  Executor executor(eopt);
+  auto exec = executor.Run(*physical);
+  if (!exec.ok()) return exec.status();
+
+  GradientDescentResult bgd;
+  bgd.exec = std::move(exec).value();
+  bgd.iterations = bgd.exec.bulk_reports[0].iterations;
+  bgd.converged = bgd.exec.bulk_reports[0].converged;
+  if (output.size() != 1) {
+    return Status::Internal("gradient descent produced no model record");
+  }
+  bgd.w = output[0].GetDouble(1);
+  bgd.b = output[0].GetDouble(2);
+  return bgd;
+}
+
+void ReferenceGradientDescent(const std::vector<Sample1D>& samples,
+                              double learning_rate, int iterations, double* w,
+                              double* b) {
+  *w = 0;
+  *b = 0;
+  const double inv_n = 1.0 / static_cast<double>(samples.size());
+  for (int iter = 0; iter < iterations; ++iter) {
+    double gw = 0;
+    double gb = 0;
+    for (const Sample1D& s : samples) {
+      double err = *w * s.x + *b - s.y;
+      gw += err * s.x;
+      gb += err;
+    }
+    *w -= learning_rate * gw * inv_n;
+    *b -= learning_rate * gb * inv_n;
+  }
+}
+
+std::vector<Sample1D> MakeLinearSamples(int n, double true_w, double true_b,
+                                        double noise, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Sample1D> samples;
+  samples.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    double x = rng.NextDouble() * 10.0 - 5.0;
+    double y = true_w * x + true_b + (rng.NextDouble() - 0.5) * noise;
+    samples.push_back(Sample1D{x, y});
+  }
+  return samples;
+}
+
+}  // namespace sfdf

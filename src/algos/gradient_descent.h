@@ -1,0 +1,55 @@
+// Batch Gradient Descent as a bulk iteration — the other machine-learning
+// family the paper's Section 1 assigns to bulk iterations ("machine
+// learning algorithms like Batch Gradient Descend").
+//
+// Linear regression y ≈ w·x + b on a loop-invariant training set. The
+// partial solution is the single model record (0, w, b); each iteration
+// crosses the (cached) data with the model, sums the gradient, and applies
+// the step — the model is broadcast, the data never moves, exactly the
+// "replicate the model, cache the data" pattern of Figure 4.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+
+struct Sample1D {
+  double x = 0;
+  double y = 0;
+};
+
+struct GradientDescentOptions {
+  double learning_rate = 0.1;
+  int max_iterations = 200;
+  /// Stop when the parameter step falls below this L1 threshold.
+  double epsilon = 1e-9;
+  int parallelism = 0;
+};
+
+struct GradientDescentResult {
+  double w = 0;
+  double b = 0;
+  ExecutionResult exec;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Fits y = w·x + b by least squares on the dataflow engine.
+Result<GradientDescentResult> RunGradientDescent(
+    const std::vector<Sample1D>& samples,
+    const GradientDescentOptions& options);
+
+/// Sequential reference with the identical update rule.
+void ReferenceGradientDescent(const std::vector<Sample1D>& samples,
+                              double learning_rate, int iterations, double* w,
+                              double* b);
+
+/// Deterministic noisy samples around y = true_w·x + true_b.
+std::vector<Sample1D> MakeLinearSamples(int n, double true_w, double true_b,
+                                        double noise, uint64_t seed);
+
+}  // namespace sfdf

@@ -1,0 +1,106 @@
+#include "algos/incremental_pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "algos/pagerank.h"
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+
+namespace sfdf {
+
+Result<IncrementalPageRankResult> RunIncrementalPageRank(
+    const Graph& graph, const IncrementalPageRankOptions& options) {
+  const double n = static_cast<double>(graph.num_vertices());
+  const double base = (1.0 - options.damping) / n;
+  const double damping = options.damping;
+  const double epsilon = options.epsilon;
+
+  // S_0: every page starts at the base rank.
+  std::vector<Record> initial_ranks;
+  initial_ranks.reserve(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    initial_ranks.push_back(Record::OfIntDouble(v, base));
+  }
+  // W_0: the base rank mass pushed once along every edge.
+  std::vector<Record> initial_pushes;
+  initial_pushes.reserve(graph.num_directed_edges());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    int64_t degree = graph.OutDegree(u);
+    if (degree == 0) continue;
+    double push = damping * base / static_cast<double>(degree);
+    for (const VertexId* v = graph.NeighborsBegin(u);
+         v != graph.NeighborsEnd(u); ++v) {
+      initial_pushes.push_back(Record::OfIntDouble(*v, push));
+    }
+  }
+
+  std::vector<Record> output;
+  PlanBuilder pb;
+  auto ranks = pb.Source("S0", std::move(initial_ranks));
+  auto pushes = pb.Source("W0", std::move(initial_pushes));
+  auto matrix = pb.Source("A", BuildTransitionMatrix(graph));
+
+  auto it = pb.BeginWorksetIteration("incr-pr", ranks, pushes,
+                                     /*solution_key=*/{0},
+                                     /*comparator=*/nullptr,
+                                     IterationMode::kAuto,
+                                     options.max_iterations);
+  // ∆ part 1: absorb the pending pushes into the rank. The delta record
+  // carries (pid, new_rank, residual) — the residual rides along only to
+  // feed part 2 and is replaced on the next update.
+  auto delta = pb.InnerCoGroup(
+      "absorb", it.Workset(), it.SolutionSet(), {0}, {0},
+      [](const std::vector<Record>& pushes_in,
+         const std::vector<Record>& state, Collector* out) {
+        double residual = 0;
+        for (const Record& rec : pushes_in) residual += rec.GetDouble(1);
+        const Record& current = state.front();
+        Record updated;
+        updated.AppendInt(current.GetInt(0));
+        updated.AppendDouble(current.GetDouble(1) + residual);
+        updated.AppendDouble(residual);
+        out->Emit(updated);
+      });
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  // ∆ part 2: adaptive push — only pages whose residual still exceeds the
+  // threshold forward mass to their neighbors (A: (tid, pid, prob)).
+  auto next = pb.Match(
+      "push", delta, matrix, {0}, {1},
+      [damping, epsilon](const Record& d, const Record& a, Collector* out) {
+        double residual = d.GetDouble(2);
+        if (std::abs(residual) <= epsilon) return;  // page converged: halt
+        out->Emit(Record::OfIntDouble(a.GetInt(0),
+                                      damping * residual * a.GetDouble(2)));
+      });
+  pb.DeclarePreserved(next, 1, 0, 0);
+  auto result = it.Close(delta, next);
+  pb.Sink("ranks", result, &output);
+  Plan plan = std::move(pb).Finish();
+
+  OptimizerOptions oopt;
+  oopt.parallelism = options.parallelism;
+  Optimizer optimizer(oopt);
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  ExecutionOptions eopt;
+  eopt.parallelism = options.parallelism;
+  eopt.record_superstep_stats = options.record_superstep_stats;
+  Executor executor(eopt);
+  auto exec = executor.Run(*physical);
+  if (!exec.ok()) return exec.status();
+
+  IncrementalPageRankResult pr;
+  pr.exec = std::move(exec).value();
+  pr.iterations = pr.exec.workset_reports[0].iterations;
+  pr.converged = pr.exec.workset_reports[0].converged;
+  pr.ranks.reserve(output.size());
+  for (const Record& rec : output) {
+    pr.ranks.emplace_back(rec.GetInt(0), rec.GetDouble(1));
+  }
+  std::sort(pr.ranks.begin(), pr.ranks.end());
+  return pr;
+}
+
+}  // namespace sfdf

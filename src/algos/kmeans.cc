@@ -1,0 +1,212 @@
+#include "algos/kmeans.h"
+
+#include <cmath>
+#include <limits>
+
+#include "common/rng.h"
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+
+namespace sfdf {
+
+namespace {
+
+Record PointRecord(int64_t id, const Point2D& p) {
+  Record rec;
+  rec.AppendInt(id);
+  rec.AppendDouble(p.x);
+  rec.AppendDouble(p.y);
+  return rec;
+}
+
+double SquaredDistance(double ax, double ay, double bx, double by) {
+  double dx = ax - bx;
+  double dy = ay - by;
+  return dx * dx + dy * dy;
+}
+
+}  // namespace
+
+Result<KMeansResult> RunKMeans(const std::vector<Point2D>& points,
+                               const KMeansOptions& options) {
+  if (static_cast<int>(points.size()) < options.k) {
+    return Status::InvalidArgument("fewer points than clusters");
+  }
+  std::vector<Record> point_records;
+  point_records.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    point_records.push_back(PointRecord(static_cast<int64_t>(i), points[i]));
+  }
+  std::vector<Record> centroid_records;
+  for (int c = 0; c < options.k; ++c) {
+    centroid_records.push_back(PointRecord(c, points[c]));
+  }
+  const double epsilon = options.epsilon;
+
+  std::vector<Record> output;
+  PlanBuilder pb;
+  auto point_source = pb.Source("points", std::move(point_records));
+  auto centroid_source = pb.Source("centroids0", std::move(centroid_records));
+
+  auto it = pb.BeginBulkIteration("kmeans", centroid_source,
+                                  options.max_iterations, {0});
+  // Every (point, centroid) pair with its squared distance.
+  auto distances = pb.Cross(
+      "distances", point_source, it.PartialSolution(),
+      [](const Record& point, const Record& centroid, Collector* out) {
+        out->Emit(Record::OfIntIntDouble(
+            point.GetInt(0), centroid.GetInt(0),
+            SquaredDistance(point.GetDouble(1), point.GetDouble(2),
+                            centroid.GetDouble(1), centroid.GetDouble(2))));
+      });
+  pb.DeclarePreserved(distances, 0, 0, 0);
+  // Nearest centroid per point (argmin over the k candidates).
+  auto assignment = pb.Reduce(
+      "argmin", distances, {0},
+      [](const std::vector<Record>& group, Collector* out) {
+        int64_t best = group.front().GetInt(1);
+        double best_dist = group.front().GetDouble(2);
+        for (const Record& rec : group) {
+          if (rec.GetDouble(2) < best_dist ||
+              (rec.GetDouble(2) == best_dist && rec.GetInt(1) < best)) {
+            best = rec.GetInt(1);
+            best_dist = rec.GetDouble(2);
+          }
+        }
+        out->Emit(Record::OfInts(group.front().GetInt(0), best));
+      });
+  pb.DeclarePreserved(assignment, 0, 0, 0);
+  // Fetch the coordinates back: (cid, x, y) per point.
+  auto assigned_points = pb.Match(
+      "attachCoords", assignment, point_source, {0}, {0},
+      [](const Record& assign, const Record& point, Collector* out) {
+        Record rec;
+        rec.AppendInt(assign.GetInt(1));
+        rec.AppendDouble(point.GetDouble(1));
+        rec.AppendDouble(point.GetDouble(2));
+        out->Emit(rec);
+      });
+  // New centroid = mean of its assigned points.
+  auto next = pb.Reduce(
+      "mean", assigned_points, {0},
+      [](const std::vector<Record>& group, Collector* out) {
+        double sx = 0;
+        double sy = 0;
+        for (const Record& rec : group) {
+          sx += rec.GetDouble(1);
+          sy += rec.GetDouble(2);
+        }
+        double n = static_cast<double>(group.size());
+        Record rec;
+        rec.AppendInt(group.front().GetInt(0));
+        rec.AppendDouble(sx / n);
+        rec.AppendDouble(sy / n);
+        out->Emit(rec);
+      });
+  pb.DeclarePreserved(next, 0, 0, 0);
+  // T: continue while any centroid moved by more than epsilon.
+  auto term = pb.Match("moved", it.PartialSolution(), next, {0}, {0},
+                       [epsilon](const Record& oldc, const Record& newc,
+                                 Collector* out) {
+                         if (SquaredDistance(oldc.GetDouble(1),
+                                             oldc.GetDouble(2),
+                                             newc.GetDouble(1),
+                                             newc.GetDouble(2)) > epsilon) {
+                           out->Emit(Record::OfInts(1));
+                         }
+                       });
+  auto result = it.Close(next, term);
+  pb.Sink("centroids", result, &output);
+  Plan plan = std::move(pb).Finish();
+
+  OptimizerOptions oopt;
+  oopt.parallelism = options.parallelism;
+  Optimizer optimizer(oopt);
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  ExecutionOptions eopt;
+  eopt.parallelism = options.parallelism;
+  Executor executor(eopt);
+  auto exec = executor.Run(*physical);
+  if (!exec.ok()) return exec.status();
+
+  KMeansResult kmeans;
+  kmeans.exec = std::move(exec).value();
+  kmeans.iterations = kmeans.exec.bulk_reports[0].iterations;
+  kmeans.converged = kmeans.exec.bulk_reports[0].converged;
+  kmeans.centroids.assign(options.k, Point2D{});
+  for (const Record& rec : output) {
+    kmeans.centroids[rec.GetInt(0)] = Point2D{rec.GetDouble(1),
+                                              rec.GetDouble(2)};
+  }
+  return kmeans;
+}
+
+std::vector<Point2D> ReferenceKMeans(const std::vector<Point2D>& points,
+                                     int k, int iterations) {
+  std::vector<Point2D> centroids(points.begin(), points.begin() + k);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::vector<double> sx(k, 0);
+    std::vector<double> sy(k, 0);
+    std::vector<int64_t> count(k, 0);
+    for (const Point2D& p : points) {
+      int best = 0;
+      double best_dist = std::numeric_limits<double>::infinity();
+      for (int c = 0; c < k; ++c) {
+        double d = SquaredDistance(p.x, p.y, centroids[c].x, centroids[c].y);
+        if (d < best_dist) {
+          best_dist = d;
+          best = c;
+        }
+      }
+      sx[best] += p.x;
+      sy[best] += p.y;
+      ++count[best];
+    }
+    for (int c = 0; c < k; ++c) {
+      if (count[c] > 0) {
+        centroids[c] = Point2D{sx[c] / count[c], sy[c] / count[c]};
+      }
+    }
+  }
+  return centroids;
+}
+
+std::vector<Point2D> MakeClusteredPoints(int k, int points_per_cluster,
+                                         uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Point2D> points;
+  points.reserve(static_cast<size_t>(k) * points_per_cluster);
+  // Ensure the first k points land in distinct clusters (the deterministic
+  // seeding picks them as initial centroids).
+  for (int c = 0; c < k; ++c) {
+    double cx = static_cast<double>(c % 4) * 10.0;
+    double cy = static_cast<double>(c / 4) * 10.0;
+    points.push_back(Point2D{cx, cy});
+  }
+  for (int c = 0; c < k; ++c) {
+    double cx = static_cast<double>(c % 4) * 10.0;
+    double cy = static_cast<double>(c / 4) * 10.0;
+    for (int i = 1; i < points_per_cluster; ++i) {
+      points.push_back(Point2D{cx + (rng.NextDouble() - 0.5) * 3.0,
+                               cy + (rng.NextDouble() - 0.5) * 3.0});
+    }
+  }
+  return points;
+}
+
+double KMeansObjective(const std::vector<Point2D>& points,
+                       const std::vector<Point2D>& centroids) {
+  double total = 0;
+  for (const Point2D& p : points) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const Point2D& c : centroids) {
+      best = std::min(best, SquaredDistance(p.x, p.y, c.x, c.y));
+    }
+    total += best;
+  }
+  return total / static_cast<double>(points.size());
+}
+
+}  // namespace sfdf

@@ -1,0 +1,65 @@
+// K-Means clustering as a bulk iteration — one of the paper's motivating
+// bulk-iterative algorithm families (Section 1: "many clustering algorithms
+// (such as K-Means)").
+//
+// The partial solution is the centroid set; the points are loop-invariant
+// and live on the constant data path (cached by the optimizer). Each
+// iteration recomputes every centroid — the textbook case where bulk
+// iterations are the right tool and worksets buy nothing.
+//
+// Dataflow per iteration:
+//   Cross(points, centroids)     -> (pid, cid, squared distance)
+//   Reduce on pid (argmin)       -> (pid, nearest cid)
+//   Match with points on pid     -> (cid, x, y)
+//   Reduce on cid (mean)         -> next centroids (cid, mx, my)
+//   T: Match(old, new centroids) -> record per centroid that moved > eps
+#pragma once
+
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+
+struct Point2D {
+  double x = 0;
+  double y = 0;
+};
+
+struct KMeansOptions {
+  int k = 8;
+  int max_iterations = 50;
+  /// Convergence threshold on centroid movement (squared distance).
+  double epsilon = 1e-12;
+  int parallelism = 0;
+};
+
+struct KMeansResult {
+  /// Final centroids, indexed by centroid id (size k).
+  std::vector<Point2D> centroids;
+  ExecutionResult exec;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Runs K-Means on the dataflow engine. Initial centroids are the first k
+/// points (deterministic).
+Result<KMeansResult> RunKMeans(const std::vector<Point2D>& points,
+                               const KMeansOptions& options);
+
+/// Sequential reference with identical seeding and update rule.
+std::vector<Point2D> ReferenceKMeans(const std::vector<Point2D>& points,
+                                     int k, int iterations);
+
+/// Deterministic synthetic clusters: `k` Gaussian-ish blobs with
+/// `points_per_cluster` points each.
+std::vector<Point2D> MakeClusteredPoints(int k, int points_per_cluster,
+                                         uint64_t seed);
+
+/// Mean squared distance of every point to its nearest centroid (the
+/// K-Means objective; used to compare clusterings).
+double KMeansObjective(const std::vector<Point2D>& points,
+                       const std::vector<Point2D>& centroids);
+
+}  // namespace sfdf

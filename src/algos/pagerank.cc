@@ -1,0 +1,165 @@
+#include "algos/pagerank.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+
+namespace sfdf {
+
+std::vector<Record> BuildTransitionMatrix(const Graph& graph) {
+  std::vector<Record> matrix;
+  matrix.reserve(graph.num_directed_edges());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    int64_t degree = graph.OutDegree(u);
+    if (degree == 0) continue;
+    double prob = 1.0 / static_cast<double>(degree);
+    for (const VertexId* v = graph.NeighborsBegin(u);
+         v != graph.NeighborsEnd(u); ++v) {
+      matrix.push_back(Record::OfIntIntDouble(*v, u, prob));
+    }
+  }
+  return matrix;
+}
+
+std::vector<Record> BuildInitialRanks(const Graph& graph) {
+  std::vector<Record> ranks;
+  ranks.reserve(graph.num_vertices());
+  double r0 = 1.0 / static_cast<double>(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    ranks.push_back(Record::OfIntDouble(v, r0));
+  }
+  return ranks;
+}
+
+Result<PageRankResult> RunPageRank(const Graph& graph,
+                                   const PageRankOptions& options) {
+  const double n = static_cast<double>(graph.num_vertices());
+  const double damping = options.damping;
+  const double base_rank = (1.0 - damping) / n;
+  const double epsilon = options.epsilon;
+
+  std::vector<Record> output;
+  PlanBuilder pb;
+  auto ranks = pb.Source("p", BuildInitialRanks(graph));
+  auto matrix = pb.Source("A", BuildTransitionMatrix(graph));
+
+  auto it = pb.BeginBulkIteration("pagerank", ranks, options.iterations,
+                                  /*solution_key=*/{0});
+  // Match p and A on pid: emit (tid, rank * prob).
+  auto contribs = pb.Match(
+      "joinPA", it.PartialSolution(), matrix, {0}, {1},
+      [](const Record& p, const Record& a, Collector* out) {
+        out->Emit(Record::OfIntDouble(a.GetInt(0),
+                                      p.GetDouble(1) * a.GetDouble(2)));
+      });
+  // The matrix row index tid (field 0 of A) becomes field 0 of the output:
+  // partitioning/sorting by tid survives the join (Figure 4's enabler).
+  pb.DeclarePreserved(contribs, 1, 0, 0);
+
+  // Sum the partial ranks per tid; tid is the result vector's pid.
+  auto next = pb.Reduce(
+      "sumRanks", contribs, {0},
+      [base_rank, damping](const std::vector<Record>& group, Collector* out) {
+        double sum = 0;
+        for (const Record& rec : group) sum += rec.GetDouble(1);
+        out->Emit(Record::OfIntDouble(group.front().GetInt(0),
+                                      base_rank + damping * sum));
+      },
+      /*combiner=*/
+      [](const Record& a, const Record& b) {
+        return Record::OfIntDouble(a.GetInt(0),
+                                   a.GetDouble(1) + b.GetDouble(1));
+      });
+  pb.DeclarePreserved(next, 0, 0, 0);
+
+  DataSet term;
+  if (options.use_termination_criterion) {
+    // T: join old and new ranks on pid, emit a record when the rank moved
+    // by more than epsilon (Figure 3).
+    term = pb.Match("term", it.PartialSolution(), next, {0}, {0},
+                    [epsilon](const Record& oldr, const Record& newr,
+                              Collector* out) {
+                      if (std::abs(oldr.GetDouble(1) - newr.GetDouble(1)) >
+                          epsilon) {
+                        out->Emit(Record::OfInts(1));
+                      }
+                    });
+  }
+  auto result = it.Close(next, term);
+  pb.Sink("ranks", result, &output);
+  Plan plan = std::move(pb).Finish();
+
+  OptimizerOptions oopt;
+  oopt.parallelism = options.parallelism;
+  oopt.expected_iterations = options.iterations;
+  switch (options.plan) {
+    case PageRankPlan::kAuto:
+      break;
+    case PageRankPlan::kBroadcast:
+      oopt.broadcast_cost_factor = 1e-9;
+      break;
+    case PageRankPlan::kPartition:
+      oopt.broadcast_cost_factor = 1e9;
+      break;
+  }
+  Optimizer optimizer(oopt);
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  PageRankResult pr_result;
+  for (const PhysicalTask& task : physical->tasks) {
+    if (task.name == "joinPA") {
+      for (const PhysicalInput& input : task.inputs) {
+        if (input.ship == ShipStrategy::kBroadcast) {
+          pr_result.chose_broadcast = true;
+        }
+      }
+    }
+  }
+
+  ExecutionOptions eopt;
+  eopt.parallelism = options.parallelism;
+  Executor executor(eopt);
+  auto exec = executor.Run(*physical);
+  if (!exec.ok()) return exec.status();
+  pr_result.exec = std::move(exec).value();
+
+  pr_result.ranks.reserve(output.size());
+  for (const Record& rec : output) {
+    pr_result.ranks.emplace_back(rec.GetInt(0), rec.GetDouble(1));
+  }
+  std::sort(pr_result.ranks.begin(), pr_result.ranks.end());
+  return pr_result;
+}
+
+std::vector<double> ReferencePageRank(const Graph& graph, int iterations,
+                                      double damping) {
+  const int64_t n = graph.num_vertices();
+  std::vector<double> ranks(n, 1.0 / static_cast<double>(n));
+  std::vector<double> next(n, 0.0);
+  const double base = (1.0 - damping) / static_cast<double>(n);
+  for (int iter = 0; iter < iterations; ++iter) {
+    std::fill(next.begin(), next.end(), 0.0);
+    for (VertexId u = 0; u < n; ++u) {
+      int64_t degree = graph.OutDegree(u);
+      if (degree == 0) continue;
+      double share = ranks[u] / static_cast<double>(degree);
+      for (const VertexId* v = graph.NeighborsBegin(u);
+           v != graph.NeighborsEnd(u); ++v) {
+        next[*v] += share;
+      }
+    }
+    // Note: like the dataflow version (and the paper's formulation), ranks
+    // of vertices without in-edges are meaningless — the Reduce only emits
+    // entries for pages that received contributions. Validation compares
+    // vertices with degree > 0 only.
+    for (VertexId v = 0; v < n; ++v) {
+      ranks[v] = base + damping * next[v];
+    }
+  }
+  return ranks;
+}
+
+}  // namespace sfdf

@@ -1,0 +1,64 @@
+// PageRank as an iterative dataflow (Section 4.1, Figure 3).
+//
+// The rank vector is a set of (pid, rank) tuples; the sparse transition
+// matrix A a set of (tid, pid, prob) tuples. Each iteration joins vector and
+// matrix on pid (Match), then groups the products by tid (Reduce with a sum
+// combiner). The optimizer chooses between the two Figure 4 plans:
+//  * broadcast plan — replicate the rank vector, cache A partitioned and
+//    sorted by tid on the constant path (Mahout-style);
+//  * partition plan — repartition the rank vector, cache A as the join hash
+//    table (Pegasus-style).
+#pragma once
+
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/plan.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+
+/// Which Figure 4 execution plan to compile.
+enum class PageRankPlan {
+  kAuto,       ///< let the cost-based optimizer decide
+  kBroadcast,  ///< force the broadcast plan (Figure 4 left)
+  kPartition,  ///< force the partition plan (Figure 4 right)
+};
+
+struct PageRankOptions {
+  int iterations = 20;
+  double damping = 0.85;
+  /// If true, attach the Figure 3 termination criterion T: stop once no
+  /// page's rank changed by more than epsilon.
+  bool use_termination_criterion = false;
+  double epsilon = 1e-6;
+  PageRankPlan plan = PageRankPlan::kAuto;
+  int parallelism = 0;  ///< 0 = default
+};
+
+struct PageRankResult {
+  /// Final (pid, rank) pairs, sorted by pid.
+  std::vector<std::pair<VertexId, double>> ranks;
+  ExecutionResult exec;
+  /// Which plan the optimizer chose ("broadcast" / "partition").
+  bool chose_broadcast = false;
+};
+
+/// Builds the (tid, pid, prob) transition-matrix records of `graph`
+/// (row-normalized by out-degree).
+std::vector<Record> BuildTransitionMatrix(const Graph& graph);
+
+/// Builds the uniform initial rank vector (pid, 1/N).
+std::vector<Record> BuildInitialRanks(const Graph& graph);
+
+/// Runs PageRank on the dataflow engine.
+Result<PageRankResult> RunPageRank(const Graph& graph,
+                                   const PageRankOptions& options);
+
+/// Sequential reference implementation for validation.
+std::vector<double> ReferencePageRank(const Graph& graph, int iterations,
+                                      double damping);
+
+}  // namespace sfdf

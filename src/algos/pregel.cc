@@ -1,0 +1,93 @@
+#include "algos/pregel.h"
+
+#include "algos/connected_components.h"  // BuildEdgeRecords
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+
+namespace sfdf {
+
+Result<PregelResult> RunPregel(
+    const Graph& graph, std::vector<int64_t> initial_values,
+    std::vector<std::pair<VertexId, int64_t>> initial_messages,
+    const VertexProgram& program, const PregelOptions& options) {
+  if (static_cast<int64_t>(initial_values.size()) != graph.num_vertices()) {
+    return Status::InvalidArgument(
+        "initial_values must have one entry per vertex");
+  }
+
+  std::vector<Record> states;
+  states.reserve(initial_values.size());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    states.push_back(Record::OfInts(v, initial_values[v]));
+  }
+  std::vector<Record> messages;
+  messages.reserve(initial_messages.size());
+  for (const auto& [vid, msg] : initial_messages) {
+    messages.push_back(Record::OfInts(vid, msg));
+  }
+
+  std::vector<Record> output;
+  PlanBuilder pb;
+  auto solution = pb.Source("vertexStates", std::move(states));
+  auto workset0 = pb.Source("initialMessages", std::move(messages));
+  auto edges = pb.Source("topology", BuildEdgeRecords(graph));
+
+  auto it = pb.BeginWorksetIteration("pregel", solution, workset0,
+                                     /*solution_key=*/{0},
+                                     /*comparator=*/nullptr,
+                                     IterationMode::kAuto,
+                                     options.max_supersteps);
+  const VertexProgram* prog = &program;
+  // Superstep: gather all messages per vertex, run compute().
+  auto delta = pb.InnerCoGroup(
+      "compute", it.Workset(), it.SolutionSet(), {0}, {0},
+      [prog](const std::vector<Record>& msgs,
+             const std::vector<Record>& state, Collector* out) {
+        std::vector<int64_t> values;
+        values.reserve(msgs.size());
+        for (const Record& rec : msgs) values.push_back(rec.GetInt(1));
+        int64_t new_value;
+        if (prog->Compute(state.front().GetInt(0), state.front().GetInt(1),
+                          values, &new_value)) {
+          out->Emit(Record::OfInts(state.front().GetInt(0), new_value));
+        }
+      });
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  // Changed vertices message all their neighbors.
+  auto next_messages = pb.Match(
+      "sendMessages", delta, edges, {0}, {0},
+      [prog](const Record& changed, const Record& edge, Collector* out) {
+        out->Emit(Record::OfInts(
+            edge.GetInt(1),
+            prog->MessageValue(changed.GetInt(0), changed.GetInt(1))));
+      });
+  pb.DeclarePreserved(next_messages, 1, 1, 0);
+  auto result = it.Close(delta, next_messages);
+  pb.Sink("finalStates", result, &output);
+  Plan plan = std::move(pb).Finish();
+
+  OptimizerOptions oopt;
+  oopt.parallelism = options.parallelism;
+  Optimizer optimizer(oopt);
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  ExecutionOptions eopt;
+  eopt.parallelism = options.parallelism;
+  eopt.record_superstep_stats = options.record_superstep_stats;
+  Executor executor(eopt);
+  auto exec = executor.Run(*physical);
+  if (!exec.ok()) return exec.status();
+
+  PregelResult pregel;
+  pregel.exec = std::move(exec).value();
+  pregel.supersteps = pregel.exec.workset_reports[0].iterations;
+  pregel.converged = pregel.exec.workset_reports[0].converged;
+  pregel.values.assign(graph.num_vertices(), 0);
+  for (const Record& rec : output) {
+    pregel.values[rec.GetInt(0)] = rec.GetInt(1);
+  }
+  return pregel;
+}
+
+}  // namespace sfdf

@@ -1,0 +1,64 @@
+// A Pregel-style vertex-centric API implemented *on top of* the workset
+// iteration abstraction — the Section 7.2 claim made executable: "It is
+// straightforward to implement Pregel on top of Stratosphere's iterative
+// abstraction: the partial solution holds the state of the vertices, the
+// workset holds the messages."
+//
+// The adapter compiles a vertex program into the Figure 5 dataflow:
+//   S(vid, state)   — vertex states (the solution set)
+//   W(vid, msg)     — messages addressed to vid (the workset)
+//   ∆ = InnerCoGroup(W, S) running compute(), then Match(D, N) fanning the
+//       produced value out to the neighbors as next-superstep messages.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "record/comparator.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+
+/// A vertex program over int64 state and int64 messages.
+class VertexProgram {
+ public:
+  virtual ~VertexProgram() = default;
+
+  /// Called once per superstep for every vertex that received messages.
+  /// Returns true and sets `*new_value` to update the vertex state (which
+  /// also triggers messages to all neighbors); false leaves the vertex
+  /// unchanged and silent — the vote-to-halt of Pregel.
+  virtual bool Compute(VertexId vid, int64_t current_value,
+                       const std::vector<int64_t>& messages,
+                       int64_t* new_value) const = 0;
+
+  /// The message sent to each neighbor after a state change.
+  virtual int64_t MessageValue(VertexId vid, int64_t new_value) const = 0;
+};
+
+struct PregelOptions {
+  int max_supersteps = 1000000;
+  int parallelism = 0;
+  bool record_superstep_stats = true;
+};
+
+struct PregelResult {
+  /// Final vertex values, indexed by vertex id.
+  std::vector<int64_t> values;
+  ExecutionResult exec;
+  int supersteps = 0;
+  bool converged = false;
+};
+
+/// Runs `program` until no messages remain.
+/// `initial_values[v]` seeds vertex v; `initial_messages` seeds superstep 0.
+Result<PregelResult> RunPregel(
+    const Graph& graph, std::vector<int64_t> initial_values,
+    std::vector<std::pair<VertexId, int64_t>> initial_messages,
+    const VertexProgram& program, const PregelOptions& options);
+
+}  // namespace sfdf

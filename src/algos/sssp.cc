@@ -1,0 +1,129 @@
+#include "algos/sssp.h"
+
+#include <algorithm>
+#include <queue>
+
+#include "common/rng.h"
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+#include "record/comparator.h"
+
+namespace sfdf {
+
+double EdgeWeightOf(VertexId u, VertexId v, int max_weight) {
+  if (max_weight <= 1) return 1.0;
+  // Symmetric deterministic weight so (u,v) and (v,u) agree.
+  uint64_t lo = static_cast<uint64_t>(std::min(u, v));
+  uint64_t hi = static_cast<uint64_t>(std::max(u, v));
+  uint64_t h = HashMix64(lo * 0x9e3779b97f4a7c15ULL + hi);
+  return 1.0 + static_cast<double>(h % static_cast<uint64_t>(max_weight));
+}
+
+Result<SsspResult> RunSssp(const Graph& graph, const SsspOptions& options) {
+  const double inf = std::numeric_limits<double>::infinity();
+
+  std::vector<Record> initial_distances;
+  initial_distances.reserve(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    initial_distances.push_back(
+        Record::OfIntDouble(v, v == options.source ? 0.0 : inf));
+  }
+  // Weighted edge records (src, dst, w).
+  std::vector<Record> edge_records;
+  edge_records.reserve(graph.num_directed_edges());
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (const VertexId* v = graph.NeighborsBegin(u);
+         v != graph.NeighborsEnd(u); ++v) {
+      edge_records.push_back(
+          Record::OfIntIntDouble(u, *v, EdgeWeightOf(u, *v, options.max_weight)));
+    }
+  }
+  // Initial workset: relaxations of the source's edges.
+  std::vector<Record> initial_workset;
+  for (const VertexId* v = graph.NeighborsBegin(options.source);
+       v != graph.NeighborsEnd(options.source); ++v) {
+    initial_workset.push_back(Record::OfIntDouble(
+        *v, EdgeWeightOf(options.source, *v, options.max_weight)));
+  }
+
+  std::vector<Record> output;
+  PlanBuilder pb;
+  auto dists = pb.Source("S0", std::move(initial_distances));
+  auto workset0 = pb.Source("W0", std::move(initial_workset));
+  auto edges = pb.Source("E", std::move(edge_records));
+
+  auto it = pb.BeginWorksetIteration(
+      "sssp", dists, workset0, /*solution_key=*/{0},
+      OrderByDoubleFieldDesc(1),
+      options.async_microsteps ? IterationMode::kMicrostep
+                               : IterationMode::kAuto,
+      options.max_iterations);
+  auto delta = pb.Match("relax", it.Workset(), it.SolutionSet(), {0}, {0},
+                        [](const Record& cand, const Record& current,
+                           Collector* out) {
+                          if (cand.GetDouble(1) < current.GetDouble(1)) {
+                            out->Emit(Record::OfIntDouble(cand.GetInt(0),
+                                                          cand.GetDouble(1)));
+                          }
+                        });
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  auto next_workset = pb.Match(
+      "expand", delta, edges, {0}, {0},
+      [](const Record& changed, const Record& edge, Collector* out) {
+        out->Emit(Record::OfIntDouble(edge.GetInt(1),
+                                      changed.GetDouble(1) + edge.GetDouble(2)));
+      });
+  pb.DeclarePreserved(next_workset, 1, 1, 0);
+  auto result = it.Close(delta, next_workset);
+  pb.Sink("distances", result, &output);
+  Plan plan = std::move(pb).Finish();
+
+  OptimizerOptions oopt;
+  oopt.parallelism = options.parallelism;
+  Optimizer optimizer(oopt);
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  ExecutionOptions eopt;
+  eopt.parallelism = options.parallelism;
+  eopt.record_superstep_stats = options.record_superstep_stats;
+  Executor executor(eopt);
+  auto exec = executor.Run(*physical);
+  if (!exec.ok()) return exec.status();
+
+  SsspResult sssp;
+  sssp.exec = std::move(exec).value();
+  sssp.iterations = sssp.exec.workset_reports[0].iterations;
+  sssp.converged = sssp.exec.workset_reports[0].converged;
+  sssp.distances.assign(graph.num_vertices(), inf);
+  for (const Record& rec : output) {
+    sssp.distances[rec.GetInt(0)] = rec.GetDouble(1);
+  }
+  return sssp;
+}
+
+std::vector<double> ReferenceSssp(const Graph& graph, VertexId source,
+                                  int max_weight) {
+  const double inf = std::numeric_limits<double>::infinity();
+  std::vector<double> dist(graph.num_vertices(), inf);
+  dist[source] = 0.0;
+  using Entry = std::pair<double, VertexId>;
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<Entry>> queue;
+  queue.emplace(0.0, source);
+  while (!queue.empty()) {
+    auto [d, u] = queue.top();
+    queue.pop();
+    if (d > dist[u]) continue;
+    for (const VertexId* v = graph.NeighborsBegin(u);
+         v != graph.NeighborsEnd(u); ++v) {
+      double nd = d + EdgeWeightOf(u, *v, max_weight);
+      if (nd < dist[*v]) {
+        dist[*v] = nd;
+        queue.emplace(nd, *v);
+      }
+    }
+  }
+  return dist;
+}
+
+}  // namespace sfdf

@@ -1,0 +1,47 @@
+// Single-Source Shortest Paths as a workset iteration — the second
+// "propagate changes to neighbors" algorithm family the paper names
+// (Section 1: "such as shortest paths"). Demonstrates that the Figure 5
+// template generalizes beyond Connected Components: the solution set maps
+// vertices to tentative distances, the workset carries distance candidates,
+// and the comparator keeps the smaller distance (the CPO successor).
+#pragma once
+
+#include <limits>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+
+struct SsspOptions {
+  VertexId source = 0;
+  /// Deterministic pseudo-weights in [1, max_weight]; 1 = hop counts.
+  int max_weight = 1;
+  int max_iterations = 1000000;
+  int parallelism = 0;
+  /// Run the Match plan asynchronously as fused microsteps.
+  bool async_microsteps = false;
+  bool record_superstep_stats = true;
+};
+
+struct SsspResult {
+  /// distances[v]; unreachable vertices hold +infinity.
+  std::vector<double> distances;
+  ExecutionResult exec;
+  int iterations = 0;
+  bool converged = false;
+};
+
+/// Deterministic edge weight for (u, v) under `max_weight`.
+double EdgeWeightOf(VertexId u, VertexId v, int max_weight);
+
+/// Runs SSSP on the dataflow engine (workset iteration, Match update).
+Result<SsspResult> RunSssp(const Graph& graph, const SsspOptions& options);
+
+/// Sequential Dijkstra reference for validation.
+std::vector<double> ReferenceSssp(const Graph& graph, VertexId source,
+                                  int max_weight);
+
+}  // namespace sfdf

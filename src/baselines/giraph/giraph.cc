@@ -1,0 +1,223 @@
+#include "baselines/giraph/giraph.h"
+
+#include <algorithm>
+#include <atomic>
+#include <limits>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "common/env.h"
+#include "common/stopwatch.h"
+
+namespace sfdf {
+namespace giraph {
+
+namespace {
+
+int ResolveParallelism(const GiraphOptions& options) {
+  return options.parallelism > 0 ? options.parallelism : DefaultParallelism();
+}
+
+void ParallelFor(int parallelism, const std::function<void(int)>& fn) {
+  std::vector<std::thread> threads;
+  threads.reserve(parallelism);
+  for (int p = 0; p < parallelism; ++p) {
+    threads.emplace_back([&fn, p] { fn(p); });
+  }
+  for (std::thread& t : threads) t.join();
+}
+
+/// Flat message store: per partition, (target vertex, value) pairs.
+/// Double-buffered across supersteps like Pregel's message queues.
+template <typename V>
+using MessageBuffers = std::vector<std::vector<std::pair<VertexId, V>>>;
+
+constexpr int64_t kMessageBytes = 16;  // flat pair, no object headers
+
+/// Generic BSP engine: `compute(v, incoming, send)` runs for every vertex
+/// with pending messages; `send(target, value)` enqueues (combined) for the
+/// next superstep. Superstep 0 delivers `initial` to every vertex.
+template <typename V, typename Combine>
+Status RunBsp(const Graph& graph, const GiraphOptions& options,
+              const std::function<void(VertexId, const std::vector<V>&,
+                                       const std::function<void(VertexId, V)>&)>&
+                  compute,
+              Combine combine, bool seed_all_vertices,
+              GiraphRunStats* stats_out, int* supersteps_out,
+              bool* converged_out) {
+  const int P = ResolveParallelism(options);
+  const int64_t n = graph.num_vertices();
+
+  MessageBuffers<V> current(P);
+  MessageBuffers<V> next(P);
+  std::vector<std::mutex> locks(P);
+  std::atomic<int64_t> buffered_bytes{0};
+  std::atomic<bool> oom{false};
+
+  bool first_superstep = true;
+  Stopwatch total;
+  for (int superstep = 0; superstep < options.max_supersteps; ++superstep) {
+    Stopwatch watch;
+    std::atomic<int64_t> messages{0};
+    std::atomic<int64_t> active{0};
+
+    ParallelFor(P, [&](int p) {
+      // Sender-side combiner: one slot per target vertex (Pregel combiners).
+      // Every *emitted* message occupies buffer space until its batch is
+      // combined and flushed, so raw sends count against the budget — the
+      // paper's failure mode: "the number of messages created exceeds the
+      // heap size on each node".
+      std::vector<std::unordered_map<VertexId, V>> outgoing(P);
+      auto send = [&](VertexId target, V value) {
+        if (buffered_bytes.fetch_add(kMessageBytes,
+                                     std::memory_order_relaxed) +
+                kMessageBytes >
+            options.message_budget_bytes) {
+          oom.store(true, std::memory_order_relaxed);
+          return;
+        }
+        auto& slot = outgoing[static_cast<uint64_t>(target) % P];
+        auto [it, inserted] = slot.emplace(target, value);
+        if (!inserted) it->second = combine(it->second, value);
+      };
+
+      // Group this partition's incoming messages by vertex.
+      std::unordered_map<VertexId, std::vector<V>> inbox;
+      if (first_superstep && seed_all_vertices) {
+        for (VertexId v = p; v < n; v += P) inbox[v];  // empty message list
+      }
+      for (const auto& [target, value] : current[p]) {
+        inbox[target].push_back(value);
+      }
+      active.fetch_add(static_cast<int64_t>(inbox.size()),
+                       std::memory_order_relaxed);
+      for (const auto& [vid, incoming] : inbox) {
+        compute(vid, incoming, send);
+      }
+
+      // Deliver combined messages into the next superstep's buffers.
+      int64_t sent = 0;
+      for (int target = 0; target < P; ++target) {
+        if (outgoing[target].empty()) continue;
+        sent += static_cast<int64_t>(outgoing[target].size());
+        std::lock_guard<std::mutex> lock(locks[target]);
+        auto& bucket = next[target];
+        for (const auto& [vid, value] : outgoing[target]) {
+          bucket.emplace_back(vid, value);
+        }
+      }
+      messages.fetch_add(sent, std::memory_order_relaxed);
+    });
+    if (oom.load()) {
+      return Status::OutOfMemory(
+          "giraph baseline exceeded its message memory budget (no spilling)");
+    }
+
+    first_superstep = false;
+    int64_t sent = messages.load();
+    GiraphSuperstepStats stats;
+    stats.millis = watch.ElapsedMillis();
+    stats.messages = sent;
+    stats.active_vertices = active.load();
+    stats_out->supersteps.push_back(stats);
+    *supersteps_out = superstep + 1;
+
+    // Superstep barrier: swap the double-buffered queues.
+    for (int p = 0; p < P; ++p) {
+      current[p] = std::move(next[p]);
+      next[p].clear();
+    }
+    buffered_bytes.store(0);
+    if (sent == 0) {
+      *converged_out = true;
+      break;
+    }
+  }
+  stats_out->total_millis = total.ElapsedMillis();
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<GiraphCcResult> ConnectedComponents(const Graph& graph,
+                                           const GiraphOptions& options) {
+  const int64_t n = graph.num_vertices();
+  std::vector<std::atomic<int64_t>> labels(n);
+  for (VertexId v = 0; v < n; ++v) labels[v].store(v);
+
+  GiraphCcResult result;
+  auto compute = [&](VertexId vid, const std::vector<int64_t>& incoming,
+                     const std::function<void(VertexId, int64_t)>& send) {
+    int64_t current = labels[vid].load(std::memory_order_relaxed);
+    int64_t min_label = current;
+    for (int64_t msg : incoming) min_label = std::min(min_label, msg);
+    // Superstep 0: every vertex introduces itself to its neighbors; later
+    // supersteps only react to received messages (vote-to-halt).
+    bool introduce = incoming.empty();
+    if (min_label < current || introduce) {
+      labels[vid].store(min_label, std::memory_order_relaxed);
+      for (const VertexId* nb = graph.NeighborsBegin(vid);
+           nb != graph.NeighborsEnd(vid); ++nb) {
+        send(*nb, min_label);
+      }
+    }
+  };
+  Status st = RunBsp<int64_t>(
+      graph, options, compute,
+      [](int64_t a, int64_t b) { return std::min(a, b); },
+      /*seed_all_vertices=*/true, &result.stats, &result.supersteps,
+      &result.converged);
+  if (!st.ok()) return st;
+  result.labels.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.labels[v] = labels[v].load();
+  return result;
+}
+
+Result<GiraphPageRankResult> PageRank(const Graph& graph, int supersteps,
+                                      double damping,
+                                      const GiraphOptions& options) {
+  const int64_t n = graph.num_vertices();
+  const double base = (1.0 - damping) / static_cast<double>(n);
+  std::vector<std::atomic<double>> ranks(n);
+  for (VertexId v = 0; v < n; ++v) {
+    ranks[v].store(1.0 / static_cast<double>(n));
+  }
+
+  GiraphOptions bounded = options;
+  bounded.max_supersteps = supersteps + 1;  // +1: final silent superstep
+  GiraphPageRankResult result;
+  int ran = 0;
+  bool converged = false;
+  auto compute = [&](VertexId vid, const std::vector<double>& incoming,
+                     const std::function<void(VertexId, double)>& send) {
+    double rank = ranks[vid].load(std::memory_order_relaxed);
+    if (!incoming.empty()) {
+      double sum = 0;
+      for (double msg : incoming) sum += msg;
+      rank = base + damping * sum;
+      ranks[vid].store(rank, std::memory_order_relaxed);
+    }
+    int64_t degree = graph.OutDegree(vid);
+    if (degree == 0) return;
+    double share = rank / static_cast<double>(degree);
+    for (const VertexId* nb = graph.NeighborsBegin(vid);
+         nb != graph.NeighborsEnd(vid); ++nb) {
+      send(*nb, share);
+    }
+  };
+  Status st = RunBsp<double>(
+      graph, bounded, compute, [](double a, double b) { return a + b; },
+      /*seed_all_vertices=*/true, &result.stats, &ran, &converged);
+  if (!st.ok()) return st;
+  // Drop the final silent superstep from the stats if present.
+  if (static_cast<int>(result.stats.supersteps.size()) > supersteps) {
+    result.stats.supersteps.resize(supersteps);
+  }
+  result.ranks.resize(n);
+  for (VertexId v = 0; v < n; ++v) result.ranks[v] = ranks[v].load();
+  return result;
+}
+
+}  // namespace giraph
+}  // namespace sfdf

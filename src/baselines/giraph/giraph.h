@@ -1,0 +1,66 @@
+// "Giraph": the Pregel-style specialized graph system of the evaluation
+// (Section 6) — bulk synchronous parallel processing with a vertex-centric
+// programming model.
+//
+// Models the system as the paper describes it:
+//  * vertices hold mutable state; a vertex is recomputed only when it
+//    receives messages (exploiting sparse computational dependencies);
+//  * sender-side combiners (min/sum) collapse messages per target vertex;
+//  * hand-tuned object reuse — state lives in flat arrays, messages in
+//    flat vectors (the paper notes Giraph "is hand tuned to avoid creating
+//    objects");
+//  * no message spilling: exceeding the message-memory budget aborts with
+//    OutOfMemory (the Webbase/Twitter failures of Figures 7/9).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace sfdf {
+namespace giraph {
+
+struct GiraphOptions {
+  int parallelism = 0;  ///< 0 = default
+  int max_supersteps = 1000000;
+  /// Budget for buffered messages; exceeded ⇒ OutOfMemory.
+  int64_t message_budget_bytes = 512LL << 20;
+};
+
+struct GiraphSuperstepStats {
+  double millis = 0;
+  int64_t messages = 0;         ///< after combining
+  int64_t active_vertices = 0;  ///< vertices that computed
+};
+
+struct GiraphRunStats {
+  std::vector<GiraphSuperstepStats> supersteps;
+  double total_millis = 0;
+};
+
+/// Vertex-centric Connected Components: propagate the minimum component id
+/// (min combiner); converges when no messages remain.
+struct GiraphCcResult {
+  std::vector<VertexId> labels;
+  GiraphRunStats stats;
+  int supersteps = 0;
+  bool converged = false;
+};
+Result<GiraphCcResult> ConnectedComponents(const Graph& graph,
+                                           const GiraphOptions& options);
+
+/// Vertex-centric PageRank (the Pregel paper's example): fixed number of
+/// supersteps, sum combiner.
+struct GiraphPageRankResult {
+  std::vector<double> ranks;
+  GiraphRunStats stats;
+};
+Result<GiraphPageRankResult> PageRank(const Graph& graph, int supersteps,
+                                      double damping,
+                                      const GiraphOptions& options);
+
+}  // namespace giraph
+}  // namespace sfdf

@@ -1,0 +1,68 @@
+// "Spark": the bulk-only dataflow baseline of the evaluation (Section 6).
+//
+// Models the properties the paper attributes to Spark circa 2012:
+//  * iterative programs drive a loop around batch jobs over partitioned
+//    in-memory datasets (RDD-style); every iteration produces a complete
+//    new dataset — there is no mutable iteration state;
+//  * every shuffled element is an individually heap-allocated object
+//    ("Spark uses new objects for all messages, creating a substantial
+//    garbage collection overhead"), unlike the flat serialized records of
+//    the Stratosphere-style engine;
+//  * shuffle buffers cannot spill: exceeding the memory budget aborts the
+//    job with OutOfMemory — the failure the paper hit on Webbase/Twitter.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace sfdf {
+namespace spark {
+
+struct SparkOptions {
+  int parallelism = 0;  ///< 0 = default
+  /// Budget for buffered shuffle messages; exceeded ⇒ OutOfMemory.
+  int64_t memory_budget_bytes = 512LL << 20;
+};
+
+/// Per-iteration measurements (Figures 8 and 11).
+struct SparkIterationStats {
+  double millis = 0;
+  int64_t messages = 0;
+  int64_t changed = 0;  ///< CC: labels lowered this iteration
+};
+
+struct SparkRunStats {
+  std::vector<SparkIterationStats> iterations;
+  double total_millis = 0;
+};
+
+/// Bulk PageRank (the Pegasus-style implementation the paper used).
+struct SparkPageRankResult {
+  std::vector<double> ranks;
+  SparkRunStats stats;
+};
+Result<SparkPageRankResult> PageRank(const Graph& graph, int iterations,
+                                     double damping,
+                                     const SparkOptions& options);
+
+/// Bulk Connected Components, plus the Figure 11 "Spark Sim. Incr."
+/// variant: a changed-flag suppresses messages of converged vertices, but
+/// unchanged state must still be copied forward via self-messages each
+/// iteration (no mutable state to share across iterations).
+struct SparkCcResult {
+  std::vector<VertexId> labels;
+  SparkRunStats stats;
+  int iterations = 0;
+  bool converged = false;
+};
+Result<SparkCcResult> ConnectedComponents(const Graph& graph,
+                                          bool simulate_incremental,
+                                          int max_iterations,
+                                          const SparkOptions& options);
+
+}  // namespace spark
+}  // namespace sfdf

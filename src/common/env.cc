@@ -1,0 +1,56 @@
+#include "common/env.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <mutex>
+#include <thread>
+
+namespace sfdf {
+
+namespace {
+
+double g_scale = -1.0;
+int g_dop = -1;
+std::once_flag g_scale_once;
+std::once_flag g_dop_once;
+
+}  // namespace
+
+double ScaleFactor() {
+  std::call_once(g_scale_once, [] {
+    if (g_scale > 0) return;  // test override already applied
+    const char* env = std::getenv("SFDF_SCALE");
+    g_scale = 1.0;
+    if (env != nullptr) {
+      double v = std::atof(env);
+      if (v > 0) g_scale = v;
+    }
+  });
+  return g_scale;
+}
+
+int DefaultParallelism() {
+  std::call_once(g_dop_once, [] {
+    if (g_dop > 0) return;
+    const char* env = std::getenv("SFDF_THREADS");
+    if (env != nullptr) {
+      int v = std::atoi(env);
+      if (v > 0) {
+        g_dop = v;
+        return;
+      }
+    }
+    g_dop = std::max(2u, std::thread::hardware_concurrency());
+  });
+  return g_dop;
+}
+
+void SetScaleFactorForTesting(double scale) { g_scale = scale; }
+void SetDefaultParallelismForTesting(int dop) { g_dop = dop; }
+
+int64_t Scaled(int64_t base, int64_t min_value) {
+  return std::max<int64_t>(min_value,
+                           static_cast<int64_t>(base * ScaleFactor()));
+}
+
+}  // namespace sfdf

@@ -1,0 +1,29 @@
+// Process-wide experiment configuration read from environment variables.
+//
+//   SFDF_SCALE    — scale factor for synthetic datasets (default 1.0; the
+//                   Table 2 configs are sized so scale 1.0 runs on a laptop).
+//   SFDF_THREADS  — worker ("node") count for the parallel runtime.
+//   SFDF_LOG      — log level (see logging.h).
+#pragma once
+
+#include <cstdint>
+
+namespace sfdf {
+
+/// Scale factor applied to all synthetic dataset sizes. Cached after the
+/// first call.
+double ScaleFactor();
+
+/// Default degree of parallelism: SFDF_THREADS if set, otherwise
+/// hardware_concurrency (at least 2).
+int DefaultParallelism();
+
+/// Overrides for tests (not thread-safe against concurrent readers; call at
+/// startup only).
+void SetScaleFactorForTesting(double scale);
+void SetDefaultParallelismForTesting(int dop);
+
+/// Scales a count by the global scale factor, keeping at least `min_value`.
+int64_t Scaled(int64_t base, int64_t min_value = 1);
+
+}  // namespace sfdf

@@ -1,0 +1,61 @@
+// Minimal leveled logging + CHECK macros.
+#pragma once
+
+#include <cstdlib>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace sfdf {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3 };
+
+/// Global log threshold; messages below it are dropped. Default: kWarn so
+/// tests and benches stay quiet; set SFDF_LOG=debug|info|warn|error to change.
+LogLevel GetLogLevel();
+void SetLogLevel(LogLevel level);
+
+namespace internal {
+
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+/// Fatal variant: aborts the process in its destructor.
+class FatalLogMessage {
+ public:
+  FatalLogMessage(const char* file, int line, const char* condition);
+  [[noreturn]] ~FatalLogMessage();
+  std::ostream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace sfdf
+
+#define SFDF_LOG(level)                                                  \
+  if (static_cast<int>(::sfdf::LogLevel::k##level) <                    \
+      static_cast<int>(::sfdf::GetLogLevel())) {                        \
+  } else                                                                 \
+    ::sfdf::internal::LogMessage(::sfdf::LogLevel::k##level, __FILE__,  \
+                                 __LINE__)                               \
+        .stream()
+
+/// Invariant check, active in all build types. Streams extra context:
+///   SFDF_CHECK(x > 0) << "x was " << x;
+#define SFDF_CHECK(condition)                                            \
+  if (condition) {                                                       \
+  } else                                                                 \
+    ::sfdf::internal::FatalLogMessage(__FILE__, __LINE__, #condition)    \
+        .stream()
+
+#define SFDF_DCHECK(condition) SFDF_CHECK(condition)

@@ -1,0 +1,69 @@
+// Deterministic pseudo-random generation. Every workload generator in this
+// repository takes an explicit seed so experiments are exactly repeatable.
+#pragma once
+
+#include <cstdint>
+
+namespace sfdf {
+
+/// SplitMix64: used to derive independent streams from one seed.
+inline uint64_t SplitMix64(uint64_t& state) {
+  uint64_t z = (state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+/// xoshiro256** — fast, high-quality, deterministic PRNG.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) {
+    uint64_t sm = seed;
+    for (auto& s : state_) s = SplitMix64(sm);
+  }
+
+  uint64_t Next() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBounded(uint64_t bound) { return Next() % bound; }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli trial with probability p.
+  bool NextBool(double p) { return NextDouble() < p; }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+  uint64_t state_[4];
+};
+
+/// Mixes a 64-bit value; used for record-field hashing everywhere so hash
+/// partitioning is stable across the codebase.
+inline uint64_t HashMix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+/// Combines two hashes (boost::hash_combine flavor, 64-bit).
+inline uint64_t HashCombine(uint64_t h, uint64_t v) {
+  return h ^ (HashMix64(v) + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+}
+
+}  // namespace sfdf

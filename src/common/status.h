@@ -1,0 +1,83 @@
+// Status: lightweight error propagation for hot paths (RocksDB/Arrow idiom).
+// Functions that can fail return Status (or Result<T>, see result.h) instead
+// of throwing; exceptions are reserved for programming errors via SFDF_CHECK.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace sfdf {
+
+/// Error categories used across the library.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kAlreadyExists = 3,
+  kOutOfMemory = 4,        ///< a memory budget was exceeded (baseline OOM path)
+  kNotConverged = 5,       ///< iteration hit its cap before reaching the fixpoint
+  kUnsupported = 6,        ///< e.g. a plan that violates microstep conditions
+  kInternal = 7,
+  kIoError = 8,
+};
+
+/// Return value for fallible operations. Cheap to copy in the OK case
+/// (no allocation); carries a message otherwise.
+class Status {
+ public:
+  Status() = default;
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfMemory(std::string msg) {
+    return Status(StatusCode::kOutOfMemory, std::move(msg));
+  }
+  static Status NotConverged(std::string msg) {
+    return Status(StatusCode::kNotConverged, std::move(msg));
+  }
+  static Status Unsupported(std::string msg) {
+    return Status(StatusCode::kUnsupported, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  /// Human-readable "CODE: message" string for logs and test failures.
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const { return code_ == other.code_; }
+
+ private:
+  StatusCode code_ = StatusCode::kOk;
+  std::string message_;
+};
+
+/// Name of a StatusCode ("OK", "InvalidArgument", ...).
+std::string_view StatusCodeName(StatusCode code);
+
+}  // namespace sfdf
+
+/// Propagate a non-OK Status to the caller.
+#define SFDF_RETURN_NOT_OK(expr)                  \
+  do {                                            \
+    ::sfdf::Status _st = (expr);                  \
+    if (!_st.ok()) return _st;                    \
+  } while (0)

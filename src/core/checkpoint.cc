@@ -1,0 +1,71 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+
+#include "record/batch.h"
+#include "record/serde.h"
+
+namespace sfdf {
+
+namespace {
+constexpr uint64_t kMagic = 0x53464446434B5054ULL;  // "SFDFCKPT"
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool GetU64(const std::vector<uint8_t>& data, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(data[*offset + i]) << (8 * i);
+  }
+  *offset += 8;
+  *v = r;
+  return true;
+}
+
+}  // namespace
+
+Status SaveCheckpoint(const std::string& path,
+                      const IterationCheckpoint& checkpoint) {
+  std::vector<uint8_t> bytes;
+  PutU64(kMagic, &bytes);
+  PutU64(static_cast<uint64_t>(checkpoint.superstep), &bytes);
+  SerializeBatch(RecordBatch(checkpoint.solution), &bytes);
+  SerializeBatch(RecordBatch(checkpoint.workset), &bytes);
+  // Write-then-rename keeps a crash from leaving a torn checkpoint.
+  std::string tmp = path + ".tmp";
+  SFDF_RETURN_NOT_OK(WriteFile(tmp, bytes));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::IoError("cannot rename checkpoint into place: " + path);
+  }
+  return Status::OK();
+}
+
+Result<IterationCheckpoint> LoadCheckpoint(const std::string& path) {
+  std::vector<uint8_t> bytes;
+  SFDF_RETURN_NOT_OK(ReadFile(path, &bytes));
+  size_t offset = 0;
+  uint64_t magic;
+  if (!GetU64(bytes, &offset, &magic) || magic != kMagic) {
+    return Status::IoError("not a checkpoint file: " + path);
+  }
+  IterationCheckpoint checkpoint;
+  uint64_t superstep;
+  if (!GetU64(bytes, &offset, &superstep)) {
+    return Status::IoError("truncated checkpoint header");
+  }
+  checkpoint.superstep = static_cast<int>(superstep);
+  RecordBatch solution;
+  SFDF_RETURN_NOT_OK(DeserializeBatch(bytes, &offset, &solution));
+  RecordBatch workset;
+  SFDF_RETURN_NOT_OK(DeserializeBatch(bytes, &offset, &workset));
+  checkpoint.solution = std::move(solution.records());
+  checkpoint.workset = std::move(workset.records());
+  return checkpoint;
+}
+
+}  // namespace sfdf

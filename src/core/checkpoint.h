@@ -1,0 +1,38 @@
+// Iteration checkpointing (Section 4.2: "Iterative dataflows may log
+// intermediate results for recovery just as non-iterative dataflows ...
+// the execution engine judiciously picks operators whose output is
+// materialized for recovery").
+//
+// For a workset iteration the materialization points are the partitioned
+// solution set S_i and the workset W_i at a superstep boundary — together
+// they fully determine the remaining computation. The executor writes them
+// at a configured superstep; recovery seeds a fresh iteration with the
+// loaded state (see ExecutionOptions::checkpoint_*).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+struct IterationCheckpoint {
+  /// The superstep after which the snapshot was taken.
+  int superstep = 0;
+  /// Full contents of the solution set (all partitions).
+  std::vector<Record> solution;
+  /// The workset pending for the next superstep.
+  std::vector<Record> workset;
+};
+
+/// Writes `checkpoint` to `path` (single binary file, atomic via rename).
+Status SaveCheckpoint(const std::string& path,
+                      const IterationCheckpoint& checkpoint);
+
+/// Reads a checkpoint written by SaveCheckpoint.
+Result<IterationCheckpoint> LoadCheckpoint(const std::string& path);
+
+}  // namespace sfdf

@@ -1,0 +1,199 @@
+#include "core/microstep_analysis.h"
+
+#include <vector>
+
+#include "record/key.h"
+
+namespace sfdf {
+
+namespace {
+
+/// Nodes of `plan` reachable from `start` through body nodes of iteration
+/// `iteration_id` (inclusive of start).
+std::vector<bool> ReachableBodyNodes(const Plan& plan, NodeId start,
+                                     int iteration_id) {
+  std::vector<bool> reachable(plan.nodes().size(), false);
+  auto consumers = plan.BuildConsumerIndex();
+  std::vector<NodeId> stack = {start};
+  reachable[start] = true;
+  while (!stack.empty()) {
+    NodeId node = stack.back();
+    stack.pop_back();
+    for (NodeId consumer : consumers[node]) {
+      if (plan.node(consumer).iteration_id != iteration_id) continue;
+      if (!reachable[consumer]) {
+        reachable[consumer] = true;
+        stack.push_back(consumer);
+      }
+    }
+  }
+  return reachable;
+}
+
+/// Converts FieldPreservation annotations into optimizer FieldMappings.
+std::vector<FieldMapping> MappingsOf(const LogicalNode& node, int input) {
+  std::vector<FieldMapping> out;
+  for (const auto& p : node.preserved_fields[input]) {
+    out.push_back(FieldMapping{p.from, p.to});
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<WorksetAnalysis> AnalyzeWorksetBody(const Plan& plan,
+                                           const WorksetIterationSpec& spec) {
+  WorksetAnalysis analysis;
+  auto consumers = plan.BuildConsumerIndex();
+
+  // --- Locate the solution join: the unique consumer of the S placeholder.
+  const auto& s_consumers = consumers[spec.solution_placeholder];
+  std::vector<NodeId> body_s_consumers;
+  for (NodeId c : s_consumers) {
+    if (plan.node(c).iteration_id == spec.id) body_s_consumers.push_back(c);
+  }
+  if (body_s_consumers.size() != 1) {
+    return Status::InvalidArgument(
+        "workset iteration: the solution set must feed exactly one body "
+        "operator (the operator its index merges into), found " +
+        std::to_string(body_s_consumers.size()));
+  }
+  NodeId join_id = body_s_consumers[0];
+  const LogicalNode& join = plan.node(join_id);
+  if (join.kind != OperatorKind::kMatch &&
+      join.kind != OperatorKind::kCoGroup &&
+      join.kind != OperatorKind::kInnerCoGroup) {
+    return Status::InvalidArgument(
+        "workset iteration: the solution set must feed a Match, CoGroup or "
+        "InnerCoGroup, found " + std::string(OperatorKindName(join.kind)));
+  }
+  analysis.solution_join = join_id;
+  analysis.solution_side =
+      join.inputs[0] == spec.solution_placeholder ? 0 : 1;
+
+  // The join key on the S side must be exactly the solution key, so index
+  // lookups are primary-key lookups.
+  const KeySpec& s_side_key =
+      analysis.solution_side == 0 ? join.key_left : join.key_right;
+  if (!(s_side_key == spec.solution_key)) {
+    return Status::InvalidArgument(
+        "workset iteration: the solution join must join S on the solution "
+        "key " + spec.solution_key.ToString() + ", found " +
+        s_side_key.ToString());
+  }
+  const KeySpec& probe_key =
+      analysis.solution_side == 0 ? join.key_right : join.key_left;
+
+  // --- Derive the workset routing key: map the probe key back through any
+  // record-at-a-time operators between the W placeholder and the join.
+  {
+    NodeId probe_input = join.inputs[1 - analysis.solution_side];
+    KeySpec key = probe_key;
+    NodeId cursor = probe_input;
+    bool ok = true;
+    while (cursor != spec.workset_placeholder) {
+      const LogicalNode& node = plan.node(cursor);
+      if (node.inputs.size() != 1 || node.iteration_id != spec.id) {
+        ok = false;
+        break;
+      }
+      KeySpec remapped;
+      if (node.kind == OperatorKind::kFilter) {
+        remapped = key;  // filters pass records through unchanged
+      } else if (!RemapKeyToInput(key, MappingsOf(node, 0), &remapped)) {
+        ok = false;
+        break;
+      }
+      key = remapped;
+      cursor = node.inputs[0];
+    }
+    if (!ok) {
+      return Status::InvalidArgument(
+          "workset iteration: cannot derive the workset routing key — the "
+          "path from W to the solution join must preserve the probe key "
+          "fields (declare them with DeclarePreserved)");
+    }
+    analysis.workset_route_key = key;
+  }
+
+  // --- Local-update condition: D is the join's own output and the join
+  // declares preservation of the key fields into the solution-key positions.
+  analysis.delta_is_join_output = (spec.delta_output == join_id);
+  if (analysis.delta_is_join_output) {
+    for (int side = 0; side < 2; ++side) {
+      const KeySpec& in_key =
+          side == 0 ? join.key_left : join.key_right;
+      KeySpec mapped;
+      if (RemapKey(in_key, MappingsOf(join, side), &mapped) &&
+          mapped == spec.solution_key) {
+        analysis.local_updates = true;
+        break;
+      }
+    }
+  }
+
+  // --- Microstep conditions (Section 5.2).
+  analysis.microstep_capable = true;
+  auto block = [&](const std::string& reason) {
+    analysis.microstep_capable = false;
+    if (analysis.microstep_blocker.empty()) analysis.microstep_blocker = reason;
+  };
+
+  std::vector<bool> dynamic =
+      ReachableBodyNodes(plan, spec.workset_placeholder, spec.id);
+
+  for (const LogicalNode& node : plan.nodes()) {
+    if (node.iteration_id != spec.id || !node.iteration_is_workset) continue;
+    if (node.kind == OperatorKind::kWorksetPlaceholder ||
+        node.kind == OperatorKind::kSolutionPlaceholder) {
+      continue;  // structural nodes, not operators
+    }
+    bool is_join = node.id == join_id;
+    // 1. Record-at-a-time operators only. The solution join must be a Match
+    //    (group-at-a-time CoGroup needs supersteps to scope the groups).
+    if (!IsRecordAtATime(node.kind)) {
+      if (is_join && (node.kind == OperatorKind::kCoGroup ||
+                      node.kind == OperatorKind::kInnerCoGroup)) {
+        block("the solution-set operator is group-at-a-time (" +
+              std::string(OperatorKindName(node.kind)) +
+              "); use Match for microstep execution");
+      } else {
+        block("operator '" + node.name + "' is group-at-a-time (" +
+              std::string(OperatorKindName(node.kind)) + ")");
+      }
+    }
+    // 2. Binary operators: at most one dynamic input.
+    if (node.inputs.size() == 2) {
+      int dynamic_inputs = 0;
+      for (NodeId input : node.inputs) {
+        if (input == spec.workset_placeholder ||
+            (static_cast<size_t>(input) < dynamic.size() && dynamic[input])) {
+          ++dynamic_inputs;
+        }
+      }
+      if (dynamic_inputs > 1 && !is_join) {
+        block("operator '" + node.name + "' has two dynamic inputs");
+      }
+    }
+    // 3. Unbranched dynamic path: at most one body consumer per
+    //    dynamic-path node (the D output is exempt).
+    if (dynamic[node.id] && node.id != spec.delta_output) {
+      int body_consumers = 0;
+      for (NodeId c : consumers[node.id]) {
+        if (plan.node(c).iteration_id == spec.id) ++body_consumers;
+      }
+      if (body_consumers > 1) {
+        block("dynamic path branches at '" + node.name + "'");
+      }
+    }
+  }
+  // 4. Microsteps additionally require lock-free local updates.
+  if (analysis.microstep_capable && !analysis.local_updates) {
+    block("updates are not partition-local (D must be the solution join's "
+          "output and the join must preserve the key fields)");
+  }
+
+  return analysis;
+}
+
+}  // namespace sfdf

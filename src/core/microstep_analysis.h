@@ -1,0 +1,58 @@
+// Static analysis of a workset-iteration body ∆ (Section 5.2).
+//
+// Microstep execution — taking one workset element at a time and applying
+// its updates immediately — is only well-defined when:
+//   1. ∆ consists solely of record-at-a-time operators (Map, Filter, Match,
+//      Cross); group-at-a-time operators need supersteps to scope the sets.
+//   2. Binary operators have at most one input on the dynamic data path.
+//   3. The dynamic data path is unbranched (each operator has at most one
+//      body consumer), except for the output that connects to D.
+//
+// Updates to the solution set may skip distributed locking when they are
+// partition-local: the key field k(s) is constant across the path between S
+// and D, and all operations on that path are key-less or use k(s) as key.
+// This analysis additionally derives the routing key of workset records —
+// the probe key of the operator the S index is merged into — so probes stay
+// partition-local.
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "dataflow/plan.h"
+
+namespace sfdf {
+
+/// Outcome of analyzing one workset iteration body.
+struct WorksetAnalysis {
+  /// The body operator that consumes the S placeholder; the S index is
+  /// merged into it (Section 5.3).
+  NodeId solution_join = kInvalidNode;
+  /// Which input of the join is the solution set (0 = left, 1 = right).
+  int solution_side = -1;
+  /// Probe-side join key; workset records are routed by the corresponding
+  /// fields so S probes never cross partitions.
+  KeySpec workset_route_key;
+
+  /// All §5.2 conditions hold: the iteration may execute asynchronously in
+  /// microsteps.
+  bool microstep_capable = false;
+  /// Why not, if not.
+  std::string microstep_blocker;
+
+  /// Updates are partition-local: delta records may merge into S
+  /// immediately without locking (D is produced by the solution join and
+  /// the join preserves the key fields).
+  bool local_updates = false;
+
+  /// D is the direct output of the solution join (no operators between).
+  bool delta_is_join_output = false;
+};
+
+/// Analyzes the body of `spec` within `plan`. Fails if the body is not a
+/// valid workset iteration (e.g. S feeds no join, or the workset routing key
+/// cannot be derived).
+Result<WorksetAnalysis> AnalyzeWorksetBody(const Plan& plan,
+                                           const WorksetIterationSpec& spec);
+
+}  // namespace sfdf

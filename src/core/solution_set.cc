@@ -1,0 +1,102 @@
+#include "core/solution_set.h"
+
+#include "runtime/btree.h"
+#include "runtime/hash_table.h"
+
+namespace sfdf {
+
+namespace {
+
+/// ∪̇ conflict resolution: replace unless a comparator says the incoming
+/// record is not a successor of the existing one (Section 5.1).
+bool ResolveReplace(const RecordOrder& comparator, const Record& existing,
+                    const Record& incoming) {
+  if (!comparator) return true;  // last write wins
+  return comparator(incoming, existing) > 0;
+}
+
+class HashSolutionIndex : public SolutionSetIndex {
+ public:
+  HashSolutionIndex(KeySpec key, RecordOrder comparator)
+      : table_(key), comparator_(std::move(comparator)) {}
+
+  const Record* Lookup(const Record& probe,
+                       const KeySpec& probe_key) override {
+    ++stats_.lookups;
+    return table_.Lookup(probe, probe_key);
+  }
+
+  bool Apply(const Record& rec) override {
+    bool applied = table_.Upsert(rec, [this](const Record& existing,
+                                             const Record& incoming) {
+      return ResolveReplace(comparator_, existing, incoming);
+    });
+    if (applied) {
+      ++stats_.applied;
+    } else {
+      ++stats_.discarded;
+    }
+    return applied;
+  }
+
+  void ForEach(const std::function<void(const Record&)>& fn) const override {
+    table_.ForEach(fn);
+  }
+
+  int64_t size() const override { return table_.size(); }
+
+ private:
+  UniqueHashTable table_;
+  RecordOrder comparator_;
+};
+
+class BTreeSolutionIndex : public SolutionSetIndex {
+ public:
+  BTreeSolutionIndex(KeySpec key, RecordOrder comparator)
+      : tree_(key), comparator_(std::move(comparator)) {}
+
+  const Record* Lookup(const Record& probe,
+                       const KeySpec& probe_key) override {
+    ++stats_.lookups;
+    return tree_.Lookup(probe, probe_key);
+  }
+
+  bool Apply(const Record& rec) override {
+    bool applied = tree_.Upsert(rec, [this](const Record& existing,
+                                            const Record& incoming) {
+      return ResolveReplace(comparator_, existing, incoming);
+    });
+    if (applied) {
+      ++stats_.applied;
+    } else {
+      ++stats_.discarded;
+    }
+    return applied;
+  }
+
+  void ForEach(const std::function<void(const Record&)>& fn) const override {
+    tree_.ForEach(fn);
+  }
+
+  int64_t size() const override { return tree_.size(); }
+
+ private:
+  BPlusTree tree_;
+  RecordOrder comparator_;
+};
+
+}  // namespace
+
+std::unique_ptr<SolutionSetIndex> MakeHashSolutionIndex(
+    KeySpec solution_key, RecordOrder comparator) {
+  return std::make_unique<HashSolutionIndex>(solution_key,
+                                             std::move(comparator));
+}
+
+std::unique_ptr<SolutionSetIndex> MakeBTreeSolutionIndex(
+    KeySpec solution_key, RecordOrder comparator) {
+  return std::make_unique<BTreeSolutionIndex>(solution_key,
+                                              std::move(comparator));
+}
+
+}  // namespace sfdf

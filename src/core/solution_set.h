@@ -1,0 +1,78 @@
+// The solution set S of an incremental iteration (Section 5).
+//
+// S is partitioned by its key k(s) across all workers; each partition stores
+// its records in a primary index. The index structure follows the execution
+// strategy of the operator it is merged into (Section 5.3): a hash strategy
+// stores S in an updateable hash table, a sort strategy in a B+-tree.
+//
+// The delta set D is merged via the modified union  S ∪̇ D : a record from D
+// replaces the record of S with the same key. When several candidates exist,
+// an optional comparator establishes the order between old and new record;
+// the larger one (the CPO successor) survives and the smaller is discarded.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "record/comparator.h"
+#include "record/key.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+/// Counters for the Figure 2 instrumentation: how much of the solution is
+/// touched per iteration ("vertices inspected" = lookups, "vertices changed"
+/// = applied updates).
+struct SolutionSetStats {
+  int64_t lookups = 0;
+  int64_t applied = 0;    ///< delta records that won and were merged
+  int64_t discarded = 0;  ///< delta records dropped by the comparator
+};
+
+/// One partition of the solution set. Not thread-safe: the execution
+/// protocol guarantees single-threaded access phases (see executor).
+class SolutionSetIndex {
+ public:
+  virtual ~SolutionSetIndex() = default;
+
+  /// Bulk-loads the initial partial solution S_0 of this partition.
+  /// Duplicate keys resolve through Apply semantics.
+  void Build(const std::vector<Record>& records) {
+    for (const Record& rec : records) Apply(rec);
+  }
+
+  /// Returns the record whose key equals the key fields of `probe` under
+  /// `probe_key`, or nullptr. Counts as a lookup.
+  virtual const Record* Lookup(const Record& probe,
+                               const KeySpec& probe_key) = 0;
+
+  /// Merges one delta record via ∪̇: inserts, or replaces the existing
+  /// same-key record. With a comparator, the replacement only happens if the
+  /// new record is larger (a CPO successor); otherwise the delta record is
+  /// discarded. Returns true iff the record was inserted or replaced.
+  virtual bool Apply(const Record& rec) = 0;
+
+  /// Visits every record of the partition (final result extraction).
+  virtual void ForEach(
+      const std::function<void(const Record&)>& fn) const = 0;
+
+  virtual int64_t size() const = 0;
+
+  const SolutionSetStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SolutionSetStats{}; }
+
+ protected:
+  SolutionSetStats stats_;
+};
+
+/// Creates a hash-table-backed partition index (updateable hash table).
+std::unique_ptr<SolutionSetIndex> MakeHashSolutionIndex(
+    KeySpec solution_key, RecordOrder comparator = nullptr);
+
+/// Creates a B+-tree-backed partition index (sorted primary index).
+std::unique_ptr<SolutionSetIndex> MakeBTreeSolutionIndex(
+    KeySpec solution_key, RecordOrder comparator = nullptr);
+
+}  // namespace sfdf

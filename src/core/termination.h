@@ -1,0 +1,45 @@
+// Termination detection for asynchronous microstep execution (Section 5.3).
+//
+// The paper points to message-acknowledgement algorithms for distributed
+// termination detection [27]. In this shared-memory runtime the equivalent
+// is a global credit counter of in-flight workset records: every record
+// pushed into a queue increments it, and a worker decrements it only after
+// fully processing the record (including pushing all records it spawned).
+// The computation is quiescent — all queues empty, nobody processing — iff
+// the counter reaches zero.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sfdf {
+
+class QuiescenceDetector {
+ public:
+  /// `startup_credits` keeps the detector non-quiescent until every worker
+  /// finished loading its initial workset (call FinishStartup once each).
+  explicit QuiescenceDetector(int startup_credits)
+      : pending_(startup_credits) {}
+
+  void RecordEnqueued() { pending_.fetch_add(1, std::memory_order_acq_rel); }
+
+  void RecordProcessed() {
+    int64_t prev = pending_.fetch_sub(1, std::memory_order_acq_rel);
+    (void)prev;
+  }
+
+  /// One startup credit released; called by each worker after its initial
+  /// workset is enqueued.
+  void FinishStartup() { RecordProcessed(); }
+
+  bool Quiescent() const {
+    return pending_.load(std::memory_order_acquire) == 0;
+  }
+
+  int64_t pending() const { return pending_.load(std::memory_order_acquire); }
+
+ private:
+  std::atomic<int64_t> pending_;
+};
+
+}  // namespace sfdf

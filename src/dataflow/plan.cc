@@ -1,0 +1,85 @@
+#include "dataflow/plan.h"
+
+#include <sstream>
+
+namespace sfdf {
+
+std::string_view OperatorKindName(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kSource: return "Source";
+    case OperatorKind::kSink: return "Sink";
+    case OperatorKind::kMap: return "Map";
+    case OperatorKind::kFilter: return "Filter";
+    case OperatorKind::kReduce: return "Reduce";
+    case OperatorKind::kMatch: return "Match";
+    case OperatorKind::kCross: return "Cross";
+    case OperatorKind::kCoGroup: return "CoGroup";
+    case OperatorKind::kInnerCoGroup: return "InnerCoGroup";
+    case OperatorKind::kUnion: return "Union";
+    case OperatorKind::kBulkPlaceholder: return "I";
+    case OperatorKind::kSolutionPlaceholder: return "S";
+    case OperatorKind::kWorksetPlaceholder: return "W";
+    case OperatorKind::kIterationResult: return "IterationResult";
+  }
+  return "Unknown";
+}
+
+bool IsRecordAtATime(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kMap:
+    case OperatorKind::kFilter:
+    case OperatorKind::kMatch:
+    case OperatorKind::kCross:
+      return true;
+    default:
+      return false;
+  }
+}
+
+std::vector<std::vector<NodeId>> Plan::BuildConsumerIndex() const {
+  std::vector<std::vector<NodeId>> consumers(nodes_.size());
+  for (const LogicalNode& node : nodes_) {
+    for (NodeId input : node.inputs) {
+      consumers[input].push_back(node.id);
+    }
+  }
+  return consumers;
+}
+
+std::string Plan::ToString() const {
+  std::ostringstream out;
+  out << "Plan{\n";
+  for (const LogicalNode& node : nodes_) {
+    out << "  #" << node.id << " " << OperatorKindName(node.kind) << " '"
+        << node.name << "'";
+    if (!node.inputs.empty()) {
+      out << " <- [";
+      for (size_t i = 0; i < node.inputs.size(); ++i) {
+        if (i > 0) out << ", ";
+        out << node.inputs[i];
+      }
+      out << "]";
+    }
+    if (node.key_left.num_fields() > 0) out << " keyL=" << node.key_left.ToString();
+    if (node.key_right.num_fields() > 0)
+      out << " keyR=" << node.key_right.ToString();
+    if (node.iteration_id >= 0) out << " iter=" << node.iteration_id;
+    out << " rows~" << node.estimated_rows;
+    out << "\n";
+  }
+  for (const BulkIterationSpec& spec : bulk_iterations_) {
+    out << "  bulk-iteration #" << spec.id << ": I=#" << spec.body_input
+        << " O=#" << spec.body_output << " T=#" << spec.term_criterion
+        << " max=" << spec.max_iterations << "\n";
+  }
+  for (const WorksetIterationSpec& spec : workset_iterations_) {
+    out << "  workset-iteration #" << spec.id << ": S=#"
+        << spec.solution_placeholder << " W=#" << spec.workset_placeholder
+        << " D=#" << spec.delta_output << " W'=#" << spec.next_workset_output
+        << " key=" << spec.solution_key.ToString() << "\n";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sfdf

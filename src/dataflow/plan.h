@@ -1,0 +1,169 @@
+// Logical dataflow plans: a DAG of operators with embedded iteration
+// constructs. Bulk iterations are the tuple (G, I, O, T|n) of Section 4.1;
+// workset iterations are the tuple (∆, S0, W0) with solution-set key and
+// optional conflict comparator of Section 5.1.
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "dataflow/udf.h"
+#include "record/comparator.h"
+#include "record/key.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+/// Logical operator kinds. The k*Placeholder kinds are the iteration-body
+/// input edges (I of a bulk iteration; S and W of a workset iteration).
+enum class OperatorKind {
+  kSource,
+  kSink,
+  kMap,
+  kFilter,
+  kReduce,
+  kMatch,
+  kCross,
+  kCoGroup,
+  kInnerCoGroup,
+  kUnion,
+  kBulkPlaceholder,      ///< I — latest partial solution, input to G
+  kSolutionPlaceholder,  ///< S_i — solution set, input to ∆
+  kWorksetPlaceholder,   ///< W_i — workset, input to ∆
+  kIterationResult,      ///< output of a converged iteration
+};
+
+std::string_view OperatorKindName(OperatorKind kind);
+
+/// True for operators that produce output from one record at a time
+/// (Map, Filter, Match, Cross) — the microstep condition of Section 5.2.
+bool IsRecordAtATime(OperatorKind kind);
+
+using NodeId = int;
+constexpr NodeId kInvalidNode = -1;
+
+/// One logical operator. Plain data; owned by Plan.
+struct LogicalNode {
+  NodeId id = kInvalidNode;
+  OperatorKind kind = OperatorKind::kMap;
+  std::string name;
+  std::vector<NodeId> inputs;
+
+  /// Grouping / join keys. Unary operators use key_left.
+  KeySpec key_left;
+  KeySpec key_right;
+
+  // UDF slots; which one is set depends on `kind`.
+  MapUdf map_udf;
+  FilterUdf filter_udf;
+  ReduceUdf reduce_udf;
+  MatchUdf match_udf;      // also Cross
+  CoGroupUdf cogroup_udf;  // also InnerCoGroup
+  CombineFn combiner;      // optional, for Reduce
+
+  /// Source payload (shared so plans stay cheap to copy).
+  std::shared_ptr<std::vector<Record>> source_data;
+  /// Sink destination; filled after execution.
+  std::vector<Record>* sink_out = nullptr;
+
+  /// OutputContract-style annotations (paper footnote 3): which input fields
+  /// the UDF copies unchanged to which output fields. Lets the optimizer
+  /// propagate partitioning/sort properties through user code — the
+  /// mechanism behind the Figure 4 broadcast plan. Index 0: left/only input,
+  /// index 1: right input.
+  struct FieldPreservation {
+    int from = -1;
+    int to = -1;
+  };
+  std::vector<FieldPreservation> preserved_fields[2];
+
+  /// Which iteration body this node belongs to (-1: none). Bulk and workset
+  /// iterations have separate id spaces; `iteration_is_workset` picks one.
+  int iteration_id = -1;
+  bool iteration_is_workset = false;
+  /// For kIterationResult: which iteration it returns (-1 otherwise).
+  int result_of_bulk = -1;
+  int result_of_workset = -1;
+
+  /// Cardinality estimate used by the optimizer.
+  double estimated_rows = 0;
+};
+
+/// How a workset iteration executes (Section 5.2/5.3).
+enum class IterationMode {
+  kSuperstep,  ///< synchronized supersteps with barrier
+  kMicrostep,  ///< asynchronous microsteps (requires the §5.2 conditions)
+  kAuto,       ///< microstep if the plan qualifies, else superstep
+};
+
+/// Bulk iteration (G, I, O, T | n), Section 4.1.
+struct BulkIterationSpec {
+  int id = -1;
+  NodeId initial_input = kInvalidNode;  ///< provides S_0 (outside the body)
+  NodeId body_input = kInvalidNode;     ///< I placeholder node
+  NodeId body_output = kInvalidNode;    ///< O: node producing the next partial solution
+  /// T: body node whose emitted-record count decides continuation; the
+  /// iteration continues while T emits at least one record. kInvalidNode
+  /// means "fixed number of iterations" semantics.
+  NodeId term_criterion = kInvalidNode;
+  NodeId result_node = kInvalidNode;
+  int max_iterations = 20;
+  /// Partitioning key of the partial solution, if stable across supersteps;
+  /// lets the optimizer treat the feedback edge as partitioning-preserving.
+  KeySpec solution_key;
+};
+
+/// Workset (incremental) iteration (∆, S0, W0), Section 5.1.
+struct WorksetIterationSpec {
+  int id = -1;
+  NodeId initial_solution = kInvalidNode;
+  NodeId initial_workset = kInvalidNode;
+  NodeId solution_placeholder = kInvalidNode;
+  NodeId workset_placeholder = kInvalidNode;
+  NodeId delta_output = kInvalidNode;         ///< D_{i+1} producer
+  NodeId next_workset_output = kInvalidNode;  ///< W_{i+1} producer
+  NodeId result_node = kInvalidNode;
+  /// Key k(s) identifying records of the solution set.
+  KeySpec solution_key;
+  /// Conflict resolution for S ∪̇ D when several delta records share a key:
+  /// the larger record wins (CPO successor). Null: last write wins.
+  RecordOrder comparator;
+  IterationMode mode = IterationMode::kAuto;
+  int max_iterations = 1000000;  ///< safety cap; worksets normally drain first
+};
+
+class BulkIterationHandle;
+class WorksetIterationHandle;
+
+/// A complete logical dataflow: nodes + iteration specs. Build through
+/// PlanBuilder.
+class Plan {
+ public:
+  const std::vector<LogicalNode>& nodes() const { return nodes_; }
+  const LogicalNode& node(NodeId id) const { return nodes_.at(id); }
+  LogicalNode& mutable_node(NodeId id) { return nodes_.at(id); }
+
+  const std::vector<BulkIterationSpec>& bulk_iterations() const {
+    return bulk_iterations_;
+  }
+  const std::vector<WorksetIterationSpec>& workset_iterations() const {
+    return workset_iterations_;
+  }
+
+  /// Consumers of each node (computed lazily from inputs).
+  std::vector<std::vector<NodeId>> BuildConsumerIndex() const;
+
+  /// Pretty-printed plan for debugging / EXPLAIN-style output.
+  std::string ToString() const;
+
+ private:
+  friend class PlanBuilder;
+  friend class BulkIterationHandle;
+  friend class WorksetIterationHandle;
+  std::vector<LogicalNode> nodes_;
+  std::vector<BulkIterationSpec> bulk_iterations_;
+  std::vector<WorksetIterationSpec> workset_iterations_;
+};
+
+}  // namespace sfdf

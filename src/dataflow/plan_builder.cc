@@ -1,0 +1,363 @@
+#include "dataflow/plan_builder.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sfdf {
+
+NodeId PlanBuilder::AddNode(OperatorKind kind, const std::string& name,
+                            std::vector<NodeId> inputs) {
+  SFDF_CHECK(!finished_) << "PlanBuilder already finished";
+  for (NodeId input : inputs) {
+    SFDF_CHECK(input >= 0 && input < static_cast<NodeId>(plan_.nodes_.size()))
+        << "unknown input node " << input << " for '" << name << "'";
+  }
+  LogicalNode node;
+  node.id = static_cast<NodeId>(plan_.nodes_.size());
+  node.kind = kind;
+  node.name = name;
+  node.inputs = std::move(inputs);
+  node.iteration_id = open_iteration_;
+  node.iteration_is_workset = open_is_workset_;
+  plan_.nodes_.push_back(std::move(node));
+  return plan_.nodes_.back().id;
+}
+
+double PlanBuilder::EstimateRows(const LogicalNode& node) const {
+  auto in_rows = [&](int i) {
+    return plan_.nodes_[node.inputs[i]].estimated_rows;
+  };
+  switch (node.kind) {
+    case OperatorKind::kSource:
+      return node.source_data ? static_cast<double>(node.source_data->size())
+                              : 0;
+    case OperatorKind::kMap:
+      return in_rows(0);
+    case OperatorKind::kFilter:
+      return in_rows(0) * 0.5;
+    case OperatorKind::kReduce:
+      return in_rows(0) * 0.25;  // groups shrink the stream
+    case OperatorKind::kMatch:
+      return std::max(in_rows(0), in_rows(1));
+    case OperatorKind::kCross:
+      return in_rows(0) * in_rows(1);
+    case OperatorKind::kCoGroup:
+    case OperatorKind::kInnerCoGroup:
+      return std::max(in_rows(0), in_rows(1)) * 0.5;
+    case OperatorKind::kUnion:
+      return in_rows(0) + in_rows(1);
+    case OperatorKind::kSink:
+    case OperatorKind::kBulkPlaceholder:
+    case OperatorKind::kSolutionPlaceholder:
+    case OperatorKind::kWorksetPlaceholder:
+    case OperatorKind::kIterationResult:
+      return node.inputs.empty() ? 0 : in_rows(0);
+  }
+  return 0;
+}
+
+DataSet PlanBuilder::Source(const std::string& name,
+                            std::shared_ptr<std::vector<Record>> data) {
+  NodeId id = AddNode(OperatorKind::kSource, name, {});
+  LogicalNode& node = plan_.nodes_[id];
+  node.source_data = std::move(data);
+  node.iteration_id = -1;  // sources are never body nodes
+  node.estimated_rows = EstimateRows(node);
+  return DataSet(this, id);
+}
+
+DataSet PlanBuilder::Source(const std::string& name,
+                            std::vector<Record> data) {
+  return Source(name,
+                std::make_shared<std::vector<Record>>(std::move(data)));
+}
+
+DataSet PlanBuilder::Map(const std::string& name, DataSet input, MapUdf udf) {
+  NodeId id = AddNode(OperatorKind::kMap, name, {input.id()});
+  plan_.nodes_[id].map_udf = std::move(udf);
+  plan_.nodes_[id].estimated_rows = EstimateRows(plan_.nodes_[id]);
+  return DataSet(this, id);
+}
+
+DataSet PlanBuilder::Filter(const std::string& name, DataSet input,
+                            FilterUdf udf) {
+  NodeId id = AddNode(OperatorKind::kFilter, name, {input.id()});
+  plan_.nodes_[id].filter_udf = std::move(udf);
+  plan_.nodes_[id].estimated_rows = EstimateRows(plan_.nodes_[id]);
+  return DataSet(this, id);
+}
+
+DataSet PlanBuilder::Reduce(const std::string& name, DataSet input,
+                            KeySpec key, ReduceUdf udf, CombineFn combiner) {
+  NodeId id = AddNode(OperatorKind::kReduce, name, {input.id()});
+  LogicalNode& node = plan_.nodes_[id];
+  node.key_left = key;
+  node.reduce_udf = std::move(udf);
+  node.combiner = std::move(combiner);
+  node.estimated_rows = EstimateRows(node);
+  return DataSet(this, id);
+}
+
+DataSet PlanBuilder::Match(const std::string& name, DataSet left,
+                           DataSet right, KeySpec left_key, KeySpec right_key,
+                           MatchUdf udf) {
+  SFDF_CHECK(left_key.num_fields() == right_key.num_fields())
+      << "Match key arity mismatch in '" << name << "'";
+  NodeId id = AddNode(OperatorKind::kMatch, name, {left.id(), right.id()});
+  LogicalNode& node = plan_.nodes_[id];
+  node.key_left = left_key;
+  node.key_right = right_key;
+  node.match_udf = std::move(udf);
+  node.estimated_rows = EstimateRows(node);
+  return DataSet(this, id);
+}
+
+DataSet PlanBuilder::Cross(const std::string& name, DataSet left,
+                           DataSet right, CrossUdf udf) {
+  NodeId id = AddNode(OperatorKind::kCross, name, {left.id(), right.id()});
+  LogicalNode& node = plan_.nodes_[id];
+  node.match_udf = std::move(udf);
+  node.estimated_rows = EstimateRows(node);
+  return DataSet(this, id);
+}
+
+DataSet PlanBuilder::CoGroup(const std::string& name, DataSet left,
+                             DataSet right, KeySpec left_key,
+                             KeySpec right_key, CoGroupUdf udf) {
+  SFDF_CHECK(left_key.num_fields() == right_key.num_fields())
+      << "CoGroup key arity mismatch in '" << name << "'";
+  NodeId id = AddNode(OperatorKind::kCoGroup, name, {left.id(), right.id()});
+  LogicalNode& node = plan_.nodes_[id];
+  node.key_left = left_key;
+  node.key_right = right_key;
+  node.cogroup_udf = std::move(udf);
+  node.estimated_rows = EstimateRows(node);
+  return DataSet(this, id);
+}
+
+DataSet PlanBuilder::InnerCoGroup(const std::string& name, DataSet left,
+                                  DataSet right, KeySpec left_key,
+                                  KeySpec right_key, CoGroupUdf udf) {
+  SFDF_CHECK(left_key.num_fields() == right_key.num_fields())
+      << "InnerCoGroup key arity mismatch in '" << name << "'";
+  NodeId id =
+      AddNode(OperatorKind::kInnerCoGroup, name, {left.id(), right.id()});
+  LogicalNode& node = plan_.nodes_[id];
+  node.key_left = left_key;
+  node.key_right = right_key;
+  node.cogroup_udf = std::move(udf);
+  node.estimated_rows = EstimateRows(node);
+  return DataSet(this, id);
+}
+
+DataSet PlanBuilder::Union(const std::string& name, DataSet left,
+                           DataSet right) {
+  NodeId id = AddNode(OperatorKind::kUnion, name, {left.id(), right.id()});
+  plan_.nodes_[id].estimated_rows = EstimateRows(plan_.nodes_[id]);
+  return DataSet(this, id);
+}
+
+void PlanBuilder::Sink(const std::string& name, DataSet input,
+                       std::vector<Record>* out) {
+  SFDF_CHECK(open_iteration_ == -1) << "Sink inside an open iteration body";
+  NodeId id = AddNode(OperatorKind::kSink, name, {input.id()});
+  plan_.nodes_[id].sink_out = out;
+  plan_.nodes_[id].estimated_rows = EstimateRows(plan_.nodes_[id]);
+}
+
+void PlanBuilder::DeclarePreserved(DataSet op, int input_index, int from,
+                                   int to) {
+  SFDF_CHECK(op.valid() && input_index >= 0 && input_index < 2);
+  LogicalNode& node = plan_.nodes_[op.id()];
+  node.preserved_fields[input_index].push_back(
+      LogicalNode::FieldPreservation{from, to});
+}
+
+BulkIterationHandle PlanBuilder::BeginBulkIteration(const std::string& name,
+                                                    DataSet initial,
+                                                    int max_iterations,
+                                                    KeySpec solution_key) {
+  SFDF_CHECK(open_iteration_ == -1) << "nested iterations are not supported";
+  BulkIterationSpec spec;
+  spec.id = static_cast<int>(plan_.bulk_iterations_.size());
+  spec.initial_input = initial.id();
+  spec.max_iterations = max_iterations;
+  spec.solution_key = solution_key;
+
+  open_iteration_ = spec.id;
+  open_is_workset_ = false;
+  NodeId input_id =
+      AddNode(OperatorKind::kBulkPlaceholder, name + ".I", {initial.id()});
+  plan_.nodes_[input_id].estimated_rows =
+      plan_.nodes_[initial.id()].estimated_rows;
+  spec.body_input = input_id;
+  plan_.bulk_iterations_.push_back(spec);
+
+  BulkIterationHandle handle;
+  handle.builder_ = this;
+  handle.spec_index = spec.id;
+  handle.partial_solution_ = DataSet(this, input_id);
+  return handle;
+}
+
+DataSet BulkIterationHandle::Close(DataSet next_partial_solution,
+                                   DataSet term_criterion) {
+  PlanBuilder* pb = builder_;
+  SFDF_CHECK(pb != nullptr && pb->open_iteration_ == spec_index &&
+             !pb->open_is_workset_)
+      << "Close() on a stale bulk-iteration handle";
+  BulkIterationSpec& spec = pb->plan_.bulk_iterations_[spec_index];
+  spec.body_output = next_partial_solution.id();
+  spec.term_criterion = term_criterion.valid() ? term_criterion.id() : kInvalidNode;
+
+  NodeId result = pb->AddNode(OperatorKind::kIterationResult, "bulk.result",
+                              {next_partial_solution.id()});
+  pb->plan_.nodes_[result].result_of_bulk = spec_index;
+  pb->plan_.nodes_[result].iteration_id = -1;  // result lives outside the body
+  pb->plan_.nodes_[result].estimated_rows =
+      pb->plan_.nodes_[next_partial_solution.id()].estimated_rows;
+  spec.result_node = result;
+  pb->open_iteration_ = -1;
+  return DataSet(pb, result);
+}
+
+WorksetIterationHandle PlanBuilder::BeginWorksetIteration(
+    const std::string& name, DataSet initial_solution, DataSet initial_workset,
+    KeySpec solution_key, RecordOrder comparator, IterationMode mode,
+    int max_iterations) {
+  SFDF_CHECK(open_iteration_ == -1) << "nested iterations are not supported";
+  SFDF_CHECK(solution_key.num_fields() > 0)
+      << "workset iteration requires a solution key";
+  WorksetIterationSpec spec;
+  spec.id = static_cast<int>(plan_.workset_iterations_.size());
+  spec.initial_solution = initial_solution.id();
+  spec.initial_workset = initial_workset.id();
+  spec.solution_key = solution_key;
+  spec.comparator = std::move(comparator);
+  spec.mode = mode;
+  spec.max_iterations = max_iterations;
+
+  open_iteration_ = spec.id;
+  open_is_workset_ = true;
+  NodeId s_id = AddNode(OperatorKind::kSolutionPlaceholder, name + ".S",
+                        {initial_solution.id()});
+  plan_.nodes_[s_id].estimated_rows =
+      plan_.nodes_[initial_solution.id()].estimated_rows;
+  NodeId w_id = AddNode(OperatorKind::kWorksetPlaceholder, name + ".W",
+                        {initial_workset.id()});
+  plan_.nodes_[w_id].estimated_rows =
+      plan_.nodes_[initial_workset.id()].estimated_rows;
+  spec.solution_placeholder = s_id;
+  spec.workset_placeholder = w_id;
+  plan_.workset_iterations_.push_back(spec);
+
+  WorksetIterationHandle handle;
+  handle.builder_ = this;
+  handle.spec_index = spec.id;
+  handle.solution_ = DataSet(this, s_id);
+  handle.workset_ = DataSet(this, w_id);
+  return handle;
+}
+
+DataSet WorksetIterationHandle::Close(DataSet delta, DataSet next_workset) {
+  PlanBuilder* pb = builder_;
+  SFDF_CHECK(pb != nullptr && pb->open_iteration_ == spec_index &&
+             pb->open_is_workset_)
+      << "Close() on a stale workset-iteration handle";
+  WorksetIterationSpec& spec = pb->plan_.workset_iterations_[spec_index];
+  spec.delta_output = delta.id();
+  spec.next_workset_output = next_workset.id();
+
+  NodeId result = pb->AddNode(OperatorKind::kIterationResult, "workset.result",
+                              {delta.id()});
+  pb->plan_.nodes_[result].result_of_workset = spec_index;
+  pb->plan_.nodes_[result].iteration_id = -1;
+  pb->plan_.nodes_[result].estimated_rows =
+      pb->plan_.nodes_[spec.initial_solution].estimated_rows;
+  spec.result_node = result;
+  pb->open_iteration_ = -1;
+  return DataSet(pb, result);
+}
+
+Status PlanBuilder::Validate() const {
+  if (open_iteration_ != -1) {
+    return Status::InvalidArgument("an iteration body is still open");
+  }
+  bool has_sink = false;
+  for (const LogicalNode& node : plan_.nodes_) {
+    if (node.kind == OperatorKind::kSink) has_sink = true;
+    for (NodeId input : node.inputs) {
+      if (input < 0 || input >= static_cast<NodeId>(plan_.nodes_.size())) {
+        return Status::InvalidArgument("node '" + node.name +
+                                       "' references unknown input");
+      }
+      // DAG property: inputs must precede the node (builder emits in
+      // topological order by construction).
+      if (input >= node.id) {
+        return Status::InvalidArgument("node '" + node.name +
+                                       "' has a forward reference");
+      }
+    }
+    switch (node.kind) {
+      case OperatorKind::kMap:
+        if (!node.map_udf) return Status::InvalidArgument(node.name + ": missing map UDF");
+        break;
+      case OperatorKind::kFilter:
+        if (!node.filter_udf)
+          return Status::InvalidArgument(node.name + ": missing filter UDF");
+        break;
+      case OperatorKind::kReduce:
+        if (!node.reduce_udf)
+          return Status::InvalidArgument(node.name + ": missing reduce UDF");
+        if (node.key_left.empty())
+          return Status::InvalidArgument(node.name + ": reduce without key");
+        break;
+      case OperatorKind::kMatch:
+        if (!node.match_udf)
+          return Status::InvalidArgument(node.name + ": missing match UDF");
+        if (node.key_left.empty() || node.key_right.empty())
+          return Status::InvalidArgument(node.name + ": match without keys");
+        break;
+      case OperatorKind::kCross:
+        if (!node.match_udf)
+          return Status::InvalidArgument(node.name + ": missing cross UDF");
+        break;
+      case OperatorKind::kCoGroup:
+      case OperatorKind::kInnerCoGroup:
+        if (!node.cogroup_udf)
+          return Status::InvalidArgument(node.name + ": missing cogroup UDF");
+        break;
+      default:
+        break;
+    }
+  }
+  // Iteration bodies: outputs must belong to the body.
+  for (const BulkIterationSpec& spec : plan_.bulk_iterations_) {
+    if (spec.body_output == kInvalidNode) {
+      return Status::InvalidArgument("bulk iteration was never closed");
+    }
+    if (plan_.nodes_[spec.body_output].iteration_id != spec.id) {
+      return Status::InvalidArgument("bulk iteration output is not a body node");
+    }
+  }
+  for (const WorksetIterationSpec& spec : plan_.workset_iterations_) {
+    if (spec.delta_output == kInvalidNode ||
+        spec.next_workset_output == kInvalidNode) {
+      return Status::InvalidArgument("workset iteration was never closed");
+    }
+  }
+  if (!has_sink) {
+    return Status::InvalidArgument("plan has no sink");
+  }
+  return Status::OK();
+}
+
+Plan PlanBuilder::Finish() && {
+  Status st = Validate();
+  SFDF_CHECK(st.ok()) << "invalid plan: " << st.ToString();
+  finished_ = true;
+  return std::move(plan_);
+}
+
+}  // namespace sfdf

@@ -1,0 +1,157 @@
+// Fluent construction of logical plans.
+//
+// Example (PageRank skeleton, Figure 3):
+//
+//   PlanBuilder pb;
+//   auto ranks = pb.Source("p", ranks_data);            // (pid, rank)
+//   auto links = pb.Source("A", matrix_data);           // (tid, pid, prob)
+//   auto it = pb.BeginBulkIteration("pr", ranks, 20, /*solution_key=*/{0});
+//   auto contrib = pb.Match("joinPA", it.PartialSolution(), links,
+//                           {0}, {1}, JoinUdf);
+//   auto next = pb.Reduce("sum", contrib, {0}, SumUdf);
+//   auto result = it.Close(next);
+//   pb.Sink("out", result, &output);
+//   Plan plan = std::move(pb).Finish();
+#pragma once
+
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "dataflow/plan.h"
+
+namespace sfdf {
+
+class PlanBuilder;
+
+/// Handle to a logical node inside a builder; returned by every operator
+/// factory and accepted as operator input.
+class DataSet {
+ public:
+  DataSet() = default;
+  NodeId id() const { return id_; }
+  bool valid() const { return id_ != kInvalidNode; }
+
+ private:
+  friend class PlanBuilder;
+  friend class BulkIterationHandle;
+  friend class WorksetIterationHandle;
+  DataSet(PlanBuilder* builder, NodeId id) : builder_(builder), id_(id) {}
+  PlanBuilder* builder_ = nullptr;
+  NodeId id_ = kInvalidNode;
+};
+
+/// Open bulk iteration; created by PlanBuilder::BeginBulkIteration.
+class BulkIterationHandle {
+ public:
+  /// The I placeholder — the latest partial solution, input to the body G.
+  DataSet PartialSolution() const { return partial_solution_; }
+
+  /// Closes the body with O = `next_partial_solution`, optional termination
+  /// criterion T (iteration continues while T emits records). Returns the
+  /// iteration-result node usable downstream.
+  DataSet Close(DataSet next_partial_solution,
+                DataSet term_criterion = DataSet());
+
+ private:
+  friend class PlanBuilder;
+  PlanBuilder* builder_ = nullptr;
+  int spec_index = -1;
+  DataSet partial_solution_;
+};
+
+/// Open workset iteration; created by PlanBuilder::BeginWorksetIteration.
+class WorksetIterationHandle {
+ public:
+  /// S_i — the solution set placeholder. Must feed a Match / CoGroup /
+  /// InnerCoGroup keyed on the solution key (the operator the S index is
+  /// merged into, Section 5.3).
+  DataSet SolutionSet() const { return solution_; }
+  /// W_i — the current workset.
+  DataSet Workset() const { return workset_; }
+
+  /// Closes the body: D = `delta` (records merged into S via ∪̇),
+  /// W' = `next_workset`. Returns the iteration result (final S).
+  DataSet Close(DataSet delta, DataSet next_workset);
+
+ private:
+  friend class PlanBuilder;
+  PlanBuilder* builder_ = nullptr;
+  int spec_index = -1;
+  DataSet solution_;
+  DataSet workset_;
+};
+
+/// Builds a Plan. Single-use: call Finish() exactly once.
+class PlanBuilder {
+ public:
+  PlanBuilder() = default;
+
+  /// In-memory source. The data vector is shared, not copied.
+  DataSet Source(const std::string& name,
+                 std::shared_ptr<std::vector<Record>> data);
+  DataSet Source(const std::string& name, std::vector<Record> data);
+
+  DataSet Map(const std::string& name, DataSet input, MapUdf udf);
+  DataSet Filter(const std::string& name, DataSet input, FilterUdf udf);
+
+  /// Reduce groups `input` on `key`; optional `combiner` enables chained
+  /// pre-aggregation before the shuffle.
+  DataSet Reduce(const std::string& name, DataSet input, KeySpec key,
+                 ReduceUdf udf, CombineFn combiner = nullptr);
+
+  DataSet Match(const std::string& name, DataSet left, DataSet right,
+                KeySpec left_key, KeySpec right_key, MatchUdf udf);
+  DataSet Cross(const std::string& name, DataSet left, DataSet right,
+                CrossUdf udf);
+  DataSet CoGroup(const std::string& name, DataSet left, DataSet right,
+                  KeySpec left_key, KeySpec right_key, CoGroupUdf udf);
+  /// CoGroup that drops keys missing on either side (inner-join flavor).
+  DataSet InnerCoGroup(const std::string& name, DataSet left, DataSet right,
+                       KeySpec left_key, KeySpec right_key, CoGroupUdf udf);
+  DataSet Union(const std::string& name, DataSet left, DataSet right);
+
+  /// Terminal operator: collects the distributed result into `*out`.
+  void Sink(const std::string& name, DataSet input, std::vector<Record>* out);
+
+  /// Declares that `op`'s UDF copies input field `from` (of input
+  /// `input_index`, 0=left 1=right) unchanged into output field `to`
+  /// (an OutputContract; see LogicalNode::FieldPreservation).
+  void DeclarePreserved(DataSet op, int input_index, int from, int to);
+
+  BulkIterationHandle BeginBulkIteration(const std::string& name,
+                                         DataSet initial, int max_iterations,
+                                         KeySpec solution_key = KeySpec());
+
+  WorksetIterationHandle BeginWorksetIteration(
+      const std::string& name, DataSet initial_solution,
+      DataSet initial_workset, KeySpec solution_key,
+      RecordOrder comparator = nullptr,
+      IterationMode mode = IterationMode::kAuto, int max_iterations = 1000000);
+
+  /// Validates and returns the plan. Aborts on structurally invalid plans
+  /// (Status-returning validation is available via Validate()).
+  Plan Finish() &&;
+
+  /// Structural validation; called by Finish.
+  Status Validate() const;
+
+ private:
+  friend class BulkIterationHandle;
+  friend class WorksetIterationHandle;
+
+  NodeId AddNode(OperatorKind kind, const std::string& name,
+                 std::vector<NodeId> inputs);
+  double EstimateRows(const LogicalNode& node) const;
+
+  Plan plan_;
+  /// Iteration currently being built (-1: none). Nodes created while an
+  /// iteration is open become part of its body.
+  int open_iteration_ = -1;
+  bool open_is_workset_ = false;
+  bool finished_ = false;
+};
+
+}  // namespace sfdf

@@ -1,0 +1,59 @@
+// User-defined function interfaces — the first-order functions passed to the
+// PACT second-order functions (Map, Reduce, Match, Cross, CoGroup; Section 3).
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "record/record.h"
+
+namespace sfdf {
+
+/// Receives records emitted by a UDF. Implementations route to channels,
+/// buffers, or indexes depending on where the operator runs.
+class Collector {
+ public:
+  virtual ~Collector() = default;
+  virtual void Emit(const Record& rec) = 0;
+};
+
+/// Collector that appends to a vector; used in tests and drivers.
+class VectorCollector : public Collector {
+ public:
+  explicit VectorCollector(std::vector<Record>* out) : out_(out) {}
+  void Emit(const Record& rec) override { out_->push_back(rec); }
+
+ private:
+  std::vector<Record>* out_;
+};
+
+/// Map: called once per record (record-at-a-time).
+using MapUdf = std::function<void(const Record&, Collector*)>;
+
+/// Filter: keep the record iff the predicate returns true.
+using FilterUdf = std::function<bool(const Record&)>;
+
+/// Reduce: called once per key group with all records of that group.
+using ReduceUdf =
+    std::function<void(const std::vector<Record>& group, Collector*)>;
+
+/// Match: called once per pair of records with equal keys (equi-join);
+/// record-at-a-time with respect to the probe side.
+using MatchUdf =
+    std::function<void(const Record& left, const Record& right, Collector*)>;
+
+/// Cross: called once per pair in the Cartesian product.
+using CrossUdf = MatchUdf;
+
+/// CoGroup: called once per key with the full groups from both inputs
+/// (either may be empty). InnerCoGroup drivers skip one-sided keys.
+using CoGroupUdf = std::function<void(const std::vector<Record>& left,
+                                      const std::vector<Record>& right,
+                                      Collector*)>;
+
+/// Optional chained pre-aggregation (combiner): merges two records of the
+/// same key into one before shipping, cutting network volume (Section 6.1,
+/// "records are pre-aggregated (cf. Combiners in MapReduce and Pregel)").
+using CombineFn = std::function<Record(const Record& a, const Record& b)>;
+
+}  // namespace sfdf

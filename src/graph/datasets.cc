@@ -1,0 +1,127 @@
+#include "graph/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "graph/generators.h"
+#include "graph/union_find.h"
+
+namespace sfdf {
+
+namespace {
+
+int64_t CeilPow2(int64_t v) {
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+/// Power-law core plus a path of `tail_length` vertices hanging off vertex
+/// 0. The core converges within a handful of CC iterations (where the bulk
+/// vs. incremental work gap opens up); the thin tail stretches the
+/// component's diameter, driving the long low-workset iteration tails of
+/// the paper's graphs (14 iterations for Wikipedia/Twitter, 744 for
+/// Webbase).
+Graph MakeCoreWithTail(RmatOptions core, int64_t tail_length) {
+  int64_t core_n = CeilPow2(std::max<int64_t>(2, core.num_vertices));
+  GraphBuilder builder(core_n + tail_length);
+  GenerateRmatEdges(core,
+                    [&](VertexId u, VertexId v) { builder.AddEdge(u, v); });
+  VertexId previous = 0;  // attach the tail to a core hub
+  for (int64_t i = 0; i < tail_length; ++i) {
+    VertexId tail_vertex = core_n + i;
+    builder.AddEdge(previous, tail_vertex);
+    previous = tail_vertex;
+  }
+  return builder.Build(/*symmetrize=*/true);
+}
+
+// Wikipedia-EN: power-law web graph, avg degree ~13; CC converges in ~14
+// iterations (a fast core plus a shallow tail).
+Graph MakeWikipedia(double scale) {
+  RmatOptions opt;
+  opt.num_vertices = static_cast<int64_t>(65536 * scale);
+  opt.num_edges = static_cast<int64_t>(430000 * scale);
+  opt.seed = 1001;
+  return MakeCoreWithTail(opt, 11);
+}
+
+// Webbase: the largest graph; power-law web crawl whose largest component
+// has a huge diameter — the paper needs 744 iterations to converge, with
+// the vast majority of label changes in the first 20.
+Graph MakeWebbase(double scale) {
+  RmatOptions opt;
+  opt.num_vertices = static_cast<int64_t>(65536 * scale);
+  opt.num_edges = static_cast<int64_t>(1150000 * scale);
+  opt.seed = 1002;
+  int64_t tail = std::max<int64_t>(32, static_cast<int64_t>(720 * std::sqrt(scale)));
+  return MakeCoreWithTail(opt, tail);
+}
+
+// Hollywood: the smallest graph but very dense, avg degree ~115 (highest).
+Graph MakeHollywood(double scale) {
+  PreferentialAttachmentOptions opt;
+  opt.num_vertices = static_cast<int64_t>(12288 * scale);
+  opt.edges_per_vertex = 48;
+  opt.seed = 1003;
+  return GeneratePreferentialAttachment(opt);
+}
+
+// Twitter: large, moderately dense social graph, avg degree ~35; second-
+// largest edge count after Webbase; ~14 CC iterations like Wikipedia.
+Graph MakeTwitter(double scale) {
+  RmatOptions opt;
+  opt.num_vertices = static_cast<int64_t>(65536 * scale);
+  opt.num_edges = static_cast<int64_t>(950000 * scale);
+  // Less skew than the web graphs: social networks have fatter cores.
+  opt.a = 0.45;
+  opt.b = 0.22;
+  opt.c = 0.22;
+  opt.seed = 1004;
+  return MakeCoreWithTail(opt, 11);
+}
+
+}  // namespace
+
+const std::vector<DatasetSpec>& Table2Datasets() {
+  static const std::vector<DatasetSpec>* kDatasets = new std::vector<DatasetSpec>{
+      {"wikipedia", 16513969, 219505928, 13.29, MakeWikipedia},
+      {"webbase", 115657290, 1736677821, 15.02, MakeWebbase},
+      {"hollywood", 1985306, 228985632, 115.34, MakeHollywood},
+      {"twitter", 41652230, 1468365182, 35.25, MakeTwitter},
+  };
+  return *kDatasets;
+}
+
+const DatasetSpec& DatasetByName(const std::string& name) {
+  for (const DatasetSpec& spec : Table2Datasets()) {
+    if (spec.name == name) return spec;
+  }
+  SFDF_CHECK(false) << "unknown dataset: " << name;
+  __builtin_unreachable();
+}
+
+Graph FoafGraph(double scale) {
+  FoafOptions opt;
+  opt.num_vertices = std::max<int64_t>(1024, static_cast<int64_t>(1200000 * scale));
+  opt.num_edges = std::max<int64_t>(4096, static_cast<int64_t>(3500000 * scale));
+  opt.seed = 2001;
+  return GenerateFoaf(opt);
+}
+
+GraphStats ComputeStats(const Graph& graph, bool with_components) {
+  GraphStats stats;
+  stats.num_vertices = graph.num_vertices();
+  stats.num_directed_edges = graph.num_directed_edges();
+  stats.avg_degree = graph.AvgDegree();
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    stats.max_degree = std::max(stats.max_degree, graph.OutDegree(v));
+  }
+  if (with_components) {
+    stats.num_components = CountComponents(ReferenceComponents(graph));
+  }
+  return stats;
+}
+
+}  // namespace sfdf

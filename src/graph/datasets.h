@@ -1,0 +1,54 @@
+// Registry of the paper's four evaluation datasets (Table 2) mapped to
+// scaled synthetic stand-ins, plus the FOAF subgraph of Figure 2.
+//
+// Scaling: the paper's graphs (16M–115M vertices) targeted a 4-node cluster
+// with 152 GB of heap. At SFDF_SCALE=1.0 the stand-ins are sized so that the
+// full benchmark suite completes on a laptop, while preserving the
+// properties the evaluation depends on: relative sizes, degree ordering
+// (Hollywood ≫ Twitter ≫ Webbase ≈ Wikipedia), power-law skew for the web
+// graphs, density for the social graphs, and the huge-diameter component of
+// Webbase (744 bulk iterations to converge).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sfdf {
+
+/// One evaluation dataset: the paper's published properties plus the
+/// generator configuration of its synthetic stand-in.
+struct DatasetSpec {
+  std::string name;
+  // Published properties (Table 2).
+  int64_t paper_vertices;
+  int64_t paper_edges;
+  double paper_avg_degree;
+  /// Builds the scaled stand-in graph (deterministic).
+  Graph (*generate)(double scale);
+};
+
+/// The four Table 2 datasets in paper order:
+/// Wikipedia-EN, Webbase, Hollywood, Twitter.
+const std::vector<DatasetSpec>& Table2Datasets();
+
+/// Look up one dataset by name ("wikipedia", "webbase", "hollywood",
+/// "twitter"). Aborts on unknown name.
+const DatasetSpec& DatasetByName(const std::string& name);
+
+/// The FOAF-like graph of Figure 2 (1.2M vertices / 7M edges at full
+/// paper scale; scaled down by `scale`).
+Graph FoafGraph(double scale);
+
+/// Basic statistics (the Table 2 columns) of a generated graph.
+struct GraphStats {
+  int64_t num_vertices = 0;
+  int64_t num_directed_edges = 0;
+  double avg_degree = 0.0;
+  int64_t max_degree = 0;
+  int64_t num_components = 0;
+};
+GraphStats ComputeStats(const Graph& graph, bool with_components = false);
+
+}  // namespace sfdf

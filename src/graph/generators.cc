@@ -1,0 +1,178 @@
+#include "graph/generators.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sfdf {
+
+namespace {
+
+int64_t CeilPowerOfTwo(int64_t v) {
+  int64_t p = 1;
+  while (p < v) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+void GenerateRmatEdges(const RmatOptions& options,
+                       const std::function<void(VertexId, VertexId)>& emit) {
+  int64_t n = CeilPowerOfTwo(std::max<int64_t>(2, options.num_vertices));
+  int levels = 0;
+  for (int64_t t = n; t > 1; t >>= 1) ++levels;
+
+  Rng rng(options.seed);
+  const double ab = options.a + options.b;
+  const double abc = ab + options.c;
+  for (int64_t e = 0; e < options.num_edges; ++e) {
+    int64_t row = 0;
+    int64_t col = 0;
+    for (int l = 0; l < levels; ++l) {
+      double r = rng.NextDouble();
+      row <<= 1;
+      col <<= 1;
+      if (r < options.a) {
+        // top-left quadrant
+      } else if (r < ab) {
+        col |= 1;
+      } else if (r < abc) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    emit(row, col);
+  }
+}
+
+Graph GenerateRmat(const RmatOptions& options) {
+  int64_t n = CeilPowerOfTwo(std::max<int64_t>(2, options.num_vertices));
+  GraphBuilder builder(n);
+  GenerateRmatEdges(options,
+                    [&](VertexId u, VertexId v) { builder.AddEdge(u, v); });
+  return builder.Build(options.symmetrize);
+}
+
+Graph GenerateErdosRenyi(const ErdosRenyiOptions& options) {
+  SFDF_CHECK(options.num_vertices >= 2);
+  Rng rng(options.seed);
+  GraphBuilder builder(options.num_vertices);
+  for (int64_t e = 0; e < options.num_edges; ++e) {
+    VertexId u = static_cast<VertexId>(
+        rng.NextBounded(static_cast<uint64_t>(options.num_vertices)));
+    VertexId v = static_cast<VertexId>(
+        rng.NextBounded(static_cast<uint64_t>(options.num_vertices)));
+    builder.AddEdge(u, v);
+  }
+  return builder.Build(options.symmetrize);
+}
+
+Graph GeneratePreferentialAttachment(
+    const PreferentialAttachmentOptions& options) {
+  SFDF_CHECK(options.num_vertices > options.edges_per_vertex);
+  Rng rng(options.seed);
+  GraphBuilder builder(options.num_vertices);
+  // `endpoints` holds one entry per edge endpoint; sampling uniformly from it
+  // is sampling proportional to degree.
+  std::vector<VertexId> endpoints;
+  endpoints.reserve(options.num_vertices * options.edges_per_vertex * 2);
+  // Seed clique over the first edges_per_vertex+1 vertices.
+  int64_t seed_size = options.edges_per_vertex + 1;
+  for (int64_t u = 0; u < seed_size; ++u) {
+    for (int64_t v = u + 1; v < seed_size; ++v) {
+      builder.AddEdge(u, v);
+      endpoints.push_back(u);
+      endpoints.push_back(v);
+    }
+  }
+  for (int64_t v = seed_size; v < options.num_vertices; ++v) {
+    for (int e = 0; e < options.edges_per_vertex; ++e) {
+      VertexId target = endpoints[rng.NextBounded(endpoints.size())];
+      builder.AddEdge(v, target);
+      endpoints.push_back(v);
+      endpoints.push_back(target);
+    }
+  }
+  return builder.Build(/*symmetrize=*/true);
+}
+
+Graph GenerateChainOfClusters(const ChainOfClustersOptions& options) {
+  int64_t n = options.num_clusters * options.cluster_size;
+  SFDF_CHECK(n > 0);
+  Rng rng(options.seed);
+  GraphBuilder builder(n);
+  for (int64_t c = 0; c < options.num_clusters; ++c) {
+    int64_t base = c * options.cluster_size;
+    // Spanning path inside the cluster keeps it connected.
+    for (int64_t i = 1; i < options.cluster_size; ++i) {
+      builder.AddEdge(base + i - 1, base + i);
+    }
+    for (int64_t e = 0; e < options.intra_cluster_edges; ++e) {
+      VertexId u = base + static_cast<VertexId>(rng.NextBounded(
+                              static_cast<uint64_t>(options.cluster_size)));
+      VertexId v = base + static_cast<VertexId>(rng.NextBounded(
+                              static_cast<uint64_t>(options.cluster_size)));
+      builder.AddEdge(u, v);
+    }
+    // Single bridge to the next cluster: the component's diameter grows
+    // linearly in the number of clusters.
+    if (c + 1 < options.num_clusters) {
+      builder.AddEdge(base + options.cluster_size - 1,
+                      base + options.cluster_size);
+    }
+  }
+  return builder.Build(/*symmetrize=*/true);
+}
+
+Graph GenerateFoaf(const FoafOptions& options) {
+  // 80% of vertices form a power-law core; the rest form small satellite
+  // components of 2-8 vertices, giving the many-components structure of the
+  // FOAF crawl.
+  int64_t n = std::max<int64_t>(16, options.num_vertices);
+  int64_t core = n * 8 / 10;
+  Rng rng(options.seed);
+  GraphBuilder builder(n);
+
+  // Core: RMAT-style skewed edges mapped onto [0, core).
+  int64_t core_pow2 = CeilPowerOfTwo(core);
+  int levels = 0;
+  for (int64_t t = core_pow2; t > 1; t >>= 1) ++levels;
+  int64_t added = 0;
+  while (added < options.num_edges) {
+    int64_t row = 0, col = 0;
+    for (int l = 0; l < levels; ++l) {
+      double r = rng.NextDouble();
+      row <<= 1;
+      col <<= 1;
+      if (r < 0.57) {
+      } else if (r < 0.76) {
+        col |= 1;
+      } else if (r < 0.95) {
+        row |= 1;
+      } else {
+        row |= 1;
+        col |= 1;
+      }
+    }
+    if (row >= core || col >= core) continue;  // rejection-sample into core
+    builder.AddEdge(row, col);
+    ++added;
+  }
+
+  // Satellites: small paths among the remaining vertices.
+  VertexId v = core;
+  while (v < n) {
+    int64_t len = 2 + static_cast<int64_t>(rng.NextBounded(7));
+    for (int64_t i = 1; i < len && v + i < n; ++i) {
+      builder.AddEdge(v + i - 1, v + i);
+    }
+    v += len;
+  }
+  return builder.Build(/*symmetrize=*/true);
+}
+
+}  // namespace sfdf

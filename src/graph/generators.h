@@ -1,0 +1,77 @@
+// Synthetic graph generators standing in for the paper's datasets (see
+// DESIGN.md §1). All generators are deterministic in their seed.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+
+#include "graph/graph.h"
+
+namespace sfdf {
+
+/// R-MAT recursive-matrix generator (Chakrabarti et al.). With the classic
+/// (0.57, 0.19, 0.19, 0.05) parameters it produces the skewed, power-law
+/// degree distribution of web graphs (Wikipedia / Webbase stand-ins).
+struct RmatOptions {
+  int64_t num_vertices = 1 << 16;  ///< rounded up to a power of two
+  int64_t num_edges = 1 << 20;
+  double a = 0.57;
+  double b = 0.19;
+  double c = 0.19;  ///< d = 1 - a - b - c
+  uint64_t seed = 42;
+  bool symmetrize = true;
+};
+Graph GenerateRmat(const RmatOptions& options);
+
+/// Low-level R-MAT edge stream: calls `emit(src, dst)` for every generated
+/// edge without building a graph. Vertex ids lie in [0, 2^ceil(log2 V)).
+/// Used to assemble composite graphs (e.g. a power-law core with a long
+/// path appended — the Table 2 stand-ins).
+void GenerateRmatEdges(const RmatOptions& options,
+                       const std::function<void(VertexId, VertexId)>& emit);
+
+/// Erdős–Rényi G(n, m) with m edges drawn uniformly.
+struct ErdosRenyiOptions {
+  int64_t num_vertices = 1 << 16;
+  int64_t num_edges = 1 << 20;
+  uint64_t seed = 42;
+  bool symmetrize = true;
+};
+Graph GenerateErdosRenyi(const ErdosRenyiOptions& options);
+
+/// Preferential attachment (Barabási–Albert flavor): each new vertex
+/// attaches to `edges_per_vertex` earlier vertices biased toward high
+/// degree. Produces the dense, hub-heavy structure of social graphs
+/// (Twitter / Hollywood stand-ins).
+struct PreferentialAttachmentOptions {
+  int64_t num_vertices = 1 << 16;
+  int edges_per_vertex = 16;  ///< average degree ≈ 2 × this (undirected)
+  uint64_t seed = 42;
+};
+Graph GeneratePreferentialAttachment(const PreferentialAttachmentOptions& options);
+
+/// Chain of dense clusters: `num_clusters` communities of `cluster_size`
+/// vertices, consecutive clusters bridged by a single edge. One connected
+/// component with diameter ≈ num_clusters — the Webbase stand-in whose huge
+/// diameter makes Connected Components need hundreds of iterations
+/// (Figure 10: 744 iterations to converge).
+struct ChainOfClustersOptions {
+  int64_t num_clusters = 256;
+  int64_t cluster_size = 64;
+  int64_t intra_cluster_edges = 192;  ///< random edges inside each cluster
+  uint64_t seed = 42;
+};
+Graph GenerateChainOfClusters(const ChainOfClustersOptions& options);
+
+/// FOAF-like social subgraph for Figure 2: power-law graph with many small
+/// satellite components around a large core, mimicking the
+/// Billion-Triple-Challenge friend-of-a-friend subset (1.2M vertices / 7M
+/// edges at full scale).
+struct FoafOptions {
+  int64_t num_vertices = 1200000;
+  int64_t num_edges = 3500000;  ///< undirected edges (7M directed entries)
+  uint64_t seed = 42;
+};
+Graph GenerateFoaf(const FoafOptions& options);
+
+}  // namespace sfdf

@@ -1,0 +1,43 @@
+#include "graph/graph.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sfdf {
+
+std::string Graph::ToString() const {
+  std::ostringstream out;
+  out << "Graph{V=" << num_vertices_ << ", E=" << targets_.size()
+      << ", avg_degree=" << AvgDegree() << "}";
+  return out.str();
+}
+
+Graph GraphBuilder::Build(bool symmetrize) {
+  std::vector<std::pair<VertexId, VertexId>> all;
+  all.reserve(edges_.size() * (symmetrize ? 2 : 1));
+  for (const auto& [u, v] : edges_) {
+    if (u == v) continue;
+    all.emplace_back(u, v);
+    if (symmetrize) all.emplace_back(v, u);
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+
+  std::vector<int64_t> offsets(num_vertices_ + 1, 0);
+  for (const auto& [u, v] : all) {
+    (void)v;
+    ++offsets[u + 1];
+  }
+  for (int64_t i = 0; i < num_vertices_; ++i) {
+    offsets[i + 1] += offsets[i];
+  }
+  std::vector<VertexId> targets;
+  targets.reserve(all.size());
+  for (const auto& [u, v] : all) {
+    (void)u;
+    targets.push_back(v);
+  }
+  return Graph(num_vertices_, std::move(offsets), std::move(targets));
+}
+
+}  // namespace sfdf

@@ -1,0 +1,87 @@
+// Compressed-sparse-row graph. The substrate for all workloads in the
+// paper's evaluation: Connected Components and PageRank both consume the
+// edge set; the neighborhood mapping N of Section 2.1 is the CSR adjacency.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace sfdf {
+
+using VertexId = int64_t;
+
+/// Immutable CSR graph. Construct through GraphBuilder or the generators.
+class Graph {
+ public:
+  Graph() = default;
+  Graph(int64_t num_vertices, std::vector<int64_t> offsets,
+        std::vector<VertexId> targets)
+      : num_vertices_(num_vertices),
+        offsets_(std::move(offsets)),
+        targets_(std::move(targets)) {
+    SFDF_CHECK(offsets_.size() == static_cast<size_t>(num_vertices_) + 1);
+  }
+
+  int64_t num_vertices() const { return num_vertices_; }
+  /// Number of directed adjacency entries (an undirected edge counts twice).
+  int64_t num_directed_edges() const {
+    return static_cast<int64_t>(targets_.size());
+  }
+
+  int64_t OutDegree(VertexId v) const {
+    SFDF_DCHECK(v >= 0 && v < num_vertices_);
+    return offsets_[v + 1] - offsets_[v];
+  }
+
+  /// Neighbors of v as a contiguous span [begin, end).
+  const VertexId* NeighborsBegin(VertexId v) const {
+    return targets_.data() + offsets_[v];
+  }
+  const VertexId* NeighborsEnd(VertexId v) const {
+    return targets_.data() + offsets_[v + 1];
+  }
+
+  double AvgDegree() const {
+    return num_vertices_ == 0
+               ? 0.0
+               : static_cast<double>(targets_.size()) /
+                     static_cast<double>(num_vertices_);
+  }
+
+  std::string ToString() const;
+
+ private:
+  int64_t num_vertices_ = 0;
+  std::vector<int64_t> offsets_;   // size = num_vertices + 1
+  std::vector<VertexId> targets_;  // size = num_directed_edges
+};
+
+/// Accumulates edges, then freezes into a CSR Graph. Optionally symmetrizes
+/// (paper footnote 6: N contains the symmetric pair for every edge) and
+/// deduplicates parallel edges.
+class GraphBuilder {
+ public:
+  explicit GraphBuilder(int64_t num_vertices) : num_vertices_(num_vertices) {}
+
+  void AddEdge(VertexId src, VertexId dst) {
+    SFDF_DCHECK(src >= 0 && src < num_vertices_);
+    SFDF_DCHECK(dst >= 0 && dst < num_vertices_);
+    edges_.emplace_back(src, dst);
+  }
+
+  int64_t num_edges_added() const { return static_cast<int64_t>(edges_.size()); }
+
+  /// Builds the CSR image. If `symmetrize`, every (u,v) also yields (v,u).
+  /// Self-loops are dropped; parallel edges are deduplicated.
+  Graph Build(bool symmetrize = true);
+
+ private:
+  int64_t num_vertices_;
+  std::vector<std::pair<VertexId, VertexId>> edges_;
+};
+
+}  // namespace sfdf

@@ -1,0 +1,66 @@
+#include "graph/io.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <utility>
+#include <vector>
+
+namespace sfdf {
+
+Status WriteEdgeList(const std::string& path, const Graph& graph) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for write: " + path);
+  }
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    for (const VertexId* v = graph.NeighborsBegin(u);
+         v != graph.NeighborsEnd(u); ++v) {
+      if (std::fprintf(f, "%lld %lld\n", static_cast<long long>(u),
+                       static_cast<long long>(*v)) < 0) {
+        std::fclose(f);
+        return Status::IoError("write failed: " + path);
+      }
+    }
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+Result<Graph> ReadEdgeList(const std::string& path, bool symmetrize,
+                           int64_t num_vertices) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return Status::IoError("cannot open for read: " + path);
+  }
+  std::vector<std::pair<VertexId, VertexId>> edges;
+  VertexId max_id = -1;
+  char line[256];
+  int64_t line_number = 0;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    ++line_number;
+    if (line[0] == '#' || line[0] == '%' || line[0] == '\n') continue;
+    long long u;
+    long long v;
+    if (std::sscanf(line, "%lld %lld", &u, &v) != 2 || u < 0 || v < 0) {
+      std::fclose(f);
+      return Status::IoError("malformed edge at " + path + ":" +
+                             std::to_string(line_number));
+    }
+    edges.emplace_back(u, v);
+    max_id = std::max({max_id, static_cast<VertexId>(u),
+                       static_cast<VertexId>(v)});
+  }
+  std::fclose(f);
+
+  int64_t n = num_vertices > 0 ? num_vertices : max_id + 1;
+  if (max_id >= n) {
+    return Status::InvalidArgument("edge references vertex beyond count");
+  }
+  GraphBuilder builder(std::max<int64_t>(n, 1));
+  for (const auto& [u, v] : edges) {
+    builder.AddEdge(u, v);
+  }
+  return builder.Build(symmetrize);
+}
+
+}  // namespace sfdf

@@ -1,0 +1,23 @@
+// Edge-list I/O: persist and load graphs in the ubiquitous
+// whitespace-separated "src dst" text format (the format the paper's
+// datasets ship in at the Milan WebGraph repository, after decompression).
+#pragma once
+
+#include <string>
+
+#include "common/result.h"
+#include "graph/graph.h"
+
+namespace sfdf {
+
+/// Writes one "src dst" line per directed adjacency entry.
+Status WriteEdgeList(const std::string& path, const Graph& graph);
+
+/// Reads an edge list. Lines starting with '#' or '%' are comments.
+/// `symmetrize` adds the reverse of every edge (undirected interpretation).
+/// The vertex count is 1 + the largest id seen, unless `num_vertices`
+/// overrides it.
+Result<Graph> ReadEdgeList(const std::string& path, bool symmetrize = true,
+                           int64_t num_vertices = -1);
+
+}  // namespace sfdf

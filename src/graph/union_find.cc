@@ -1,0 +1,35 @@
+#include "graph/union_find.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+namespace sfdf {
+
+std::vector<VertexId> ReferenceComponents(const Graph& graph) {
+  UnionFind uf(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    for (const VertexId* n = graph.NeighborsBegin(v); n != graph.NeighborsEnd(v);
+         ++n) {
+      uf.Union(v, *n);
+    }
+  }
+  // Root -> minimum member id.
+  std::vector<VertexId> min_of_root(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) min_of_root[v] = v;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    VertexId r = uf.Find(v);
+    min_of_root[r] = std::min(min_of_root[r], v);
+  }
+  std::vector<VertexId> labels(graph.num_vertices());
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    labels[v] = min_of_root[uf.Find(v)];
+  }
+  return labels;
+}
+
+int64_t CountComponents(const std::vector<VertexId>& labels) {
+  std::unordered_set<VertexId> distinct(labels.begin(), labels.end());
+  return static_cast<int64_t>(distinct.size());
+}
+
+}  // namespace sfdf

@@ -1,0 +1,52 @@
+// Disjoint-set forest. The sequential ground truth that every Connected
+// Components implementation in this repository is validated against.
+#pragma once
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sfdf {
+
+/// Union-find with path halving and union by size.
+class UnionFind {
+ public:
+  explicit UnionFind(int64_t n) : parent_(n), size_(n, 1) {
+    std::iota(parent_.begin(), parent_.end(), 0);
+  }
+
+  int64_t Find(int64_t x) {
+    while (parent_[x] != x) {
+      parent_[x] = parent_[parent_[x]];  // path halving
+      x = parent_[x];
+    }
+    return x;
+  }
+
+  void Union(int64_t a, int64_t b) {
+    int64_t ra = Find(a);
+    int64_t rb = Find(b);
+    if (ra == rb) return;
+    if (size_[ra] < size_[rb]) std::swap(ra, rb);
+    parent_[rb] = ra;
+    size_[ra] += size_[rb];
+  }
+
+  int64_t NumElements() const { return static_cast<int64_t>(parent_.size()); }
+
+ private:
+  std::vector<int64_t> parent_;
+  std::vector<int64_t> size_;
+};
+
+/// Reference Connected Components: for each vertex, the *minimum vertex id*
+/// in its component — the same labeling the iterative algorithms converge
+/// to when initialized with s(v) = v.
+std::vector<VertexId> ReferenceComponents(const Graph& graph);
+
+/// Number of distinct components in a labeling.
+int64_t CountComponents(const std::vector<VertexId>& labels);
+
+}  // namespace sfdf

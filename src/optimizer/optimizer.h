@@ -1,0 +1,69 @@
+// The plan optimizer (Section 4.3).
+//
+// Follows the Volcano-style approach: bottom-up enumeration of physical
+// candidates per operator (ship strategy per input × local strategy), pruned
+// by cost and physical properties, guided by interesting properties that are
+// collected in two top-down traversals — the second pass feeds the
+// properties of the iteration input edge I back through the feedback edge to
+// O, as described in the paper.
+//
+// Iteration-specific behaviour:
+//  * Every edge is classified constant-path / dynamic-path; dynamic costs
+//    are weighted by the expected iteration count, so plans that place
+//    expensive work on the constant path win.
+//  * Constant-path inputs of dynamic operators are cached across supersteps
+//    (the cache materializes inside the consuming operator: a hash table for
+//    hash strategies, a sorted buffer for sort strategies).
+//  * Interesting properties additionally *seed* candidates that establish a
+//    partitioning/sort early on the constant path — this produces the
+//    broadcast PageRank plan of Figure 4 (matrix pre-partitioned and sorted
+//    by tid while the rank vector is broadcast).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "dataflow/plan.h"
+#include "optimizer/physical_plan.h"
+
+namespace sfdf {
+
+struct OptimizerOptions {
+  /// Degree of parallelism to compile for; 0 = DefaultParallelism().
+  int parallelism = 0;
+  /// Expected number of iterations used to weight dynamic-path costs.
+  /// 0 = derive from each iteration's max_iterations (capped at 20).
+  int expected_iterations = 0;
+  /// Master switches for ablation benchmarks.
+  bool enable_interesting_properties = true;
+  bool enable_caching = true;
+  bool enable_combiners = true;
+  /// Multiplier on broadcast shipping cost. 1.0 = honest cost model; large
+  /// values forbid broadcast plans, tiny values force them (used by the
+  /// Figure 7 benchmark to run both PageRank plans of Figure 4).
+  double broadcast_cost_factor = 1.0;
+  /// Force the solution-set index structure (ablation): 0 = derive from the
+  /// join strategy, 1 = hash table, 2 = B+-tree.
+  int force_solution_index = 0;
+  /// Ablation: buffer delta records until the end of the superstep even
+  /// when the §5.3 locality conditions would allow merging them into S
+  /// immediately.
+  bool disable_immediate_apply = false;
+};
+
+class Optimizer {
+ public:
+  explicit Optimizer(OptimizerOptions options = {});
+
+  /// Compiles a logical plan into an executable physical plan.
+  Result<PhysicalPlan> Optimize(const Plan& plan) const;
+
+  /// EXPLAIN: compiles and pretty-prints the chosen plan.
+  Result<std::string> Explain(const Plan& plan) const;
+
+ private:
+  OptimizerOptions options_;
+};
+
+}  // namespace sfdf

@@ -1,0 +1,67 @@
+#include "optimizer/physical_plan.h"
+
+#include <sstream>
+
+namespace sfdf {
+
+std::string_view TaskRoleName(TaskRole role) {
+  switch (role) {
+    case TaskRole::kRegular: return "Regular";
+    case TaskRole::kBulkHead: return "BulkHead";
+    case TaskRole::kBulkTail: return "BulkTail";
+    case TaskRole::kTermSink: return "TermSink";
+    case TaskRole::kWorksetHead: return "WorksetHead";
+    case TaskRole::kWorksetTail: return "WorksetTail";
+    case TaskRole::kDeltaApply: return "DeltaApply";
+    case TaskRole::kSolutionJoin: return "SolutionJoin";
+  }
+  return "Unknown";
+}
+
+std::string_view ShipStrategyName(ShipStrategy s) {
+  switch (s) {
+    case ShipStrategy::kForward: return "forward";
+    case ShipStrategy::kHashPartition: return "partition";
+    case ShipStrategy::kBroadcast: return "broadcast";
+  }
+  return "?";
+}
+
+std::string_view LocalStrategyName(LocalStrategy s) {
+  switch (s) {
+    case LocalStrategy::kNone: return "pipeline";
+    case LocalStrategy::kHashBuildLeft: return "hash-build-left";
+    case LocalStrategy::kHashBuildRight: return "hash-build-right";
+    case LocalStrategy::kSortMerge: return "sort-merge";
+    case LocalStrategy::kSortGroup: return "sort-group";
+    case LocalStrategy::kCrossBuildLeft: return "cross-build-left";
+    case LocalStrategy::kCrossBuildRight: return "cross-build-right";
+  }
+  return "?";
+}
+
+std::string PhysicalPlan::ToString() const {
+  std::ostringstream out;
+  out << "PhysicalPlan{dop=" << parallelism << ", cost~" << estimated_cost
+      << "\n";
+  for (const PhysicalTask& task : tasks) {
+    out << "  T" << task.id << " " << OperatorKindName(task.kind);
+    if (task.role != TaskRole::kRegular) out << "/" << TaskRoleName(task.role);
+    out << " '" << task.name << "' [" << LocalStrategyName(task.local) << "]";
+    if (task.on_dynamic_path) out << " dyn";
+    for (const PhysicalInput& input : task.inputs) {
+      out << " <-T" << input.producer << ":" << ShipStrategyName(input.ship);
+      if (input.ship == ShipStrategy::kHashPartition) {
+        out << input.ship_key.ToString();
+      }
+      if (input.cached) out << "+cache";
+      if (input.constant_path) out << "(const)";
+    }
+    out << " => " << task.output_props.ToString();
+    out << "\n";
+  }
+  out << "}";
+  return out.str();
+}
+
+}  // namespace sfdf

@@ -1,0 +1,42 @@
+#include "optimizer/properties.h"
+
+#include <algorithm>
+#include <sstream>
+
+namespace sfdf {
+
+std::string PhysProps::ToString() const {
+  std::ostringstream out;
+  switch (distribution) {
+    case Distribution::kArbitrary:
+      out << "arbitrary";
+      break;
+    case Distribution::kHashPartitioned:
+      out << "hash" << partition_key.ToString();
+      break;
+    case Distribution::kReplicated:
+      out << "replicated";
+      break;
+  }
+  if (!sort_key.empty()) out << " sorted" << sort_key.ToString();
+  return out.str();
+}
+
+std::string InterestingProperty::ToString() const {
+  std::ostringstream out;
+  out << "IP{";
+  if (!partition_key.empty()) out << "part" << partition_key.ToString();
+  if (!sort_key.empty()) out << " sort" << sort_key.ToString();
+  out << "}";
+  return out.str();
+}
+
+void AddInterestingProperty(InterestingProperties* props,
+                            const InterestingProperty& p) {
+  if (p.partition_key.empty() && p.sort_key.empty()) return;
+  if (std::find(props->begin(), props->end(), p) == props->end()) {
+    props->push_back(p);
+  }
+}
+
+}  // namespace sfdf

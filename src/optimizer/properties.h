@@ -1,0 +1,65 @@
+// Physical data properties and interesting properties (Section 4.3).
+//
+// A property describes how an intermediate result is laid out across and
+// within partitions. Interesting properties are properties that some
+// downstream operator could exploit; the optimizer both *prunes* with them
+// (keep a more expensive plan if it delivers an interesting property) and
+// *seeds* candidates that establish them early — the mechanism that yields
+// the Figure 4 plan where the constant path pre-partitions and pre-sorts
+// the transition matrix.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "record/key.h"
+
+namespace sfdf {
+
+/// Distribution of a dataset across partitions.
+enum class Distribution {
+  kArbitrary,        ///< no guarantee
+  kHashPartitioned,  ///< hash-partitioned by `partition_key`
+  kReplicated,       ///< full copy in every partition
+};
+
+/// Physical properties of a dataflow edge's data.
+struct PhysProps {
+  Distribution distribution = Distribution::kArbitrary;
+  KeySpec partition_key;  ///< valid iff distribution == kHashPartitioned
+  KeySpec sort_key;       ///< within-partition sort order; empty = unsorted
+
+  bool IsPartitionedBy(const KeySpec& key) const {
+    return distribution == Distribution::kHashPartitioned &&
+           partition_key == key;
+  }
+  bool IsSortedBy(const KeySpec& key) const { return sort_key == key; }
+  bool IsReplicated() const { return distribution == Distribution::kReplicated; }
+
+  bool operator==(const PhysProps& other) const {
+    return distribution == other.distribution &&
+           partition_key == other.partition_key && sort_key == other.sort_key;
+  }
+
+  std::string ToString() const;
+};
+
+/// An interesting property requested at some edge: "it would help if the
+/// data arriving here were partitioned/sorted like this".
+struct InterestingProperty {
+  KeySpec partition_key;  ///< empty = partitioning not requested
+  KeySpec sort_key;       ///< empty = sort not requested
+
+  bool operator==(const InterestingProperty& other) const {
+    return partition_key == other.partition_key && sort_key == other.sort_key;
+  }
+  std::string ToString() const;
+};
+
+using InterestingProperties = std::vector<InterestingProperty>;
+
+/// Adds `p` to `props` if not already present (and not empty).
+void AddInterestingProperty(InterestingProperties* props,
+                            const InterestingProperty& p);
+
+}  // namespace sfdf

@@ -1,0 +1,32 @@
+// Physical execution strategies: how data ships between operators and how
+// operators execute locally (Section 3 / 4.3: "shipping strategies
+// (partitioning, broadcasting) and local strategies (hashing vs. sorting)").
+#pragma once
+
+#include <string_view>
+
+namespace sfdf {
+
+/// How records travel across an edge of the physical plan.
+enum class ShipStrategy {
+  kForward,        ///< stay in the producing partition (pipelined, free)
+  kHashPartition,  ///< hash-repartition by a key
+  kBroadcast,      ///< replicate to every partition
+};
+
+std::string_view ShipStrategyName(ShipStrategy s);
+
+/// How a (binary or grouping) operator executes within a partition.
+enum class LocalStrategy {
+  kNone,            ///< record-at-a-time pipelining (Map, Filter, Cross stream)
+  kHashBuildLeft,   ///< hash join: build on the left input, probe with right
+  kHashBuildRight,  ///< hash join: build on the right input, probe with left
+  kSortMerge,       ///< sort both inputs, merge groups (Match/CoGroup)
+  kSortGroup,       ///< sort-based grouping (Reduce)
+  kCrossBuildLeft,  ///< materialize left, stream right
+  kCrossBuildRight, ///< materialize right, stream left
+};
+
+std::string_view LocalStrategyName(LocalStrategy s);
+
+}  // namespace sfdf

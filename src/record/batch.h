@@ -1,0 +1,49 @@
+// RecordBatch: the unit of data moved through channels. Contiguous storage
+// of trivially-copyable Records, so shipping a batch is a memcpy-like move
+// and the per-record channel overhead is amortized.
+#pragma once
+
+#include <cstddef>
+#include <utility>
+#include <vector>
+
+#include "record/record.h"
+
+namespace sfdf {
+
+/// A contiguous run of records. Movable; moving transfers the buffer.
+class RecordBatch {
+ public:
+  /// Default capacity target used by routers when cutting batches.
+  static constexpr size_t kDefaultBatchSize = 1024;
+
+  RecordBatch() = default;
+  explicit RecordBatch(std::vector<Record> records)
+      : records_(std::move(records)) {}
+
+  void Add(const Record& rec) { records_.push_back(rec); }
+  void Reserve(size_t n) { records_.reserve(n); }
+
+  size_t size() const { return records_.size(); }
+  bool empty() const { return records_.empty(); }
+  const Record& operator[](size_t i) const { return records_[i]; }
+  Record& operator[](size_t i) { return records_[i]; }
+
+  auto begin() const { return records_.begin(); }
+  auto end() const { return records_.end(); }
+  auto begin() { return records_.begin(); }
+  auto end() { return records_.end(); }
+
+  void Clear() { records_.clear(); }
+
+  /// Bytes occupied by the payload; used for shipped-bytes metrics.
+  size_t ByteSize() const { return records_.size() * sizeof(Record); }
+
+  std::vector<Record>& records() { return records_; }
+  const std::vector<Record>& records() const { return records_; }
+
+ private:
+  std::vector<Record> records_;
+};
+
+}  // namespace sfdf

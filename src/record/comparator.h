@@ -1,0 +1,50 @@
+// Record comparators.
+//
+// RecordOrder establishes an order over whole records for the delta-union
+// conflict resolution of Section 5.1: when two delta records carry the same
+// key, the *larger* record under the order (the CPO-successor) survives.
+#pragma once
+
+#include <functional>
+
+#include "record/key.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+/// Three-way comparison over records: negative if a < b, 0 if equal,
+/// positive if a > b. "Larger wins" in delta-union conflict resolution.
+using RecordOrder = std::function<int(const Record& a, const Record& b)>;
+
+/// Order by an int64 field ascending: a record with the larger field value
+/// is "larger".
+inline RecordOrder OrderByIntFieldAsc(int field) {
+  return [field](const Record& a, const Record& b) {
+    int64_t va = a.GetInt(field);
+    int64_t vb = b.GetInt(field);
+    return va < vb ? -1 : (va > vb ? 1 : 0);
+  };
+}
+
+/// Order by an int64 field descending: the record with the *smaller* field
+/// value is "larger" (i.e. wins). This is the comparator for Connected
+/// Components, where progress in the CPO means a lower component ID.
+inline RecordOrder OrderByIntFieldDesc(int field) {
+  return [field](const Record& a, const Record& b) {
+    int64_t va = a.GetInt(field);
+    int64_t vb = b.GetInt(field);
+    return va > vb ? -1 : (va < vb ? 1 : 0);
+  };
+}
+
+/// Order by a double field descending (smaller value wins); for shortest
+/// paths where progress means a smaller distance.
+inline RecordOrder OrderByDoubleFieldDesc(int field) {
+  return [field](const Record& a, const Record& b) {
+    double va = a.GetDouble(field);
+    double vb = b.GetDouble(field);
+    return va > vb ? -1 : (va < vb ? 1 : 0);
+  };
+}
+
+}  // namespace sfdf

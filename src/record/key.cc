@@ -1,0 +1,66 @@
+#include "record/key.h"
+
+#include <sstream>
+
+namespace sfdf {
+
+std::string KeySpec::ToString() const {
+  std::ostringstream out;
+  out << "[";
+  for (int i = 0; i < count_; ++i) {
+    if (i > 0) out << ",";
+    out << static_cast<int>(fields_[i]);
+  }
+  out << "]";
+  return out.str();
+}
+
+namespace {
+
+KeySpec KeyFromFields(const std::vector<int>& fields) {
+  switch (fields.size()) {
+    case 0:
+      return KeySpec{};
+    case 1:
+      return KeySpec{fields[0]};
+    case 2:
+      return KeySpec{fields[0], fields[1]};
+    case 3:
+      return KeySpec{fields[0], fields[1], fields[2]};
+    default:
+      return KeySpec{fields[0], fields[1], fields[2], fields[3]};
+  }
+}
+
+}  // namespace
+
+bool RemapKey(const KeySpec& key, const std::vector<FieldMapping>& mapping,
+              KeySpec* out) {
+  std::vector<int> fields;
+  for (int i = 0; i < key.num_fields(); ++i) {
+    int from = key.field(i);
+    bool found = false;
+    for (const FieldMapping& m : mapping) {
+      if (m.from == from) {
+        fields.push_back(m.to);
+        found = true;
+        break;
+      }
+    }
+    if (!found) return false;
+  }
+  *out = KeyFromFields(fields);
+  return true;
+}
+
+bool RemapKeyToInput(const KeySpec& key,
+                     const std::vector<FieldMapping>& mapping, KeySpec* out) {
+  std::vector<FieldMapping> inverse;
+  inverse.reserve(mapping.size());
+  for (const FieldMapping& m : mapping) {
+    inverse.push_back(FieldMapping{m.to, m.from});
+  }
+  return RemapKey(key, inverse, out);
+}
+
+}  // namespace sfdf

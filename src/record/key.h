@@ -1,0 +1,114 @@
+// Key descriptors: which fields of a record form its key. Used for hash
+// partitioning, joins, grouping, and the solution-set index (the key k(s)
+// that identifies records of the partial solution, Section 5.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+#include "common/rng.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+/// An ordered list of field indices forming a key. Value type, cheap to copy.
+class KeySpec {
+ public:
+  static constexpr int kMaxKeyFields = Record::kMaxFields;
+
+  KeySpec() : count_(0) { fields_.fill(0); }
+  KeySpec(std::initializer_list<int> fields) : count_(0) {
+    fields_.fill(0);
+    for (int f : fields) {
+      SFDF_CHECK(count_ < kMaxKeyFields) << "too many key fields";
+      SFDF_CHECK(f >= 0 && f < Record::kMaxFields) << "key field out of range";
+      fields_[count_++] = static_cast<uint8_t>(f);
+    }
+  }
+
+  int num_fields() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  int field(int i) const {
+    SFDF_DCHECK(i >= 0 && i < count_);
+    return fields_[i];
+  }
+
+  bool operator==(const KeySpec& other) const {
+    if (count_ != other.count_) return false;
+    for (int i = 0; i < count_; ++i) {
+      if (fields_[i] != other.fields_[i]) return false;
+    }
+    return true;
+  }
+
+  std::string ToString() const;
+
+ private:
+  std::array<uint8_t, kMaxKeyFields> fields_;
+  uint8_t count_;
+};
+
+/// Hash of the key fields of `rec` under `key`. Stable across the process;
+/// the same function drives hash partitioning and hash tables, so a
+/// hash-partitioned stream probes local-only tables.
+inline uint64_t HashKey(const Record& rec, const KeySpec& key) {
+  uint64_t h = 0x2545f4914f6cdd1dULL;
+  for (int i = 0; i < key.num_fields(); ++i) {
+    h = HashCombine(h, rec.RawField(key.field(i)));
+  }
+  return h;
+}
+
+/// True iff `a`'s key fields (under `ka`) equal `b`'s key fields (under
+/// `kb`). The two key specs must have the same field count.
+inline bool KeyEquals(const Record& a, const KeySpec& ka, const Record& b,
+                      const KeySpec& kb) {
+  SFDF_DCHECK(ka.num_fields() == kb.num_fields());
+  for (int i = 0; i < ka.num_fields(); ++i) {
+    if (a.RawField(ka.field(i)) != b.RawField(kb.field(i))) return false;
+  }
+  return true;
+}
+
+/// Three-way comparison of key fields, by raw unsigned 64-bit image. Used by
+/// sort-based drivers. Returns <0, 0, >0.
+inline int CompareKeys(const Record& a, const KeySpec& ka, const Record& b,
+                       const KeySpec& kb) {
+  SFDF_DCHECK(ka.num_fields() == kb.num_fields());
+  for (int i = 0; i < ka.num_fields(); ++i) {
+    uint64_t va = a.RawField(ka.field(i));
+    uint64_t vb = b.RawField(kb.field(i));
+    if (va < vb) return -1;
+    if (va > vb) return 1;
+  }
+  return 0;
+}
+
+/// Partition assignment used by every hash-exchange in the runtime.
+inline int PartitionOf(const Record& rec, const KeySpec& key,
+                       int num_partitions) {
+  return static_cast<int>(HashKey(rec, key) % static_cast<uint64_t>(num_partitions));
+}
+
+/// One entry of a field-preservation contract: input field `from` is copied
+/// unchanged to output field `to` (OutputContracts, paper footnote 3).
+struct FieldMapping {
+  int from = -1;
+  int to = -1;
+};
+
+/// Remaps a key over input fields to the corresponding output fields.
+/// Returns false if any key field is not preserved by the mapping.
+bool RemapKey(const KeySpec& key, const std::vector<FieldMapping>& mapping,
+              KeySpec* out);
+
+/// Inverse remap: a key over *output* fields expressed over the input
+/// fields, if every key field is produced by the mapping.
+bool RemapKeyToInput(const KeySpec& key,
+                     const std::vector<FieldMapping>& mapping, KeySpec* out);
+
+}  // namespace sfdf

@@ -1,0 +1,28 @@
+#include "record/record.h"
+
+#include <sstream>
+
+namespace sfdf {
+
+std::string Record::ToString() const {
+  std::ostringstream out;
+  out << "(";
+  for (int i = 0; i < arity_; ++i) {
+    if (i > 0) out << ", ";
+    switch (types_[i]) {
+      case FieldType::kInt:
+        out << GetInt(i);
+        break;
+      case FieldType::kDouble:
+        out << GetDouble(i);
+        break;
+      case FieldType::kUnset:
+        out << "?";
+        break;
+    }
+  }
+  out << ")";
+  return out.str();
+}
+
+}  // namespace sfdf

@@ -1,0 +1,139 @@
+// The record model. A Record is a flat, trivially-copyable tuple of up to
+// four 64-bit fields (int64 or double). Operating on such "serialized"
+// records — rather than per-field heap objects — is the representation the
+// paper credits for Stratosphere's low per-record overhead compared to
+// Spark's boxed messages (Section 6.1).
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <string>
+
+#include "common/logging.h"
+#include "common/rng.h"
+
+namespace sfdf {
+
+/// Runtime type tag of a record field.
+enum class FieldType : uint8_t {
+  kUnset = 0,
+  kInt = 1,     ///< int64_t
+  kDouble = 2,  ///< double
+};
+
+/// A flat tuple of up to kMaxFields 64-bit fields. Trivially copyable, so a
+/// RecordBatch is a contiguous, directly-shippable buffer.
+class Record {
+ public:
+  static constexpr int kMaxFields = 4;
+
+  Record() : types_{}, arity_(0) { slots_.fill(0); }
+
+  /// Convenience constructors for the common arities.
+  static Record OfInts(int64_t a) {
+    Record r;
+    r.AppendInt(a);
+    return r;
+  }
+  static Record OfInts(int64_t a, int64_t b) {
+    Record r;
+    r.AppendInt(a);
+    r.AppendInt(b);
+    return r;
+  }
+  static Record OfInts(int64_t a, int64_t b, int64_t c) {
+    Record r;
+    r.AppendInt(a);
+    r.AppendInt(b);
+    r.AppendInt(c);
+    return r;
+  }
+  static Record OfIntDouble(int64_t a, double b) {
+    Record r;
+    r.AppendInt(a);
+    r.AppendDouble(b);
+    return r;
+  }
+  static Record OfIntIntDouble(int64_t a, int64_t b, double c) {
+    Record r;
+    r.AppendInt(a);
+    r.AppendInt(b);
+    r.AppendDouble(c);
+    return r;
+  }
+
+  int arity() const { return arity_; }
+  FieldType type(int i) const {
+    SFDF_DCHECK(i >= 0 && i < arity_);
+    return types_[i];
+  }
+
+  int64_t GetInt(int i) const {
+    SFDF_DCHECK(i >= 0 && i < arity_ && types_[i] == FieldType::kInt);
+    int64_t v;
+    std::memcpy(&v, &slots_[i], sizeof(v));
+    return v;
+  }
+
+  double GetDouble(int i) const {
+    SFDF_DCHECK(i >= 0 && i < arity_ && types_[i] == FieldType::kDouble);
+    double v;
+    std::memcpy(&v, &slots_[i], sizeof(v));
+    return v;
+  }
+
+  /// Raw 64-bit image of a field; basis for hashing and key equality.
+  uint64_t RawField(int i) const {
+    SFDF_DCHECK(i >= 0 && i < arity_);
+    return slots_[i];
+  }
+
+  void SetInt(int i, int64_t v) {
+    SFDF_DCHECK(i >= 0 && i < arity_);
+    std::memcpy(&slots_[i], &v, sizeof(v));
+    types_[i] = FieldType::kInt;
+  }
+
+  void SetDouble(int i, double v) {
+    SFDF_DCHECK(i >= 0 && i < arity_);
+    std::memcpy(&slots_[i], &v, sizeof(v));
+    types_[i] = FieldType::kDouble;
+  }
+
+  void AppendInt(int64_t v) {
+    SFDF_CHECK(arity_ < kMaxFields) << "record arity overflow";
+    ++arity_;
+    SetInt(arity_ - 1, v);
+  }
+
+  void AppendDouble(double v) {
+    SFDF_CHECK(arity_ < kMaxFields) << "record arity overflow";
+    ++arity_;
+    SetDouble(arity_ - 1, v);
+  }
+
+  /// Exact equality over arity, types and raw field images.
+  bool operator==(const Record& other) const {
+    if (arity_ != other.arity_) return false;
+    for (int i = 0; i < arity_; ++i) {
+      if (types_[i] != other.types_[i] || slots_[i] != other.slots_[i]) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// Debug representation, e.g. "(7, 3.25)".
+  std::string ToString() const;
+
+ private:
+  std::array<uint64_t, kMaxFields> slots_;
+  std::array<FieldType, kMaxFields> types_;
+  uint8_t arity_;
+};
+
+static_assert(std::is_trivially_copyable_v<Record>,
+              "Record must stay trivially copyable (serialized form)");
+
+}  // namespace sfdf

@@ -1,0 +1,133 @@
+#include "record/serde.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace sfdf {
+
+namespace {
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+bool GetU64(const std::vector<uint8_t>& data, size_t* offset, uint64_t* v) {
+  if (*offset + 8 > data.size()) return false;
+  uint64_t r = 0;
+  for (int i = 0; i < 8; ++i) {
+    r |= static_cast<uint64_t>(data[*offset + i]) << (8 * i);
+  }
+  *offset += 8;
+  *v = r;
+  return true;
+}
+
+}  // namespace
+
+void SerializeRecord(const Record& rec, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(rec.arity()));
+  for (int i = 0; i < rec.arity(); ++i) {
+    out->push_back(static_cast<uint8_t>(rec.type(i)));
+  }
+  for (int i = 0; i < rec.arity(); ++i) {
+    PutU64(rec.RawField(i), out);
+  }
+}
+
+Status DeserializeRecord(const std::vector<uint8_t>& data, size_t* offset,
+                         Record* out) {
+  if (*offset >= data.size()) {
+    return Status::IoError("truncated record: missing arity");
+  }
+  int arity = data[(*offset)++];
+  if (arity > Record::kMaxFields) {
+    return Status::IoError("corrupt record: arity too large");
+  }
+  if (*offset + static_cast<size_t>(arity) > data.size()) {
+    return Status::IoError("truncated record: missing types");
+  }
+  Record rec;
+  std::vector<FieldType> types(arity);
+  for (int i = 0; i < arity; ++i) {
+    types[i] = static_cast<FieldType>(data[(*offset)++]);
+  }
+  for (int i = 0; i < arity; ++i) {
+    uint64_t raw;
+    if (!GetU64(data, offset, &raw)) {
+      return Status::IoError("truncated record: missing field");
+    }
+    switch (types[i]) {
+      case FieldType::kInt: {
+        int64_t v;
+        std::memcpy(&v, &raw, sizeof(v));
+        rec.AppendInt(v);
+        break;
+      }
+      case FieldType::kDouble: {
+        double v;
+        std::memcpy(&v, &raw, sizeof(v));
+        rec.AppendDouble(v);
+        break;
+      }
+      case FieldType::kUnset:
+        return Status::IoError("corrupt record: unset field type");
+    }
+  }
+  *out = rec;
+  return Status::OK();
+}
+
+void SerializeBatch(const RecordBatch& batch, std::vector<uint8_t>* out) {
+  PutU64(batch.size(), out);
+  for (const Record& rec : batch) {
+    SerializeRecord(rec, out);
+  }
+}
+
+Status DeserializeBatch(const std::vector<uint8_t>& data, size_t* offset,
+                        RecordBatch* out) {
+  uint64_t count;
+  if (!GetU64(data, offset, &count)) {
+    return Status::IoError("truncated batch header");
+  }
+  out->Clear();
+  out->Reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    Record rec;
+    SFDF_RETURN_NOT_OK(DeserializeRecord(data, offset, &rec));
+    out->Add(rec);
+  }
+  return Status::OK();
+}
+
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return Status::IoError("cannot open for write: " + path);
+  size_t written = bytes.empty()
+                       ? 0
+                       : std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return Status::IoError("short write: " + path);
+  }
+  return Status::OK();
+}
+
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out) {
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) return Status::IoError("cannot open for read: " + path);
+  std::fseek(f, 0, SEEK_END);
+  long size = std::ftell(f);
+  std::fseek(f, 0, SEEK_SET);
+  out->resize(static_cast<size_t>(size));
+  size_t read = size == 0 ? 0 : std::fread(out->data(), 1, out->size(), f);
+  std::fclose(f);
+  if (read != out->size()) {
+    return Status::IoError("short read: " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace sfdf

@@ -1,0 +1,37 @@
+// Binary serialization of records, used by the spillable cache (Section 4.3:
+// in-memory caches are "gradually spilled in the presence of memory
+// pressure") and available for checkpointing iteration state.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "record/batch.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+/// Appends the wire image of `rec` to `out`. Layout: arity byte, one type
+/// byte per field, then the 64-bit little-endian field images.
+void SerializeRecord(const Record& rec, std::vector<uint8_t>* out);
+
+/// Reads one record from `data` starting at `*offset`; advances `*offset`.
+Status DeserializeRecord(const std::vector<uint8_t>& data, size_t* offset,
+                         Record* out);
+
+/// Serializes a whole batch with a leading record count.
+void SerializeBatch(const RecordBatch& batch, std::vector<uint8_t>* out);
+
+/// Deserializes a batch written by SerializeBatch.
+Status DeserializeBatch(const std::vector<uint8_t>& data, size_t* offset,
+                        RecordBatch* out);
+
+/// Writes `bytes` to `path`, replacing existing content.
+Status WriteFile(const std::string& path, const std::vector<uint8_t>& bytes);
+
+/// Reads all of `path` into `out`.
+Status ReadFile(const std::string& path, std::vector<uint8_t>* out);
+
+}  // namespace sfdf

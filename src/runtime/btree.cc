@@ -1,0 +1,157 @@
+#include "runtime/btree.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace sfdf {
+
+struct BPlusTree::Node {
+  bool leaf = true;
+  std::vector<CompositeKey> keys;    // sorted
+  std::vector<Record> records;       // leaf payload, parallel to keys
+  std::vector<Node*> children;       // inner: keys.size() + 1 children
+  Node* next = nullptr;              // leaf chain
+};
+
+/// Result of inserting into a subtree: if the child split, `right` is the
+/// new sibling and `separator` the smallest key of `right`.
+struct BPlusTree::SplitResult {
+  Node* right = nullptr;
+  CompositeKey separator;
+};
+
+BPlusTree::BPlusTree(KeySpec key) : key_(key) { root_ = new Node(); }
+
+BPlusTree::~BPlusTree() { FreeTree(root_); }
+
+void BPlusTree::FreeTree(Node* node) {
+  if (node == nullptr) return;
+  if (!node->leaf) {
+    for (Node* child : node->children) FreeTree(child);
+  }
+  delete node;
+}
+
+const Record* BPlusTree::Lookup(const Record& probe,
+                                const KeySpec& probe_key) const {
+  CompositeKey key = CompositeKey::From(probe, probe_key);
+  const Node* node = root_;
+  while (!node->leaf) {
+    size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                                CompositeKeyLess) -
+               node->keys.begin();
+    node = node->children[i];
+  }
+  size_t i = std::lower_bound(node->keys.begin(), node->keys.end(), key,
+                              CompositeKeyLess) -
+             node->keys.begin();
+  if (i < node->keys.size() && node->keys[i] == key) {
+    return &node->records[i];
+  }
+  return nullptr;
+}
+
+BPlusTree::SplitResult BPlusTree::InsertInto(
+    Node* node, const CompositeKey& key, const Record& rec,
+    const std::function<bool(const Record&, const Record&)>& resolve,
+    bool* changed) {
+  if (node->leaf) {
+    size_t i = std::lower_bound(node->keys.begin(), node->keys.end(), key,
+                                CompositeKeyLess) -
+               node->keys.begin();
+    if (i < node->keys.size() && node->keys[i] == key) {
+      if (resolve(node->records[i], rec)) {
+        node->records[i] = rec;
+        *changed = true;
+      }
+      return SplitResult{};
+    }
+    node->keys.insert(node->keys.begin() + i, key);
+    node->records.insert(node->records.begin() + i, rec);
+    ++size_;
+    *changed = true;
+    if (static_cast<int>(node->keys.size()) <= kMaxKeys) return SplitResult{};
+    // Split the leaf in half; the right half starts the new sibling.
+    auto* right = new Node();
+    right->leaf = true;
+    size_t mid = node->keys.size() / 2;
+    right->keys.assign(node->keys.begin() + mid, node->keys.end());
+    right->records.assign(node->records.begin() + mid, node->records.end());
+    node->keys.resize(mid);
+    node->records.resize(mid);
+    right->next = node->next;
+    node->next = right;
+    return SplitResult{right, right->keys.front()};
+  }
+
+  size_t i = std::upper_bound(node->keys.begin(), node->keys.end(), key,
+                              CompositeKeyLess) -
+             node->keys.begin();
+  SplitResult child_split =
+      InsertInto(node->children[i], key, rec, resolve, changed);
+  if (child_split.right == nullptr) return SplitResult{};
+  node->keys.insert(node->keys.begin() + i, child_split.separator);
+  node->children.insert(node->children.begin() + i + 1, child_split.right);
+  if (static_cast<int>(node->keys.size()) <= kMaxKeys) return SplitResult{};
+  // Split the inner node: middle key moves up.
+  auto* right = new Node();
+  right->leaf = false;
+  size_t mid = node->keys.size() / 2;
+  CompositeKey separator = node->keys[mid];
+  right->keys.assign(node->keys.begin() + mid + 1, node->keys.end());
+  right->children.assign(node->children.begin() + mid + 1,
+                         node->children.end());
+  node->keys.resize(mid);
+  node->children.resize(mid + 1);
+  return SplitResult{right, separator};
+}
+
+bool BPlusTree::Upsert(
+    const Record& rec,
+    const std::function<bool(const Record&, const Record&)>& resolve) {
+  CompositeKey key = CompositeKey::From(rec, key_);
+  bool changed = false;
+  SplitResult split = InsertInto(root_, key, rec, resolve, &changed);
+  if (split.right != nullptr) {
+    auto* new_root = new Node();
+    new_root->leaf = false;
+    new_root->keys.push_back(split.separator);
+    new_root->children.push_back(root_);
+    new_root->children.push_back(split.right);
+    root_ = new_root;
+    ++height_;
+  }
+  return changed;
+}
+
+void BPlusTree::ForEach(const std::function<void(const Record&)>& fn) const {
+  const Node* node = root_;
+  while (!node->leaf) node = node->children.front();
+  while (node != nullptr) {
+    for (const Record& rec : node->records) fn(rec);
+    node = node->next;
+  }
+}
+
+bool BPlusTree::CheckInvariants() const {
+  // Walk the leaf chain: keys must be globally sorted and match size_.
+  const Node* node = root_;
+  while (!node->leaf) {
+    if (node->children.size() != node->keys.size() + 1) return false;
+    node = node->children.front();
+  }
+  int64_t count = 0;
+  const CompositeKey* prev = nullptr;
+  while (node != nullptr) {
+    for (const CompositeKey& key : node->keys) {
+      if (prev != nullptr && !CompositeKeyLess(*prev, key)) return false;
+      prev = &key;
+      ++count;
+    }
+    node = node->next;
+  }
+  return count == size_;
+}
+
+}  // namespace sfdf

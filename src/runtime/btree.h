@@ -1,0 +1,79 @@
+// In-memory B+-tree keyed by CompositeKey. The sorted primary-index variant
+// of the solution set (Section 5.3: "if the optimizer picks a sort-based
+// join strategy, S is stored in a sorted index (B+-Tree)") and of the
+// constant-path cache.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "record/key.h"
+#include "record/record.h"
+#include "runtime/hash_table.h"  // CompositeKey
+
+namespace sfdf {
+
+/// Total order over composite keys (lexicographic over raw field images).
+inline bool CompositeKeyLess(const CompositeKey& a, const CompositeKey& b) {
+  int n = a.count < b.count ? a.count : b.count;
+  for (int i = 0; i < n; ++i) {
+    if (a.values[i] != b.values[i]) return a.values[i] < b.values[i];
+  }
+  return a.count < b.count;
+}
+
+/// B+-tree mapping unique CompositeKeys to Records. Leaves are linked for
+/// in-order scans. Not thread-safe (single-writer phases, see executor).
+class BPlusTree {
+ public:
+  /// `key` describes which fields of inserted records form their key.
+  explicit BPlusTree(KeySpec key);
+  ~BPlusTree();
+
+  BPlusTree(const BPlusTree&) = delete;
+  BPlusTree& operator=(const BPlusTree&) = delete;
+
+  /// Returns the record stored under the key fields of `probe` (interpreted
+  /// through `probe_key`), or nullptr.
+  const Record* Lookup(const Record& probe, const KeySpec& probe_key) const;
+
+  /// Inserts `rec`, or calls `resolve(existing, incoming)` if the key
+  /// exists; resolve returns true to overwrite. Returns true iff the tree
+  /// changed.
+  bool Upsert(const Record& rec,
+              const std::function<bool(const Record& existing,
+                                       const Record& incoming)>& resolve);
+
+  int64_t size() const { return size_; }
+
+  /// In-order traversal (ascending key order).
+  void ForEach(const std::function<void(const Record&)>& fn) const;
+
+  /// Tree height (1 = just a leaf); exposed for tests.
+  int height() const { return height_; }
+
+  /// Validates structural invariants (sortedness, fill, links); for tests.
+  bool CheckInvariants() const;
+
+ private:
+  struct Node;
+  struct SplitResult;
+
+  static constexpr int kMaxKeys = 32;
+
+  SplitResult InsertInto(Node* node, const CompositeKey& key,
+                         const Record& rec,
+                         const std::function<bool(const Record&,
+                                                  const Record&)>& resolve,
+                         bool* changed);
+  void FreeTree(Node* node);
+
+  KeySpec key_;
+  Node* root_ = nullptr;
+  int64_t size_ = 0;
+  int height_ = 1;
+};
+
+}  // namespace sfdf

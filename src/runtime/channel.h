@@ -1,0 +1,90 @@
+// Channels: the in-memory stand-in for Nephele's data channels.
+//
+// A Channel is an unbounded MPSC queue of envelopes. Besides data batches,
+// producers send marker envelopes — the "channel events" of Section 5.3:
+// kEndSuperstep signals the end of a producer's superstep, kEndStream the
+// end of its life. A receiver reading a phase waits until it has collected
+// the marker from each of its producers ("upon reception of an according
+// number of events, each node switches to the next superstep").
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <utility>
+
+#include "common/logging.h"
+#include "record/batch.h"
+
+namespace sfdf {
+
+enum class MarkerKind : uint8_t {
+  kData,
+  kEndSuperstep,
+  kEndStream,
+};
+
+struct Envelope {
+  MarkerKind kind = MarkerKind::kData;
+  RecordBatch batch;
+};
+
+/// Unbounded multi-producer single-consumer queue. Unboundedness keeps the
+/// task DAG deadlock-free (no backpressure cycles); memory stays modest at
+/// the scales this runtime targets.
+class Channel {
+ public:
+  explicit Channel(int num_producers) : num_producers_(num_producers) {}
+
+  void Push(Envelope envelope) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(envelope));
+    }
+    cv_.notify_one();
+  }
+
+  Envelope Pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !queue_.empty(); });
+    Envelope envelope = std::move(queue_.front());
+    queue_.pop_front();
+    return envelope;
+  }
+
+  int num_producers() const { return num_producers_; }
+
+  /// Drains data batches until one `until` marker per producer arrived,
+  /// calling `fn(batch)` for each data batch. Markers of the *other* kind
+  /// are a protocol violation except that kEndStream may substitute for
+  /// kEndSuperstep (a producer leaving the loop ends every phase).
+  template <typename Fn>
+  void ReadPhase(MarkerKind until, Fn&& fn) {
+    int markers = 0;
+    while (markers < num_producers_) {
+      Envelope envelope = Pop();
+      switch (envelope.kind) {
+        case MarkerKind::kData:
+          fn(envelope.batch);
+          break;
+        case MarkerKind::kEndSuperstep:
+          SFDF_CHECK(until == MarkerKind::kEndSuperstep)
+              << "unexpected end-of-superstep marker";
+          ++markers;
+          break;
+        case MarkerKind::kEndStream:
+          ++markers;
+          break;
+      }
+    }
+  }
+
+ private:
+  const int num_producers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+}  // namespace sfdf

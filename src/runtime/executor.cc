@@ -1,0 +1,1484 @@
+#include "runtime/executor.h"
+
+#include <condition_variable>
+#include <deque>
+#include <mutex>
+#include <thread>
+#include <utility>
+
+#include "common/env.h"
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/checkpoint.h"
+#include "core/solution_set.h"
+#include "core/termination.h"
+#include "dataflow/udf.h"
+#include "runtime/channel.h"
+#include "runtime/hash_table.h"
+#include "runtime/router.h"
+#include "runtime/sorter.h"
+#include "runtime/spill_buffer.h"
+#include "runtime/superstep.h"
+
+namespace sfdf {
+
+int64_t IterationReport::TotalWorkset() const {
+  int64_t total = 0;
+  for (const SuperstepStats& s : supersteps) total += s.workset_size;
+  return total;
+}
+
+int64_t IterationReport::TotalApplied() const {
+  int64_t total = 0;
+  for (const SuperstepStats& s : supersteps) total += s.delta_applied;
+  return total;
+}
+
+namespace {
+
+/// True if the task participates in an iteration's superstep loop.
+bool IsLoopTask(const PhysicalTask& task) {
+  return (task.bulk_iteration >= 0 || task.workset_iteration >= 0) &&
+         task.on_dynamic_path;
+}
+
+bool SameLoop(const PhysicalTask& a, const PhysicalTask& b) {
+  return (a.bulk_iteration >= 0 && a.bulk_iteration == b.bulk_iteration) ||
+         (a.workset_iteration >= 0 &&
+          a.workset_iteration == b.workset_iteration);
+}
+
+// ---------------------------------------------------------------------------
+// Per-iteration runtime state
+// ---------------------------------------------------------------------------
+
+struct BulkRuntime {
+  std::unique_ptr<SuperstepCoordinator> coordinator;
+  /// Feedback buffers: tail instance p writes the next partial solution,
+  /// head instance p picks it up after the barrier.
+  std::vector<std::vector<Record>> feedback;
+  bool has_term = false;
+  int max_iterations = 0;
+  IterationReport report;
+  // Stats capture (only touched in the barrier completion step).
+  Stopwatch watch;
+  Metrics* metrics = nullptr;
+  int64_t shipped_mark = 0;
+  bool record_stats = true;
+};
+
+struct MicroQueue {
+  std::mutex mutex;
+  std::condition_variable cv;
+  std::deque<Record> queue;
+};
+
+struct WorksetRuntime {
+  std::unique_ptr<SuperstepCoordinator> coordinator;
+  int parallelism = 0;
+  KeySpec route_key;
+  KeySpec solution_key;
+  bool immediate_apply = false;
+  bool microstep = false;
+  int max_iterations = 0;
+
+  /// Superstep mode: double-buffered workset queues (Section 5.3). `front`
+  /// is drained by head p during the superstep; tails append to `back`
+  /// under the per-partition mutex; the barrier completion swaps them.
+  std::vector<std::vector<Record>> front;
+  std::vector<std::vector<Record>> back;
+  std::vector<std::unique_ptr<std::mutex>> back_mutex;
+
+  /// One solution-set index partition per worker.
+  std::vector<std::unique_ptr<SolutionSetIndex>> index;
+
+  /// Microstep mode: FIFO queues + quiescence detection.
+  std::vector<std::unique_ptr<MicroQueue>> queues;
+  std::unique_ptr<QuiescenceDetector> detector;
+  std::atomic<int64_t> micro_processed{0};
+
+  IterationReport report;
+  Stopwatch watch;
+  Metrics* metrics = nullptr;
+  int64_t shipped_mark = 0;
+  int64_t lookups_mark = 0;
+  int64_t applied_mark = 0;
+  int64_t discarded_mark = 0;
+  bool record_stats = true;
+
+  void SumIndexStats(int64_t* lookups, int64_t* applied,
+                     int64_t* discarded) const {
+    *lookups = *applied = *discarded = 0;
+    for (const auto& idx : index) {
+      *lookups += idx->stats().lookups;
+      *applied += idx->stats().applied;
+      *discarded += idx->stats().discarded;
+    }
+  }
+};
+
+// ---------------------------------------------------------------------------
+// Execution context shared by all task instances
+// ---------------------------------------------------------------------------
+
+struct ExecContext {
+  const PhysicalPlan* plan = nullptr;
+  int parallelism = 0;
+  bool record_stats = true;
+  int64_t cache_spill_budget = INT64_MAX;
+  int checkpoint_superstep = -1;
+  std::string checkpoint_path;
+  Metrics metrics;
+
+  /// channels[task][port][partition]: the consumer-side queues.
+  std::vector<std::vector<std::vector<std::unique_ptr<Channel>>>> channels;
+  /// consumer edges per producer task: (consumer task, consumer port).
+  std::vector<std::vector<std::pair<int, int>>> consumer_edges;
+
+  std::vector<std::unique_ptr<BulkRuntime>> bulk;
+  std::vector<std::unique_ptr<WorksetRuntime>> workset;
+
+  /// sink_slots[task][partition]: per-partition sink collections, merged
+  /// deterministically after all threads joined.
+  std::vector<std::vector<std::vector<Record>>> sink_slots;
+
+  const PhysicalTask& task(int id) const { return plan->tasks[id]; }
+};
+
+// ---------------------------------------------------------------------------
+// TaskInstance: one thread's work
+// ---------------------------------------------------------------------------
+
+class TaskInstance {
+ public:
+  TaskInstance(ExecContext* ctx, const PhysicalTask* task, int partition)
+      : ctx_(ctx), task_(task), partition_(partition) {
+    BuildOutputs();
+  }
+
+  void Run();
+
+ private:
+  // --- wiring helpers -----------------------------------------------------
+  void BuildOutputs() {
+    for (const auto& [consumer_id, port] : ctx_->consumer_edges[task_->id]) {
+      const PhysicalTask& consumer = ctx_->task(consumer_id);
+      const PhysicalInput& edge = consumer.inputs[port];
+      std::vector<Channel*> targets;
+      targets.reserve(ctx_->parallelism);
+      for (int p = 0; p < ctx_->parallelism; ++p) {
+        targets.push_back(ctx_->channels[consumer_id][port][p].get());
+      }
+      bool in_loop = IsLoopTask(consumer) && SameLoop(*task_, consumer);
+      outputs_.push_back(std::make_unique<OutputPort>(
+          std::move(targets), edge.ship, edge.ship_key, partition_,
+          &ctx_->metrics, in_loop, edge.combiner, edge.combine_key));
+      out_ptrs_.push_back(outputs_.back().get());
+    }
+  }
+
+  Channel* Input(int port) {
+    return ctx_->channels[task_->id][port][partition_].get();
+  }
+
+  /// True if input `port` carries loop data (re-read every superstep).
+  bool PortInLoop(int port) const {
+    const PhysicalInput& edge = task_->inputs[port];
+    if (edge.producer < 0) return false;
+    const PhysicalTask& producer = ctx_->task(edge.producer);
+    return IsLoopTask(producer) && SameLoop(producer, *task_);
+  }
+
+  void SendSuperstepMarkers() {
+    for (OutputPort* port : out_ptrs_) {
+      if (port->in_loop()) port->SendMarker(MarkerKind::kEndSuperstep);
+    }
+  }
+
+  void SendEndStream() {
+    for (OutputPort* port : out_ptrs_) {
+      port->SendMarker(MarkerKind::kEndStream);
+    }
+  }
+
+  /// Reads `port` for the current phase: loop ports until END_SUPERSTEP,
+  /// external ports until END_STREAM.
+  template <typename Fn>
+  void ReadPort(int port, Fn&& fn) {
+    MarkerKind until = PortInLoop(port) ? MarkerKind::kEndSuperstep
+                                        : MarkerKind::kEndStream;
+    Input(port)->ReadPhase(until, [&](const RecordBatch& batch) {
+      for (const Record& rec : batch) fn(rec);
+    });
+  }
+
+  /// Reads a port into a vector.
+  void CollectPort(int port, std::vector<Record>* out) {
+    ReadPort(port, [out](const Record& rec) { out->push_back(rec); });
+  }
+
+  // --- drivers --------------------------------------------------------------
+  void RunSource();
+  void RunSink();
+  void RunSimple();        // Map / Filter / Union, non-loop
+  void RunReduce(bool in_loop);
+  void RunMatchHash(bool in_loop);
+  void RunMatchSortMerge(bool in_loop);
+  void RunCross(bool in_loop);
+  void RunCoGroup(bool in_loop);
+  void RunSimpleLoop();    // Map / Filter / Union inside a loop
+  void RunBulkHead();
+  void RunBulkTail();
+  void RunTermSink();
+  void RunWorksetHead();
+  void RunWorksetTail();
+  void RunDeltaApply();
+  void RunSolutionJoin();
+
+  /// Superstep loop skeleton for dynamic body tasks. `body(superstep)`
+  /// processes one superstep; `final_flush` runs after termination before
+  /// END_STREAM is sent downstream.
+  template <typename BodyFn, typename FinalFn>
+  void LoopSupersteps(SuperstepCoordinator* coordinator, BodyFn&& body,
+                      FinalFn&& final_flush) {
+    for (;;) {
+      body(coordinator->superstep());
+      SendSuperstepMarkers();
+      coordinator->ArriveAndWait();
+      if (coordinator->terminated()) {
+        final_flush();
+        SendEndStream();
+        return;
+      }
+    }
+  }
+
+  WorksetRuntime& WsRt() { return *ctx_->workset[task_->workset_iteration]; }
+  BulkRuntime& BulkRt() { return *ctx_->bulk[task_->bulk_iteration]; }
+
+  ExecContext* ctx_;
+  const PhysicalTask* task_;
+  int partition_;
+  std::vector<std::unique_ptr<OutputPort>> outputs_;
+  std::vector<OutputPort*> out_ptrs_;
+};
+
+void TaskInstance::RunSource() {
+  PortsCollector collector(out_ptrs_);
+  const std::vector<Record>& data = *task_->source_data;
+  for (size_t i = partition_; i < data.size();
+       i += static_cast<size_t>(ctx_->parallelism)) {
+    collector.Emit(data[i]);
+  }
+  SendEndStream();
+}
+
+void TaskInstance::RunSink() {
+  std::vector<Record>& slot = ctx_->sink_slots[task_->id][partition_];
+  CollectPort(0, &slot);
+}
+
+void TaskInstance::RunSimple() {
+  PortsCollector collector(out_ptrs_);
+  switch (task_->kind) {
+    case OperatorKind::kMap:
+      ReadPort(0, [&](const Record& rec) { task_->map_udf(rec, &collector); });
+      break;
+    case OperatorKind::kFilter:
+      ReadPort(0, [&](const Record& rec) {
+        if (task_->filter_udf(rec)) collector.Emit(rec);
+      });
+      break;
+    case OperatorKind::kUnion:
+      ReadPort(0, [&](const Record& rec) { collector.Emit(rec); });
+      ReadPort(1, [&](const Record& rec) { collector.Emit(rec); });
+      break;
+    default:
+      SFDF_CHECK(false) << "RunSimple on " << OperatorKindName(task_->kind);
+  }
+  SendEndStream();
+}
+
+void TaskInstance::RunSimpleLoop() {
+  PortsCollector collector(out_ptrs_);
+  // Constant ports are read once and replayed every superstep (§4.3 cache).
+  std::vector<std::vector<Record>> cache(task_->inputs.size());
+  SuperstepCoordinator* coordinator =
+      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
+                                 : WsRt().coordinator.get();
+  auto process_record = [&](const Record& rec) {
+    switch (task_->kind) {
+      case OperatorKind::kMap:
+        task_->map_udf(rec, &collector);
+        break;
+      case OperatorKind::kFilter:
+        if (task_->filter_udf(rec)) collector.Emit(rec);
+        break;
+      case OperatorKind::kUnion:
+        collector.Emit(rec);
+        break;
+      default:
+        SFDF_CHECK(false);
+    }
+  };
+  LoopSupersteps(
+      coordinator,
+      [&](int superstep) {
+        for (size_t port = 0; port < task_->inputs.size(); ++port) {
+          if (PortInLoop(static_cast<int>(port))) {
+            ReadPort(static_cast<int>(port), process_record);
+          } else if (superstep == 0) {
+            CollectPort(static_cast<int>(port), &cache[port]);
+            for (const Record& rec : cache[port]) process_record(rec);
+          } else {
+            for (const Record& rec : cache[port]) process_record(rec);
+          }
+        }
+      },
+      [] {});
+}
+
+void TaskInstance::RunReduce(bool in_loop) {
+  PortsCollector collector(out_ptrs_);
+  auto reduce_pass = [&](std::vector<Record>* records) {
+    // `input_presorted`: the optimizer proved the input arrives sorted on
+    // the grouping key (single forward producer emitting in key order).
+    if (!task_->input_presorted) SortByKey(records, task_->key_left);
+    ForEachGroup(*records, task_->key_left,
+                 [&](const std::vector<Record>& group) {
+                   task_->reduce_udf(group, &collector);
+                 });
+  };
+  if (!in_loop) {
+    std::vector<Record> records;
+    CollectPort(0, &records);
+    reduce_pass(&records);
+    SendEndStream();
+    return;
+  }
+  SuperstepCoordinator* coordinator =
+      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
+                                 : WsRt().coordinator.get();
+  std::vector<Record> cache;  // constant input (rare; recomputed per step)
+  LoopSupersteps(
+      coordinator,
+      [&](int superstep) {
+        if (PortInLoop(0)) {
+          std::vector<Record> records;
+          CollectPort(0, &records);
+          reduce_pass(&records);
+        } else {
+          if (superstep == 0) CollectPort(0, &cache);
+          std::vector<Record> copy = cache;
+          reduce_pass(&copy);
+        }
+      },
+      [] {});
+}
+
+void TaskInstance::RunMatchHash(bool in_loop) {
+  PortsCollector collector(out_ptrs_);
+  const bool build_left = task_->local == LocalStrategy::kHashBuildLeft;
+  const int build_port = build_left ? 0 : 1;
+  const int probe_port = 1 - build_port;
+  const KeySpec& build_key = build_left ? task_->key_left : task_->key_right;
+  const KeySpec& probe_key = build_left ? task_->key_right : task_->key_left;
+  JoinHashTable table(build_key);
+  auto probe_one = [&](const Record& probe) {
+    table.Probe(probe, probe_key, [&](const Record& build) {
+      if (build_left) {
+        task_->match_udf(build, probe, &collector);
+      } else {
+        task_->match_udf(probe, build, &collector);
+      }
+    });
+  };
+  if (!in_loop) {
+    ReadPort(build_port, [&](const Record& rec) { table.Insert(rec); });
+    ReadPort(probe_port, probe_one);
+    SendEndStream();
+    return;
+  }
+  SuperstepCoordinator* coordinator =
+      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
+                                 : WsRt().coordinator.get();
+  const bool build_in_loop = PortInLoop(build_port);
+  const bool probe_in_loop = PortInLoop(probe_port);
+  const bool build_cached = task_->inputs[build_port].cached;
+  std::vector<Record> build_cache;  // raw records for the no-cache ablation
+  std::vector<Record> probe_cache;
+  // Budgeted probe caches gradually spill to disk (§4.3). Spilled caches
+  // cannot be re-sorted in memory, so the sorted-cache optimization only
+  // combines with the unbounded cache.
+  std::unique_ptr<SpillBuffer> spill_cache;
+  if (!probe_in_loop && ctx_->cache_spill_budget != INT64_MAX &&
+      task_->inputs[probe_port].cache_sort_key.empty()) {
+    SpillBufferOptions spill_options;
+    spill_options.memory_budget_bytes = ctx_->cache_spill_budget;
+    spill_cache = std::make_unique<SpillBuffer>(spill_options);
+  }
+  LoopSupersteps(
+      coordinator,
+      [&](int superstep) {
+        if (build_in_loop) {
+          table.Clear();
+          ReadPort(build_port, [&](const Record& rec) { table.Insert(rec); });
+        } else if (superstep == 0) {
+          // Constant build side: the hash table *is* the loop-invariant
+          // cache (§4.3), built once and reused every superstep. With
+          // caching disabled (ablation) only the raw records are kept and
+          // the table is rebuilt each superstep.
+          ReadPort(build_port, [&](const Record& rec) {
+            if (build_cached) {
+              table.Insert(rec);
+            } else {
+              build_cache.push_back(rec);
+            }
+          });
+          if (!build_cached) {
+            for (const Record& rec : build_cache) table.Insert(rec);
+          }
+        } else if (!build_cached) {
+          table.Clear();
+          for (const Record& rec : build_cache) table.Insert(rec);
+        }
+        if (probe_in_loop) {
+          ReadPort(probe_port, probe_one);
+        } else {
+          if (superstep == 0) {
+            if (spill_cache != nullptr) {
+              ReadPort(probe_port, [&](const Record& rec) {
+                SFDF_CHECK(spill_cache->Add(rec).ok());
+              });
+              SFDF_CHECK(spill_cache->Seal().ok());
+            } else {
+              CollectPort(probe_port, &probe_cache);
+              // Establish the requested cache order (Figure 4: A cached
+              // partitioned and sorted by tid) so downstream consumers see
+              // pre-sorted data every superstep.
+              const KeySpec& sort_key =
+                  task_->inputs[probe_port].cache_sort_key;
+              if (!sort_key.empty()) SortByKey(&probe_cache, sort_key);
+            }
+          }
+          if (spill_cache != nullptr) {
+            SFDF_CHECK(spill_cache->Replay(probe_one).ok());
+          } else {
+            for (const Record& rec : probe_cache) probe_one(rec);
+          }
+        }
+      },
+      [] {});
+}
+
+void TaskInstance::RunMatchSortMerge(bool in_loop) {
+  PortsCollector collector(out_ptrs_);
+  auto merge_pass = [&](std::vector<Record>* left, std::vector<Record>* right) {
+    SortByKey(left, task_->key_left);
+    SortByKey(right, task_->key_right);
+    MergeJoinGroups(*left, task_->key_left, *right, task_->key_right,
+                    [&](const std::vector<Record>& lgroup,
+                        const std::vector<Record>& rgroup) {
+                      for (const Record& l : lgroup) {
+                        for (const Record& r : rgroup) {
+                          task_->match_udf(l, r, &collector);
+                        }
+                      }
+                    });
+  };
+  if (!in_loop) {
+    std::vector<Record> left;
+    std::vector<Record> right;
+    CollectPort(0, &left);
+    CollectPort(1, &right);
+    merge_pass(&left, &right);
+    SendEndStream();
+    return;
+  }
+  SuperstepCoordinator* coordinator =
+      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
+                                 : WsRt().coordinator.get();
+  std::vector<Record> cache[2];
+  LoopSupersteps(
+      coordinator,
+      [&](int superstep) {
+        std::vector<Record> sides[2];
+        for (int port = 0; port < 2; ++port) {
+          if (PortInLoop(port)) {
+            CollectPort(port, &sides[port]);
+          } else {
+            if (superstep == 0) CollectPort(port, &cache[port]);
+            sides[port] = cache[port];
+          }
+        }
+        merge_pass(&sides[0], &sides[1]);
+      },
+      [] {});
+}
+
+void TaskInstance::RunCross(bool in_loop) {
+  PortsCollector collector(out_ptrs_);
+  const bool build_left = task_->local != LocalStrategy::kCrossBuildRight;
+  const int build_port = build_left ? 0 : 1;
+  const int probe_port = 1 - build_port;
+  std::vector<Record> build;
+  auto stream_one = [&](const Record& rec) {
+    for (const Record& b : build) {
+      if (build_left) {
+        task_->match_udf(b, rec, &collector);
+      } else {
+        task_->match_udf(rec, b, &collector);
+      }
+    }
+  };
+  if (!in_loop) {
+    CollectPort(build_port, &build);
+    ReadPort(probe_port, stream_one);
+    SendEndStream();
+    return;
+  }
+  SuperstepCoordinator* coordinator =
+      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
+                                 : WsRt().coordinator.get();
+  std::vector<Record> probe_cache;
+  LoopSupersteps(
+      coordinator,
+      [&](int superstep) {
+        if (PortInLoop(build_port)) {
+          build.clear();
+          CollectPort(build_port, &build);
+        } else if (superstep == 0) {
+          CollectPort(build_port, &build);
+        }
+        if (PortInLoop(probe_port)) {
+          ReadPort(probe_port, stream_one);
+        } else {
+          if (superstep == 0) CollectPort(probe_port, &probe_cache);
+          for (const Record& rec : probe_cache) stream_one(rec);
+        }
+      },
+      [] {});
+}
+
+void TaskInstance::RunCoGroup(bool in_loop) {
+  PortsCollector collector(out_ptrs_);
+  const bool inner = task_->kind == OperatorKind::kInnerCoGroup;
+  auto cogroup_pass = [&](std::vector<Record>* left,
+                          std::vector<Record>* right) {
+    SortByKey(left, task_->key_left);
+    SortByKey(right, task_->key_right);
+    MergeJoinGroups(*left, task_->key_left, *right, task_->key_right,
+                    [&](const std::vector<Record>& lgroup,
+                        const std::vector<Record>& rgroup) {
+                      if (inner && (lgroup.empty() || rgroup.empty())) return;
+                      task_->cogroup_udf(lgroup, rgroup, &collector);
+                    });
+  };
+  if (!in_loop) {
+    std::vector<Record> left;
+    std::vector<Record> right;
+    CollectPort(0, &left);
+    CollectPort(1, &right);
+    cogroup_pass(&left, &right);
+    SendEndStream();
+    return;
+  }
+  SuperstepCoordinator* coordinator =
+      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
+                                 : WsRt().coordinator.get();
+  std::vector<Record> cache[2];
+  LoopSupersteps(
+      coordinator,
+      [&](int superstep) {
+        std::vector<Record> sides[2];
+        for (int port = 0; port < 2; ++port) {
+          if (PortInLoop(port)) {
+            CollectPort(port, &sides[port]);
+          } else {
+            if (superstep == 0) CollectPort(port, &cache[port]);
+            sides[port] = cache[port];
+          }
+        }
+        cogroup_pass(&sides[0], &sides[1]);
+      },
+      [] {});
+}
+
+// --- bulk iteration roles ---------------------------------------------------
+
+void TaskInstance::RunBulkHead() {
+  BulkRuntime& rt = BulkRt();
+  PortsCollector collector(out_ptrs_);
+  std::vector<Record> current;
+  LoopSupersteps(
+      rt.coordinator.get(),
+      [&](int superstep) {
+        if (superstep == 0) {
+          // First iteration: consume the initial partial solution.
+          CollectPort(0, &current);
+        } else {
+          current = std::move(rt.feedback[partition_]);
+          rt.feedback[partition_].clear();
+        }
+        rt.coordinator->workset_consumed.fetch_add(
+            static_cast<int64_t>(current.size()), std::memory_order_relaxed);
+        for (const Record& rec : current) collector.Emit(rec);
+      },
+      [] {});
+}
+
+void TaskInstance::RunBulkTail() {
+  BulkRuntime& rt = BulkRt();
+  LoopSupersteps(
+      rt.coordinator.get(),
+      [&](int) {
+        std::vector<Record>& buffer = rt.feedback[partition_];
+        ReadPort(0, [&](const Record& rec) { buffer.push_back(rec); });
+      },
+      [&] {
+        // The buffer collected in the final superstep is the result.
+        PortsCollector collector(out_ptrs_);
+        for (const Record& rec : rt.feedback[partition_]) collector.Emit(rec);
+      });
+}
+
+void TaskInstance::RunTermSink() {
+  BulkRuntime& rt = BulkRt();
+  LoopSupersteps(
+      rt.coordinator.get(),
+      [&](int) {
+        int64_t count = 0;
+        ReadPort(0, [&](const Record&) { ++count; });
+        rt.coordinator->term_records.fetch_add(count,
+                                               std::memory_order_relaxed);
+      },
+      [] {});
+}
+
+// --- workset iteration roles ------------------------------------------------
+
+void TaskInstance::RunWorksetHead() {
+  WorksetRuntime& rt = WsRt();
+  PortsCollector collector(out_ptrs_);
+  LoopSupersteps(
+      rt.coordinator.get(),
+      [&](int superstep) {
+        int64_t count = 0;
+        if (superstep == 0) {
+          ReadPort(0, [&](const Record& rec) {
+            collector.Emit(rec);
+            ++count;
+          });
+        } else {
+          std::vector<Record> records = std::move(rt.front[partition_]);
+          rt.front[partition_].clear();
+          for (const Record& rec : records) collector.Emit(rec);
+          count = static_cast<int64_t>(records.size());
+        }
+        rt.coordinator->workset_consumed.fetch_add(count,
+                                                   std::memory_order_relaxed);
+      },
+      [] {});
+}
+
+void TaskInstance::RunWorksetTail() {
+  WorksetRuntime& rt = WsRt();
+  const int P = rt.parallelism;
+  LoopSupersteps(
+      rt.coordinator.get(),
+      [&](int) {
+        // Route W_{i+1} records into the back buffers by the workset key.
+        std::vector<std::vector<Record>> local(P);
+        int64_t count = 0;
+        int64_t remote = 0;
+        ReadPort(0, [&](const Record& rec) {
+          int target = PartitionOf(rec, rt.route_key, P);
+          local[target].push_back(rec);
+          ++count;
+          if (target != partition_) ++remote;
+        });
+        for (int p = 0; p < P; ++p) {
+          if (local[p].empty()) continue;
+          std::lock_guard<std::mutex> lock(*rt.back_mutex[p]);
+          auto& buffer = rt.back[p];
+          buffer.insert(buffer.end(), local[p].begin(), local[p].end());
+        }
+        // Feedback records are the "messages" of the incremental iteration.
+        ctx_->metrics.CountShipped(count, count * sizeof(Record), remote);
+        rt.coordinator->workset_produced.fetch_add(count,
+                                                   std::memory_order_relaxed);
+      },
+      [] {});
+}
+
+void TaskInstance::RunDeltaApply() {
+  WorksetRuntime& rt = WsRt();
+  SolutionSetIndex* index = rt.index[partition_].get();
+  LoopSupersteps(
+      rt.coordinator.get(),
+      [&](int) {
+        if (rt.immediate_apply) {
+          // The solution join already merged its emissions; drain markers.
+          ReadPort(0, [](const Record&) {});
+          return;
+        }
+        // Buffer D until the superstep's reads finished (they have: our
+        // producer sent its end-of-superstep marker), then merge via ∪̇.
+        std::vector<Record> delta;
+        CollectPort(0, &delta);
+        for (const Record& rec : delta) index->Apply(rec);
+      },
+      [&] {
+        // The converged solution set is the iteration's result (§5.1).
+        PortsCollector collector(out_ptrs_);
+        index->ForEach([&](const Record& rec) { collector.Emit(rec); });
+      });
+}
+
+void TaskInstance::RunSolutionJoin() {
+  WorksetRuntime& rt = WsRt();
+  SolutionSetIndex* index = rt.index[partition_].get();
+  const int s_port = task_->solution_side;
+  const int probe_port = 1 - s_port;
+  const KeySpec& probe_key =
+      s_port == 0 ? task_->key_right : task_->key_left;
+
+  // Emissions are delta records: in immediate mode they merge into S right
+  // here, and records the comparator discards never propagate (§5.1: "D
+  // reflects only the records that contributed to the new partial
+  // solution").
+  PortsCollector downstream(out_ptrs_);
+  class ApplyCollector : public Collector {
+   public:
+    ApplyCollector(SolutionSetIndex* index, Collector* next, bool immediate)
+        : index_(index), next_(next), immediate_(immediate) {}
+    void Emit(const Record& rec) override {
+      if (immediate_ && !index_->Apply(rec)) return;
+      next_->Emit(rec);
+    }
+
+   private:
+    SolutionSetIndex* index_;
+    Collector* next_;
+    bool immediate_;
+  } collector(index, &downstream, rt.immediate_apply);
+
+  const bool group_mode = task_->kind == OperatorKind::kCoGroup ||
+                          task_->kind == OperatorKind::kInnerCoGroup;
+  const bool inner = task_->kind != OperatorKind::kCoGroup;
+
+  LoopSupersteps(
+      rt.coordinator.get(),
+      [&](int superstep) {
+        if (superstep == 0) {
+          // Build the S index from the initial solution (hash-partitioned
+          // by the solution key). Building is not update work: reset the
+          // stats so Figure 2's counters only see iteration activity.
+          ReadPort(s_port, [&](const Record& rec) { index->Apply(rec); });
+          index->ResetStats();
+        }
+        if (!group_mode) {
+          // Match: record-at-a-time probes against the index.
+          ReadPort(probe_port, [&](const Record& probe) {
+            const Record* s_rec = index->Lookup(probe, probe_key);
+            if (s_rec == nullptr) return;  // inner-join semantics
+            if (s_port == 0) {
+              task_->match_udf(*s_rec, probe, &collector);
+            } else {
+              task_->match_udf(probe, *s_rec, &collector);
+            }
+          });
+        } else {
+          // (Inner)CoGroup: group the superstep's workset records per key,
+          // pair each group with the solution record of that key.
+          std::vector<Record> probes;
+          CollectPort(probe_port, &probes);
+          SortByKey(&probes, probe_key);
+          std::vector<Record> s_group;
+          ForEachGroup(probes, probe_key,
+                       [&](const std::vector<Record>& group) {
+                         const Record* s_rec =
+                             index->Lookup(group.front(), probe_key);
+                         s_group.clear();
+                         if (s_rec != nullptr) s_group.push_back(*s_rec);
+                         if (inner && s_group.empty()) return;
+                         if (s_port == 0) {
+                           task_->cogroup_udf(s_group, group, &collector);
+                         } else {
+                           task_->cogroup_udf(group, s_group, &collector);
+                         }
+                       });
+        }
+      },
+      [] {});
+}
+
+void TaskInstance::Run() {
+  switch (task_->role) {
+    case TaskRole::kBulkHead:
+      RunBulkHead();
+      return;
+    case TaskRole::kBulkTail:
+      RunBulkTail();
+      return;
+    case TaskRole::kTermSink:
+      RunTermSink();
+      return;
+    case TaskRole::kWorksetHead:
+      RunWorksetHead();
+      return;
+    case TaskRole::kWorksetTail:
+      RunWorksetTail();
+      return;
+    case TaskRole::kDeltaApply:
+      RunDeltaApply();
+      return;
+    case TaskRole::kSolutionJoin:
+      RunSolutionJoin();
+      return;
+    case TaskRole::kRegular:
+      break;
+  }
+  const bool in_loop = IsLoopTask(*task_);
+  switch (task_->kind) {
+    case OperatorKind::kSource:
+      RunSource();
+      return;
+    case OperatorKind::kSink:
+      RunSink();
+      return;
+    case OperatorKind::kMap:
+    case OperatorKind::kFilter:
+    case OperatorKind::kUnion:
+      if (in_loop) {
+        RunSimpleLoop();
+      } else {
+        RunSimple();
+      }
+      return;
+    case OperatorKind::kReduce:
+      RunReduce(in_loop);
+      return;
+    case OperatorKind::kMatch:
+      if (task_->local == LocalStrategy::kSortMerge) {
+        RunMatchSortMerge(in_loop);
+      } else {
+        RunMatchHash(in_loop);
+      }
+      return;
+    case OperatorKind::kCross:
+      RunCross(in_loop);
+      return;
+    case OperatorKind::kCoGroup:
+    case OperatorKind::kInnerCoGroup:
+      RunCoGroup(in_loop);
+      return;
+    default:
+      SFDF_CHECK(false) << "unexpected task kind "
+                        << OperatorKindName(task_->kind);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Fused asynchronous microstep engine (Section 5.2 / 5.3)
+// ---------------------------------------------------------------------------
+
+/// One fused pipeline step. The whole dynamic path of a microstep-capable
+/// iteration runs inside the head thread, so solution updates are applied
+/// by the same thread that owns the partition's index — no locking.
+struct ChainStep {
+  enum class Kind { kMap, kFilter, kSolutionJoin, kMatchConst };
+  Kind kind;
+  const PhysicalTask* task = nullptr;
+  // kMatchConst: constant build side.
+  std::unique_ptr<JoinHashTable> table;
+  int const_port = -1;
+  KeySpec probe_key;
+  bool const_is_left = false;
+};
+
+class MicrostepInstance {
+ public:
+  MicrostepInstance(ExecContext* ctx, int iteration, int partition,
+                    std::vector<const PhysicalTask*> chain_tasks,
+                    const PhysicalTask* delta_apply_task)
+      : ctx_(ctx),
+        rt_(*ctx->workset[iteration]),
+        partition_(partition),
+        chain_tasks_(std::move(chain_tasks)),
+        delta_apply_task_(delta_apply_task) {}
+
+  void Run() {
+    BuildChain();
+    LoadInitialState();
+    rt_.detector->FinishStartup();
+    ProcessLoop();
+    EmitResult();
+  }
+
+ private:
+  Channel* InputOf(const PhysicalTask* task, int port) {
+    return ctx_->channels[task->id][port][partition_].get();
+  }
+
+  void BuildChain() {
+    for (const PhysicalTask* task : chain_tasks_) {
+      ChainStep step;
+      step.task = task;
+      switch (task->kind) {
+        case OperatorKind::kMap:
+          step.kind = ChainStep::Kind::kMap;
+          break;
+        case OperatorKind::kFilter:
+          step.kind = ChainStep::Kind::kFilter;
+          break;
+        case OperatorKind::kMatch:
+          if (task->role == TaskRole::kSolutionJoin) {
+            step.kind = ChainStep::Kind::kSolutionJoin;
+            step.probe_key = task->solution_side == 0 ? task->key_right
+                                                      : task->key_left;
+          } else {
+            step.kind = ChainStep::Kind::kMatchConst;
+            // The dynamic input is the one fed by the previous chain task.
+            int const_port =
+                IsLoopTask(ctx_->task(task->inputs[0].producer)) ? 1 : 0;
+            step.const_port = const_port;
+            step.const_is_left = const_port == 0;
+            const KeySpec& build_key =
+                const_port == 0 ? task->key_left : task->key_right;
+            step.probe_key =
+                const_port == 0 ? task->key_right : task->key_left;
+            step.table = std::make_unique<JoinHashTable>(build_key);
+            InputOf(task, const_port)
+                ->ReadPhase(MarkerKind::kEndStream,
+                            [&](const RecordBatch& batch) {
+                              for (const Record& rec : batch) {
+                                step.table->Insert(rec);
+                              }
+                            });
+          }
+          break;
+        default:
+          SFDF_CHECK(false) << "operator not fusable into a microstep chain: "
+                            << OperatorKindName(task->kind);
+      }
+      chain_.push_back(std::move(step));
+    }
+  }
+
+  void LoadInitialState() {
+    // Build the solution index from the initial-solution port of the join.
+    const PhysicalTask* join = nullptr;
+    for (const ChainStep& step : chain_) {
+      if (step.kind == ChainStep::Kind::kSolutionJoin) join = step.task;
+    }
+    SFDF_CHECK(join != nullptr);
+    SolutionSetIndex* index = rt_.index[partition_].get();
+    InputOf(join, join->solution_side)
+        ->ReadPhase(MarkerKind::kEndStream, [&](const RecordBatch& batch) {
+          for (const Record& rec : batch) index->Apply(rec);
+        });
+    index->ResetStats();  // building S_0 is not iteration work
+    // Load the initial workset into this partition's queue. The head task's
+    // port 0 carries W_0, already routed by the workset key.
+    const PhysicalTask* head = nullptr;
+    for (const PhysicalTask& task : ctx_->plan->tasks) {
+      if (task.role == TaskRole::kWorksetHead &&
+          task.workset_iteration == chain_tasks_.front()->workset_iteration) {
+        head = &task;
+      }
+    }
+    SFDF_CHECK(head != nullptr);
+    MicroQueue& queue = *rt_.queues[partition_];
+    InputOf(head, 0)->ReadPhase(
+        MarkerKind::kEndStream, [&](const RecordBatch& batch) {
+          for (size_t i = 0; i < batch.size(); ++i) {
+            rt_.detector->RecordEnqueued();
+          }
+          {
+            std::lock_guard<std::mutex> lock(queue.mutex);
+            queue.queue.insert(queue.queue.end(), batch.begin(), batch.end());
+          }
+          queue.cv.notify_all();
+        });
+  }
+
+  /// Drains every currently-queued record for this partition. Returns
+  /// false only when the whole computation is quiescent.
+  bool PopBatch(std::vector<Record>* out) {
+    out->clear();
+    MicroQueue& queue = *rt_.queues[partition_];
+    std::unique_lock<std::mutex> lock(queue.mutex);
+    for (;;) {
+      if (!queue.queue.empty()) {
+        out->assign(queue.queue.begin(), queue.queue.end());
+        queue.queue.clear();
+        return true;
+      }
+      if (rt_.detector->Quiescent()) return false;
+      queue.cv.wait_for(lock, std::chrono::microseconds(200));
+    }
+  }
+
+  /// Stages an end-of-chain record (a W_{i+1} element) for its partition.
+  /// The pending-record credit is taken immediately so quiescence cannot
+  /// trigger while records sit in the staging buffers; the buffers are
+  /// flushed once per processed batch (FlushStaged).
+  void Route(const Record& rec) {
+    int target = PartitionOf(rec, rt_.route_key, rt_.parallelism);
+    ctx_->metrics.CountShipped(1, sizeof(Record),
+                               target == partition_ ? 0 : 1);
+    rt_.detector->RecordEnqueued();
+    staged_[target].push_back(rec);
+  }
+
+  void FlushStaged() {
+    for (int target = 0; target < rt_.parallelism; ++target) {
+      if (staged_[target].empty()) continue;
+      MicroQueue& queue = *rt_.queues[target];
+      {
+        std::lock_guard<std::mutex> lock(queue.mutex);
+        queue.queue.insert(queue.queue.end(), staged_[target].begin(),
+                           staged_[target].end());
+      }
+      queue.cv.notify_one();
+      staged_[target].clear();
+    }
+  }
+
+  void RunChain(size_t step_index, const Record& rec) {
+    if (step_index == chain_.size()) {
+      Route(rec);
+      return;
+    }
+    ChainStep& step = chain_[step_index];
+    class NextCollector : public Collector {
+     public:
+      NextCollector(MicrostepInstance* self, size_t next)
+          : self_(self), next_(next) {}
+      void Emit(const Record& rec) override { self_->RunChain(next_, rec); }
+
+     private:
+      MicrostepInstance* self_;
+      size_t next_;
+    } next(this, step_index + 1);
+
+    switch (step.kind) {
+      case ChainStep::Kind::kMap:
+        step.task->map_udf(rec, &next);
+        break;
+      case ChainStep::Kind::kFilter:
+        if (step.task->filter_udf(rec)) next.Emit(rec);
+        break;
+      case ChainStep::Kind::kSolutionJoin: {
+        SolutionSetIndex* index = rt_.index[partition_].get();
+        const Record* s_rec = index->Lookup(rec, step.probe_key);
+        if (s_rec == nullptr) return;
+        // Immediate ∪̇: the update takes effect before the next microstep
+        // (MICRO of Table 1); discarded records do not propagate.
+        class MicroApply : public Collector {
+         public:
+          MicroApply(SolutionSetIndex* index, Collector* next)
+              : index_(index), next_(next) {}
+          void Emit(const Record& rec) override {
+            if (index_->Apply(rec)) next_->Emit(rec);
+          }
+
+         private:
+          SolutionSetIndex* index_;
+          Collector* next_;
+        } apply(index, &next);
+        if (step.task->solution_side == 0) {
+          step.task->match_udf(*s_rec, rec, &apply);
+        } else {
+          step.task->match_udf(rec, *s_rec, &apply);
+        }
+        break;
+      }
+      case ChainStep::Kind::kMatchConst: {
+        step.table->Probe(rec, step.probe_key, [&](const Record& build) {
+          if (step.const_is_left) {
+            step.task->match_udf(build, rec, &next);
+          } else {
+            step.task->match_udf(rec, build, &next);
+          }
+        });
+        break;
+      }
+    }
+  }
+
+  void ProcessLoop() {
+    staged_.resize(rt_.parallelism);
+    std::vector<Record> batch;
+    int64_t processed = 0;
+    while (PopBatch(&batch)) {
+      for (const Record& rec : batch) {
+        RunChain(0, rec);
+      }
+      FlushStaged();
+      // Release the batch's credits only after its children are visible.
+      for (size_t i = 0; i < batch.size(); ++i) {
+        rt_.detector->RecordProcessed();
+      }
+      processed += static_cast<int64_t>(batch.size());
+      // Wake peers that may be waiting on quiescence.
+      if (rt_.detector->Quiescent()) {
+        for (auto& queue : rt_.queues) queue->cv.notify_all();
+      }
+    }
+    rt_.micro_processed.fetch_add(processed, std::memory_order_relaxed);
+  }
+
+  void EmitResult() {
+    // Emit this partition's converged solution set through the delta-apply
+    // task's output ports (its downstream consumers expect P producers).
+    std::vector<std::unique_ptr<OutputPort>> outputs;
+    std::vector<OutputPort*> ptrs;
+    for (const auto& [consumer_id, port] :
+         ctx_->consumer_edges[delta_apply_task_->id]) {
+      const PhysicalTask& consumer = ctx_->task(consumer_id);
+      const PhysicalInput& edge = consumer.inputs[port];
+      std::vector<Channel*> targets;
+      for (int p = 0; p < ctx_->parallelism; ++p) {
+        targets.push_back(ctx_->channels[consumer_id][port][p].get());
+      }
+      outputs.push_back(std::make_unique<OutputPort>(
+          std::move(targets), edge.ship, edge.ship_key, partition_,
+          &ctx_->metrics, /*in_loop=*/false));
+      ptrs.push_back(outputs.back().get());
+    }
+    PortsCollector collector(ptrs);
+    rt_.index[partition_]->ForEach(
+        [&](const Record& rec) { collector.Emit(rec); });
+    for (OutputPort* port : ptrs) port->SendMarker(MarkerKind::kEndStream);
+  }
+
+  ExecContext* ctx_;
+  WorksetRuntime& rt_;
+  int partition_;
+  std::vector<const PhysicalTask*> chain_tasks_;
+  const PhysicalTask* delta_apply_task_;
+  std::vector<ChainStep> chain_;
+  /// Per-target staging buffers for outgoing workset records.
+  std::vector<std::vector<Record>> staged_;
+};
+
+// ---------------------------------------------------------------------------
+// Setup helpers
+// ---------------------------------------------------------------------------
+
+Status ValidatePhysicalPlan(const PhysicalPlan& plan) {
+  for (const PhysicalTask& task : plan.tasks) {
+    if (task.id != static_cast<int>(&task - plan.tasks.data())) {
+      return Status::Internal("physical task ids must be dense and ordered");
+    }
+    for (const PhysicalInput& input : task.inputs) {
+      if (input.producer < 0 ||
+          input.producer >= static_cast<int>(plan.tasks.size())) {
+        return Status::Internal("physical input references unknown producer");
+      }
+      if (input.ship == ShipStrategy::kHashPartition &&
+          input.ship_key.empty()) {
+        return Status::Internal("hash partitioning requires a ship key");
+      }
+    }
+  }
+  return Status::OK();
+}
+
+/// Derives the decide-function for a bulk iteration's coordinator.
+std::function<bool(int)> MakeBulkDecide(ExecContext* ctx, BulkRuntime* rt) {
+  return [ctx, rt](int finished) {
+    SuperstepCoordinator* coordinator = rt->coordinator.get();
+    int64_t term = coordinator->term_records.exchange(0);
+    int64_t consumed = coordinator->workset_consumed.exchange(0);
+    if (rt->record_stats) {
+      SuperstepStats stats;
+      stats.superstep = finished;
+      stats.millis = rt->watch.ElapsedMillis();
+      stats.workset_size = consumed;
+      stats.term_records = term;
+      int64_t shipped = ctx->metrics.records_shipped();
+      stats.records_shipped = shipped - rt->shipped_mark;
+      rt->shipped_mark = shipped;
+      rt->report.supersteps.push_back(stats);
+    }
+    rt->watch.Restart();
+    rt->report.iterations = finished + 1;
+    bool terminate = false;
+    if (rt->has_term && term == 0) {
+      terminate = true;
+      rt->report.converged = true;
+    }
+    if (finished + 1 >= rt->max_iterations) {
+      terminate = true;
+      if (!rt->has_term) rt->report.converged = true;
+    }
+    return terminate;
+  };
+}
+
+/// Derives the decide-function for a workset iteration's coordinator.
+std::function<bool(int)> MakeWorksetDecide(ExecContext* ctx,
+                                           WorksetRuntime* rt) {
+  return [ctx, rt](int finished) {
+    SuperstepCoordinator* coordinator = rt->coordinator.get();
+    // Swap the double-buffered queues: records added during this superstep
+    // become the next superstep's workset (§5.3).
+    int64_t produced = 0;
+    for (int p = 0; p < rt->parallelism; ++p) {
+      std::lock_guard<std::mutex> lock(*rt->back_mutex[p]);
+      produced += static_cast<int64_t>(rt->back[p].size());
+      rt->front[p] = std::move(rt->back[p]);
+      rt->back[p].clear();
+    }
+    coordinator->workset_produced.exchange(0);
+    int64_t consumed = coordinator->workset_consumed.exchange(0);
+    if (rt->record_stats) {
+      SuperstepStats stats;
+      stats.superstep = finished;
+      stats.millis = rt->watch.ElapsedMillis();
+      stats.workset_size = consumed;
+      stats.next_workset_size = produced;
+      int64_t lookups;
+      int64_t applied;
+      int64_t discarded;
+      rt->SumIndexStats(&lookups, &applied, &discarded);
+      stats.solution_lookups = lookups - rt->lookups_mark;
+      stats.delta_applied = applied - rt->applied_mark;
+      stats.delta_discarded = discarded - rt->discarded_mark;
+      rt->lookups_mark = lookups;
+      rt->applied_mark = applied;
+      rt->discarded_mark = discarded;
+      int64_t shipped = ctx->metrics.records_shipped();
+      stats.records_shipped = shipped - rt->shipped_mark;
+      rt->shipped_mark = shipped;
+      rt->report.supersteps.push_back(stats);
+    }
+    rt->watch.Restart();
+    rt->report.iterations = finished + 1;
+    // §4.2 recovery log: snapshot the materialization points (solution set
+    // + pending workset) at the configured superstep boundary. Safe here:
+    // every task instance is parked at the barrier.
+    if (finished == ctx->checkpoint_superstep &&
+        !ctx->checkpoint_path.empty()) {
+      IterationCheckpoint checkpoint;
+      checkpoint.superstep = finished;
+      for (const auto& index : rt->index) {
+        index->ForEach([&](const Record& rec) {
+          checkpoint.solution.push_back(rec);
+        });
+      }
+      for (const auto& front : rt->front) {
+        checkpoint.workset.insert(checkpoint.workset.end(), front.begin(),
+                                  front.end());
+      }
+      Status st = SaveCheckpoint(ctx->checkpoint_path, checkpoint);
+      if (!st.ok()) {
+        SFDF_LOG(Warn) << "checkpoint failed: " << st.ToString();
+      }
+    }
+    if (produced == 0) {
+      rt->report.converged = true;  // the workset drained: fixpoint reached
+      return true;
+    }
+    if (finished + 1 >= rt->max_iterations) return true;
+    return false;
+  };
+}
+
+}  // namespace
+
+Executor::Executor(ExecutionOptions options) : options_(options) {
+  if (options_.parallelism <= 0) {
+    options_.parallelism = DefaultParallelism();
+  }
+}
+
+Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
+  SFDF_RETURN_NOT_OK(ValidatePhysicalPlan(plan));
+  const int P = options_.parallelism;
+
+  ExecContext ctx;
+  ctx.plan = &plan;
+  ctx.parallelism = P;
+  ctx.record_stats = options_.record_superstep_stats;
+  ctx.cache_spill_budget = options_.cache_spill_budget_bytes;
+  ctx.checkpoint_superstep = options_.checkpoint_superstep;
+  ctx.checkpoint_path = options_.checkpoint_path;
+
+  // --- channels & consumer index ---
+  ctx.channels.resize(plan.tasks.size());
+  ctx.consumer_edges.resize(plan.tasks.size());
+  ctx.sink_slots.resize(plan.tasks.size());
+  for (const PhysicalTask& task : plan.tasks) {
+    ctx.channels[task.id].resize(task.inputs.size());
+    for (size_t port = 0; port < task.inputs.size(); ++port) {
+      for (int p = 0; p < P; ++p) {
+        ctx.channels[task.id][port].push_back(std::make_unique<Channel>(P));
+      }
+      ctx.consumer_edges[task.inputs[port].producer].emplace_back(
+          task.id, static_cast<int>(port));
+    }
+    if (task.kind == OperatorKind::kSink) {
+      ctx.sink_slots[task.id].resize(P);
+      SFDF_CHECK(task.sink_out != nullptr) << "sink without output vector";
+      task.sink_out->clear();
+    }
+  }
+
+  // --- iteration runtimes ---
+  std::vector<int> loop_tasks_bulk(plan.bulk_iterations.size(), 0);
+  std::vector<int> loop_tasks_ws(plan.workset_iterations.size(), 0);
+  for (const PhysicalTask& task : plan.tasks) {
+    if (IsLoopTask(task)) {
+      if (task.bulk_iteration >= 0) ++loop_tasks_bulk[task.bulk_iteration];
+      if (task.workset_iteration >= 0) ++loop_tasks_ws[task.workset_iteration];
+    }
+  }
+
+  for (size_t i = 0; i < plan.bulk_iterations.size(); ++i) {
+    const PhysicalBulkIteration& spec = plan.bulk_iterations[i];
+    auto rt = std::make_unique<BulkRuntime>();
+    rt->feedback.resize(P);
+    rt->has_term = spec.term_sink_task >= 0;
+    rt->max_iterations = spec.max_iterations;
+    rt->metrics = &ctx.metrics;
+    rt->record_stats = ctx.record_stats;
+    BulkRuntime* raw = rt.get();
+    rt->coordinator = std::make_unique<SuperstepCoordinator>(
+        loop_tasks_bulk[i] * P, MakeBulkDecide(&ctx, raw));
+    ctx.bulk.push_back(std::move(rt));
+  }
+
+  for (size_t i = 0; i < plan.workset_iterations.size(); ++i) {
+    const PhysicalWorksetIteration& spec = plan.workset_iterations[i];
+    auto rt = std::make_unique<WorksetRuntime>();
+    rt->parallelism = P;
+    rt->route_key = spec.workset_route_key;
+    rt->solution_key = spec.solution_key;
+    rt->immediate_apply = spec.immediate_apply;
+    rt->microstep = spec.microstep;
+    rt->max_iterations = spec.max_iterations;
+    rt->metrics = &ctx.metrics;
+    rt->record_stats = ctx.record_stats;
+    rt->front.resize(P);
+    rt->back.resize(P);
+    for (int p = 0; p < P; ++p) {
+      rt->back_mutex.push_back(std::make_unique<std::mutex>());
+      rt->index.push_back(
+          spec.use_btree_index
+              ? MakeBTreeSolutionIndex(spec.solution_key, spec.comparator)
+              : MakeHashSolutionIndex(spec.solution_key, spec.comparator));
+    }
+    if (spec.microstep) {
+      rt->detector = std::make_unique<QuiescenceDetector>(P);
+      for (int p = 0; p < P; ++p) {
+        rt->queues.push_back(std::make_unique<MicroQueue>());
+      }
+      rt->report.ran_microsteps = true;
+    } else {
+      WorksetRuntime* raw = rt.get();
+      rt->coordinator = std::make_unique<SuperstepCoordinator>(
+          loop_tasks_ws[i] * P, MakeWorksetDecide(&ctx, raw));
+    }
+    ctx.workset.push_back(std::move(rt));
+  }
+
+  // --- spawn threads ---
+  Stopwatch total_watch;
+  std::vector<std::thread> threads;
+
+  for (const PhysicalTask& task : plan.tasks) {
+    if (task.workset_iteration >= 0 &&
+        plan.workset_iterations[task.workset_iteration].microstep &&
+        IsLoopTask(task)) {
+      continue;  // fused into MicrostepInstance below
+    }
+    for (int p = 0; p < P; ++p) {
+      threads.emplace_back([&ctx, &task, p] {
+        TaskInstance instance(&ctx, &task, p);
+        instance.Run();
+      });
+    }
+  }
+
+  for (size_t i = 0; i < plan.workset_iterations.size(); ++i) {
+    const PhysicalWorksetIteration& spec = plan.workset_iterations[i];
+    if (!spec.microstep) continue;
+    // Chain = the dynamic body tasks in dataflow order, starting from the
+    // head's unique consumer.
+    std::vector<const PhysicalTask*> chain;
+    int cursor = -1;
+    for (const auto& [consumer, port] :
+         ctx.consumer_edges[spec.head_task]) {
+      (void)port;
+      if (ctx.task(consumer).role != TaskRole::kWorksetTail) cursor = consumer;
+    }
+    while (cursor >= 0) {
+      const PhysicalTask& task = ctx.task(cursor);
+      chain.push_back(&task);
+      int next = -1;
+      for (const auto& [consumer, port] : ctx.consumer_edges[cursor]) {
+        (void)port;
+        const PhysicalTask& c = ctx.task(consumer);
+        if (c.role == TaskRole::kRegular && IsLoopTask(c)) next = consumer;
+        if (c.role == TaskRole::kSolutionJoin) next = consumer;
+      }
+      cursor = next;
+    }
+    const PhysicalTask* delta_apply = &ctx.task(spec.delta_apply_task);
+    for (int p = 0; p < P; ++p) {
+      threads.emplace_back([&ctx, i, p, chain, delta_apply] {
+        MicrostepInstance instance(&ctx, static_cast<int>(i), p, chain,
+                                   delta_apply);
+        instance.Run();
+      });
+    }
+  }
+
+  for (std::thread& thread : threads) thread.join();
+
+  // --- merge sink slots deterministically by partition ---
+  for (const PhysicalTask& task : plan.tasks) {
+    if (task.kind != OperatorKind::kSink) continue;
+    for (int p = 0; p < P; ++p) {
+      auto& slot = ctx.sink_slots[task.id][p];
+      task.sink_out->insert(task.sink_out->end(), slot.begin(), slot.end());
+    }
+  }
+
+  // --- assemble result ---
+  ExecutionResult result;
+  result.total_millis = total_watch.ElapsedMillis();
+  result.records_shipped = ctx.metrics.records_shipped();
+  result.records_remote = ctx.metrics.records_remote();
+  result.bytes_shipped = ctx.metrics.bytes_shipped();
+  result.records_combined = ctx.metrics.records_combined();
+  for (auto& rt : ctx.bulk) {
+    result.bulk_reports.push_back(std::move(rt->report));
+  }
+  for (auto& rt : ctx.workset) {
+    if (rt->microstep) {
+      rt->report.iterations = 1;
+      rt->report.converged = true;
+      SuperstepStats stats;
+      stats.superstep = 0;
+      stats.millis = result.total_millis;
+      stats.workset_size = rt->micro_processed.load();
+      int64_t lookups;
+      int64_t applied;
+      int64_t discarded;
+      rt->SumIndexStats(&lookups, &applied, &discarded);
+      stats.solution_lookups = lookups;
+      stats.delta_applied = applied;
+      stats.delta_discarded = discarded;
+      rt->report.supersteps.push_back(stats);
+    }
+    result.workset_reports.push_back(std::move(rt->report));
+  }
+  return result;
+}
+
+}  // namespace sfdf

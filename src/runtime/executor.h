@@ -1,0 +1,76 @@
+// The parallel execution engine (the Nephele stand-in).
+//
+// The executor instantiates every physical task once per partition, wires
+// the instances with channels according to each edge's ship strategy, and
+// runs one thread per instance. Iterations execute with feedback buffers
+// and superstep barriers (Sections 4.2, 5.3); workset iterations that pass
+// the Section 5.2 analysis may instead run as an asynchronous fused
+// microstep loop with quiescence-based termination detection.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "optimizer/physical_plan.h"
+#include "runtime/metrics.h"
+
+namespace sfdf {
+
+struct ExecutionOptions {
+  /// Degree of parallelism ("nodes"); 0 = DefaultParallelism().
+  int parallelism = 0;
+  /// Capture per-superstep statistics for every iteration.
+  bool record_superstep_stats = true;
+  /// Memory budget per constant-path record cache before it gradually
+  /// spills to disk (§4.3). INT64_MAX = never spill.
+  int64_t cache_spill_budget_bytes = INT64_MAX;
+  /// Write an IterationCheckpoint (solution set + workset) after this
+  /// superstep of every workset iteration; -1 = off (§4.2 recovery logs).
+  int checkpoint_superstep = -1;
+  std::string checkpoint_path;
+};
+
+/// Outcome of one iteration construct.
+struct IterationReport {
+  int iterations = 0;
+  /// True if the iteration reached its fixpoint / termination criterion
+  /// (as opposed to hitting max_iterations).
+  bool converged = false;
+  /// True if the iteration executed as asynchronous microsteps.
+  bool ran_microsteps = false;
+  std::vector<SuperstepStats> supersteps;
+
+  /// Sum of a SuperstepStats field over all supersteps.
+  int64_t TotalWorkset() const;
+  int64_t TotalApplied() const;
+};
+
+struct ExecutionResult {
+  double total_millis = 0;
+  int64_t records_shipped = 0;
+  int64_t records_remote = 0;
+  int64_t bytes_shipped = 0;
+  int64_t records_combined = 0;
+  /// Reports indexed like PhysicalPlan::bulk_iterations /
+  /// workset_iterations.
+  std::vector<IterationReport> bulk_reports;
+  std::vector<IterationReport> workset_reports;
+};
+
+class Executor {
+ public:
+  explicit Executor(ExecutionOptions options = {});
+
+  /// Runs the plan to completion; fills every Sink's output vector.
+  /// Blocking; returns aggregate statistics.
+  Result<ExecutionResult> Run(const PhysicalPlan& plan);
+
+ private:
+  ExecutionOptions options_;
+};
+
+}  // namespace sfdf

@@ -1,0 +1,97 @@
+#include "runtime/hash_table.h"
+
+namespace sfdf {
+
+namespace {
+constexpr size_t kInitialBuckets = 64;
+}  // namespace
+
+JoinHashTable::JoinHashTable(KeySpec build_key)
+    : build_key_(build_key),
+      heads_(kInitialBuckets, -1),
+      mask_(kInitialBuckets - 1) {}
+
+void JoinHashTable::Insert(const Record& rec) {
+  if (entries_.size() + 1 > heads_.size() * 2) {
+    Rehash(heads_.size() * 4);
+  }
+  uint64_t h = HashKey(rec, build_key_);
+  size_t bucket = h & mask_;
+  entries_.push_back(Entry{rec, h, heads_[bucket]});
+  heads_[bucket] = static_cast<int32_t>(entries_.size() - 1);
+}
+
+void JoinHashTable::Clear() {
+  entries_.clear();
+  heads_.assign(kInitialBuckets, -1);
+  mask_ = kInitialBuckets - 1;
+}
+
+void JoinHashTable::Rehash(size_t new_bucket_count) {
+  heads_.assign(new_bucket_count, -1);
+  mask_ = new_bucket_count - 1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t bucket = entries_[i].hash & mask_;
+    entries_[i].next = heads_[bucket];
+    heads_[bucket] = static_cast<int32_t>(i);
+  }
+}
+
+UniqueHashTable::UniqueHashTable(KeySpec key)
+    : key_(key), heads_(kInitialBuckets, -1), mask_(kInitialBuckets - 1) {}
+
+int32_t UniqueHashTable::FindSlot(const Record& probe,
+                                  const KeySpec& probe_key, uint64_t h) const {
+  int32_t slot = heads_[h & mask_];
+  while (slot >= 0) {
+    const Entry& e = entries_[slot];
+    if (e.hash == h && KeyEquals(e.record, key_, probe, probe_key)) {
+      return slot;
+    }
+    slot = e.next;
+  }
+  return -1;
+}
+
+const Record* UniqueHashTable::Lookup(const Record& probe,
+                                      const KeySpec& probe_key) const {
+  if (entries_.empty()) return nullptr;
+  uint64_t h = HashKey(probe, probe_key);
+  int32_t slot = FindSlot(probe, probe_key, h);
+  return slot >= 0 ? &entries_[slot].record : nullptr;
+}
+
+bool UniqueHashTable::Upsert(
+    const Record& rec,
+    const std::function<bool(const Record&, const Record&)>& resolve) {
+  uint64_t h = HashKey(rec, key_);
+  if (!entries_.empty()) {
+    int32_t slot = FindSlot(rec, key_, h);
+    if (slot >= 0) {
+      if (resolve(entries_[slot].record, rec)) {
+        entries_[slot].record = rec;
+        return true;
+      }
+      return false;
+    }
+  }
+  if (entries_.size() + 1 > heads_.size() * 2) {
+    Rehash(heads_.size() * 4);
+  }
+  size_t bucket = h & mask_;
+  entries_.push_back(Entry{rec, h, heads_[bucket]});
+  heads_[bucket] = static_cast<int32_t>(entries_.size() - 1);
+  return true;
+}
+
+void UniqueHashTable::Rehash(size_t new_bucket_count) {
+  heads_.assign(new_bucket_count, -1);
+  mask_ = new_bucket_count - 1;
+  for (size_t i = 0; i < entries_.size(); ++i) {
+    size_t bucket = entries_[i].hash & mask_;
+    entries_[i].next = heads_[bucket];
+    heads_[bucket] = static_cast<int32_t>(i);
+  }
+}
+
+}  // namespace sfdf

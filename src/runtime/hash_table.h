@@ -1,0 +1,151 @@
+// Hash tables over records.
+//
+// JoinHashTable: multimap used as the build side of hash joins and for the
+// constant-path cache. UniqueHashTable: insert-or-replace table used by the
+// hash-backed solution set index.
+//
+// Both key on the raw 64-bit images of the key fields (see record/key.h) so
+// the same hash drives partitioning and lookup.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "common/rng.h"
+#include "record/key.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+/// Composite key: the raw images of up to four key fields. Hashable and
+/// equality-comparable; used as the map key in hash drivers.
+struct CompositeKey {
+  std::array<uint64_t, KeySpec::kMaxKeyFields> values{};
+  uint8_t count = 0;
+
+  static CompositeKey From(const Record& rec, const KeySpec& key) {
+    CompositeKey k;
+    k.count = static_cast<uint8_t>(key.num_fields());
+    for (int i = 0; i < key.num_fields(); ++i) {
+      k.values[i] = rec.RawField(key.field(i));
+    }
+    return k;
+  }
+
+  bool operator==(const CompositeKey& other) const {
+    if (count != other.count) return false;
+    for (int i = 0; i < count; ++i) {
+      if (values[i] != other.values[i]) return false;
+    }
+    return true;
+  }
+
+  uint64_t Hash() const {
+    uint64_t h = 0x2545f4914f6cdd1dULL;
+    for (int i = 0; i < count; ++i) h = HashCombine(h, values[i]);
+    return h;
+  }
+};
+
+struct CompositeKeyHash {
+  size_t operator()(const CompositeKey& k) const {
+    return static_cast<size_t>(k.Hash());
+  }
+};
+
+/// Chained-bucket multimap: Record build side of hash joins.
+/// Open-coded (no std::unordered_multimap) to keep records contiguous per
+/// bucket chain and to allow cheap clearing between supersteps.
+class JoinHashTable {
+ public:
+  explicit JoinHashTable(KeySpec build_key);
+
+  void Insert(const Record& rec);
+
+  /// Calls `fn` for every build record whose key matches the key fields of
+  /// `probe` under `probe_key`.
+  template <typename Fn>
+  void Probe(const Record& probe, const KeySpec& probe_key, Fn&& fn) const {
+    if (entries_.empty()) return;
+    uint64_t h = HashKey(probe, probe_key);
+    int32_t slot = heads_[h & mask_];
+    while (slot >= 0) {
+      const Entry& e = entries_[slot];
+      if (e.hash == h && KeyEquals(entries_[slot].record, build_key_, probe,
+                                   probe_key)) {
+        fn(e.record);
+      }
+      slot = e.next;
+    }
+  }
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+  bool empty() const { return entries_.empty(); }
+  void Clear();
+
+  /// Visits every stored record.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.record);
+  }
+
+  const KeySpec& build_key() const { return build_key_; }
+
+ private:
+  struct Entry {
+    Record record;
+    uint64_t hash;
+    int32_t next;  // next entry in bucket chain, -1 = end
+  };
+
+  void Rehash(size_t new_bucket_count);
+
+  KeySpec build_key_;
+  std::vector<int32_t> heads_;  // bucket heads, -1 = empty
+  std::vector<Entry> entries_;
+  uint64_t mask_ = 0;
+};
+
+/// Insert-or-replace hash table with unique keys: the updateable hash table
+/// variant of the solution set index.
+class UniqueHashTable {
+ public:
+  explicit UniqueHashTable(KeySpec key);
+
+  /// Returns the stored record for the probe's key, or nullptr.
+  const Record* Lookup(const Record& probe, const KeySpec& probe_key) const;
+
+  /// Inserts `rec`, or calls `resolve(existing, rec)` when the key exists;
+  /// resolve returns true to replace the existing record. Returns true iff
+  /// the table changed.
+  bool Upsert(const Record& rec,
+              const std::function<bool(const Record& existing,
+                                       const Record& incoming)>& resolve);
+
+  int64_t size() const { return static_cast<int64_t>(entries_.size()); }
+
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (const Entry& e : entries_) fn(e.record);
+  }
+
+ private:
+  struct Entry {
+    Record record;
+    uint64_t hash;
+    int32_t next;
+  };
+
+  void Rehash(size_t new_bucket_count);
+  int32_t FindSlot(const Record& probe, const KeySpec& probe_key,
+                   uint64_t h) const;
+
+  KeySpec key_;
+  std::vector<int32_t> heads_;
+  std::vector<Entry> entries_;
+  uint64_t mask_ = 0;
+};
+
+}  // namespace sfdf

@@ -1,0 +1,57 @@
+// Execution metrics. Channel routers count every record that enters a
+// channel; records that cross partition boundaries count additionally as
+// "remote" — the stand-in for the paper's network messages (Figures 10/12
+// plot "messages sent").
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+namespace sfdf {
+
+class Metrics {
+ public:
+  void CountShipped(int64_t records, int64_t bytes, int64_t remote_records) {
+    records_shipped_.fetch_add(records, std::memory_order_relaxed);
+    bytes_shipped_.fetch_add(bytes, std::memory_order_relaxed);
+    records_remote_.fetch_add(remote_records, std::memory_order_relaxed);
+  }
+
+  void CountCombined(int64_t records_absorbed) {
+    records_combined_.fetch_add(records_absorbed, std::memory_order_relaxed);
+  }
+
+  int64_t records_shipped() const {
+    return records_shipped_.load(std::memory_order_relaxed);
+  }
+  int64_t records_remote() const {
+    return records_remote_.load(std::memory_order_relaxed);
+  }
+  int64_t bytes_shipped() const {
+    return bytes_shipped_.load(std::memory_order_relaxed);
+  }
+  int64_t records_combined() const {
+    return records_combined_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<int64_t> records_shipped_{0};
+  std::atomic<int64_t> records_remote_{0};
+  std::atomic<int64_t> bytes_shipped_{0};
+  std::atomic<int64_t> records_combined_{0};
+};
+
+/// Per-superstep measurements of one iteration (Figures 2, 8, 10, 11, 12).
+struct SuperstepStats {
+  int superstep = 0;
+  double millis = 0;
+  int64_t workset_size = 0;      ///< records entering the superstep
+  int64_t next_workset_size = 0; ///< records produced for the next superstep
+  int64_t delta_applied = 0;     ///< solution records inserted/replaced
+  int64_t delta_discarded = 0;   ///< delta records dropped by the comparator
+  int64_t solution_lookups = 0;  ///< S index probes ("vertices inspected")
+  int64_t records_shipped = 0;   ///< channel records during the superstep
+  int64_t term_records = 0;      ///< records reaching the T criterion sink
+};
+
+}  // namespace sfdf

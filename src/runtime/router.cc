@@ -1,0 +1,102 @@
+#include "runtime/router.h"
+
+namespace sfdf {
+
+OutputPort::OutputPort(std::vector<Channel*> targets, ShipStrategy ship,
+                       KeySpec ship_key, int my_partition, Metrics* metrics,
+                       bool in_loop, CombineFn combiner, KeySpec combine_key)
+    : targets_(std::move(targets)),
+      ship_(ship),
+      ship_key_(ship_key),
+      my_partition_(my_partition),
+      metrics_(metrics),
+      in_loop_(in_loop),
+      buffers_(targets_.size()),
+      combiner_(std::move(combiner)),
+      combine_key_(combine_key) {
+  if (combiner_) {
+    combine_buffers_.resize(targets_.size());
+  }
+}
+
+void OutputPort::SendTo(int partition, const Record& rec) {
+  RecordBatch& buffer = buffers_[partition];
+  buffer.Add(rec);
+  ++records_sent_;
+  if (buffer.size() >= RecordBatch::kDefaultBatchSize) {
+    FlushPartition(partition);
+  }
+}
+
+void OutputPort::Send(const Record& rec) {
+  switch (ship_) {
+    case ShipStrategy::kForward:
+      SendTo(my_partition_, rec);
+      break;
+    case ShipStrategy::kHashPartition: {
+      int target = PartitionOf(rec, ship_key_, static_cast<int>(targets_.size()));
+      if (combiner_) {
+        // Pre-aggregate per target partition; ship merged records at flush.
+        auto& map = combine_buffers_[target];
+        CompositeKey key = CompositeKey::From(rec, combine_key_);
+        auto it = map.find(key);
+        if (it == map.end()) {
+          map.emplace(key, rec);
+        } else {
+          it->second = combiner_(it->second, rec);
+          metrics_->CountCombined(1);
+        }
+      } else {
+        SendTo(target, rec);
+      }
+      break;
+    }
+    case ShipStrategy::kBroadcast:
+      for (size_t p = 0; p < targets_.size(); ++p) {
+        SendTo(static_cast<int>(p), rec);
+      }
+      break;
+  }
+}
+
+void OutputPort::FlushPartition(int partition) {
+  RecordBatch& buffer = buffers_[partition];
+  if (buffer.empty()) return;
+  int64_t records = static_cast<int64_t>(buffer.size());
+  int64_t remote = partition == my_partition_ ? 0 : records;
+  metrics_->CountShipped(records, static_cast<int64_t>(buffer.ByteSize()),
+                         remote);
+  Envelope envelope;
+  envelope.kind = MarkerKind::kData;
+  envelope.batch = std::move(buffer);
+  buffer = RecordBatch();
+  targets_[partition]->Push(std::move(envelope));
+}
+
+void OutputPort::FlushCombiner() {
+  if (!combiner_) return;
+  for (size_t p = 0; p < combine_buffers_.size(); ++p) {
+    for (const auto& [key, rec] : combine_buffers_[p]) {
+      SendTo(static_cast<int>(p), rec);
+    }
+    combine_buffers_[p].clear();
+  }
+}
+
+void OutputPort::Flush() {
+  FlushCombiner();
+  for (size_t p = 0; p < targets_.size(); ++p) {
+    FlushPartition(static_cast<int>(p));
+  }
+}
+
+void OutputPort::SendMarker(MarkerKind kind) {
+  Flush();
+  for (Channel* target : targets_) {
+    Envelope envelope;
+    envelope.kind = kind;
+    target->Push(std::move(envelope));
+  }
+}
+
+}  // namespace sfdf

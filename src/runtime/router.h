@@ -1,0 +1,82 @@
+// OutputPort: routes a task instance's emissions to the consumer's
+// partitioned channels according to the edge's ship strategy, with optional
+// chained pre-aggregation (combiner) before shipping — the Combiner
+// optimization the paper notes for PageRank (Section 6.1).
+#pragma once
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "dataflow/udf.h"
+#include "optimizer/strategies.h"
+#include "record/key.h"
+#include "runtime/channel.h"
+#include "runtime/hash_table.h"
+#include "runtime/metrics.h"
+
+namespace sfdf {
+
+class OutputPort {
+ public:
+  /// `targets[p]` is the channel into the consumer's partition p.
+  /// `my_partition` is the producing instance's partition (for kForward and
+  /// for remote-record accounting).
+  OutputPort(std::vector<Channel*> targets, ShipStrategy ship,
+             KeySpec ship_key, int my_partition, Metrics* metrics,
+             bool in_loop, CombineFn combiner = nullptr,
+             KeySpec combine_key = KeySpec());
+
+  /// Routes one record (buffered; flushed in batches).
+  void Send(const Record& rec);
+
+  /// Flushes buffers and sends the marker to every target partition.
+  void SendMarker(MarkerKind kind);
+
+  /// Flushes data buffers without a marker.
+  void Flush();
+
+  /// True if this edge stays within the iteration body (receives
+  /// end-of-superstep markers).
+  bool in_loop() const { return in_loop_; }
+
+  int64_t records_sent() const { return records_sent_; }
+
+ private:
+  void SendTo(int partition, const Record& rec);
+  void FlushPartition(int partition);
+  void FlushCombiner();
+
+  std::vector<Channel*> targets_;
+  ShipStrategy ship_;
+  KeySpec ship_key_;
+  int my_partition_;
+  Metrics* metrics_;
+  bool in_loop_;
+
+  std::vector<RecordBatch> buffers_;  // one per target partition
+
+  // Combiner state: per target partition, merged records by key.
+  CombineFn combiner_;
+  KeySpec combine_key_;
+  std::vector<std::unordered_map<CompositeKey, Record, CompositeKeyHash>>
+      combine_buffers_;
+
+  int64_t records_sent_ = 0;
+};
+
+/// Collector adapter fanning one emission out to several output ports.
+class PortsCollector : public Collector {
+ public:
+  explicit PortsCollector(std::vector<OutputPort*> ports)
+      : ports_(std::move(ports)) {}
+
+  void Emit(const Record& rec) override {
+    for (OutputPort* port : ports_) port->Send(rec);
+  }
+
+ private:
+  std::vector<OutputPort*> ports_;
+};
+
+}  // namespace sfdf

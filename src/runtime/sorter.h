@@ -1,0 +1,85 @@
+// Sort-based grouping helpers used by the Reduce / CoGroup / sort-merge
+// drivers.
+#pragma once
+
+#include <algorithm>
+#include <vector>
+
+#include "record/key.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+/// Sorts records in place by the raw images of their key fields.
+inline void SortByKey(std::vector<Record>* records, const KeySpec& key) {
+  std::sort(records->begin(), records->end(),
+            [&key](const Record& a, const Record& b) {
+              return CompareKeys(a, key, b, key) < 0;
+            });
+}
+
+/// Calls `fn(group)` for every run of equal-key records in the *sorted*
+/// input. `group` is a vector reused across calls.
+template <typename Fn>
+void ForEachGroup(const std::vector<Record>& sorted, const KeySpec& key,
+                  Fn&& fn) {
+  std::vector<Record> group;
+  size_t i = 0;
+  while (i < sorted.size()) {
+    group.clear();
+    size_t j = i;
+    while (j < sorted.size() &&
+           CompareKeys(sorted[i], key, sorted[j], key) == 0) {
+      group.push_back(sorted[j]);
+      ++j;
+    }
+    fn(group);
+    i = j;
+  }
+}
+
+/// Merge-joins two *sorted* inputs group-by-group. Calls
+/// `fn(left_group, right_group)`; either group may be empty when the key is
+/// one-sided (the caller decides whether to skip those — inner semantics).
+template <typename Fn>
+void MergeJoinGroups(const std::vector<Record>& left, const KeySpec& left_key,
+                     const std::vector<Record>& right,
+                     const KeySpec& right_key, Fn&& fn) {
+  std::vector<Record> lgroup;
+  std::vector<Record> rgroup;
+  size_t i = 0;
+  size_t j = 0;
+  while (i < left.size() || j < right.size()) {
+    lgroup.clear();
+    rgroup.clear();
+    int cmp;
+    if (i >= left.size()) {
+      cmp = 1;  // only right remains
+    } else if (j >= right.size()) {
+      cmp = -1;  // only left remains
+    } else {
+      cmp = CompareKeys(left[i], left_key, right[j], right_key);
+    }
+    if (cmp <= 0) {
+      size_t i2 = i;
+      while (i2 < left.size() &&
+             CompareKeys(left[i], left_key, left[i2], left_key) == 0) {
+        lgroup.push_back(left[i2]);
+        ++i2;
+      }
+      i = i2;
+    }
+    if (cmp >= 0) {
+      size_t j2 = j;
+      while (j2 < right.size() &&
+             CompareKeys(right[j], right_key, right[j2], right_key) == 0) {
+        rgroup.push_back(right[j2]);
+        ++j2;
+      }
+      j = j2;
+    }
+    fn(lgroup, rgroup);
+  }
+}
+
+}  // namespace sfdf

@@ -1,0 +1,128 @@
+#include "runtime/spill_buffer.h"
+
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+
+#include "record/serde.h"
+
+namespace sfdf {
+
+namespace {
+
+/// Spill segments buffer this many records before hitting disk.
+constexpr int64_t kSegmentRecords = 4096;
+
+std::string UniqueSpillPath(const std::string& directory) {
+  static std::atomic<uint64_t> counter{0};
+  std::string dir = directory;
+  if (dir.empty()) {
+    const char* tmp = std::getenv("TMPDIR");
+    dir = tmp != nullptr ? tmp : "/tmp";
+  }
+  return dir + "/sfdf_spill_" + std::to_string(::getpid()) + "_" +
+         std::to_string(counter.fetch_add(1)) + ".bin";
+}
+
+}  // namespace
+
+SpillBuffer::SpillBuffer(SpillBufferOptions options)
+    : options_(std::move(options)) {}
+
+SpillBuffer::~SpillBuffer() {
+  if (!spill_path_.empty()) {
+    std::remove(spill_path_.c_str());
+  }
+}
+
+Status SpillBuffer::Add(const Record& rec) {
+  SFDF_CHECK(!sealed_) << "Add after Seal";
+  ++total_records_;
+  if (!memory_full_) {
+    memory_.push_back(rec);
+    int64_t bytes = static_cast<int64_t>(memory_.size() * sizeof(Record));
+    if (bytes >= options_.memory_budget_bytes) {
+      memory_full_ = true;  // gradual spill: keep the prefix, spill the rest
+    }
+    return Status::OK();
+  }
+  pending_.push_back(rec);
+  if (static_cast<int64_t>(pending_.size()) >= kSegmentRecords) {
+    return SpillSegment();
+  }
+  return Status::OK();
+}
+
+Status SpillBuffer::SpillSegment() {
+  if (pending_.empty()) return Status::OK();
+  if (spill_path_.empty()) {
+    spill_path_ = UniqueSpillPath(options_.spill_directory);
+    // Truncate any stale file.
+    std::FILE* f = std::fopen(spill_path_.c_str(), "wb");
+    if (f == nullptr) {
+      return Status::IoError("cannot create spill file: " + spill_path_);
+    }
+    std::fclose(f);
+  }
+  std::vector<uint8_t> bytes;
+  RecordBatch batch(std::move(pending_));
+  SerializeBatch(batch, &bytes);
+  pending_.clear();
+
+  std::FILE* f = std::fopen(spill_path_.c_str(), "ab");
+  if (f == nullptr) {
+    return Status::IoError("cannot open spill file: " + spill_path_);
+  }
+  std::fseek(f, 0, SEEK_END);
+  int64_t offset = std::ftell(f);
+  size_t written = std::fwrite(bytes.data(), 1, bytes.size(), f);
+  std::fclose(f);
+  if (written != bytes.size()) {
+    return Status::IoError("short write to spill file");
+  }
+  segments_.emplace_back(offset, static_cast<int64_t>(bytes.size()));
+  spilled_records_ += static_cast<int64_t>(batch.size());
+  return Status::OK();
+}
+
+Status SpillBuffer::Seal() {
+  if (sealed_) return Status::OK();
+  SFDF_RETURN_NOT_OK(SpillSegment());
+  sealed_ = true;
+  return Status::OK();
+}
+
+Status SpillBuffer::Replay(
+    const std::function<void(const Record&)>& fn) const {
+  SFDF_CHECK(sealed_) << "Replay before Seal";
+  for (const Record& rec : memory_) fn(rec);
+  if (segments_.empty()) return Status::OK();
+
+  std::FILE* f = std::fopen(spill_path_.c_str(), "rb");
+  if (f == nullptr) {
+    return Status::IoError("cannot reopen spill file: " + spill_path_);
+  }
+  for (const auto& [offset, length] : segments_) {
+    std::vector<uint8_t> bytes(static_cast<size_t>(length));
+    std::fseek(f, static_cast<long>(offset), SEEK_SET);
+    size_t read = std::fread(bytes.data(), 1, bytes.size(), f);
+    if (read != bytes.size()) {
+      std::fclose(f);
+      return Status::IoError("short read from spill file");
+    }
+    size_t cursor = 0;
+    RecordBatch batch;
+    Status st = DeserializeBatch(bytes, &cursor, &batch);
+    if (!st.ok()) {
+      std::fclose(f);
+      return st;
+    }
+    for (const Record& rec : batch) fn(rec);
+  }
+  std::fclose(f);
+  return Status::OK();
+}
+
+}  // namespace sfdf

@@ -1,0 +1,69 @@
+// SpillBuffer: a record buffer with a memory budget that gradually spills
+// overflow segments to disk (Section 4.3: "The caches are in-memory and
+// gradually spilled in the presence of memory pressure").
+//
+// Used by the constant-path cache when the loop-invariant input exceeds its
+// budget: the hot prefix stays in memory, the tail goes to a temporary
+// spill file in serialized form, and every replay streams memory first,
+// then the spilled segments.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "record/record.h"
+
+namespace sfdf {
+
+struct SpillBufferOptions {
+  /// Records kept in memory before spilling begins. INT64_MAX = never spill.
+  int64_t memory_budget_bytes = INT64_MAX;
+  /// Directory for spill files; empty = the system temp directory.
+  std::string spill_directory;
+};
+
+class SpillBuffer {
+ public:
+  explicit SpillBuffer(SpillBufferOptions options = {});
+  ~SpillBuffer();
+
+  SpillBuffer(const SpillBuffer&) = delete;
+  SpillBuffer& operator=(const SpillBuffer&) = delete;
+
+  /// Appends a record; spills a segment when the in-memory part exceeds
+  /// the budget.
+  Status Add(const Record& rec);
+
+  /// Finishes the write phase (flushes a partial segment). Idempotent.
+  Status Seal();
+
+  /// Streams every record in insertion order: in-memory prefix first, then
+  /// the spilled segments. Callable repeatedly after Seal().
+  Status Replay(const std::function<void(const Record&)>& fn) const;
+
+  int64_t size() const { return total_records_; }
+  int64_t in_memory_records() const {
+    return static_cast<int64_t>(memory_.size());
+  }
+  int64_t spilled_records() const { return spilled_records_; }
+  bool spilled() const { return spilled_records_ > 0; }
+
+ private:
+  Status SpillSegment();
+
+  SpillBufferOptions options_;
+  std::vector<Record> memory_;
+  std::vector<Record> pending_;  ///< records awaiting the next spill segment
+  std::string spill_path_;
+  /// Byte offsets of each spilled segment within the spill file.
+  std::vector<std::pair<int64_t, int64_t>> segments_;  // (offset, length)
+  int64_t spilled_records_ = 0;
+  int64_t total_records_ = 0;
+  bool sealed_ = false;
+  bool memory_full_ = false;
+};
+
+}  // namespace sfdf

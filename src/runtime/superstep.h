@@ -1,0 +1,57 @@
+// Superstep coordination (Sections 4.2 / 5.3).
+//
+// All dynamic-path task instances of an iteration meet at a barrier after
+// emitting their end-of-superstep channel events. The completion step —
+// running while every participant is parked — evaluates the termination
+// criterion (empty workset, T-criterion silence, or the iteration cap),
+// swaps the double-buffered workset queues, and captures per-superstep
+// statistics. This is the shared-memory analogue of Nephele's
+// "according number of channel events" protocol.
+#pragma once
+
+#include <atomic>
+#include <barrier>
+#include <functional>
+
+namespace sfdf {
+
+class SuperstepCoordinator {
+ public:
+  /// `decide` runs once per superstep after all participants arrived;
+  /// returning true terminates the iteration. It receives the finished
+  /// superstep's index (0-based).
+  SuperstepCoordinator(int num_participants, std::function<bool(int)> decide)
+      : decide_(std::move(decide)),
+        barrier_(num_participants, Completion{this}) {}
+
+  /// Called by each participant at the end of its superstep.
+  void ArriveAndWait() { barrier_.arrive_and_wait(); }
+
+  bool terminated() const { return terminated_.load(std::memory_order_acquire); }
+  int superstep() const { return superstep_.load(std::memory_order_acquire); }
+
+  // --- shared per-superstep accumulators (reset by the decide function) ---
+  std::atomic<int64_t> term_records{0};     ///< records at the T sink
+  std::atomic<int64_t> workset_consumed{0}; ///< records emitted by heads
+  std::atomic<int64_t> workset_produced{0}; ///< records routed by tails
+
+ private:
+  struct Completion {
+    SuperstepCoordinator* coordinator;
+    void operator()() noexcept {
+      SuperstepCoordinator* c = coordinator;
+      int finished = c->superstep_.load(std::memory_order_relaxed);
+      if (c->decide_(finished)) {
+        c->terminated_.store(true, std::memory_order_release);
+      }
+      c->superstep_.store(finished + 1, std::memory_order_release);
+    }
+  };
+
+  std::function<bool(int)> decide_;
+  std::atomic<int> superstep_{0};
+  std::atomic<bool> terminated_{false};
+  std::barrier<Completion> barrier_;
+};
+
+}  // namespace sfdf

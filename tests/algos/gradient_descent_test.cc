@@ -1,0 +1,54 @@
+#include "algos/gradient_descent.h"
+
+#include <gtest/gtest.h>
+
+namespace sfdf {
+namespace {
+
+TEST(GradientDescentTest, FitsNoiselessLine) {
+  std::vector<Sample1D> samples = MakeLinearSamples(500, 2.5, -1.0, 0.0, 7);
+  GradientDescentOptions options;
+  options.max_iterations = 500;
+  options.parallelism = 2;
+  auto result = RunGradientDescent(samples, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_NEAR(result->w, 2.5, 1e-3);
+  EXPECT_NEAR(result->b, -1.0, 1e-3);
+}
+
+TEST(GradientDescentTest, MatchesSequentialReference) {
+  std::vector<Sample1D> samples = MakeLinearSamples(200, 1.0, 0.5, 0.5, 13);
+  GradientDescentOptions options;
+  options.max_iterations = 25;
+  options.epsilon = 0;  // fixed iteration count, like the reference
+  options.parallelism = 2;
+  auto result = RunGradientDescent(samples, options);
+  ASSERT_TRUE(result.ok());
+  double w;
+  double b;
+  ReferenceGradientDescent(samples, options.learning_rate, 25, &w, &b);
+  EXPECT_NEAR(result->w, w, 1e-9);
+  EXPECT_NEAR(result->b, b, 1e-9);
+}
+
+TEST(GradientDescentTest, ConvergesUnderNoise) {
+  std::vector<Sample1D> samples = MakeLinearSamples(1000, -0.7, 3.0, 1.0, 99);
+  GradientDescentOptions options;
+  options.max_iterations = 1000;
+  options.epsilon = 1e-10;
+  options.parallelism = 2;
+  auto result = RunGradientDescent(samples, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->converged);
+  EXPECT_NEAR(result->w, -0.7, 0.05);
+  EXPECT_NEAR(result->b, 3.0, 0.05);
+}
+
+TEST(GradientDescentTest, RejectsEmptyInput) {
+  auto result = RunGradientDescent({}, GradientDescentOptions{});
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sfdf

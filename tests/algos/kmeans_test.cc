@@ -1,0 +1,79 @@
+#include "algos/kmeans.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace sfdf {
+namespace {
+
+TEST(KMeansTest, RecoversPlantedClusters) {
+  const int k = 4;
+  std::vector<Point2D> points = MakeClusteredPoints(k, 200, 11);
+  KMeansOptions options;
+  options.k = k;
+  options.parallelism = 2;
+  auto result = RunKMeans(points, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->converged);
+  // Every centroid sits near a planted blob center (grid of 10s).
+  for (const Point2D& c : result->centroids) {
+    double gx = std::round(c.x / 10.0) * 10.0;
+    double gy = std::round(c.y / 10.0) * 10.0;
+    EXPECT_NEAR(c.x, gx, 1.0);
+    EXPECT_NEAR(c.y, gy, 1.0);
+  }
+}
+
+TEST(KMeansTest, MatchesSequentialReference) {
+  std::vector<Point2D> points = MakeClusteredPoints(3, 100, 5);
+  KMeansOptions options;
+  options.k = 3;
+  options.max_iterations = 10;
+  options.epsilon = 0;  // run exactly max_iterations like the reference
+  options.parallelism = 2;
+  auto result = RunKMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  std::vector<Point2D> reference = ReferenceKMeans(points, 3, 10);
+  // Same update rule, same seeding; only floating-point summation order
+  // differs across partitions.
+  for (int c = 0; c < 3; ++c) {
+    EXPECT_NEAR(result->centroids[c].x, reference[c].x, 1e-9);
+    EXPECT_NEAR(result->centroids[c].y, reference[c].y, 1e-9);
+  }
+}
+
+TEST(KMeansTest, ObjectiveDecreasesVersusInitialCentroids) {
+  std::vector<Point2D> points = MakeClusteredPoints(5, 150, 23);
+  std::vector<Point2D> initial(points.begin(), points.begin() + 5);
+  KMeansOptions options;
+  options.k = 5;
+  options.parallelism = 2;
+  auto result = RunKMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LE(KMeansObjective(points, result->centroids),
+            KMeansObjective(points, initial) + 1e-12);
+}
+
+TEST(KMeansTest, TerminationCriterionStopsBeforeCap) {
+  std::vector<Point2D> points = MakeClusteredPoints(2, 50, 3);
+  KMeansOptions options;
+  options.k = 2;
+  options.max_iterations = 100;
+  options.parallelism = 2;
+  auto result = RunKMeans(points, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_LT(result->iterations, 100);
+  EXPECT_TRUE(result->converged);
+}
+
+TEST(KMeansTest, RejectsTooFewPoints) {
+  KMeansOptions options;
+  options.k = 10;
+  auto result = RunKMeans({{0, 0}, {1, 1}}, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace sfdf

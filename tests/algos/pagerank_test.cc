@@ -1,0 +1,130 @@
+#include "algos/pagerank.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "graph/generators.h"
+
+namespace sfdf {
+namespace {
+
+Graph TestGraph() {
+  RmatOptions opt;
+  opt.num_vertices = 512;
+  opt.num_edges = 2048;
+  opt.seed = 99;
+  return GenerateRmat(opt);
+}
+
+void ExpectMatchesReference(const Graph& graph, const PageRankResult& result,
+                            int iterations) {
+  std::vector<double> reference = ReferencePageRank(graph, iterations, 0.85);
+  // The dataflow result holds entries only for vertices with in-edges.
+  ASSERT_FALSE(result.ranks.empty());
+  for (const auto& [pid, rank] : result.ranks) {
+    EXPECT_NEAR(rank, reference[pid], 1e-9) << "vertex " << pid;
+  }
+}
+
+TEST(PageRankTest, MatchesReferenceAutoPlan) {
+  Graph graph = TestGraph();
+  PageRankOptions options;
+  options.iterations = 10;
+  options.parallelism = 2;
+  auto result = RunPageRank(graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  ExpectMatchesReference(graph, *result, 10);
+}
+
+TEST(PageRankTest, BroadcastAndPartitionPlansAgree) {
+  Graph graph = TestGraph();
+  PageRankOptions options;
+  options.iterations = 5;
+  options.parallelism = 2;
+
+  options.plan = PageRankPlan::kBroadcast;
+  auto broadcast = RunPageRank(graph, options);
+  ASSERT_TRUE(broadcast.ok()) << broadcast.status().ToString();
+  EXPECT_TRUE(broadcast->chose_broadcast);
+
+  options.plan = PageRankPlan::kPartition;
+  auto partition = RunPageRank(graph, options);
+  ASSERT_TRUE(partition.ok()) << partition.status().ToString();
+  EXPECT_FALSE(partition->chose_broadcast);
+
+  ASSERT_EQ(broadcast->ranks.size(), partition->ranks.size());
+  for (size_t i = 0; i < broadcast->ranks.size(); ++i) {
+    EXPECT_EQ(broadcast->ranks[i].first, partition->ranks[i].first);
+    EXPECT_NEAR(broadcast->ranks[i].second, partition->ranks[i].second, 1e-9);
+  }
+  ExpectMatchesReference(graph, *broadcast, 5);
+}
+
+TEST(PageRankTest, RanksSumToRoughlyOne) {
+  Graph graph = TestGraph();
+  PageRankOptions options;
+  options.iterations = 20;
+  options.parallelism = 2;
+  auto result = RunPageRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  double sum = 0;
+  for (const auto& [pid, rank] : result->ranks) sum += rank;
+  // Dangling mass leaks (standard for this formulation), so the sum lies in
+  // (0, 1]; with a connected-ish RMAT graph it stays close to 1.
+  EXPECT_GT(sum, 0.5);
+  EXPECT_LE(sum, 1.0 + 1e-6);
+}
+
+TEST(PageRankTest, TerminationCriterionStopsEarly) {
+  // A small clique converges fast: with epsilon loose, T stops the
+  // iteration well before the cap.
+  GraphBuilder builder(8);
+  for (int u = 0; u < 8; ++u) {
+    for (int v = u + 1; v < 8; ++v) builder.AddEdge(u, v);
+  }
+  Graph graph = builder.Build(true);
+  PageRankOptions options;
+  options.iterations = 50;
+  options.use_termination_criterion = true;
+  options.epsilon = 1e-4;
+  options.parallelism = 2;
+  auto result = RunPageRank(graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_LT(result->exec.bulk_reports[0].iterations, 50);
+  EXPECT_TRUE(result->exec.bulk_reports[0].converged);
+}
+
+TEST(PageRankTest, PerIterationStatsRecorded) {
+  Graph graph = TestGraph();
+  PageRankOptions options;
+  options.iterations = 8;
+  options.parallelism = 2;
+  auto result = RunPageRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  const auto& report = result->exec.bulk_reports[0];
+  ASSERT_EQ(report.supersteps.size(), 8u);
+  for (const SuperstepStats& s : report.supersteps) {
+    EXPECT_GT(s.workset_size, 0);
+  }
+}
+
+TEST(PageRankTest, UniformRanksOnCycle) {
+  // A ring: every vertex has equal rank by symmetry.
+  const int n = 16;
+  GraphBuilder builder(n);
+  for (int v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n);
+  Graph graph = builder.Build(true);
+  PageRankOptions options;
+  options.iterations = 10;
+  options.parallelism = 2;
+  auto result = RunPageRank(graph, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->ranks.size(), static_cast<size_t>(n));
+  for (const auto& [pid, rank] : result->ranks) {
+    EXPECT_NEAR(rank, 1.0 / n, 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,93 @@
+#include "baselines/giraph/giraph.h"
+
+#include <gtest/gtest.h>
+
+#include "algos/pagerank.h"
+#include "graph/generators.h"
+#include "graph/union_find.h"
+
+namespace sfdf {
+namespace {
+
+Graph TestGraph() {
+  RmatOptions opt;
+  opt.num_vertices = 512;
+  opt.num_edges = 2048;
+  opt.seed = 3;
+  return GenerateRmat(opt);
+}
+
+TEST(GiraphBaselineTest, CcMatchesUnionFind) {
+  Graph graph = TestGraph();
+  giraph::GiraphOptions options;
+  options.parallelism = 2;
+  auto result = giraph::ConnectedComponents(graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->converged);
+  EXPECT_EQ(result->labels, ReferenceComponents(graph));
+}
+
+TEST(GiraphBaselineTest, CcExploitsSparsity) {
+  // The vertex-centric model recomputes only vertices with messages: the
+  // active-vertex count must fall sharply after the first supersteps
+  // (the property that lets Giraph beat the bulk dataflows in Figure 9).
+  Graph graph = TestGraph();
+  giraph::GiraphOptions options;
+  options.parallelism = 2;
+  auto result = giraph::ConnectedComponents(graph, options);
+  ASSERT_TRUE(result.ok());
+  const auto& steps = result->stats.supersteps;
+  ASSERT_GE(steps.size(), 3u);
+  EXPECT_LT(steps[steps.size() - 2].active_vertices,
+            steps[0].active_vertices / 4);
+}
+
+TEST(GiraphBaselineTest, PageRankMatchesReference) {
+  Graph graph = TestGraph();
+  giraph::GiraphOptions options;
+  options.parallelism = 2;
+  auto result = giraph::PageRank(graph, 10, 0.85, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<double> reference = ReferencePageRank(graph, 10, 0.85);
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.OutDegree(v) == 0) continue;
+    EXPECT_NEAR(result->ranks[v], reference[v], 1e-9) << "vertex " << v;
+  }
+}
+
+TEST(GiraphBaselineTest, CombinerReducesMessages) {
+  // The min-combiner collapses per-target duplicates: messages per
+  // superstep never exceed the directed edge count.
+  Graph graph = TestGraph();
+  giraph::GiraphOptions options;
+  options.parallelism = 2;
+  auto result = giraph::ConnectedComponents(graph, options);
+  ASSERT_TRUE(result.ok());
+  for (const auto& s : result->stats.supersteps) {
+    EXPECT_LE(s.messages, graph.num_directed_edges());
+  }
+}
+
+TEST(GiraphBaselineTest, OomWhenBudgetTooSmall) {
+  Graph graph = TestGraph();
+  giraph::GiraphOptions options;
+  options.parallelism = 2;
+  options.message_budget_bytes = 256;
+  auto result = giraph::ConnectedComponents(graph, options);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kOutOfMemory);
+}
+
+TEST(GiraphBaselineTest, SuperstepCapRespected) {
+  Graph graph = TestGraph();
+  giraph::GiraphOptions options;
+  options.parallelism = 2;
+  options.max_supersteps = 3;
+  auto result = giraph::ConnectedComponents(graph, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->supersteps, 3);
+  EXPECT_FALSE(result->converged);
+}
+
+}  // namespace
+}  // namespace sfdf

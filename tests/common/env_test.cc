@@ -1,0 +1,22 @@
+#include "common/env.h"
+
+#include <gtest/gtest.h>
+
+namespace sfdf {
+namespace {
+
+TEST(EnvTest, ScaledAppliesFactorAndFloor) {
+  SetScaleFactorForTesting(0.5);
+  EXPECT_EQ(Scaled(1000), 500);
+  EXPECT_EQ(Scaled(1, 1), 1);          // floor
+  EXPECT_EQ(Scaled(10, 8), 8);         // floor dominates
+  SetScaleFactorForTesting(1.0);
+  EXPECT_EQ(Scaled(1000), 1000);
+}
+
+TEST(EnvTest, DefaultParallelismPositive) {
+  EXPECT_GE(DefaultParallelism(), 1);
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,71 @@
+#include "common/rng.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sfdf {
+namespace {
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(7);
+  Rng b(8);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, NextBoundedInRange) {
+  Rng rng(42);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+}
+
+TEST(RngTest, BernoulliRoughlyCalibrated) {
+  Rng rng(42);
+  int hits = 0;
+  for (int i = 0; i < 10000; ++i) {
+    if (rng.NextBool(0.3)) ++hits;
+  }
+  EXPECT_GT(hits, 2600);
+  EXPECT_LT(hits, 3400);
+}
+
+TEST(HashMixTest, MixesDistinctValues) {
+  std::set<uint64_t> hashes;
+  for (uint64_t i = 0; i < 1000; ++i) {
+    hashes.insert(HashMix64(i));
+  }
+  EXPECT_EQ(hashes.size(), 1000u);
+}
+
+TEST(SplitMixTest, StreamsAreDeterministic) {
+  uint64_t s1 = 1;
+  uint64_t s2 = 1;
+  EXPECT_EQ(SplitMix64(s1), SplitMix64(s2));
+  EXPECT_EQ(s1, s2);
+}
+
+}  // namespace
+}  // namespace sfdf

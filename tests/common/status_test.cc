@@ -1,0 +1,61 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+#include "common/result.h"
+
+namespace sfdf {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kOk);
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status st = Status::InvalidArgument("bad key");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(st.message(), "bad key");
+  EXPECT_EQ(st.ToString(), "InvalidArgument: bad key");
+}
+
+TEST(StatusTest, AllCodesHaveNames) {
+  for (int code = 0; code <= 8; ++code) {
+    EXPECT_NE(StatusCodeName(static_cast<StatusCode>(code)), "Unknown");
+  }
+}
+
+TEST(StatusTest, ReturnNotOkMacroPropagates) {
+  auto fails = [] { return Status::NotFound("missing"); };
+  auto wrapper = [&]() -> Status {
+    SFDF_RETURN_NOT_OK(fails());
+    return Status::OK();
+  };
+  EXPECT_EQ(wrapper().code(), StatusCode::kNotFound);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> result(41);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 41);
+  EXPECT_EQ(result.ValueOr(0), 41);
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> result(Status::Internal("boom"));
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+  EXPECT_EQ(result.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, MoveOutValue) {
+  Result<std::string> result(std::string("payload"));
+  std::string value = std::move(result).value();
+  EXPECT_EQ(value, "payload");
+}
+
+}  // namespace
+}  // namespace sfdf

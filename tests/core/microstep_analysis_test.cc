@@ -1,0 +1,164 @@
+#include "core/microstep_analysis.h"
+
+#include <gtest/gtest.h>
+
+#include "dataflow/plan_builder.h"
+#include "record/comparator.h"
+
+namespace sfdf {
+namespace {
+
+MatchUdf PassLeft() {
+  return [](const Record& l, const Record&, Collector* c) { c->Emit(l); };
+}
+
+CoGroupUdf PassFirstLeft() {
+  return [](const std::vector<Record>& l, const std::vector<Record>&,
+            Collector* c) {
+    if (!l.empty()) c->Emit(l.front());
+  };
+}
+
+/// Builds the canonical CC-style body; `use_cogroup` picks the update
+/// operator kind; `declare_preserved` controls the locality contract.
+Plan BuildWorksetPlan(bool use_cogroup, bool declare_preserved,
+                      std::vector<Record>* out) {
+  PlanBuilder pb;
+  auto s0 = pb.Source("S0", {Record::OfInts(0, 0)});
+  auto w0 = pb.Source("W0", {Record::OfInts(0, 0)});
+  auto edges = pb.Source("N", {Record::OfInts(0, 0)});
+  auto it = pb.BeginWorksetIteration("it", s0, w0, {0},
+                                     OrderByIntFieldDesc(1));
+  DataSet delta;
+  if (use_cogroup) {
+    delta = pb.InnerCoGroup("update", it.Workset(), it.SolutionSet(), {0},
+                            {0}, PassFirstLeft());
+  } else {
+    delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                     PassLeft());
+  }
+  if (declare_preserved) pb.DeclarePreserved(delta, 1, 0, 0);
+  auto next = pb.Match("fanout", delta, edges, {0}, {0},
+                       [](const Record&, const Record& e, Collector* c) {
+                         c->Emit(Record::OfInts(e.GetInt(1), 0));
+                       });
+  pb.DeclarePreserved(next, 1, 1, 0);
+  auto result = it.Close(delta, next);
+  pb.Sink("out", result, out);
+  return std::move(pb).Finish();
+}
+
+TEST(MicrostepAnalysisTest, MatchBodyIsMicrostepCapable) {
+  std::vector<Record> out;
+  Plan plan = BuildWorksetPlan(false, true, &out);
+  auto analysis = AnalyzeWorksetBody(plan, plan.workset_iterations()[0]);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_TRUE(analysis->microstep_capable) << analysis->microstep_blocker;
+  EXPECT_TRUE(analysis->local_updates);
+  EXPECT_TRUE(analysis->delta_is_join_output);
+  EXPECT_EQ(analysis->solution_side, 1);
+  EXPECT_EQ(analysis->workset_route_key, KeySpec{0});
+}
+
+TEST(MicrostepAnalysisTest, CoGroupBodyBlocksMicrosteps) {
+  // Group-at-a-time operators need supersteps to scope the groups (§5.2).
+  std::vector<Record> out;
+  Plan plan = BuildWorksetPlan(true, true, &out);
+  auto analysis = AnalyzeWorksetBody(plan, plan.workset_iterations()[0]);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_FALSE(analysis->microstep_capable);
+  EXPECT_NE(analysis->microstep_blocker.find("group-at-a-time"),
+            std::string::npos);
+  // Local updates still hold: immediate delta application stays legal.
+  EXPECT_TRUE(analysis->local_updates);
+}
+
+TEST(MicrostepAnalysisTest, MissingPreservationBlocksLocalUpdates) {
+  // Without the key-preservation contract the analysis cannot prove the
+  // S→D path keeps k(s) constant, so updates might cross partitions.
+  std::vector<Record> out;
+  Plan plan = BuildWorksetPlan(false, false, &out);
+  auto analysis = AnalyzeWorksetBody(plan, plan.workset_iterations()[0]);
+  ASSERT_TRUE(analysis.ok());
+  EXPECT_FALSE(analysis->local_updates);
+  EXPECT_FALSE(analysis->microstep_capable);
+}
+
+TEST(MicrostepAnalysisTest, SolutionMustJoinOnSolutionKey) {
+  PlanBuilder pb;
+  auto s0 = pb.Source("S0", {Record::OfInts(0, 0)});
+  auto w0 = pb.Source("W0", {Record::OfInts(0, 0)});
+  auto it = pb.BeginWorksetIteration("it", s0, w0, {0});
+  // Joining S on field 1 instead of the solution key {0}: invalid.
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {1},
+                        PassLeft());
+  auto next = pb.Map("carry", delta,
+                     [](const Record& rec, Collector* c) { c->Emit(rec); });
+  std::vector<Record> out;
+  auto result = it.Close(delta, next);
+  pb.Sink("out", result, &out);
+  Plan plan = std::move(pb).Finish();
+  auto analysis = AnalyzeWorksetBody(plan, plan.workset_iterations()[0]);
+  EXPECT_FALSE(analysis.ok());
+  EXPECT_EQ(analysis.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(MicrostepAnalysisTest, BranchedDynamicPathBlocksMicrosteps) {
+  PlanBuilder pb;
+  auto s0 = pb.Source("S0", {Record::OfInts(0, 0)});
+  auto w0 = pb.Source("W0", {Record::OfInts(0, 0)});
+  auto it = pb.BeginWorksetIteration("it", s0, w0, {0});
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                        PassLeft());
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  // The dynamic path branches after the delta: a record-at-a-time Map with
+  // two body consumers — legal with supersteps, illegal for microsteps.
+  auto fan = pb.Map("fan", delta,
+                    [](const Record& rec, Collector* c) { c->Emit(rec); });
+  pb.DeclarePreserved(fan, 0, 0, 0);
+  auto b1 = pb.Map("b1", fan,
+                   [](const Record& rec, Collector* c) { c->Emit(rec); });
+  pb.DeclarePreserved(b1, 0, 0, 0);
+  auto b2 = pb.Map("b2", fan,
+                   [](const Record& rec, Collector* c) { c->Emit(rec); });
+  pb.DeclarePreserved(b2, 0, 0, 0);
+  auto next = pb.Union("merge", b1, b2);
+  std::vector<Record> out;
+  auto result = it.Close(delta, next);
+  pb.Sink("out", result, &out);
+  Plan plan = std::move(pb).Finish();
+  auto analysis = AnalyzeWorksetBody(plan, plan.workset_iterations()[0]);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  EXPECT_FALSE(analysis->microstep_capable);
+  // Local updates remain legal: D is still the join's direct output.
+  EXPECT_TRUE(analysis->local_updates);
+}
+
+TEST(MicrostepAnalysisTest, RouteKeyDerivedThroughMap) {
+  // A Map between W and the join: the routing key must remap through the
+  // Map's preservation contract.
+  PlanBuilder pb;
+  auto s0 = pb.Source("S0", {Record::OfInts(0, 0)});
+  auto w0 = pb.Source("W0", {Record::OfInts(0, 0)});
+  auto it = pb.BeginWorksetIteration("it", s0, w0, {0});
+  // The Map swaps fields: output field 1 holds the original field 0.
+  auto swapped = pb.Map("swap", it.Workset(),
+                        [](const Record& rec, Collector* c) {
+                          c->Emit(Record::OfInts(rec.GetInt(1), rec.GetInt(0)));
+                        });
+  pb.DeclarePreserved(swapped, 0, 0, 1);
+  pb.DeclarePreserved(swapped, 0, 1, 0);
+  auto delta = pb.Match("update", swapped, it.SolutionSet(), {1}, {0},
+                        PassLeft());
+  std::vector<Record> out;
+  auto result = it.Close(delta, delta);
+  pb.Sink("out", result, &out);
+  Plan plan = std::move(pb).Finish();
+  auto analysis = AnalyzeWorksetBody(plan, plan.workset_iterations()[0]);
+  ASSERT_TRUE(analysis.ok()) << analysis.status().ToString();
+  // Probe key {1} of the join maps back to W field {0}.
+  EXPECT_EQ(analysis->workset_route_key, KeySpec{0});
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,91 @@
+#include "core/solution_set.h"
+
+#include <gtest/gtest.h>
+
+namespace sfdf {
+namespace {
+
+/// Both index flavors must behave identically (§5.3: hash table or B+-tree
+/// depending on the merged operator's strategy).
+class SolutionIndexTest : public testing::TestWithParam<bool> {
+ protected:
+  std::unique_ptr<SolutionSetIndex> Make(RecordOrder comparator = nullptr) {
+    return GetParam() ? MakeBTreeSolutionIndex(KeySpec{0}, comparator)
+                      : MakeHashSolutionIndex(KeySpec{0}, comparator);
+  }
+};
+
+TEST_P(SolutionIndexTest, BuildAndLookup) {
+  auto index = Make();
+  index->Build({Record::OfInts(1, 10), Record::OfInts(2, 20)});
+  EXPECT_EQ(index->size(), 2);
+  const Record* rec = index->Lookup(Record::OfInts(1), KeySpec{0});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->GetInt(1), 10);
+  EXPECT_EQ(index->Lookup(Record::OfInts(9), KeySpec{0}), nullptr);
+  EXPECT_EQ(index->stats().lookups, 2);
+}
+
+TEST_P(SolutionIndexTest, DeltaUnionReplacesByKey) {
+  // ∪̇ without comparator: the delta record always replaces (last write
+  // wins), per the definition S ∪̇ D = D ∪ {s ∈ S : ¬∃d...}.
+  auto index = Make();
+  index->Build({Record::OfInts(1, 10)});
+  EXPECT_TRUE(index->Apply(Record::OfInts(1, 99)));
+  EXPECT_EQ(index->size(), 1);
+  EXPECT_EQ(index->Lookup(Record::OfInts(1), KeySpec{0})->GetInt(1), 99);
+}
+
+TEST_P(SolutionIndexTest, ComparatorKeepsCpoSuccessor) {
+  // With the CC comparator (lower cid = larger in the CPO), an update with
+  // a higher cid is discarded — "the larger one will be reflected in S,
+  // and the smaller one is discarded" (§5.1).
+  auto index = Make(OrderByIntFieldDesc(1));
+  index->Build({Record::OfInts(1, 50)});
+  index->ResetStats();
+  EXPECT_FALSE(index->Apply(Record::OfInts(1, 70)));  // worse: discarded
+  EXPECT_EQ(index->Lookup(Record::OfInts(1), KeySpec{0})->GetInt(1), 50);
+  EXPECT_TRUE(index->Apply(Record::OfInts(1, 30)));  // better: applied
+  EXPECT_EQ(index->Lookup(Record::OfInts(1), KeySpec{0})->GetInt(1), 30);
+  EXPECT_EQ(index->stats().applied, 1);
+  EXPECT_EQ(index->stats().discarded, 1);
+}
+
+TEST_P(SolutionIndexTest, InsertOfNewKeysAlwaysApplies) {
+  auto index = Make(OrderByIntFieldDesc(1));
+  EXPECT_TRUE(index->Apply(Record::OfInts(5, 100)));
+  EXPECT_EQ(index->size(), 1);
+}
+
+TEST_P(SolutionIndexTest, ForEachVisitsEveryRecord) {
+  auto index = Make();
+  for (int i = 0; i < 500; ++i) {
+    index->Apply(Record::OfInts(i, i * 2));
+  }
+  int64_t count = 0;
+  int64_t sum = 0;
+  index->ForEach([&](const Record& rec) {
+    ++count;
+    sum += rec.GetInt(1);
+  });
+  EXPECT_EQ(count, 500);
+  EXPECT_EQ(sum, 2 * (499 * 500 / 2));
+}
+
+TEST_P(SolutionIndexTest, StatsCountLookups) {
+  auto index = Make();
+  index->Build({Record::OfInts(1, 1)});
+  index->ResetStats();
+  for (int i = 0; i < 7; ++i) {
+    index->Lookup(Record::OfInts(1), KeySpec{0});
+  }
+  EXPECT_EQ(index->stats().lookups, 7);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, SolutionIndexTest, testing::Bool(),
+                         [](const testing::TestParamInfo<bool>& info) {
+                           return info.param ? "btree" : "hash";
+                         });
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,63 @@
+#include "core/termination.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sfdf {
+namespace {
+
+TEST(QuiescenceTest, StartupCreditsBlockQuiescence) {
+  QuiescenceDetector detector(2);
+  EXPECT_FALSE(detector.Quiescent());
+  detector.FinishStartup();
+  EXPECT_FALSE(detector.Quiescent());
+  detector.FinishStartup();
+  EXPECT_TRUE(detector.Quiescent());
+}
+
+TEST(QuiescenceTest, PendingRecordsBlockQuiescence) {
+  QuiescenceDetector detector(1);
+  detector.RecordEnqueued();
+  detector.FinishStartup();
+  EXPECT_FALSE(detector.Quiescent());
+  detector.RecordProcessed();
+  EXPECT_TRUE(detector.Quiescent());
+}
+
+TEST(QuiescenceTest, ConcurrentCounting) {
+  QuiescenceDetector detector(4);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&detector] {
+      for (int i = 0; i < 10000; ++i) {
+        detector.RecordEnqueued();
+      }
+      for (int i = 0; i < 10000; ++i) {
+        detector.RecordProcessed();
+      }
+      detector.FinishStartup();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_TRUE(detector.Quiescent());
+  EXPECT_EQ(detector.pending(), 0);
+}
+
+TEST(QuiescenceTest, CascadingWorkStaysVisible) {
+  // A record being processed spawns a child before being marked done —
+  // the counter must never dip to zero in between.
+  QuiescenceDetector detector(1);
+  detector.RecordEnqueued();  // initial record
+  detector.FinishStartup();
+  // Process: spawn child first, then mark parent done.
+  detector.RecordEnqueued();
+  detector.RecordProcessed();
+  EXPECT_FALSE(detector.Quiescent());
+  detector.RecordProcessed();
+  EXPECT_TRUE(detector.Quiescent());
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,149 @@
+#include "dataflow/plan_builder.h"
+
+#include <gtest/gtest.h>
+
+namespace sfdf {
+namespace {
+
+MapUdf Identity() {
+  return [](const Record& rec, Collector* c) { c->Emit(rec); };
+}
+
+TEST(PlanBuilderTest, BuildsTopologicallyOrderedDag) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto src = pb.Source("src", {Record::OfInts(1)});
+  auto mapped = pb.Map("map", src, Identity());
+  pb.Sink("sink", mapped, &out);
+  Plan plan = std::move(pb).Finish();
+  ASSERT_EQ(plan.nodes().size(), 3u);
+  EXPECT_EQ(plan.nodes()[0].kind, OperatorKind::kSource);
+  EXPECT_EQ(plan.nodes()[1].kind, OperatorKind::kMap);
+  EXPECT_EQ(plan.nodes()[2].kind, OperatorKind::kSink);
+  EXPECT_EQ(plan.nodes()[1].inputs[0], plan.nodes()[0].id);
+}
+
+TEST(PlanBuilderTest, ConsumerIndexInvertsInputs) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto src = pb.Source("src", {Record::OfInts(1)});
+  auto a = pb.Map("a", src, Identity());
+  auto b = pb.Map("b", src, Identity());
+  auto u = pb.Union("u", a, b);
+  pb.Sink("sink", u, &out);
+  Plan plan = std::move(pb).Finish();
+  auto consumers = plan.BuildConsumerIndex();
+  EXPECT_EQ(consumers[src.id()].size(), 2u);
+  EXPECT_EQ(consumers[u.id()].size(), 1u);
+}
+
+TEST(PlanBuilderTest, ValidateRejectsMissingSink) {
+  PlanBuilder pb;
+  auto src = pb.Source("src", {Record::OfInts(1)});
+  pb.Map("map", src, Identity());
+  EXPECT_EQ(pb.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanBuilderTest, ValidateRejectsOpenIteration) {
+  PlanBuilder pb;
+  auto src = pb.Source("src", {Record::OfInts(1)});
+  pb.BeginBulkIteration("it", src, 3);
+  EXPECT_EQ(pb.Validate().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(PlanBuilderTest, EstimatesRowsThroughOperators) {
+  std::vector<Record> data(100, Record::OfInts(1));
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto src = pb.Source("src", data);
+  auto filtered = pb.Filter("f", src, [](const Record&) { return true; });
+  pb.Sink("sink", filtered, &out);
+  Plan plan = std::move(pb).Finish();
+  EXPECT_DOUBLE_EQ(plan.nodes()[0].estimated_rows, 100.0);
+  EXPECT_LT(plan.nodes()[1].estimated_rows, 100.0);  // filter selectivity
+}
+
+TEST(PlanBuilderTest, IterationNodesCarryMembership) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto src = pb.Source("src", {Record::OfInts(1, 1)});
+  auto it = pb.BeginBulkIteration("it", src, 3, {0});
+  auto body = pb.Map("body", it.PartialSolution(), Identity());
+  auto result = it.Close(body);
+  pb.Sink("sink", result, &out);
+  Plan plan = std::move(pb).Finish();
+
+  const LogicalNode& body_node = plan.node(body.id());
+  EXPECT_EQ(body_node.iteration_id, 0);
+  EXPECT_FALSE(body_node.iteration_is_workset);
+  const LogicalNode& result_node = plan.node(result.id());
+  EXPECT_EQ(result_node.iteration_id, -1);  // results live outside the body
+  ASSERT_EQ(plan.bulk_iterations().size(), 1u);
+  EXPECT_EQ(plan.bulk_iterations()[0].body_output, body.id());
+  EXPECT_EQ(plan.bulk_iterations()[0].max_iterations, 3);
+}
+
+TEST(PlanBuilderTest, WorksetIterationSpecWiring) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto s0 = pb.Source("s0", {Record::OfInts(0, 0)});
+  auto w0 = pb.Source("w0", {Record::OfInts(0, 0)});
+  auto it = pb.BeginWorksetIteration("ws", s0, w0, {0});
+  auto delta = pb.Match("join", it.Workset(), it.SolutionSet(), {0}, {0},
+                        [](const Record& l, const Record&, Collector* c) {
+                          c->Emit(l);
+                        });
+  auto result = it.Close(delta, delta);
+  pb.Sink("sink", result, &out);
+  Plan plan = std::move(pb).Finish();
+
+  ASSERT_EQ(plan.workset_iterations().size(), 1u);
+  const WorksetIterationSpec& spec = plan.workset_iterations()[0];
+  EXPECT_EQ(spec.delta_output, delta.id());
+  EXPECT_EQ(spec.next_workset_output, delta.id());
+  EXPECT_EQ(spec.solution_key, KeySpec{0});
+  EXPECT_TRUE(plan.node(delta.id()).iteration_is_workset);
+}
+
+TEST(PlanBuilderTest, PreservedFieldsRecorded) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto src = pb.Source("src", {Record::OfInts(1, 2)});
+  auto mapped = pb.Map("m", src, Identity());
+  pb.DeclarePreserved(mapped, 0, 0, 1);
+  pb.Sink("sink", mapped, &out);
+  Plan plan = std::move(pb).Finish();
+  const auto& preserved = plan.node(mapped.id()).preserved_fields[0];
+  ASSERT_EQ(preserved.size(), 1u);
+  EXPECT_EQ(preserved[0].from, 0);
+  EXPECT_EQ(preserved[0].to, 1);
+}
+
+TEST(PlanBuilderTest, ToStringMentionsOperatorsAndIterations) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto src = pb.Source("ranks", {Record::OfInts(1)});
+  auto it = pb.BeginBulkIteration("pr", src, 7);
+  auto body = pb.Map("step", it.PartialSolution(), Identity());
+  auto result = it.Close(body);
+  pb.Sink("sink", result, &out);
+  Plan plan = std::move(pb).Finish();
+  std::string text = plan.ToString();
+  EXPECT_NE(text.find("ranks"), std::string::npos);
+  EXPECT_NE(text.find("bulk-iteration"), std::string::npos);
+  EXPECT_NE(text.find("max=7"), std::string::npos);
+}
+
+TEST(OperatorKindTest, NamesAndRecordAtATime) {
+  EXPECT_EQ(OperatorKindName(OperatorKind::kMatch), "Match");
+  EXPECT_EQ(OperatorKindName(OperatorKind::kInnerCoGroup), "InnerCoGroup");
+  EXPECT_TRUE(IsRecordAtATime(OperatorKind::kMap));
+  EXPECT_TRUE(IsRecordAtATime(OperatorKind::kMatch));
+  EXPECT_TRUE(IsRecordAtATime(OperatorKind::kCross));
+  EXPECT_TRUE(IsRecordAtATime(OperatorKind::kFilter));
+  EXPECT_FALSE(IsRecordAtATime(OperatorKind::kReduce));
+  EXPECT_FALSE(IsRecordAtATime(OperatorKind::kCoGroup));
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,74 @@
+#include "graph/datasets.h"
+
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+namespace sfdf {
+namespace {
+
+TEST(DatasetsTest, RegistryHasPaperOrder) {
+  const auto& datasets = Table2Datasets();
+  ASSERT_EQ(datasets.size(), 4u);
+  EXPECT_EQ(datasets[0].name, "wikipedia");
+  EXPECT_EQ(datasets[1].name, "webbase");
+  EXPECT_EQ(datasets[2].name, "hollywood");
+  EXPECT_EQ(datasets[3].name, "twitter");
+}
+
+TEST(DatasetsTest, PaperPropertiesMatchTable2) {
+  const DatasetSpec& wiki = DatasetByName("wikipedia");
+  EXPECT_EQ(wiki.paper_vertices, 16513969);
+  EXPECT_EQ(wiki.paper_edges, 219505928);
+  EXPECT_NEAR(wiki.paper_avg_degree, 13.29, 0.01);
+  const DatasetSpec& hollywood = DatasetByName("hollywood");
+  EXPECT_NEAR(hollywood.paper_avg_degree, 115.34, 0.01);
+}
+
+TEST(DatasetsTest, StandInsPreserveDegreeOrdering) {
+  // Table 2 ordering: hollywood >> twitter >> webbase ~ wikipedia.
+  double scale = 0.1;
+  GraphStats wiki = ComputeStats(DatasetByName("wikipedia").generate(scale));
+  GraphStats webbase = ComputeStats(DatasetByName("webbase").generate(scale));
+  GraphStats hollywood =
+      ComputeStats(DatasetByName("hollywood").generate(scale));
+  GraphStats twitter = ComputeStats(DatasetByName("twitter").generate(scale));
+  EXPECT_GT(hollywood.avg_degree, twitter.avg_degree);
+  EXPECT_GT(twitter.avg_degree, webbase.avg_degree);
+  EXPECT_GT(twitter.avg_degree, wiki.avg_degree);
+  // Webbase is the largest graph by vertex count.
+  EXPECT_GT(webbase.num_vertices, wiki.num_vertices / 2);
+}
+
+TEST(DatasetsTest, FoafGraphScales) {
+  Graph foaf = FoafGraph(0.01);
+  EXPECT_GT(foaf.num_vertices(), 1000);
+  EXPECT_GT(foaf.num_directed_edges(), 2000);
+}
+
+TEST(DatasetsTest, StatsComputesComponents) {
+  ChainOfClustersOptions opt;
+  opt.num_clusters = 16;
+  opt.cluster_size = 16;
+  opt.intra_cluster_edges = 32;
+  GraphStats stats = ComputeStats(GenerateChainOfClusters(opt), true);
+  EXPECT_EQ(stats.num_components, 1);  // the bridges connect every cluster
+  EXPECT_EQ(stats.num_vertices, 256);
+}
+
+TEST(DatasetsTest, WebbaseHasDeepTail) {
+  // The Webbase stand-in's huge-diameter component drives the paper's
+  // 744-iteration convergence: its tail alone is hundreds of hops.
+  Graph graph = DatasetByName("webbase").generate(1.0);
+  GraphStats stats = ComputeStats(graph);
+  // Tail vertices have degree ≤ 2; there must be hundreds of them.
+  int64_t degree_le2 = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.OutDegree(v) > 0 && graph.OutDegree(v) <= 2) ++degree_le2;
+  }
+  EXPECT_GT(degree_le2, 500);
+  EXPECT_GT(stats.max_degree, 1000);  // power-law core hubs
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,78 @@
+#include "graph/generators.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "graph/union_find.h"
+
+namespace sfdf {
+namespace {
+
+TEST(RmatTest, DeterministicInSeed) {
+  RmatOptions opt;
+  opt.num_vertices = 1024;
+  opt.num_edges = 4096;
+  Graph a = GenerateRmat(opt);
+  Graph b = GenerateRmat(opt);
+  EXPECT_EQ(a.num_directed_edges(), b.num_directed_edges());
+  opt.seed = 43;
+  Graph c = GenerateRmat(opt);
+  EXPECT_NE(a.num_directed_edges(), c.num_directed_edges());
+}
+
+TEST(RmatTest, PowerLawSkew) {
+  RmatOptions opt;
+  opt.num_vertices = 4096;
+  opt.num_edges = 32768;
+  Graph graph = GenerateRmat(opt);
+  int64_t max_degree = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, graph.OutDegree(v));
+  }
+  // Skewed: the hub degree far exceeds the average.
+  EXPECT_GT(static_cast<double>(max_degree), 10 * graph.AvgDegree());
+}
+
+TEST(ErdosRenyiTest, RoughlyUniformDegrees) {
+  ErdosRenyiOptions opt;
+  opt.num_vertices = 4096;
+  opt.num_edges = 32768;
+  Graph graph = GenerateErdosRenyi(opt);
+  int64_t max_degree = 0;
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    max_degree = std::max(max_degree, graph.OutDegree(v));
+  }
+  EXPECT_LT(static_cast<double>(max_degree), 5 * graph.AvgDegree());
+}
+
+TEST(PreferentialAttachmentTest, DenseAndConnected) {
+  PreferentialAttachmentOptions opt;
+  opt.num_vertices = 2048;
+  opt.edges_per_vertex = 8;
+  Graph graph = GeneratePreferentialAttachment(opt);
+  EXPECT_GT(graph.AvgDegree(), 8.0);
+  EXPECT_EQ(CountComponents(ReferenceComponents(graph)), 1);
+}
+
+TEST(ChainOfClustersTest, SingleComponentHugeDiameter) {
+  ChainOfClustersOptions opt;
+  opt.num_clusters = 32;
+  opt.cluster_size = 16;
+  opt.intra_cluster_edges = 32;
+  Graph graph = GenerateChainOfClusters(opt);
+  EXPECT_EQ(graph.num_vertices(), 32 * 16);
+  EXPECT_EQ(CountComponents(ReferenceComponents(graph)), 1);
+}
+
+TEST(FoafTest, ManySmallComponentsAroundCore) {
+  FoafOptions opt;
+  opt.num_vertices = 20000;
+  opt.num_edges = 50000;
+  Graph graph = GenerateFoaf(opt);
+  // The satellites make the component count large.
+  EXPECT_GT(CountComponents(ReferenceComponents(graph)), 100);
+}
+
+}  // namespace
+}  // namespace sfdf

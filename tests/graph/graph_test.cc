@@ -1,0 +1,108 @@
+#include "graph/graph.h"
+
+#include <gtest/gtest.h>
+
+#include "graph/union_find.h"
+
+namespace sfdf {
+namespace {
+
+TEST(GraphBuilderTest, BuildsSymmetricCsr) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  Graph graph = builder.Build(/*symmetrize=*/true);
+  EXPECT_EQ(graph.num_vertices(), 4);
+  EXPECT_EQ(graph.num_directed_edges(), 4);  // (0,1),(1,0),(1,2),(2,1)
+  EXPECT_EQ(graph.OutDegree(1), 2);
+  EXPECT_EQ(graph.OutDegree(3), 0);
+}
+
+TEST(GraphBuilderTest, DirectedBuild) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  Graph graph = builder.Build(/*symmetrize=*/false);
+  EXPECT_EQ(graph.num_directed_edges(), 2);
+  EXPECT_EQ(graph.OutDegree(0), 2);
+  EXPECT_EQ(graph.OutDegree(1), 0);
+}
+
+TEST(GraphBuilderTest, DropsSelfLoopsAndDuplicates) {
+  GraphBuilder builder(3);
+  builder.AddEdge(0, 0);  // self loop
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 1);  // duplicate
+  builder.AddEdge(1, 0);  // symmetric duplicate
+  Graph graph = builder.Build(/*symmetrize=*/true);
+  EXPECT_EQ(graph.num_directed_edges(), 2);
+}
+
+TEST(GraphBuilderTest, NeighborsAreSorted) {
+  GraphBuilder builder(5);
+  builder.AddEdge(0, 4);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(0, 3);
+  Graph graph = builder.Build(true);
+  const VertexId* begin = graph.NeighborsBegin(0);
+  EXPECT_EQ(begin[0], 2);
+  EXPECT_EQ(begin[1], 3);
+  EXPECT_EQ(begin[2], 4);
+}
+
+TEST(GraphTest, AvgDegree) {
+  GraphBuilder builder(4);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(2, 3);
+  Graph graph = builder.Build(true);
+  EXPECT_DOUBLE_EQ(graph.AvgDegree(), 1.0);
+}
+
+TEST(UnionFindTest, BasicUnions) {
+  UnionFind uf(5);
+  EXPECT_NE(uf.Find(0), uf.Find(1));
+  uf.Union(0, 1);
+  EXPECT_EQ(uf.Find(0), uf.Find(1));
+  uf.Union(1, 2);
+  EXPECT_EQ(uf.Find(0), uf.Find(2));
+  EXPECT_NE(uf.Find(0), uf.Find(4));
+}
+
+TEST(ReferenceComponentsTest, LabelsAreMinimumVertexId) {
+  // Components {0,1,2}, {3,4}, {5}.
+  GraphBuilder builder(6);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(1, 2);
+  builder.AddEdge(3, 4);
+  Graph graph = builder.Build(true);
+  std::vector<VertexId> labels = ReferenceComponents(graph);
+  EXPECT_EQ(labels[0], 0);
+  EXPECT_EQ(labels[1], 0);
+  EXPECT_EQ(labels[2], 0);
+  EXPECT_EQ(labels[3], 3);
+  EXPECT_EQ(labels[4], 3);
+  EXPECT_EQ(labels[5], 5);
+  EXPECT_EQ(CountComponents(labels), 3);
+}
+
+TEST(ReferenceComponentsTest, PaperSampleGraph) {
+  // The 9-vertex sample graph of Figure 1 (1-based in the paper, 0-based
+  // here): components {1,2,3,4}, {5,6}, {7,8,9}.
+  GraphBuilder builder(9);
+  builder.AddEdge(0, 1);  // 1-2
+  builder.AddEdge(0, 2);  // 1-3
+  builder.AddEdge(1, 3);  // 2-4
+  builder.AddEdge(2, 3);  // 3-4
+  builder.AddEdge(4, 5);  // 5-6
+  builder.AddEdge(6, 7);  // 7-8
+  builder.AddEdge(6, 8);  // 7-9
+  Graph graph = builder.Build(true);
+  std::vector<VertexId> labels = ReferenceComponents(graph);
+  EXPECT_EQ(CountComponents(labels), 3);
+  EXPECT_EQ(labels[3], 0);
+  EXPECT_EQ(labels[5], 4);
+  EXPECT_EQ(labels[8], 6);
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,82 @@
+#include "graph/io.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+#include "graph/generators.h"
+#include "graph/union_find.h"
+
+namespace sfdf {
+namespace {
+
+TEST(GraphIoTest, RoundTripPreservesStructure) {
+  RmatOptions opt;
+  opt.num_vertices = 256;
+  opt.num_edges = 1024;
+  Graph original = GenerateRmat(opt);
+  std::string path = testing::TempDir() + "/sfdf_io_roundtrip.txt";
+  ASSERT_TRUE(WriteEdgeList(path, original).ok());
+  // The written list is already symmetric; re-symmetrizing is a no-op.
+  auto loaded = ReadEdgeList(path, true, original.num_vertices());
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded->num_vertices(), original.num_vertices());
+  EXPECT_EQ(loaded->num_directed_edges(), original.num_directed_edges());
+  EXPECT_EQ(ReferenceComponents(*loaded), ReferenceComponents(original));
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, SkipsCommentsAndInfersVertexCount) {
+  std::string path = testing::TempDir() + "/sfdf_io_comments.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("# header comment\n% another\n0 1\n\n2 3\n", f);
+  std::fclose(f);
+  auto graph = ReadEdgeList(path);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_vertices(), 4);
+  EXPECT_EQ(graph->num_directed_edges(), 4);  // symmetrized
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, DirectedRead) {
+  std::string path = testing::TempDir() + "/sfdf_io_directed.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0 1\n1 2\n", f);
+  std::fclose(f);
+  auto graph = ReadEdgeList(path, /*symmetrize=*/false);
+  ASSERT_TRUE(graph.ok());
+  EXPECT_EQ(graph->num_directed_edges(), 2);
+  EXPECT_EQ(graph->OutDegree(1), 1);
+  EXPECT_EQ(graph->OutDegree(2), 0);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MalformedLineFails) {
+  std::string path = testing::TempDir() + "/sfdf_io_malformed.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0 1\nbogus line\n", f);
+  std::fclose(f);
+  auto graph = ReadEdgeList(path);
+  EXPECT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kIoError);
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, VertexBeyondCountFails) {
+  std::string path = testing::TempDir() + "/sfdf_io_beyond.txt";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  std::fputs("0 99\n", f);
+  std::fclose(f);
+  auto graph = ReadEdgeList(path, true, /*num_vertices=*/10);
+  EXPECT_FALSE(graph.ok());
+  std::remove(path.c_str());
+}
+
+TEST(GraphIoTest, MissingFileFails) {
+  auto graph = ReadEdgeList("/nonexistent/sfdf_edges.txt");
+  EXPECT_FALSE(graph.ok());
+  EXPECT_EQ(graph.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,129 @@
+// Cross-system parity: the Stratosphere-style engine, the Spark-like bulk
+// baseline and the Giraph-like vertex-centric baseline implement the same
+// algorithms — on any input they must agree with each other (and with the
+// sequential ground truth). This is the correctness backbone behind the
+// Figure 7/9 comparisons: the systems may differ in speed, never in result.
+#include <gtest/gtest.h>
+
+#include "algos/connected_components.h"
+#include "algos/pagerank.h"
+#include "baselines/giraph/giraph.h"
+#include "baselines/spark/spark.h"
+#include "graph/generators.h"
+#include "graph/union_find.h"
+
+namespace sfdf {
+namespace {
+
+class CrossSystemTest : public testing::TestWithParam<uint64_t> {
+ protected:
+  Graph MakeGraph() const {
+    RmatOptions opt;
+    opt.num_vertices = 768;
+    opt.num_edges = 2500;
+    opt.seed = GetParam();
+    return GenerateRmat(opt);
+  }
+};
+
+TEST_P(CrossSystemTest, AllSystemsAgreeOnConnectedComponents) {
+  Graph graph = MakeGraph();
+  std::vector<VertexId> truth = ReferenceComponents(graph);
+
+  CcOptions strato_options;
+  strato_options.variant = CcVariant::kIncrementalCoGroup;
+  strato_options.parallelism = 2;
+  auto strato = RunConnectedComponents(graph, strato_options);
+  ASSERT_TRUE(strato.ok()) << strato.status().ToString();
+  EXPECT_EQ(strato->labels, truth);
+
+  spark::SparkOptions spark_options;
+  spark_options.parallelism = 2;
+  auto spark_result =
+      spark::ConnectedComponents(graph, false, 10000, spark_options);
+  ASSERT_TRUE(spark_result.ok());
+  EXPECT_EQ(spark_result->labels, truth);
+
+  giraph::GiraphOptions giraph_options;
+  giraph_options.parallelism = 2;
+  auto giraph_result = giraph::ConnectedComponents(graph, giraph_options);
+  ASSERT_TRUE(giraph_result.ok());
+  EXPECT_EQ(giraph_result->labels, truth);
+}
+
+TEST_P(CrossSystemTest, AllSystemsAgreeOnPageRank) {
+  Graph graph = MakeGraph();
+  const int iterations = 8;
+  std::vector<double> truth = ReferencePageRank(graph, iterations, 0.85);
+
+  PageRankOptions strato_options;
+  strato_options.iterations = iterations;
+  strato_options.parallelism = 2;
+  auto strato = RunPageRank(graph, strato_options);
+  ASSERT_TRUE(strato.ok());
+  for (const auto& [pid, rank] : strato->ranks) {
+    if (graph.OutDegree(pid) == 0) continue;
+    ASSERT_NEAR(rank, truth[pid], 1e-9);
+  }
+
+  spark::SparkOptions spark_options;
+  spark_options.parallelism = 2;
+  auto spark_result = spark::PageRank(graph, iterations, 0.85, spark_options);
+  ASSERT_TRUE(spark_result.ok());
+
+  giraph::GiraphOptions giraph_options;
+  giraph_options.parallelism = 2;
+  auto giraph_result =
+      giraph::PageRank(graph, iterations, 0.85, giraph_options);
+  ASSERT_TRUE(giraph_result.ok());
+
+  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+    if (graph.OutDegree(v) == 0) continue;
+    ASSERT_NEAR(spark_result->ranks[v], truth[v], 1e-9) << "spark v=" << v;
+    ASSERT_NEAR(giraph_result->ranks[v], truth[v], 1e-9) << "giraph v=" << v;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CrossSystemTest,
+                         testing::Values(1, 17, 4242),
+                         [](const testing::TestParamInfo<uint64_t>& info) {
+                           return "seed" + std::to_string(info.param);
+                         });
+
+/// Property sweep: every CC variant equals union-find across random graph
+/// shapes and densities.
+struct CcPropertyParam {
+  uint64_t seed;
+  int64_t vertices;
+  int64_t edges;
+};
+
+class CcPropertyTest : public testing::TestWithParam<CcPropertyParam> {};
+
+TEST_P(CcPropertyTest, IncrementalCcEqualsUnionFind) {
+  RmatOptions opt;
+  opt.num_vertices = GetParam().vertices;
+  opt.num_edges = GetParam().edges;
+  opt.seed = GetParam().seed;
+  Graph graph = GenerateRmat(opt);
+  CcOptions options;
+  options.variant = CcVariant::kIncrementalMatch;
+  options.parallelism = 2;
+  auto result = RunConnectedComponents(graph, options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->labels, ReferenceComponents(graph));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, CcPropertyTest,
+    testing::Values(CcPropertyParam{101, 128, 64},      // sparse, tiny
+                    CcPropertyParam{102, 256, 4096},    // dense
+                    CcPropertyParam{103, 2048, 2048},   // near-critical
+                    CcPropertyParam{104, 4096, 16384},  // mid-size
+                    CcPropertyParam{105, 512, 256}),    // many components
+    [](const testing::TestParamInfo<CcPropertyParam>& info) {
+      return "seed" + std::to_string(info.param.seed);
+    });
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,176 @@
+// End-to-end smoke tests: plain dataflows, a bulk iteration, and a workset
+// iteration on a tiny graph, through the full optimizer + executor stack.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "algos/connected_components.h"
+#include "dataflow/plan_builder.h"
+#include "graph/graph.h"
+#include "graph/union_find.h"
+#include "optimizer/optimizer.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+namespace {
+
+std::vector<Record> SortedByFirstInt(std::vector<Record> records) {
+  std::sort(records.begin(), records.end(),
+            [](const Record& a, const Record& b) {
+              return a.GetInt(0) < b.GetInt(0);
+            });
+  return records;
+}
+
+TEST(SmokeTest, MapFilterPipeline) {
+  std::vector<Record> data;
+  for (int i = 0; i < 100; ++i) data.push_back(Record::OfInts(i));
+  std::vector<Record> out;
+
+  PlanBuilder pb;
+  auto src = pb.Source("numbers", data);
+  auto doubled = pb.Map("double", src, [](const Record& rec, Collector* c) {
+    c->Emit(Record::OfInts(rec.GetInt(0) * 2));
+  });
+  auto filtered = pb.Filter("keepBig", doubled, [](const Record& rec) {
+    return rec.GetInt(0) >= 100;
+  });
+  pb.Sink("out", filtered, &out);
+  Plan plan = std::move(pb).Finish();
+
+  Optimizer optimizer;
+  auto physical = optimizer.Optimize(plan);
+  ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+  Executor executor(ExecutionOptions{.parallelism = 2});
+  auto result = executor.Run(*physical);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(out.size(), 50u);
+}
+
+TEST(SmokeTest, ReduceGroupsByKey) {
+  std::vector<Record> data;
+  for (int i = 0; i < 60; ++i) data.push_back(Record::OfInts(i % 3, i));
+  std::vector<Record> out;
+
+  PlanBuilder pb;
+  auto src = pb.Source("data", data);
+  auto sums = pb.Reduce("sum", src, {0},
+                        [](const std::vector<Record>& group, Collector* c) {
+                          int64_t sum = 0;
+                          for (const Record& rec : group) sum += rec.GetInt(1);
+                          c->Emit(Record::OfInts(group.front().GetInt(0), sum));
+                        });
+  pb.Sink("out", sums, &out);
+  Plan plan = std::move(pb).Finish();
+
+  Optimizer optimizer;
+  auto physical = optimizer.Optimize(plan);
+  ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+  Executor executor(ExecutionOptions{.parallelism = 2});
+  ASSERT_TRUE(executor.Run(*physical).ok());
+
+  auto sorted = SortedByFirstInt(out);
+  ASSERT_EQ(sorted.size(), 3u);
+  // Keys 0,1,2; each group has 20 elements i with i%3==k, sum = 570+20k...
+  // compute directly:
+  int64_t expected[3] = {0, 0, 0};
+  for (int i = 0; i < 60; ++i) expected[i % 3] += i;
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(sorted[k].GetInt(0), k);
+    EXPECT_EQ(sorted[k].GetInt(1), expected[k]);
+  }
+}
+
+TEST(SmokeTest, MatchJoinsTwoInputs) {
+  std::vector<Record> left;
+  std::vector<Record> right;
+  for (int i = 0; i < 20; ++i) {
+    left.push_back(Record::OfInts(i, i * 10));
+    if (i % 2 == 0) right.push_back(Record::OfInts(i, i * 100));
+  }
+  std::vector<Record> out;
+
+  PlanBuilder pb;
+  auto l = pb.Source("left", left);
+  auto r = pb.Source("right", right);
+  auto joined =
+      pb.Match("join", l, r, {0}, {0},
+               [](const Record& a, const Record& b, Collector* c) {
+                 c->Emit(Record::OfInts(a.GetInt(0),
+                                        a.GetInt(1) + b.GetInt(1)));
+               });
+  pb.Sink("out", joined, &out);
+  Plan plan = std::move(pb).Finish();
+
+  Optimizer optimizer;
+  auto physical = optimizer.Optimize(plan);
+  ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+  Executor executor(ExecutionOptions{.parallelism = 2});
+  ASSERT_TRUE(executor.Run(*physical).ok());
+  auto sorted = SortedByFirstInt(out);
+  ASSERT_EQ(sorted.size(), 10u);
+  EXPECT_EQ(sorted[1].GetInt(0), 2);
+  EXPECT_EQ(sorted[1].GetInt(1), 2 * 10 + 2 * 100);
+}
+
+TEST(SmokeTest, BulkIterationDoublesUntilCap) {
+  // x_{i+1} = x_i * 2 for 5 iterations, starting from (k, 1) per key.
+  std::vector<Record> data;
+  for (int k = 0; k < 8; ++k) data.push_back(Record::OfInts(k, 1));
+  std::vector<Record> out;
+
+  PlanBuilder pb;
+  auto src = pb.Source("init", data);
+  auto it = pb.BeginBulkIteration("doubling", src, 5, {0});
+  auto next = pb.Map("double", it.PartialSolution(),
+                     [](const Record& rec, Collector* c) {
+                       c->Emit(Record::OfInts(rec.GetInt(0),
+                                              rec.GetInt(1) * 2));
+                     });
+  pb.DeclarePreserved(next, 0, 0, 0);
+  auto result = it.Close(next);
+  pb.Sink("out", result, &out);
+  Plan plan = std::move(pb).Finish();
+
+  Optimizer optimizer;
+  auto physical = optimizer.Optimize(plan);
+  ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+  Executor executor(ExecutionOptions{.parallelism = 2});
+  auto exec = executor.Run(*physical);
+  ASSERT_TRUE(exec.ok()) << exec.status().ToString();
+  EXPECT_EQ(exec->bulk_reports[0].iterations, 5);
+
+  auto sorted = SortedByFirstInt(out);
+  ASSERT_EQ(sorted.size(), 8u);
+  for (const Record& rec : sorted) {
+    EXPECT_EQ(rec.GetInt(1), 32);  // 2^5
+  }
+}
+
+TEST(SmokeTest, IncrementalCcOnSampleGraph) {
+  // Figure 1's nine-vertex graph.
+  GraphBuilder builder(9);
+  builder.AddEdge(0, 1);
+  builder.AddEdge(0, 2);
+  builder.AddEdge(1, 3);
+  builder.AddEdge(2, 3);
+  builder.AddEdge(4, 5);
+  builder.AddEdge(6, 7);
+  builder.AddEdge(6, 8);
+  Graph graph = builder.Build(true);
+
+  for (CcVariant variant :
+       {CcVariant::kBulk, CcVariant::kIncrementalCoGroup,
+        CcVariant::kIncrementalMatch, CcVariant::kAsyncMicrostep}) {
+    CcOptions options;
+    options.variant = variant;
+    options.parallelism = 2;
+    auto result = RunConnectedComponents(graph, options);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_EQ(result->labels, ReferenceComponents(graph))
+        << "variant " << static_cast<int>(variant);
+  }
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,52 @@
+#include "optimizer/properties.h"
+
+#include <gtest/gtest.h>
+
+namespace sfdf {
+namespace {
+
+TEST(PhysPropsTest, PartitioningChecks) {
+  PhysProps props;
+  EXPECT_FALSE(props.IsPartitionedBy(KeySpec{0}));
+  props.distribution = Distribution::kHashPartitioned;
+  props.partition_key = KeySpec{0};
+  EXPECT_TRUE(props.IsPartitionedBy(KeySpec{0}));
+  EXPECT_FALSE(props.IsPartitionedBy(KeySpec{1}));
+}
+
+TEST(PhysPropsTest, SortAndReplication) {
+  PhysProps props;
+  props.sort_key = KeySpec{2};
+  EXPECT_TRUE(props.IsSortedBy(KeySpec{2}));
+  EXPECT_FALSE(props.IsSortedBy(KeySpec{0}));
+  props.distribution = Distribution::kReplicated;
+  EXPECT_TRUE(props.IsReplicated());
+}
+
+TEST(PhysPropsTest, ToStringReadable) {
+  PhysProps props;
+  EXPECT_EQ(props.ToString(), "arbitrary");
+  props.distribution = Distribution::kHashPartitioned;
+  props.partition_key = KeySpec{0};
+  props.sort_key = KeySpec{0};
+  EXPECT_EQ(props.ToString(), "hash[0] sorted[0]");
+}
+
+TEST(InterestingPropertyTest, DeduplicatedAccumulation) {
+  InterestingProperties props;
+  InterestingProperty p1;
+  p1.partition_key = KeySpec{0};
+  AddInterestingProperty(&props, p1);
+  AddInterestingProperty(&props, p1);
+  EXPECT_EQ(props.size(), 1u);
+  InterestingProperty p2;
+  p2.sort_key = KeySpec{0};
+  AddInterestingProperty(&props, p2);
+  EXPECT_EQ(props.size(), 2u);
+  // Empty properties are not interesting.
+  AddInterestingProperty(&props, InterestingProperty{});
+  EXPECT_EQ(props.size(), 2u);
+}
+
+}  // namespace
+}  // namespace sfdf

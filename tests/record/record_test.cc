@@ -1,0 +1,113 @@
+#include "record/record.h"
+
+#include <gtest/gtest.h>
+
+#include "record/batch.h"
+#include "record/comparator.h"
+
+namespace sfdf {
+namespace {
+
+TEST(RecordTest, EmptyRecord) {
+  Record rec;
+  EXPECT_EQ(rec.arity(), 0);
+  EXPECT_EQ(rec.ToString(), "()");
+}
+
+TEST(RecordTest, AppendAndGetInts) {
+  Record rec;
+  rec.AppendInt(7);
+  rec.AppendInt(-3);
+  EXPECT_EQ(rec.arity(), 2);
+  EXPECT_EQ(rec.GetInt(0), 7);
+  EXPECT_EQ(rec.GetInt(1), -3);
+  EXPECT_EQ(rec.type(0), FieldType::kInt);
+}
+
+TEST(RecordTest, MixedTypes) {
+  Record rec = Record::OfIntDouble(42, 3.25);
+  EXPECT_EQ(rec.GetInt(0), 42);
+  EXPECT_DOUBLE_EQ(rec.GetDouble(1), 3.25);
+  EXPECT_EQ(rec.type(1), FieldType::kDouble);
+}
+
+TEST(RecordTest, SetOverwritesField) {
+  Record rec = Record::OfInts(1, 2);
+  rec.SetInt(1, 99);
+  EXPECT_EQ(rec.GetInt(1), 99);
+  rec.SetDouble(1, 0.5);
+  EXPECT_DOUBLE_EQ(rec.GetDouble(1), 0.5);
+  EXPECT_EQ(rec.type(1), FieldType::kDouble);
+}
+
+TEST(RecordTest, ConvenienceConstructors) {
+  EXPECT_EQ(Record::OfInts(1).arity(), 1);
+  EXPECT_EQ(Record::OfInts(1, 2).arity(), 2);
+  EXPECT_EQ(Record::OfInts(1, 2, 3).arity(), 3);
+  Record r = Record::OfIntIntDouble(5, 6, 7.5);
+  EXPECT_EQ(r.GetInt(0), 5);
+  EXPECT_EQ(r.GetInt(1), 6);
+  EXPECT_DOUBLE_EQ(r.GetDouble(2), 7.5);
+}
+
+TEST(RecordTest, EqualityIsDeep) {
+  EXPECT_EQ(Record::OfInts(1, 2), Record::OfInts(1, 2));
+  EXPECT_FALSE(Record::OfInts(1, 2) == Record::OfInts(1, 3));
+  EXPECT_FALSE(Record::OfInts(1, 2) == Record::OfInts(1));
+  // Same bits, different type tags: not equal.
+  Record a;
+  a.AppendInt(0);
+  Record b;
+  b.AppendDouble(0.0);
+  EXPECT_FALSE(a == b);
+}
+
+TEST(RecordTest, NegativeValuesRoundTrip) {
+  Record rec = Record::OfInts(-9223372036854775807LL);
+  EXPECT_EQ(rec.GetInt(0), -9223372036854775807LL);
+  Record d;
+  d.AppendDouble(-1e300);
+  EXPECT_DOUBLE_EQ(d.GetDouble(0), -1e300);
+}
+
+TEST(RecordTest, ToStringFormatsFields) {
+  EXPECT_EQ(Record::OfInts(1, 2).ToString(), "(1, 2)");
+  EXPECT_EQ(Record::OfIntDouble(1, 2.5).ToString(), "(1, 2.5)");
+}
+
+TEST(RecordBatchTest, AddAndIterate) {
+  RecordBatch batch;
+  batch.Add(Record::OfInts(1));
+  batch.Add(Record::OfInts(2));
+  EXPECT_EQ(batch.size(), 2u);
+  int64_t sum = 0;
+  for (const Record& rec : batch) sum += rec.GetInt(0);
+  EXPECT_EQ(sum, 3);
+  EXPECT_EQ(batch.ByteSize(), 2 * sizeof(Record));
+  batch.Clear();
+  EXPECT_TRUE(batch.empty());
+}
+
+TEST(ComparatorTest, IntAscendingOrder) {
+  RecordOrder order = OrderByIntFieldAsc(1);
+  EXPECT_LT(order(Record::OfInts(0, 1), Record::OfInts(0, 2)), 0);
+  EXPECT_GT(order(Record::OfInts(0, 5), Record::OfInts(0, 2)), 0);
+  EXPECT_EQ(order(Record::OfInts(0, 2), Record::OfInts(0, 2)), 0);
+}
+
+TEST(ComparatorTest, IntDescendingMeansSmallerWins) {
+  // For Connected Components the record with the *lower* cid is "larger"
+  // (the CPO successor).
+  RecordOrder order = OrderByIntFieldDesc(1);
+  EXPECT_GT(order(Record::OfInts(0, 1), Record::OfInts(0, 2)), 0);
+  EXPECT_LT(order(Record::OfInts(0, 9), Record::OfInts(0, 2)), 0);
+}
+
+TEST(ComparatorTest, DoubleDescendingForDistances) {
+  RecordOrder order = OrderByDoubleFieldDesc(1);
+  EXPECT_GT(order(Record::OfIntDouble(0, 1.0), Record::OfIntDouble(0, 2.0)),
+            0);
+}
+
+}  // namespace
+}  // namespace sfdf

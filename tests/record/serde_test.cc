@@ -1,0 +1,85 @@
+#include "record/serde.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+
+namespace sfdf {
+namespace {
+
+TEST(SerdeTest, RecordRoundTrip) {
+  Record rec = Record::OfIntIntDouble(42, -7, 3.5);
+  std::vector<uint8_t> bytes;
+  SerializeRecord(rec, &bytes);
+  size_t offset = 0;
+  Record decoded;
+  ASSERT_TRUE(DeserializeRecord(bytes, &offset, &decoded).ok());
+  EXPECT_EQ(decoded, rec);
+  EXPECT_EQ(offset, bytes.size());
+}
+
+TEST(SerdeTest, EmptyRecordRoundTrip) {
+  Record rec;
+  std::vector<uint8_t> bytes;
+  SerializeRecord(rec, &bytes);
+  size_t offset = 0;
+  Record decoded;
+  ASSERT_TRUE(DeserializeRecord(bytes, &offset, &decoded).ok());
+  EXPECT_EQ(decoded.arity(), 0);
+}
+
+TEST(SerdeTest, BatchRoundTrip) {
+  RecordBatch batch;
+  for (int i = 0; i < 100; ++i) {
+    batch.Add(Record::OfIntDouble(i, i * 0.5));
+  }
+  std::vector<uint8_t> bytes;
+  SerializeBatch(batch, &bytes);
+  size_t offset = 0;
+  RecordBatch decoded;
+  ASSERT_TRUE(DeserializeBatch(bytes, &offset, &decoded).ok());
+  ASSERT_EQ(decoded.size(), 100u);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(decoded[i], batch[i]);
+  }
+}
+
+TEST(SerdeTest, TruncatedInputFails) {
+  Record rec = Record::OfInts(1, 2);
+  std::vector<uint8_t> bytes;
+  SerializeRecord(rec, &bytes);
+  bytes.resize(bytes.size() - 1);
+  size_t offset = 0;
+  Record decoded;
+  EXPECT_EQ(DeserializeRecord(bytes, &offset, &decoded).code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerdeTest, CorruptArityFails) {
+  std::vector<uint8_t> bytes = {200};  // arity 200 > kMaxFields
+  size_t offset = 0;
+  Record decoded;
+  EXPECT_EQ(DeserializeRecord(bytes, &offset, &decoded).code(),
+            StatusCode::kIoError);
+}
+
+TEST(SerdeTest, FileRoundTrip) {
+  std::string path = testing::TempDir() + "/sfdf_serde_test.bin";
+  RecordBatch batch;
+  batch.Add(Record::OfInts(314, 159));
+  std::vector<uint8_t> bytes;
+  SerializeBatch(batch, &bytes);
+  ASSERT_TRUE(WriteFile(path, bytes).ok());
+  std::vector<uint8_t> read;
+  ASSERT_TRUE(ReadFile(path, &read).ok());
+  EXPECT_EQ(read, bytes);
+  std::remove(path.c_str());
+}
+
+TEST(SerdeTest, MissingFileFails) {
+  std::vector<uint8_t> out;
+  EXPECT_EQ(ReadFile("/nonexistent/sfdf", &out).code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace sfdf

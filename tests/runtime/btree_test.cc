@@ -1,0 +1,111 @@
+#include "runtime/btree.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace sfdf {
+namespace {
+
+auto kAlways = [](const Record&, const Record&) { return true; };
+
+TEST(BPlusTreeTest, InsertLookupSmall) {
+  BPlusTree tree(KeySpec{0});
+  EXPECT_TRUE(tree.Upsert(Record::OfInts(5, 50), kAlways));
+  EXPECT_TRUE(tree.Upsert(Record::OfInts(3, 30), kAlways));
+  EXPECT_TRUE(tree.Upsert(Record::OfInts(7, 70), kAlways));
+  EXPECT_EQ(tree.size(), 3);
+  const Record* rec = tree.Lookup(Record::OfInts(3), KeySpec{0});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->GetInt(1), 30);
+  EXPECT_EQ(tree.Lookup(Record::OfInts(4), KeySpec{0}), nullptr);
+}
+
+TEST(BPlusTreeTest, UpsertReplacesWithResolve) {
+  BPlusTree tree(KeySpec{0});
+  auto min_wins = [](const Record& existing, const Record& incoming) {
+    return incoming.GetInt(1) < existing.GetInt(1);
+  };
+  tree.Upsert(Record::OfInts(1, 10), min_wins);
+  EXPECT_FALSE(tree.Upsert(Record::OfInts(1, 20), min_wins));
+  EXPECT_TRUE(tree.Upsert(Record::OfInts(1, 5), min_wins));
+  EXPECT_EQ(tree.size(), 1);
+  EXPECT_EQ(tree.Lookup(Record::OfInts(1), KeySpec{0})->GetInt(1), 5);
+}
+
+TEST(BPlusTreeTest, SequentialInsertsSplitAndStaySorted) {
+  BPlusTree tree(KeySpec{0});
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    tree.Upsert(Record::OfInts(i, i * 3), kAlways);
+  }
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_GT(tree.height(), 1);
+  EXPECT_TRUE(tree.CheckInvariants());
+  // In-order traversal yields ascending keys.
+  int64_t prev = -1;
+  int64_t count = 0;
+  tree.ForEach([&](const Record& rec) {
+    EXPECT_GT(rec.GetInt(0), prev);
+    prev = rec.GetInt(0);
+    ++count;
+  });
+  EXPECT_EQ(count, n);
+}
+
+TEST(BPlusTreeTest, RandomInsertOrder) {
+  BPlusTree tree(KeySpec{0});
+  std::vector<int64_t> keys;
+  const int n = 5000;
+  for (int i = 0; i < n; ++i) keys.push_back(i);
+  Rng rng(7);
+  for (int i = n - 1; i > 0; --i) {
+    std::swap(keys[i], keys[rng.NextBounded(i + 1)]);
+  }
+  for (int64_t key : keys) {
+    tree.Upsert(Record::OfInts(key, key), kAlways);
+  }
+  EXPECT_EQ(tree.size(), n);
+  EXPECT_TRUE(tree.CheckInvariants());
+  for (int64_t key = 0; key < n; key += 113) {
+    const Record* rec = tree.Lookup(Record::OfInts(key), KeySpec{0});
+    ASSERT_NE(rec, nullptr) << "key " << key;
+    EXPECT_EQ(rec->GetInt(1), key);
+  }
+}
+
+TEST(BPlusTreeTest, DuplicateUpsertsDoNotGrow) {
+  BPlusTree tree(KeySpec{0});
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 1000; ++i) {
+      tree.Upsert(Record::OfInts(i, round), kAlways);
+    }
+  }
+  EXPECT_EQ(tree.size(), 1000);
+  EXPECT_TRUE(tree.CheckInvariants());
+  EXPECT_EQ(tree.Lookup(Record::OfInts(500), KeySpec{0})->GetInt(1), 2);
+}
+
+TEST(BPlusTreeTest, LookupThroughDifferentProbeKeyPosition) {
+  BPlusTree tree(KeySpec{0});
+  tree.Upsert(Record::OfInts(9, 90), kAlways);
+  const Record* rec = tree.Lookup(Record::OfInts(0, 9), KeySpec{1});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->GetInt(1), 90);
+}
+
+TEST(CompositeKeyLessTest, Lexicographic) {
+  Record a = Record::OfInts(1, 5);
+  Record b = Record::OfInts(2, 3);
+  CompositeKey ka = CompositeKey::From(a, KeySpec({0, 1}));
+  CompositeKey kb = CompositeKey::From(b, KeySpec({0, 1}));
+  EXPECT_TRUE(CompositeKeyLess(ka, kb));
+  EXPECT_FALSE(CompositeKeyLess(kb, ka));
+  EXPECT_FALSE(CompositeKeyLess(ka, ka));
+}
+
+}  // namespace
+}  // namespace sfdf

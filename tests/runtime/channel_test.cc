@@ -1,0 +1,100 @@
+#include "runtime/channel.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+namespace sfdf {
+namespace {
+
+Envelope DataEnvelope(std::vector<Record> records) {
+  Envelope envelope;
+  envelope.kind = MarkerKind::kData;
+  envelope.batch = RecordBatch(std::move(records));
+  return envelope;
+}
+
+Envelope Marker(MarkerKind kind) {
+  Envelope envelope;
+  envelope.kind = kind;
+  return envelope;
+}
+
+TEST(ChannelTest, FifoDelivery) {
+  Channel channel(1);
+  channel.Push(DataEnvelope({Record::OfInts(1)}));
+  channel.Push(DataEnvelope({Record::OfInts(2)}));
+  EXPECT_EQ(channel.Pop().batch[0].GetInt(0), 1);
+  EXPECT_EQ(channel.Pop().batch[0].GetInt(0), 2);
+}
+
+TEST(ChannelTest, ReadPhaseWaitsForAllProducers) {
+  Channel channel(3);
+  std::vector<int64_t> seen;
+  std::thread producer([&channel] {
+    for (int p = 0; p < 3; ++p) {
+      channel.Push(DataEnvelope({Record::OfInts(p)}));
+      channel.Push(Marker(MarkerKind::kEndStream));
+    }
+  });
+  channel.ReadPhase(MarkerKind::kEndStream, [&](const RecordBatch& batch) {
+    for (const Record& rec : batch) seen.push_back(rec.GetInt(0));
+  });
+  producer.join();
+  EXPECT_EQ(seen.size(), 3u);
+}
+
+TEST(ChannelTest, EndStreamSubstitutesForEndSuperstep) {
+  // A producer that leaves the loop ends every later phase with its final
+  // end-of-stream marker.
+  Channel channel(2);
+  channel.Push(Marker(MarkerKind::kEndSuperstep));
+  channel.Push(Marker(MarkerKind::kEndStream));
+  int batches = 0;
+  channel.ReadPhase(MarkerKind::kEndSuperstep,
+                    [&](const RecordBatch&) { ++batches; });
+  EXPECT_EQ(batches, 0);
+}
+
+TEST(ChannelTest, ConcurrentProducers) {
+  const int kProducers = 4;
+  const int kPerProducer = 1000;
+  Channel channel(kProducers);
+  std::vector<std::thread> threads;
+  for (int p = 0; p < kProducers; ++p) {
+    threads.emplace_back([&channel, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        channel.Push(DataEnvelope({Record::OfInts(p, i)}));
+      }
+      channel.Push(Marker(MarkerKind::kEndStream));
+    });
+  }
+  int64_t total = 0;
+  channel.ReadPhase(MarkerKind::kEndStream, [&](const RecordBatch& batch) {
+    total += static_cast<int64_t>(batch.size());
+  });
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(total, kProducers * kPerProducer);
+}
+
+TEST(ChannelTest, MultipleSuperstepPhases) {
+  Channel channel(1);
+  for (int superstep = 0; superstep < 3; ++superstep) {
+    channel.Push(DataEnvelope({Record::OfInts(superstep)}));
+    channel.Push(Marker(MarkerKind::kEndSuperstep));
+  }
+  for (int superstep = 0; superstep < 3; ++superstep) {
+    std::vector<int64_t> seen;
+    channel.ReadPhase(MarkerKind::kEndSuperstep,
+                      [&](const RecordBatch& batch) {
+                        for (const Record& rec : batch) {
+                          seen.push_back(rec.GetInt(0));
+                        }
+                      });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], superstep);
+  }
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,137 @@
+#include "runtime/hash_table.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+namespace sfdf {
+namespace {
+
+TEST(JoinHashTableTest, InsertAndProbe) {
+  JoinHashTable table(KeySpec{0});
+  table.Insert(Record::OfInts(1, 10));
+  table.Insert(Record::OfInts(2, 20));
+  table.Insert(Record::OfInts(1, 11));  // duplicate key: multimap
+
+  std::vector<int64_t> values;
+  table.Probe(Record::OfInts(1), KeySpec{0},
+              [&](const Record& rec) { values.push_back(rec.GetInt(1)); });
+  std::sort(values.begin(), values.end());
+  EXPECT_EQ(values, (std::vector<int64_t>{10, 11}));
+
+  values.clear();
+  table.Probe(Record::OfInts(3), KeySpec{0},
+              [&](const Record& rec) { values.push_back(rec.GetInt(1)); });
+  EXPECT_TRUE(values.empty());
+}
+
+TEST(JoinHashTableTest, ProbeWithDifferentKeyPosition) {
+  JoinHashTable table(KeySpec{0});
+  table.Insert(Record::OfInts(7, 70));
+  int matches = 0;
+  // Probe record carries the join key in field 1.
+  table.Probe(Record::OfInts(0, 7), KeySpec{1},
+              [&](const Record&) { ++matches; });
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(JoinHashTableTest, GrowsThroughRehash) {
+  JoinHashTable table(KeySpec{0});
+  const int n = 10000;
+  for (int i = 0; i < n; ++i) {
+    table.Insert(Record::OfInts(i, i * 2));
+  }
+  EXPECT_EQ(table.size(), n);
+  for (int i = 0; i < n; i += 97) {
+    int matches = 0;
+    table.Probe(Record::OfInts(i), KeySpec{0}, [&](const Record& rec) {
+      EXPECT_EQ(rec.GetInt(1), i * 2);
+      ++matches;
+    });
+    EXPECT_EQ(matches, 1) << "key " << i;
+  }
+}
+
+TEST(JoinHashTableTest, ClearResets) {
+  JoinHashTable table(KeySpec{0});
+  for (int i = 0; i < 100; ++i) table.Insert(Record::OfInts(i));
+  table.Clear();
+  EXPECT_TRUE(table.empty());
+  int matches = 0;
+  table.Probe(Record::OfInts(5), KeySpec{0}, [&](const Record&) { ++matches; });
+  EXPECT_EQ(matches, 0);
+  // Reusable after clear.
+  table.Insert(Record::OfInts(5));
+  table.Probe(Record::OfInts(5), KeySpec{0}, [&](const Record&) { ++matches; });
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(JoinHashTableTest, ForEachVisitsAll) {
+  JoinHashTable table(KeySpec{0});
+  for (int i = 0; i < 50; ++i) table.Insert(Record::OfInts(i));
+  std::set<int64_t> seen;
+  table.ForEach([&](const Record& rec) { seen.insert(rec.GetInt(0)); });
+  EXPECT_EQ(seen.size(), 50u);
+}
+
+TEST(JoinHashTableTest, CompositeKeys) {
+  JoinHashTable table(KeySpec({0, 1}));
+  table.Insert(Record::OfInts(1, 2, 100));
+  table.Insert(Record::OfInts(1, 3, 200));
+  int matches = 0;
+  table.Probe(Record::OfInts(1, 2), KeySpec({0, 1}), [&](const Record& rec) {
+    EXPECT_EQ(rec.GetInt(2), 100);
+    ++matches;
+  });
+  EXPECT_EQ(matches, 1);
+}
+
+TEST(UniqueHashTableTest, UpsertInsertsAndReplaces) {
+  UniqueHashTable table(KeySpec{0});
+  auto always = [](const Record&, const Record&) { return true; };
+  EXPECT_TRUE(table.Upsert(Record::OfInts(1, 10), always));
+  EXPECT_TRUE(table.Upsert(Record::OfInts(1, 20), always));
+  EXPECT_EQ(table.size(), 1);
+  const Record* rec = table.Lookup(Record::OfInts(1), KeySpec{0});
+  ASSERT_NE(rec, nullptr);
+  EXPECT_EQ(rec->GetInt(1), 20);
+}
+
+TEST(UniqueHashTableTest, ResolveCanReject) {
+  UniqueHashTable table(KeySpec{0});
+  auto min_wins = [](const Record& existing, const Record& incoming) {
+    return incoming.GetInt(1) < existing.GetInt(1);
+  };
+  table.Upsert(Record::OfInts(1, 10), min_wins);
+  EXPECT_FALSE(table.Upsert(Record::OfInts(1, 15), min_wins));
+  EXPECT_TRUE(table.Upsert(Record::OfInts(1, 5), min_wins));
+  EXPECT_EQ(table.Lookup(Record::OfInts(1), KeySpec{0})->GetInt(1), 5);
+}
+
+TEST(UniqueHashTableTest, ManyKeysWithRehash) {
+  UniqueHashTable table(KeySpec{0});
+  auto always = [](const Record&, const Record&) { return true; };
+  for (int i = 0; i < 5000; ++i) {
+    table.Upsert(Record::OfInts(i, i), always);
+  }
+  EXPECT_EQ(table.size(), 5000);
+  for (int i = 0; i < 5000; i += 31) {
+    ASSERT_NE(table.Lookup(Record::OfInts(i), KeySpec{0}), nullptr);
+  }
+  EXPECT_EQ(table.Lookup(Record::OfInts(5001), KeySpec{0}), nullptr);
+}
+
+TEST(CompositeKeyTest, EqualityAndHash) {
+  Record a = Record::OfInts(1, 2);
+  Record b = Record::OfInts(1, 3);
+  CompositeKey ka = CompositeKey::From(a, KeySpec{0});
+  CompositeKey kb = CompositeKey::From(b, KeySpec{0});
+  EXPECT_EQ(ka, kb);
+  EXPECT_EQ(ka.Hash(), kb.Hash());
+  CompositeKey kc = CompositeKey::From(b, KeySpec{1});
+  EXPECT_FALSE(ka == kc);
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,188 @@
+// Iteration-construct semantics through the full stack: termination rules,
+// caps, delta-union behaviour, and the spillable constant-path cache.
+#include <gtest/gtest.h>
+
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+#include "record/comparator.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+namespace {
+
+MatchUdf EmitIfSmaller() {
+  return [](const Record& cand, const Record& current, Collector* c) {
+    if (cand.GetInt(1) < current.GetInt(1)) {
+      c->Emit(Record::OfInts(cand.GetInt(0), cand.GetInt(1)));
+    }
+  };
+}
+
+ExecutionResult RunToResult(Plan plan, ExecutionOptions eopt = {.parallelism = 2}) {
+  Optimizer optimizer(OptimizerOptions{.parallelism = eopt.parallelism});
+  auto physical = optimizer.Optimize(plan);
+  EXPECT_TRUE(physical.ok()) << physical.status().ToString();
+  Executor executor(eopt);
+  auto result = executor.Run(*physical);
+  EXPECT_TRUE(result.ok()) << result.status().ToString();
+  return std::move(result).value();
+}
+
+TEST(IterationSemanticsTest, EmptyInitialWorksetConvergesImmediately) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto s0 = pb.Source("S0", {Record::OfInts(1, 10), Record::OfInts(2, 20)});
+  auto w0 = pb.Source("W0", std::vector<Record>{});
+  auto it = pb.BeginWorksetIteration("it", s0, w0, {0});
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                        EmitIfSmaller());
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  pb.Sink("out", it.Close(delta, delta), &out);
+  ExecutionResult result = RunToResult(std::move(pb).Finish());
+  EXPECT_EQ(result.workset_reports[0].iterations, 1);
+  EXPECT_TRUE(result.workset_reports[0].converged);
+  // The untouched initial solution is the result.
+  EXPECT_EQ(out.size(), 2u);
+}
+
+TEST(IterationSemanticsTest, MaxIterationCapReportsNotConverged) {
+  // A self-perpetuating workset: every superstep reproduces one record.
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto s0 = pb.Source("S0", {Record::OfInts(1, 1000000)});
+  auto w0 = pb.Source("W0", {Record::OfInts(1, 999999)});
+  auto it = pb.BeginWorksetIteration("it", s0, w0, {0}, nullptr,
+                                     IterationMode::kAuto,
+                                     /*max_iterations=*/5);
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                        [](const Record& cand, const Record&, Collector* c) {
+                          // Always emit a lower candidate: never drains.
+                          c->Emit(Record::OfInts(cand.GetInt(0),
+                                                 cand.GetInt(1) - 1));
+                        });
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  pb.Sink("out", it.Close(delta, delta), &out);
+  ExecutionResult result = RunToResult(std::move(pb).Finish());
+  EXPECT_EQ(result.workset_reports[0].iterations, 5);
+  EXPECT_FALSE(result.workset_reports[0].converged);
+}
+
+TEST(IterationSemanticsTest, WorksetForUnknownKeysIsDropped) {
+  // A Match-based solution join has inner-join semantics: workset records
+  // whose key is absent from S never reach the UDF (the paper's
+  // InnerCoGroup "drops groups where the key does not exist on both
+  // sides"). Only existing keys are updated.
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto s0 = pb.Source("S0", {Record::OfInts(1, 100)});
+  auto w0 = pb.Source("W0", {Record::OfInts(1, 50)});
+  auto it = pb.BeginWorksetIteration("grow", s0, w0, {0});
+  // Each update for key k also seeds key k+1 (up to key 4).
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                        EmitIfSmaller());
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  auto next = pb.Map("seedNext", delta,
+                     [](const Record& rec, Collector* c) {
+                       if (rec.GetInt(0) < 4) {
+                         c->Emit(Record::OfInts(rec.GetInt(0) + 1,
+                                                rec.GetInt(1)));
+                       }
+                     });
+  pb.DeclarePreserved(next, 0, 1, 1);
+  pb.Sink("out", it.Close(delta, next), &out);
+  ExecutionResult result = RunToResult(std::move(pb).Finish());
+  EXPECT_TRUE(result.workset_reports[0].converged);
+  // Keys 2..4 never existed in S: Match against S drops them (inner join),
+  // so only key 1 remains, updated.
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetInt(1), 50);
+}
+
+TEST(IterationSemanticsTest, ComparatorGuardsAgainstRegression) {
+  // Two conflicting deltas for the same key in one superstep: the CPO
+  // comparator keeps the better one regardless of arrival order.
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto s0 = pb.Source("S0", {Record::OfInts(7, 100)});
+  auto w0 = pb.Source(
+      "W0", {Record::OfInts(7, 60), Record::OfInts(7, 30),
+             Record::OfInts(7, 45)});
+  auto it = pb.BeginWorksetIteration("it", s0, w0, {0},
+                                     OrderByIntFieldDesc(1));
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                        EmitIfSmaller());
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  pb.Sink("out", it.Close(delta, delta), &out);
+  ExecutionResult result = RunToResult(std::move(pb).Finish());
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetInt(1), 30);  // the minimum candidate won
+}
+
+TEST(IterationSemanticsTest, SpillableCacheMatchesInMemoryResult) {
+  // Bulk iteration joining against a large constant table, once with the
+  // unbounded in-memory cache and once with a tiny spill budget: identical
+  // results (§4.3 gradual spilling).
+  std::vector<Record> lookup;
+  for (int k = 0; k < 2000; ++k) lookup.push_back(Record::OfInts(k, k % 7));
+  std::vector<Record> init;
+  for (int k = 0; k < 2000; ++k) init.push_back(Record::OfInts(k, 0));
+
+  auto build_plan = [&](std::vector<Record>* out) {
+    PlanBuilder pb;
+    auto src = pb.Source("init", init);
+    auto table = pb.Source("lookup", lookup);
+    auto it = pb.BeginBulkIteration("acc", src, 3, {0});
+    // The constant table is the *probe* side (the solution is the build
+    // side): this is the cached-probe path that can spill.
+    auto next = pb.Match("add", it.PartialSolution(), table, {0}, {0},
+                         [](const Record& x, const Record& t, Collector* c) {
+                           c->Emit(Record::OfInts(x.GetInt(0),
+                                                  x.GetInt(1) + t.GetInt(1)));
+                         });
+    pb.DeclarePreserved(next, 0, 0, 0);
+    pb.Sink("out", it.Close(next), out);
+    return std::move(pb).Finish();
+  };
+
+  std::vector<Record> in_memory;
+  RunToResult(build_plan(&in_memory));
+  std::vector<Record> spilled;
+  ExecutionOptions eopt;
+  eopt.parallelism = 2;
+  eopt.cache_spill_budget_bytes = 16 * sizeof(Record);
+  RunToResult(build_plan(&spilled), eopt);
+
+  auto sorted = [](std::vector<Record> records) {
+    std::sort(records.begin(), records.end(),
+              [](const Record& a, const Record& b) {
+                return a.GetInt(0) < b.GetInt(0);
+              });
+    return records;
+  };
+  EXPECT_EQ(sorted(in_memory).size(), 2000u);
+  auto a = sorted(in_memory);
+  auto b = sorted(spilled);
+  ASSERT_EQ(a.size(), b.size());
+  for (size_t i = 0; i < a.size(); ++i) EXPECT_EQ(a[i], b[i]);
+}
+
+TEST(IterationSemanticsTest, BulkSingleIteration) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  auto src = pb.Source("init", {Record::OfInts(1, 1)});
+  auto it = pb.BeginBulkIteration("once", src, 1, {0});
+  auto next = pb.Map("inc", it.PartialSolution(),
+                     [](const Record& rec, Collector* c) {
+                       c->Emit(Record::OfInts(rec.GetInt(0),
+                                              rec.GetInt(1) + 1));
+                     });
+  pb.DeclarePreserved(next, 0, 0, 0);
+  pb.Sink("out", it.Close(next), &out);
+  ExecutionResult result = RunToResult(std::move(pb).Finish());
+  EXPECT_EQ(result.bulk_reports[0].iterations, 1);
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0].GetInt(1), 2);
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,138 @@
+#include "runtime/router.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+namespace sfdf {
+namespace {
+
+struct RouterFixture {
+  explicit RouterFixture(int partitions) {
+    for (int p = 0; p < partitions; ++p) {
+      channels.push_back(std::make_unique<Channel>(1));
+      targets.push_back(channels.back().get());
+    }
+  }
+
+  /// Drains everything currently in partition p (after a marker was sent).
+  std::vector<Record> Drain(int p, MarkerKind until) {
+    std::vector<Record> records;
+    channels[p]->ReadPhase(until, [&](const RecordBatch& batch) {
+      for (const Record& rec : batch) records.push_back(rec);
+    });
+    return records;
+  }
+
+  std::vector<std::unique_ptr<Channel>> channels;
+  std::vector<Channel*> targets;
+  Metrics metrics;
+};
+
+TEST(RouterTest, ForwardStaysInOwnPartition) {
+  RouterFixture fx(3);
+  OutputPort port(fx.targets, ShipStrategy::kForward, KeySpec{}, 1,
+                  &fx.metrics, false);
+  port.Send(Record::OfInts(42));
+  port.SendMarker(MarkerKind::kEndStream);
+  EXPECT_EQ(fx.Drain(0, MarkerKind::kEndStream).size(), 0u);
+  EXPECT_EQ(fx.Drain(1, MarkerKind::kEndStream).size(), 1u);
+  EXPECT_EQ(fx.Drain(2, MarkerKind::kEndStream).size(), 0u);
+  EXPECT_EQ(fx.metrics.records_remote(), 0);
+  EXPECT_EQ(fx.metrics.records_shipped(), 1);
+}
+
+TEST(RouterTest, HashPartitionGroupsEqualKeys) {
+  RouterFixture fx(4);
+  OutputPort port(fx.targets, ShipStrategy::kHashPartition, KeySpec{0}, 0,
+                  &fx.metrics, false);
+  for (int i = 0; i < 100; ++i) {
+    port.Send(Record::OfInts(i % 10, i));
+  }
+  port.SendMarker(MarkerKind::kEndStream);
+  // Each key's 10 records land in exactly one partition.
+  std::vector<std::vector<Record>> received;
+  for (int p = 0; p < 4; ++p) {
+    received.push_back(fx.Drain(p, MarkerKind::kEndStream));
+  }
+  size_t total = 0;
+  for (int p = 0; p < 4; ++p) {
+    total += received[p].size();
+    for (const Record& rec : received[p]) {
+      EXPECT_EQ(PartitionOf(rec, KeySpec{0}, 4), p);
+    }
+  }
+  EXPECT_EQ(total, 100u);
+}
+
+TEST(RouterTest, BroadcastReplicatesToAll) {
+  RouterFixture fx(3);
+  OutputPort port(fx.targets, ShipStrategy::kBroadcast, KeySpec{}, 0,
+                  &fx.metrics, false);
+  port.Send(Record::OfInts(7));
+  port.SendMarker(MarkerKind::kEndStream);
+  for (int p = 0; p < 3; ++p) {
+    EXPECT_EQ(fx.Drain(p, MarkerKind::kEndStream).size(), 1u) << p;
+  }
+  EXPECT_EQ(fx.metrics.records_shipped(), 3);
+  EXPECT_EQ(fx.metrics.records_remote(), 2);  // one copy stays local
+}
+
+TEST(RouterTest, CombinerPreAggregates) {
+  RouterFixture fx(2);
+  CombineFn sum = [](const Record& a, const Record& b) {
+    return Record::OfInts(a.GetInt(0), a.GetInt(1) + b.GetInt(1));
+  };
+  OutputPort port(fx.targets, ShipStrategy::kHashPartition, KeySpec{0}, 0,
+                  &fx.metrics, false, sum, KeySpec{0});
+  for (int i = 0; i < 30; ++i) {
+    port.Send(Record::OfInts(i % 3, 1));  // 3 keys, 10 records each
+  }
+  port.SendMarker(MarkerKind::kEndStream);
+  std::vector<Record> all;
+  for (int p = 0; p < 2; ++p) {
+    for (const Record& rec : fx.Drain(p, MarkerKind::kEndStream)) {
+      all.push_back(rec);
+    }
+  }
+  // Only 3 combined records were shipped; each carries the full sum.
+  ASSERT_EQ(all.size(), 3u);
+  for (const Record& rec : all) {
+    EXPECT_EQ(rec.GetInt(1), 10);
+  }
+  EXPECT_EQ(fx.metrics.records_shipped(), 3);
+  EXPECT_EQ(fx.metrics.records_combined(), 27);
+}
+
+TEST(RouterTest, LargeVolumeFlushesInBatches) {
+  RouterFixture fx(2);
+  OutputPort port(fx.targets, ShipStrategy::kHashPartition, KeySpec{0}, 0,
+                  &fx.metrics, false);
+  const int n = 5000;  // > kDefaultBatchSize: triggers intermediate flushes
+  for (int i = 0; i < n; ++i) {
+    port.Send(Record::OfInts(i));
+  }
+  port.SendMarker(MarkerKind::kEndStream);
+  size_t total = fx.Drain(0, MarkerKind::kEndStream).size() +
+                 fx.Drain(1, MarkerKind::kEndStream).size();
+  EXPECT_EQ(total, static_cast<size_t>(n));
+  EXPECT_EQ(fx.metrics.records_shipped(), n);
+}
+
+TEST(PortsCollectorTest, FansOutToAllPorts) {
+  RouterFixture fx1(1);
+  RouterFixture fx2(1);
+  OutputPort port1(fx1.targets, ShipStrategy::kForward, KeySpec{}, 0,
+                   &fx1.metrics, false);
+  OutputPort port2(fx2.targets, ShipStrategy::kForward, KeySpec{}, 0,
+                   &fx2.metrics, false);
+  PortsCollector collector({&port1, &port2});
+  collector.Emit(Record::OfInts(1));
+  port1.SendMarker(MarkerKind::kEndStream);
+  port2.SendMarker(MarkerKind::kEndStream);
+  EXPECT_EQ(fx1.Drain(0, MarkerKind::kEndStream).size(), 1u);
+  EXPECT_EQ(fx2.Drain(0, MarkerKind::kEndStream).size(), 1u);
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,91 @@
+#include "runtime/sorter.h"
+
+#include <gtest/gtest.h>
+
+namespace sfdf {
+namespace {
+
+TEST(SorterTest, SortByKey) {
+  std::vector<Record> records = {Record::OfInts(3, 0), Record::OfInts(1, 1),
+                                 Record::OfInts(2, 2)};
+  SortByKey(&records, KeySpec{0});
+  EXPECT_EQ(records[0].GetInt(0), 1);
+  EXPECT_EQ(records[1].GetInt(0), 2);
+  EXPECT_EQ(records[2].GetInt(0), 3);
+}
+
+TEST(SorterTest, ForEachGroupYieldsRuns) {
+  std::vector<Record> records = {Record::OfInts(1, 0), Record::OfInts(1, 1),
+                                 Record::OfInts(2, 2), Record::OfInts(3, 3),
+                                 Record::OfInts(3, 4)};
+  std::vector<size_t> group_sizes;
+  ForEachGroup(records, KeySpec{0}, [&](const std::vector<Record>& group) {
+    group_sizes.push_back(group.size());
+  });
+  EXPECT_EQ(group_sizes, (std::vector<size_t>{2, 1, 2}));
+}
+
+TEST(SorterTest, ForEachGroupEmptyInput) {
+  std::vector<Record> records;
+  int groups = 0;
+  ForEachGroup(records, KeySpec{0},
+               [&](const std::vector<Record>&) { ++groups; });
+  EXPECT_EQ(groups, 0);
+}
+
+TEST(SorterTest, MergeJoinGroupsAlignsKeys) {
+  std::vector<Record> left = {Record::OfInts(1, 10), Record::OfInts(3, 30)};
+  std::vector<Record> right = {Record::OfInts(1, 100), Record::OfInts(2, 200),
+                               Record::OfInts(3, 300),
+                               Record::OfInts(3, 301)};
+  struct Call {
+    size_t left_size;
+    size_t right_size;
+  };
+  std::vector<Call> calls;
+  MergeJoinGroups(left, KeySpec{0}, right, KeySpec{0},
+                  [&](const std::vector<Record>& l,
+                      const std::vector<Record>& r) {
+                    calls.push_back({l.size(), r.size()});
+                  });
+  // key 1: (1,1); key 2: (0,1); key 3: (1,2)
+  ASSERT_EQ(calls.size(), 3u);
+  EXPECT_EQ(calls[0].left_size, 1u);
+  EXPECT_EQ(calls[0].right_size, 1u);
+  EXPECT_EQ(calls[1].left_size, 0u);
+  EXPECT_EQ(calls[1].right_size, 1u);
+  EXPECT_EQ(calls[2].left_size, 1u);
+  EXPECT_EQ(calls[2].right_size, 2u);
+}
+
+TEST(SorterTest, MergeJoinHandlesOneEmptySide) {
+  std::vector<Record> left = {Record::OfInts(1)};
+  std::vector<Record> right;
+  int calls = 0;
+  MergeJoinGroups(left, KeySpec{0}, right, KeySpec{0},
+                  [&](const std::vector<Record>& l,
+                      const std::vector<Record>& r) {
+                    EXPECT_EQ(l.size(), 1u);
+                    EXPECT_TRUE(r.empty());
+                    ++calls;
+                  });
+  EXPECT_EQ(calls, 1);
+}
+
+TEST(SorterTest, MergeJoinDifferentKeyPositions) {
+  // Left keyed on field 0, right keyed on field 1.
+  std::vector<Record> left = {Record::OfInts(5, 0)};
+  std::vector<Record> right = {Record::OfInts(0, 5)};
+  int calls = 0;
+  MergeJoinGroups(left, KeySpec{0}, right, KeySpec{1},
+                  [&](const std::vector<Record>& l,
+                      const std::vector<Record>& r) {
+                    EXPECT_EQ(l.size(), 1u);
+                    EXPECT_EQ(r.size(), 1u);
+                    ++calls;
+                  });
+  EXPECT_EQ(calls, 1);
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -1,0 +1,90 @@
+#include "runtime/spill_buffer.h"
+
+#include <gtest/gtest.h>
+
+namespace sfdf {
+namespace {
+
+TEST(SpillBufferTest, InMemoryOnlyWithoutBudget) {
+  SpillBuffer buffer;
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(buffer.Add(Record::OfInts(i)).ok());
+  }
+  ASSERT_TRUE(buffer.Seal().ok());
+  EXPECT_FALSE(buffer.spilled());
+  EXPECT_EQ(buffer.size(), 1000);
+  int64_t i = 0;
+  ASSERT_TRUE(buffer
+                  .Replay([&](const Record& rec) {
+                    EXPECT_EQ(rec.GetInt(0), i);
+                    ++i;
+                  })
+                  .ok());
+  EXPECT_EQ(i, 1000);
+}
+
+TEST(SpillBufferTest, GraduallySpillsOverBudget) {
+  SpillBufferOptions options;
+  options.memory_budget_bytes = 100 * sizeof(Record);
+  options.spill_directory = testing::TempDir();
+  SpillBuffer buffer(options);
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    ASSERT_TRUE(buffer.Add(Record::OfIntDouble(i, i * 0.5)).ok());
+  }
+  ASSERT_TRUE(buffer.Seal().ok());
+  EXPECT_TRUE(buffer.spilled());
+  EXPECT_EQ(buffer.in_memory_records(), 100);  // hot prefix stays resident
+  EXPECT_EQ(buffer.spilled_records(), n - 100);
+  EXPECT_EQ(buffer.size(), n);
+  // Replay preserves insertion order across the memory/disk boundary.
+  int64_t i = 0;
+  ASSERT_TRUE(buffer
+                  .Replay([&](const Record& rec) {
+                    ASSERT_EQ(rec.GetInt(0), i);
+                    ASSERT_DOUBLE_EQ(rec.GetDouble(1), i * 0.5);
+                    ++i;
+                  })
+                  .ok());
+  EXPECT_EQ(i, n);
+}
+
+TEST(SpillBufferTest, ReplayIsRepeatable) {
+  SpillBufferOptions options;
+  options.memory_budget_bytes = 10 * sizeof(Record);
+  options.spill_directory = testing::TempDir();
+  SpillBuffer buffer(options);
+  for (int i = 0; i < 5000; ++i) {
+    ASSERT_TRUE(buffer.Add(Record::OfInts(i)).ok());
+  }
+  ASSERT_TRUE(buffer.Seal().ok());
+  for (int round = 0; round < 3; ++round) {
+    int64_t count = 0;
+    ASSERT_TRUE(buffer.Replay([&](const Record&) { ++count; }).ok());
+    EXPECT_EQ(count, 5000);
+  }
+}
+
+TEST(SpillBufferTest, EmptyBufferReplaysNothing) {
+  SpillBuffer buffer;
+  ASSERT_TRUE(buffer.Seal().ok());
+  int count = 0;
+  ASSERT_TRUE(buffer.Replay([&](const Record&) { ++count; }).ok());
+  EXPECT_EQ(count, 0);
+}
+
+TEST(SpillBufferTest, SealIsIdempotent) {
+  SpillBufferOptions options;
+  options.memory_budget_bytes = sizeof(Record);
+  options.spill_directory = testing::TempDir();
+  SpillBuffer buffer(options);
+  for (int i = 0; i < 100; ++i) {
+    ASSERT_TRUE(buffer.Add(Record::OfInts(i)).ok());
+  }
+  ASSERT_TRUE(buffer.Seal().ok());
+  ASSERT_TRUE(buffer.Seal().ok());
+  EXPECT_EQ(buffer.size(), 100);
+}
+
+}  // namespace
+}  // namespace sfdf
