@@ -1,6 +1,7 @@
 #include "optimizer/optimizer.h"
 
 #include <algorithm>
+#include <cassert>
 #include <cmath>
 #include <limits>
 
@@ -756,6 +757,13 @@ Result<PhysicalPlan> Optimizer::Optimize(const Plan& plan) const {
   physical.parallelism = ctx.parallelism;
 
   std::vector<int> task_of(plan.nodes().size(), -1);
+  // Upper bound on task count: one per executable node plus head/tail/term
+  // (bulk) and head/tail/apply (workset) per iteration. Reserving it keeps
+  // the PhysicalTask* handles returned by add_task stable — push_back below
+  // never reallocates. Adding a new task kind? Update this bound.
+  physical.tasks.reserve(plan.nodes().size() +
+                         3 * plan.bulk_iterations().size() +
+                         3 * plan.workset_iterations().size());
   auto add_task = [&](OperatorKind kind, TaskRole role,
                       const std::string& name) -> PhysicalTask* {
     PhysicalTask task;
@@ -763,6 +771,8 @@ Result<PhysicalPlan> Optimizer::Optimize(const Plan& plan) const {
     task.kind = kind;
     task.role = role;
     task.name = name;
+    // Must not reallocate: callers hold PhysicalTask* across add_task calls.
+    assert(physical.tasks.size() < physical.tasks.capacity());
     physical.tasks.push_back(std::move(task));
     return &physical.tasks.back();
   };

@@ -9,6 +9,12 @@
 // "according number of channel events" protocol.
 #pragma once
 
+#include <version>
+
+#if __cplusplus < 202002L || !defined(__cpp_lib_barrier)
+#error "sfdf requires C++20 with <barrier> (std::barrier). Build with -std=c++20 or newer — the root CMakeLists.txt sets CMAKE_CXX_STANDARD 20; do not override it downward."
+#endif
+
 #include <atomic>
 #include <barrier>
 #include <functional>
