@@ -214,4 +214,27 @@ Result<CcResult> RunConnectedComponents(const Graph& graph,
   return cc;
 }
 
+Status AppendCcMutationSeeds(
+    const std::function<int64_t(VertexId)>& component_of,
+    const GraphMutation& mutation, std::vector<Record>* seeds) {
+  switch (mutation.kind) {
+    case MutationKind::kEdgeInsert: {
+      if (mutation.u == mutation.v) return Status::OK();
+      seeds->push_back(
+          Record::OfInts(mutation.u, component_of(mutation.v)));
+      seeds->push_back(
+          Record::OfInts(mutation.v, component_of(mutation.u)));
+      return Status::OK();
+    }
+    case MutationKind::kVertexUpsert:
+      return Status::OK();
+    case MutationKind::kEdgeRemove:
+      return Status::Unsupported(
+          "edge removal can split a component — not monotone under the "
+          "min-label CPO; run a cold recompute instead: " +
+          mutation.ToString());
+  }
+  return Status::Internal("unknown mutation kind");
+}
+
 }  // namespace sfdf

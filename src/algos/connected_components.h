@@ -16,10 +16,12 @@
 //                        quiescence-based termination.
 #pragma once
 
+#include <functional>
 #include <vector>
 
 #include "common/result.h"
 #include "graph/graph.h"
+#include "graph/mutation.h"
 #include "runtime/executor.h"
 
 namespace sfdf {
@@ -59,5 +61,26 @@ Result<CcResult> RunConnectedComponents(const Graph& graph,
 
 /// Builds the (src, dst) neighborhood records N of `graph`.
 std::vector<Record> BuildEdgeRecords(const Graph& graph);
+
+/// Mutation-to-workset translator for the continuous serving subsystem
+/// (src/service/): turns one streamed mutation into INCR-CC candidate
+/// records (vid, cid) against the resident component labels.
+///
+///   insert (u,v):  candidates (u, comp(v)) and (v, comp(u)) — the ∪̇
+///                  comparator keeps the minimum and the warm round
+///                  propagates it through the merged component only.
+///   vertex upsert: no seeds — a fresh vertex is its own component until an
+///                  edge arrives (the serving layer upserts (u, u) into S).
+///   remove (u,v):  Unsupported. A deletion can split a component, which is
+///                  not monotone under the min-label CPO (§5.1): the served
+///                  labels can only ever decrease, so the split half's old
+///                  minimum cannot be retracted incrementally. Serve
+///                  deletions with a cold recompute.
+///
+/// `component_of` reads the resident solution set (return the vertex's own
+/// id for vertices it does not contain).
+Status AppendCcMutationSeeds(
+    const std::function<int64_t(VertexId)>& component_of,
+    const GraphMutation& mutation, std::vector<Record>* seeds);
 
 }  // namespace sfdf

@@ -9,20 +9,21 @@
 
 namespace sfdf {
 
-Result<IncrementalPageRankResult> RunIncrementalPageRank(
-    const Graph& graph, const IncrementalPageRankOptions& options) {
-  const double n = static_cast<double>(graph.num_vertices());
-  const double base = (1.0 - options.damping) / n;
-  const double damping = options.damping;
-  const double epsilon = options.epsilon;
-
-  // S_0: every page starts at the base rank.
+std::vector<Record> BuildInitialRankRecords(int64_t num_vertices,
+                                            double damping) {
+  const double base = (1.0 - damping) / static_cast<double>(num_vertices);
   std::vector<Record> initial_ranks;
-  initial_ranks.reserve(graph.num_vertices());
-  for (VertexId v = 0; v < graph.num_vertices(); ++v) {
+  initial_ranks.reserve(num_vertices);
+  for (VertexId v = 0; v < num_vertices; ++v) {
     initial_ranks.push_back(Record::OfIntDouble(v, base));
   }
-  // W_0: the base rank mass pushed once along every edge.
+  return initial_ranks;
+}
+
+std::vector<Record> BuildInitialPushRecords(const Graph& graph,
+                                            double damping) {
+  const double base =
+      (1.0 - damping) / static_cast<double>(graph.num_vertices());
   std::vector<Record> initial_pushes;
   initial_pushes.reserve(graph.num_directed_edges());
   for (VertexId u = 0; u < graph.num_vertices(); ++u) {
@@ -34,11 +35,33 @@ Result<IncrementalPageRankResult> RunIncrementalPageRank(
       initial_pushes.push_back(Record::OfIntDouble(*v, push));
     }
   }
+  return initial_pushes;
+}
+
+CoGroupUdf PageRankAbsorbUdf() {
+  return [](const std::vector<Record>& pushes_in,
+            const std::vector<Record>& state, Collector* out) {
+    double residual = 0;
+    for (const Record& rec : pushes_in) residual += rec.GetDouble(1);
+    const Record& current = state.front();
+    Record updated;
+    updated.AppendInt(current.GetInt(0));
+    updated.AppendDouble(current.GetDouble(1) + residual);
+    updated.AppendDouble(residual);
+    out->Emit(updated);
+  };
+}
+
+Result<IncrementalPageRankResult> RunIncrementalPageRank(
+    const Graph& graph, const IncrementalPageRankOptions& options) {
+  const double damping = options.damping;
+  const double epsilon = options.epsilon;
 
   std::vector<Record> output;
   PlanBuilder pb;
-  auto ranks = pb.Source("S0", std::move(initial_ranks));
-  auto pushes = pb.Source("W0", std::move(initial_pushes));
+  auto ranks = pb.Source(
+      "S0", BuildInitialRankRecords(graph.num_vertices(), damping));
+  auto pushes = pb.Source("W0", BuildInitialPushRecords(graph, damping));
   auto matrix = pb.Source("A", BuildTransitionMatrix(graph));
 
   auto it = pb.BeginWorksetIteration("incr-pr", ranks, pushes,
@@ -49,19 +72,8 @@ Result<IncrementalPageRankResult> RunIncrementalPageRank(
   // ∆ part 1: absorb the pending pushes into the rank. The delta record
   // carries (pid, new_rank, residual) — the residual rides along only to
   // feed part 2 and is replaced on the next update.
-  auto delta = pb.InnerCoGroup(
-      "absorb", it.Workset(), it.SolutionSet(), {0}, {0},
-      [](const std::vector<Record>& pushes_in,
-         const std::vector<Record>& state, Collector* out) {
-        double residual = 0;
-        for (const Record& rec : pushes_in) residual += rec.GetDouble(1);
-        const Record& current = state.front();
-        Record updated;
-        updated.AppendInt(current.GetInt(0));
-        updated.AppendDouble(current.GetDouble(1) + residual);
-        updated.AppendDouble(residual);
-        out->Emit(updated);
-      });
+  auto delta = pb.InnerCoGroup("absorb", it.Workset(), it.SolutionSet(),
+                               {0}, {0}, PageRankAbsorbUdf());
   pb.DeclarePreserved(delta, 1, 0, 0);
   // ∆ part 2: adaptive push — only pages whose residual still exceeds the
   // threshold forward mass to their neighbors (A: (tid, pid, prob)).
@@ -101,6 +113,65 @@ Result<IncrementalPageRankResult> RunIncrementalPageRank(
   }
   std::sort(pr.ranks.begin(), pr.ranks.end());
   return pr;
+}
+
+Status AppendPageRankMutationSeeds(
+    const DynamicGraph& graph,
+    const std::function<double(VertexId)>& rank_of, double damping,
+    const GraphMutation& mutation, std::vector<Record>* seeds) {
+  switch (mutation.kind) {
+    case MutationKind::kEdgeInsert: {
+      if (!graph.HasVertex(mutation.u) || !graph.HasVertex(mutation.v)) {
+        return Status::InvalidArgument(
+            "edge endpoints must be in the vertex space before seeding: " +
+            mutation.ToString());
+      }
+      if (mutation.u == mutation.v || graph.HasEdge(mutation.u, mutation.v)) {
+        return Status::OK();  // no-op mutation, no residual to push
+      }
+      const double r_u = rank_of(mutation.u);
+      const int64_t degree = graph.OutDegree(mutation.u);
+      seeds->push_back(Record::OfIntDouble(
+          mutation.v, damping * r_u / static_cast<double>(degree + 1)));
+      if (degree > 0) {
+        const double loss = -damping * r_u /
+                            (static_cast<double>(degree) *
+                             static_cast<double>(degree + 1));
+        for (VertexId w : graph.Neighbors(mutation.u)) {
+          seeds->push_back(Record::OfIntDouble(w, loss));
+        }
+      }
+      return Status::OK();
+    }
+    case MutationKind::kEdgeRemove: {
+      if (mutation.u == mutation.v ||
+          !graph.HasEdge(mutation.u, mutation.v)) {
+        return Status::OK();  // self-loops never pushed; nothing to retract
+      }
+      const double r_u = rank_of(mutation.u);
+      const int64_t degree = graph.OutDegree(mutation.u);
+      seeds->push_back(Record::OfIntDouble(
+          mutation.v, -damping * r_u / static_cast<double>(degree)));
+      if (degree > 1) {
+        const double gain = damping * r_u /
+                            (static_cast<double>(degree) *
+                             static_cast<double>(degree - 1));
+        for (VertexId w : graph.Neighbors(mutation.u)) {
+          if (w != mutation.v) {
+            seeds->push_back(Record::OfIntDouble(w, gain));
+          }
+        }
+      }
+      return Status::OK();
+    }
+    case MutationKind::kVertexUpsert: {
+      if (mutation.value != 0) {
+        seeds->push_back(Record::OfIntDouble(mutation.u, mutation.value));
+      }
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unknown mutation kind");
 }
 
 }  // namespace sfdf

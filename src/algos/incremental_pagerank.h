@@ -22,11 +22,15 @@
 // PageRank up to O(ε) per page.
 #pragma once
 
+#include <functional>
 #include <utility>
 #include <vector>
 
 #include "common/result.h"
+#include "dataflow/udf.h"
+#include "graph/dynamic_graph.h"
 #include "graph/graph.h"
+#include "graph/mutation.h"
 #include "runtime/executor.h"
 
 namespace sfdf {
@@ -54,5 +58,48 @@ struct IncrementalPageRankResult {
 /// Runs incremental PageRank to its fixpoint on the dataflow engine.
 Result<IncrementalPageRankResult> RunIncrementalPageRank(
     const Graph& graph, const IncrementalPageRankOptions& options);
+
+/// S_0 of the push formulation: every page at the base rank (1-d)/n.
+/// Shared by the batch run above and the serving plan (src/service/).
+std::vector<Record> BuildInitialRankRecords(int64_t num_vertices,
+                                            double damping);
+
+/// W_0 of the push formulation: the base rank mass pushed once along every
+/// edge, as (pid, push) records.
+std::vector<Record> BuildInitialPushRecords(const Graph& graph,
+                                            double damping);
+
+/// ∆ part 1 — the "absorb" InnerCoGroup UDF: rank' = rank + Σ pushes,
+/// emitted as (pid, rank', Σ pushes); the residual rides along in field 2
+/// to feed the push stage. One definition so the batch and serving plans
+/// cannot diverge.
+CoGroupUdf PageRankAbsorbUdf();
+
+/// Mutation-to-workset translator for the continuous serving subsystem
+/// (src/service/): turns one streamed graph mutation into §7.2 residual
+/// pushes, appended to `seeds` as (pid, push) workset records.
+///
+/// At the old fixpoint, rank r satisfies r ≈ base + d·AᵀT r for the old
+/// transition matrix A. Changing one row of the adjacency perturbs the
+/// residual only at the mutated vertex's neighbors, with `r_u = rank_of(u)`:
+///
+///   insert (u,v):  v gains  d·r_u/(deg+1); every old neighbor loses
+///                  d·r_u/(deg·(deg+1))          (deg = old out-degree of u)
+///   remove (u,v):  v loses  d·r_u/deg; every remaining neighbor gains
+///                  d·r_u/(deg·(deg−1))
+///   vertex upsert: injects `value` rank mass at u (0 = no seed)
+///
+/// Seeding exactly these pushes as W_0 of a warm round re-converges the
+/// resident solution to the mutated graph's fixpoint (up to the adaptivity
+/// threshold ε), touching only the region the change actually reaches.
+///
+/// `graph` must be the adjacency BEFORE the mutation is applied — the
+/// caller applies it afterwards. `rank_of` reads the resident solution set
+/// (return the base rank for vertices it does not contain). Inserting an
+/// existing edge, removing a missing one and self-loops are no-ops.
+Status AppendPageRankMutationSeeds(
+    const DynamicGraph& graph,
+    const std::function<double(VertexId)>& rank_of, double damping,
+    const GraphMutation& mutation, std::vector<Record>* seeds);
 
 }  // namespace sfdf

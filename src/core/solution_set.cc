@@ -20,9 +20,8 @@ class HashSolutionIndex : public SolutionSetIndex {
   HashSolutionIndex(KeySpec key, RecordOrder comparator)
       : table_(key), comparator_(std::move(comparator)) {}
 
-  const Record* Lookup(const Record& probe,
-                       const KeySpec& probe_key) override {
-    ++stats_.lookups;
+  const Record* Peek(const Record& probe,
+                     const KeySpec& probe_key) const override {
     return table_.Lookup(probe, probe_key);
   }
 
@@ -55,9 +54,8 @@ class BTreeSolutionIndex : public SolutionSetIndex {
   BTreeSolutionIndex(KeySpec key, RecordOrder comparator)
       : tree_(key), comparator_(std::move(comparator)) {}
 
-  const Record* Lookup(const Record& probe,
-                       const KeySpec& probe_key) override {
-    ++stats_.lookups;
+  const Record* Peek(const Record& probe,
+                     const KeySpec& probe_key) const override {
     return tree_.Lookup(probe, probe_key);
   }
 

@@ -11,6 +11,7 @@
 // the larger one (the CPO successor) survives and the smaller is discarded.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <memory>
@@ -45,8 +46,17 @@ class SolutionSetIndex {
 
   /// Returns the record whose key equals the key fields of `probe` under
   /// `probe_key`, or nullptr. Counts as a lookup.
-  virtual const Record* Lookup(const Record& probe,
-                               const KeySpec& probe_key) = 0;
+  const Record* Lookup(const Record& probe, const KeySpec& probe_key) {
+    ++stats_.lookups;
+    return Peek(probe, probe_key);
+  }
+
+  /// Stats-free point read: like Lookup, but const and without touching the
+  /// instrumentation counters. The serving layer uses it for snapshot /
+  /// point queries so concurrent readers of a quiescent partition stay free
+  /// of shared writes.
+  virtual const Record* Peek(const Record& probe,
+                             const KeySpec& probe_key) const = 0;
 
   /// Merges one delta record via ∪̇: inserts, or replaces the existing
   /// same-key record. With a comparator, the replacement only happens if the
@@ -63,8 +73,21 @@ class SolutionSetIndex {
   const SolutionSetStats& stats() const { return stats_; }
   void ResetStats() { stats_ = SolutionSetStats{}; }
 
+  /// Epoch tag for serving-layer snapshot reads. The serving session stamps
+  /// every partition with the batch epoch after a warm round commits; a
+  /// reader returns the stamp of the partition it read from and validates
+  /// it (seqlock-style) against the service-level epoch, so every value is
+  /// attributed to one batch-consistent state. The tag itself is an atomic
+  /// so the validation reads are race-free; the record data is protected by
+  /// the serving layer's reader/writer exclusion.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+  void set_epoch(uint64_t epoch) {
+    epoch_.store(epoch, std::memory_order_release);
+  }
+
  protected:
   SolutionSetStats stats_;
+  std::atomic<uint64_t> epoch_{0};
 };
 
 /// Creates a hash-table-backed partition index (updateable hash table).

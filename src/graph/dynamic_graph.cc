@@ -1,0 +1,96 @@
+#include "graph/dynamic_graph.h"
+
+#include <algorithm>
+#include <string>
+
+namespace sfdf {
+
+std::string_view MutationKindName(MutationKind kind) {
+  switch (kind) {
+    case MutationKind::kEdgeInsert:
+      return "EdgeInsert";
+    case MutationKind::kEdgeRemove:
+      return "EdgeRemove";
+    case MutationKind::kVertexUpsert:
+      return "VertexUpsert";
+  }
+  return "?";
+}
+
+std::string GraphMutation::ToString() const {
+  std::string s(MutationKindName(kind));
+  s += "(" + std::to_string(u);
+  if (kind != MutationKind::kVertexUpsert) {
+    s += ", " + std::to_string(v);
+  } else if (value != 0) {
+    s += ", " + std::to_string(value);
+  }
+  return s + ")";
+}
+
+DynamicGraph::DynamicGraph(const Graph& graph)
+    : adjacency_(graph.num_vertices()) {
+  for (VertexId u = 0; u < graph.num_vertices(); ++u) {
+    adjacency_[u].assign(graph.NeighborsBegin(u), graph.NeighborsEnd(u));
+  }
+  num_directed_edges_ = graph.num_directed_edges();
+}
+
+bool DynamicGraph::HasEdge(VertexId u, VertexId v) const {
+  if (!HasVertex(u) || !HasVertex(v)) return false;
+  const std::vector<VertexId>& nbrs = adjacency_[u];
+  return std::find(nbrs.begin(), nbrs.end(), v) != nbrs.end();
+}
+
+bool DynamicGraph::AddEdge(VertexId u, VertexId v) {
+  SFDF_CHECK(HasVertex(u) && HasVertex(v))
+      << "AddEdge(" << u << ", " << v << ") outside the vertex space";
+  if (u == v || HasEdge(u, v)) return false;
+  adjacency_[u].push_back(v);
+  ++num_directed_edges_;
+  return true;
+}
+
+bool DynamicGraph::RemoveEdge(VertexId u, VertexId v) {
+  if (!HasVertex(u) || !HasVertex(v)) return false;
+  std::vector<VertexId>& nbrs = adjacency_[u];
+  auto it = std::find(nbrs.begin(), nbrs.end(), v);
+  if (it == nbrs.end()) return false;
+  nbrs.erase(it);
+  --num_directed_edges_;
+  return true;
+}
+
+bool DynamicGraph::EnsureVertex(VertexId v) {
+  SFDF_CHECK(v >= 0) << "negative vertex id " << v;
+  if (v < num_vertices()) return false;
+  adjacency_.resize(v + 1);
+  return true;
+}
+
+bool DynamicGraph::Apply(const GraphMutation& mutation) {
+  switch (mutation.kind) {
+    case MutationKind::kEdgeInsert:
+      EnsureVertex(std::max(mutation.u, mutation.v));
+      return AddEdge(mutation.u, mutation.v);
+    case MutationKind::kEdgeRemove:
+      return RemoveEdge(mutation.u, mutation.v);
+    case MutationKind::kVertexUpsert:
+      return EnsureVertex(mutation.u);
+  }
+  return false;
+}
+
+Graph DynamicGraph::Freeze() const {
+  std::vector<int64_t> offsets(num_vertices() + 1, 0);
+  std::vector<VertexId> targets;
+  targets.reserve(num_directed_edges_);
+  for (VertexId u = 0; u < num_vertices(); ++u) {
+    offsets[u] = static_cast<int64_t>(targets.size());
+    targets.insert(targets.end(), adjacency_[u].begin(), adjacency_[u].end());
+  }
+  offsets[num_vertices()] = static_cast<int64_t>(targets.size());
+  return Graph(num_vertices(), std::move(offsets), std::move(targets));
+}
+
+}  // namespace sfdf

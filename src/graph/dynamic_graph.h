@@ -1,0 +1,71 @@
+// Mutable adjacency for the continuous serving subsystem.
+//
+// The frozen CSR Graph is the right substrate for one-shot batch jobs; a
+// serving session instead needs adjacency that absorbs streamed edge
+// mutations between warm rounds. DynamicGraph keeps one neighbor vector per
+// vertex. It is deliberately NOT internally synchronized: the serving layer
+// mutates it only between rounds (on the admission thread, while every
+// executor task is parked at the round gate) and the executor's task
+// threads read it only during rounds — the round gate provides the
+// happens-before edges, so readers and writers never overlap.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "graph/graph.h"
+#include "graph/mutation.h"
+
+namespace sfdf {
+
+class DynamicGraph {
+ public:
+  /// Starts empty with `num_vertices` isolated vertices.
+  explicit DynamicGraph(int64_t num_vertices) : adjacency_(num_vertices) {}
+
+  /// Thaws a frozen CSR graph (copies the adjacency).
+  explicit DynamicGraph(const Graph& graph);
+
+  int64_t num_vertices() const {
+    return static_cast<int64_t>(adjacency_.size());
+  }
+  int64_t num_directed_edges() const { return num_directed_edges_; }
+
+  bool HasVertex(VertexId v) const { return v >= 0 && v < num_vertices(); }
+
+  int64_t OutDegree(VertexId v) const {
+    SFDF_DCHECK(HasVertex(v));
+    return static_cast<int64_t>(adjacency_[v].size());
+  }
+
+  const std::vector<VertexId>& Neighbors(VertexId v) const {
+    SFDF_DCHECK(HasVertex(v));
+    return adjacency_[v];
+  }
+
+  bool HasEdge(VertexId u, VertexId v) const;
+
+  /// Adds the directed edge u -> v. Returns false (no-op) if it already
+  /// exists or is a self-loop. Both endpoints must exist (EnsureVertex).
+  bool AddEdge(VertexId u, VertexId v);
+
+  /// Removes the directed edge u -> v. Returns false if it was not present.
+  bool RemoveEdge(VertexId u, VertexId v);
+
+  /// Grows the vertex space so `v` exists. Returns true if it was new.
+  bool EnsureVertex(VertexId v);
+
+  /// Applies one mutation (edge arcs only; kVertexUpsert reduces to
+  /// EnsureVertex). Returns true iff the adjacency changed.
+  bool Apply(const GraphMutation& mutation);
+
+  /// Freezes the current adjacency into a CSR Graph (cold recompute
+  /// baselines, tests).
+  Graph Freeze() const;
+
+ private:
+  std::vector<std::vector<VertexId>> adjacency_;
+  int64_t num_directed_edges_ = 0;
+};
+
+}  // namespace sfdf

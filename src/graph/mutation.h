@@ -1,0 +1,46 @@
+// Streamed graph mutations — the unit of change the continuous serving
+// subsystem (src/service/) folds into a resident, converged iteration. A
+// batch of these becomes, through the per-algorithm translators in
+// src/algos/, the fresh initial workset of one warm incremental round: the
+// paper's core claim (§5–§7) that re-convergence cost is proportional to
+// the change, applied to a long-running serving workload.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "graph/graph.h"
+
+namespace sfdf {
+
+enum class MutationKind : uint8_t {
+  kEdgeInsert,   ///< add directed edge u -> v (serving layers for symmetric
+                 ///< workloads add both arcs)
+  kEdgeRemove,   ///< remove directed edge u -> v
+  kVertexUpsert, ///< ensure vertex u exists; `value` is an algorithm-defined
+                 ///< payload (e.g. rank mass injected at u)
+};
+
+std::string_view MutationKindName(MutationKind kind);
+
+struct GraphMutation {
+  MutationKind kind = MutationKind::kEdgeInsert;
+  VertexId u = -1;
+  VertexId v = -1;   ///< unused for kVertexUpsert
+  double value = 0;  ///< kVertexUpsert payload
+
+  static GraphMutation EdgeInsert(VertexId u, VertexId v) {
+    return GraphMutation{MutationKind::kEdgeInsert, u, v, 0};
+  }
+  static GraphMutation EdgeRemove(VertexId u, VertexId v) {
+    return GraphMutation{MutationKind::kEdgeRemove, u, v, 0};
+  }
+  static GraphMutation VertexUpsert(VertexId u, double value = 0) {
+    return GraphMutation{MutationKind::kVertexUpsert, u, -1, value};
+  }
+
+  std::string ToString() const;
+};
+
+}  // namespace sfdf

@@ -55,6 +55,37 @@ class Channel {
 
   int num_producers() const { return num_producers_; }
 
+  /// Drops every queued envelope so the channel can be reused for another
+  /// production phase; returns the number dropped. Only legal while no
+  /// producer or consumer is active — service sessions call it between
+  /// rounds (with every participating task parked at the round gate) to
+  /// assert the previous round's seed was fully drained before reseeding.
+  size_t Reset() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t dropped = queue_.size();
+    queue_.clear();
+    return dropped;
+  }
+
+  /// Reopens a drained channel for one more production phase and seeds it:
+  /// pushes `batch` as a data envelope (when non-empty) followed by one
+  /// kEndStream marker per producer, so the consumer's next ReadPhase sees a
+  /// complete, already-terminated stream without the original producers
+  /// running again. Service sessions use this to feed a warm round's initial
+  /// workset through the iteration head's external port.
+  void Seed(RecordBatch batch) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!batch.empty()) {
+        queue_.push_back(Envelope{MarkerKind::kData, std::move(batch)});
+      }
+      for (int p = 0; p < num_producers_; ++p) {
+        queue_.push_back(Envelope{MarkerKind::kEndStream, RecordBatch()});
+      }
+    }
+    cv_.notify_one();
+  }
+
   /// Drains data batches until one `until` marker per producer arrived,
   /// calling `fn(batch)` for each data batch. Markers of the *other* kind
   /// are a protocol violation except that kEndStream may substitute for

@@ -34,7 +34,10 @@ int64_t IterationReport::TotalApplied() const {
   return total;
 }
 
-namespace {
+// Named (not anonymous) so SessionState — an externally visible type
+// declared in executor.h — can hold these internals without tripping GCC's
+// -Wsubobject-linkage. Only this translation unit defines the namespace.
+namespace executor_detail {
 
 /// True if the task participates in an iteration's superstep loop.
 bool IsLoopTask(const PhysicalTask& task) {
@@ -73,6 +76,36 @@ struct MicroQueue {
   std::deque<Record> queue;
 };
 
+/// Rendezvous between a session controller and the loop-task instances of a
+/// resident workset iteration (service sessions). After a round terminates,
+/// every participant parks here instead of flushing its result; the
+/// controller reseeds the workset, re-arms the coordinator and releases the
+/// next round — or shuts the session down, upon which the participants run
+/// their final flush and exit. The gate mutex doubles as the happens-before
+/// edge for everything the controller mutates between rounds (workset
+/// seeds, report resets, coordinator re-arm).
+struct RoundGate {
+  std::mutex mutex;
+  std::condition_variable cv;
+  int participants = 0;  ///< loop-task instances that park between rounds
+  int parked = 0;        ///< currently parked participants
+  uint64_t round = 0;    ///< rounds released so far
+  bool shutdown = false;
+};
+
+/// Participant side: park until the controller either releases another
+/// round (returns true) or shuts the session down (returns false).
+bool AwaitNextRound(RoundGate* gate) {
+  std::unique_lock<std::mutex> lock(gate->mutex);
+  const uint64_t arrived_round = gate->round;
+  ++gate->parked;
+  gate->cv.notify_all();
+  gate->cv.wait(lock, [gate, arrived_round] {
+    return gate->round != arrived_round || gate->shutdown;
+  });
+  return gate->round != arrived_round;
+}
+
 struct WorksetRuntime {
   std::unique_ptr<SuperstepCoordinator> coordinator;
   int parallelism = 0;
@@ -81,6 +114,17 @@ struct WorksetRuntime {
   bool immediate_apply = false;
   bool microstep = false;
   int max_iterations = 0;
+
+  /// Session mode (resident iterations): participants park here between
+  /// rounds; null for one-shot runs.
+  RoundGate* gate = nullptr;
+  /// Superstep at which the current round started. The head consumes its
+  /// external W_0 port exactly at a round's first superstep (re-seeded by
+  /// the session controller for warm rounds), and the iteration cap counts
+  /// supersteps relative to this mark. Written only by the controller while
+  /// every participant is parked. 64-bit: the absolute counter never resets
+  /// across a resident session's rounds.
+  int64_t round_start_superstep = 0;
 
   /// Superstep mode: double-buffered workset queues (Section 5.3). `front`
   /// is drained by head p during the superstep; tails append to `back`
@@ -237,15 +281,21 @@ class TaskInstance {
 
   /// Superstep loop skeleton for dynamic body tasks. `body(superstep)`
   /// processes one superstep; `final_flush` runs after termination before
-  /// END_STREAM is sent downstream.
+  /// END_STREAM is sent downstream. In session mode (resident workset
+  /// iterations) a terminated round parks at the round gate instead; the
+  /// task's local state — constant-path caches, hash tables, spill buffers —
+  /// survives in place, which is what makes warm rounds warm.
   template <typename BodyFn, typename FinalFn>
   void LoopSupersteps(SuperstepCoordinator* coordinator, BodyFn&& body,
                       FinalFn&& final_flush) {
+    RoundGate* gate =
+        task_->workset_iteration >= 0 ? WsRt().gate : nullptr;
     for (;;) {
       body(coordinator->superstep());
       SendSuperstepMarkers();
       coordinator->ArriveAndWait();
       if (coordinator->terminated()) {
+        if (gate != nullptr && AwaitNextRound(gate)) continue;
         final_flush();
         SendEndStream();
         return;
@@ -323,7 +373,7 @@ void TaskInstance::RunSimpleLoop() {
   };
   LoopSupersteps(
       coordinator,
-      [&](int superstep) {
+      [&](int64_t superstep) {
         for (size_t port = 0; port < task_->inputs.size(); ++port) {
           if (PortInLoop(static_cast<int>(port))) {
             ReadPort(static_cast<int>(port), process_record);
@@ -362,7 +412,7 @@ void TaskInstance::RunReduce(bool in_loop) {
   std::vector<Record> cache;  // constant input (rare; recomputed per step)
   LoopSupersteps(
       coordinator,
-      [&](int superstep) {
+      [&](int64_t superstep) {
         if (PortInLoop(0)) {
           std::vector<Record> records;
           CollectPort(0, &records);
@@ -419,7 +469,7 @@ void TaskInstance::RunMatchHash(bool in_loop) {
   }
   LoopSupersteps(
       coordinator,
-      [&](int superstep) {
+      [&](int64_t superstep) {
         if (build_in_loop) {
           table.Clear();
           ReadPort(build_port, [&](const Record& rec) { table.Insert(rec); });
@@ -501,7 +551,7 @@ void TaskInstance::RunMatchSortMerge(bool in_loop) {
   std::vector<Record> cache[2];
   LoopSupersteps(
       coordinator,
-      [&](int superstep) {
+      [&](int64_t superstep) {
         std::vector<Record> sides[2];
         for (int port = 0; port < 2; ++port) {
           if (PortInLoop(port)) {
@@ -543,7 +593,7 @@ void TaskInstance::RunCross(bool in_loop) {
   std::vector<Record> probe_cache;
   LoopSupersteps(
       coordinator,
-      [&](int superstep) {
+      [&](int64_t superstep) {
         if (PortInLoop(build_port)) {
           build.clear();
           CollectPort(build_port, &build);
@@ -589,7 +639,7 @@ void TaskInstance::RunCoGroup(bool in_loop) {
   std::vector<Record> cache[2];
   LoopSupersteps(
       coordinator,
-      [&](int superstep) {
+      [&](int64_t superstep) {
         std::vector<Record> sides[2];
         for (int port = 0; port < 2; ++port) {
           if (PortInLoop(port)) {
@@ -612,7 +662,7 @@ void TaskInstance::RunBulkHead() {
   std::vector<Record> current;
   LoopSupersteps(
       rt.coordinator.get(),
-      [&](int superstep) {
+      [&](int64_t superstep) {
         if (superstep == 0) {
           // First iteration: consume the initial partial solution.
           CollectPort(0, &current);
@@ -631,7 +681,7 @@ void TaskInstance::RunBulkTail() {
   BulkRuntime& rt = BulkRt();
   LoopSupersteps(
       rt.coordinator.get(),
-      [&](int) {
+      [&](int64_t) {
         std::vector<Record>& buffer = rt.feedback[partition_];
         ReadPort(0, [&](const Record& rec) { buffer.push_back(rec); });
       },
@@ -646,7 +696,7 @@ void TaskInstance::RunTermSink() {
   BulkRuntime& rt = BulkRt();
   LoopSupersteps(
       rt.coordinator.get(),
-      [&](int) {
+      [&](int64_t) {
         int64_t count = 0;
         ReadPort(0, [&](const Record&) { ++count; });
         rt.coordinator->term_records.fetch_add(count,
@@ -662,18 +712,27 @@ void TaskInstance::RunWorksetHead() {
   PortsCollector collector(out_ptrs_);
   LoopSupersteps(
       rt.coordinator.get(),
-      [&](int superstep) {
+      [&](int64_t superstep) {
         int64_t count = 0;
-        if (superstep == 0) {
+        auto drain_front = [&] {
+          std::vector<Record> records = std::move(rt.front[partition_]);
+          rt.front[partition_].clear();
+          for (const Record& rec : records) collector.Emit(rec);
+          count += static_cast<int64_t>(records.size());
+        };
+        if (superstep == rt.round_start_superstep) {
+          // A round's first superstep consumes the external W_0 port: the
+          // original source in the cold round, a controller-seeded stream
+          // (Channel::Seed) in warm rounds.
           ReadPort(0, [&](const Record& rec) {
             collector.Emit(rec);
             ++count;
           });
+          // Plus any workset a previous round left behind when it stopped
+          // at the iteration cap — that work continues in this round.
+          drain_front();
         } else {
-          std::vector<Record> records = std::move(rt.front[partition_]);
-          rt.front[partition_].clear();
-          for (const Record& rec : records) collector.Emit(rec);
-          count = static_cast<int64_t>(records.size());
+          drain_front();
         }
         rt.coordinator->workset_consumed.fetch_add(count,
                                                    std::memory_order_relaxed);
@@ -686,7 +745,7 @@ void TaskInstance::RunWorksetTail() {
   const int P = rt.parallelism;
   LoopSupersteps(
       rt.coordinator.get(),
-      [&](int) {
+      [&](int64_t) {
         // Route W_{i+1} records into the back buffers by the workset key.
         std::vector<std::vector<Record>> local(P);
         int64_t count = 0;
@@ -716,7 +775,7 @@ void TaskInstance::RunDeltaApply() {
   SolutionSetIndex* index = rt.index[partition_].get();
   LoopSupersteps(
       rt.coordinator.get(),
-      [&](int) {
+      [&](int64_t) {
         if (rt.immediate_apply) {
           // The solution join already merged its emissions; drain markers.
           ReadPort(0, [](const Record&) {});
@@ -769,7 +828,7 @@ void TaskInstance::RunSolutionJoin() {
 
   LoopSupersteps(
       rt.coordinator.get(),
-      [&](int superstep) {
+      [&](int64_t superstep) {
         if (superstep == 0) {
           // Build the S index from the initial solution (hash-partitioned
           // by the solution key). Building is not update work: reset the
@@ -1188,14 +1247,15 @@ Status ValidatePhysicalPlan(const PhysicalPlan& plan) {
 }
 
 /// Derives the decide-function for a bulk iteration's coordinator.
-std::function<bool(int)> MakeBulkDecide(ExecContext* ctx, BulkRuntime* rt) {
-  return [ctx, rt](int finished) {
+std::function<bool(int64_t)> MakeBulkDecide(ExecContext* ctx,
+                                            BulkRuntime* rt) {
+  return [ctx, rt](int64_t finished) {
     SuperstepCoordinator* coordinator = rt->coordinator.get();
     int64_t term = coordinator->term_records.exchange(0);
     int64_t consumed = coordinator->workset_consumed.exchange(0);
     if (rt->record_stats) {
       SuperstepStats stats;
-      stats.superstep = finished;
+      stats.superstep = static_cast<int>(finished);
       stats.millis = rt->watch.ElapsedMillis();
       stats.workset_size = consumed;
       stats.term_records = term;
@@ -1205,7 +1265,7 @@ std::function<bool(int)> MakeBulkDecide(ExecContext* ctx, BulkRuntime* rt) {
       rt->report.supersteps.push_back(stats);
     }
     rt->watch.Restart();
-    rt->report.iterations = finished + 1;
+    rt->report.iterations = static_cast<int>(finished + 1);
     bool terminate = false;
     if (rt->has_term && term == 0) {
       terminate = true;
@@ -1220,9 +1280,9 @@ std::function<bool(int)> MakeBulkDecide(ExecContext* ctx, BulkRuntime* rt) {
 }
 
 /// Derives the decide-function for a workset iteration's coordinator.
-std::function<bool(int)> MakeWorksetDecide(ExecContext* ctx,
-                                           WorksetRuntime* rt) {
-  return [ctx, rt](int finished) {
+std::function<bool(int64_t)> MakeWorksetDecide(ExecContext* ctx,
+                                               WorksetRuntime* rt) {
+  return [ctx, rt](int64_t finished) {
     SuperstepCoordinator* coordinator = rt->coordinator.get();
     // Swap the double-buffered queues: records added during this superstep
     // become the next superstep's workset (§5.3).
@@ -1235,9 +1295,15 @@ std::function<bool(int)> MakeWorksetDecide(ExecContext* ctx,
     }
     coordinator->workset_produced.exchange(0);
     int64_t consumed = coordinator->workset_consumed.exchange(0);
+    // Session rounds restart the superstep numbering of reports and the
+    // iteration cap at the round's first superstep (one-shot runs have
+    // round_start_superstep == 0, reducing to the plain numbering). The
+    // round-relative index is bounded by max_iterations, so int is safe.
+    const int round_superstep =
+        static_cast<int>(finished - rt->round_start_superstep);
     if (rt->record_stats) {
       SuperstepStats stats;
-      stats.superstep = finished;
+      stats.superstep = round_superstep;
       stats.millis = rt->watch.ElapsedMillis();
       stats.workset_size = consumed;
       stats.next_workset_size = produced;
@@ -1257,14 +1323,15 @@ std::function<bool(int)> MakeWorksetDecide(ExecContext* ctx,
       rt->report.supersteps.push_back(stats);
     }
     rt->watch.Restart();
-    rt->report.iterations = finished + 1;
+    rt->report.iterations = round_superstep + 1;
     // §4.2 recovery log: snapshot the materialization points (solution set
     // + pending workset) at the configured superstep boundary. Safe here:
-    // every task instance is parked at the barrier.
-    if (finished == ctx->checkpoint_superstep &&
+    // every task instance is parked at the barrier. Round-relative, like
+    // the report numbering, so session rounds each hit the same mark.
+    if (round_superstep == ctx->checkpoint_superstep &&
         !ctx->checkpoint_path.empty()) {
       IterationCheckpoint checkpoint;
-      checkpoint.superstep = finished;
+      checkpoint.superstep = round_superstep;
       for (const auto& index : rt->index) {
         index->ForEach([&](const Record& rec) {
           checkpoint.solution.push_back(rec);
@@ -1283,30 +1350,43 @@ std::function<bool(int)> MakeWorksetDecide(ExecContext* ctx,
       rt->report.converged = true;  // the workset drained: fixpoint reached
       return true;
     }
-    if (finished + 1 >= rt->max_iterations) return true;
+    if (round_superstep + 1 >= rt->max_iterations) return true;
     return false;
   };
 }
 
-}  // namespace
-
-Executor::Executor(ExecutionOptions options) : options_(options) {
-  if (options_.parallelism <= 0) {
-    options_.parallelism = DefaultParallelism();
+/// Early ExecutionOptions validation: malformed knobs are rejected here
+/// with InvalidArgument instead of flowing silently into the runtime.
+Status ValidateExecutionOptions(const ExecutionOptions& options) {
+  if (options.parallelism < 0) {
+    return Status::InvalidArgument(
+        "ExecutionOptions.parallelism must be >= 0 (0 = default), got " +
+        std::to_string(options.parallelism));
   }
+  if (options.checkpoint_superstep < -1) {
+    return Status::InvalidArgument(
+        "ExecutionOptions.checkpoint_superstep must be >= -1 (-1 = off), "
+        "got " +
+        std::to_string(options.checkpoint_superstep));
+  }
+  return Status::OK();
 }
 
-Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
+/// One-shot setup: validates the plan and builds the channels, consumer
+/// index, iteration runtimes and sink slots for degree-of-parallelism P.
+/// Shared between Run (setup → execute → tear down) and StartSession
+/// (setup once, re-enter rounds warm).
+Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
+                    int P, ExecContext* ctx_out) {
   SFDF_RETURN_NOT_OK(ValidatePhysicalPlan(plan));
-  const int P = options_.parallelism;
 
-  ExecContext ctx;
+  ExecContext& ctx = *ctx_out;
   ctx.plan = &plan;
   ctx.parallelism = P;
-  ctx.record_stats = options_.record_superstep_stats;
-  ctx.cache_spill_budget = options_.cache_spill_budget_bytes;
-  ctx.checkpoint_superstep = options_.checkpoint_superstep;
-  ctx.checkpoint_path = options_.checkpoint_path;
+  ctx.record_stats = options.record_superstep_stats;
+  ctx.cache_spill_budget = options.cache_spill_budget_bytes;
+  ctx.checkpoint_superstep = options.checkpoint_superstep;
+  ctx.checkpoint_path = options.checkpoint_path;
 
   // --- channels & consumer index ---
   ctx.channels.resize(plan.tasks.size());
@@ -1385,10 +1465,16 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
     }
     ctx.workset.push_back(std::move(rt));
   }
+  return Status::OK();
+}
 
-  // --- spawn threads ---
-  Stopwatch total_watch;
-  std::vector<std::thread> threads;
+/// Spawns one thread per task instance (plus the fused microstep instances).
+/// Threads reference `ctx` and `plan`, both of which must outlive the join.
+void SpawnThreads(const PhysicalPlan& plan, ExecContext* ctx_ptr,
+                  std::vector<std::thread>* threads_out) {
+  ExecContext& ctx = *ctx_ptr;
+  std::vector<std::thread>& threads = *threads_out;
+  const int P = ctx.parallelism;
 
   for (const PhysicalTask& task : plan.tasks) {
     if (task.workset_iteration >= 0 &&
@@ -1437,8 +1523,14 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
       });
     }
   }
+}
 
-  for (std::thread& thread : threads) thread.join();
+/// Post-join epilogue: merges the sink slots deterministically and
+/// assembles the aggregate statistics.
+ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
+                               double total_millis) {
+  ExecContext& ctx = *ctx_ptr;
+  const int P = ctx.parallelism;
 
   // --- merge sink slots deterministically by partition ---
   for (const PhysicalTask& task : plan.tasks) {
@@ -1451,7 +1543,7 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
 
   // --- assemble result ---
   ExecutionResult result;
-  result.total_millis = total_watch.ElapsedMillis();
+  result.total_millis = total_millis;
   result.records_shipped = ctx.metrics.records_shipped();
   result.records_remote = ctx.metrics.records_remote();
   result.bytes_shipped = ctx.metrics.bytes_shipped();
@@ -1479,6 +1571,200 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
     result.workset_reports.push_back(std::move(rt->report));
   }
   return result;
+}
+
+}  // namespace executor_detail
+
+using namespace executor_detail;  // NOLINT — single-TU detail namespace
+
+// ---------------------------------------------------------------------------
+// Public entry points
+// ---------------------------------------------------------------------------
+
+Executor::Executor(ExecutionOptions options) : options_(options) {}
+
+Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
+  SFDF_RETURN_NOT_OK(ValidateExecutionOptions(options_));
+  const int P =
+      options_.parallelism > 0 ? options_.parallelism : DefaultParallelism();
+
+  ExecContext ctx;
+  SFDF_RETURN_NOT_OK(SetupContext(plan, options_, P, &ctx));
+
+  Stopwatch total_watch;
+  std::vector<std::thread> threads;
+  SpawnThreads(plan, &ctx, &threads);
+  for (std::thread& thread : threads) thread.join();
+
+  return AssembleResult(plan, &ctx, total_watch.ElapsedMillis());
+}
+
+// ---------------------------------------------------------------------------
+// Session mode (resident iterations; see src/service/)
+// ---------------------------------------------------------------------------
+
+/// The resident half of a session: the full execution context plus the
+/// round gate and the still-running task threads. Lives until Finish.
+struct SessionState {
+  const PhysicalPlan* plan = nullptr;
+  ExecContext ctx;
+  RoundGate gate;
+  std::vector<std::thread> threads;
+  Stopwatch total_watch;
+  IterationReport initial_report;
+  bool finished = false;
+
+  WorksetRuntime& runtime() { return *ctx.workset[0]; }
+  const WorksetRuntime& runtime() const { return *ctx.workset[0]; }
+
+  /// Blocks until every participant is parked at the gate (round over).
+  /// Caller must hold gate.mutex via `lock`.
+  void AwaitQuiescent(std::unique_lock<std::mutex>& lock) {
+    gate.cv.wait(lock, [this] { return gate.parked == gate.participants; });
+  }
+};
+
+Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
+    const PhysicalPlan& plan) {
+  SFDF_RETURN_NOT_OK(ValidateExecutionOptions(options_));
+  if (plan.workset_iterations.size() != 1 || !plan.bulk_iterations.empty()) {
+    return Status::InvalidArgument(
+        "session mode requires exactly one workset iteration and no bulk "
+        "iterations");
+  }
+  if (plan.workset_iterations[0].microstep) {
+    return Status::Unsupported(
+        "session mode requires superstep execution — a microstep plan has "
+        "no superstep barrier to park rounds at");
+  }
+  const int P =
+      options_.parallelism > 0 ? options_.parallelism : DefaultParallelism();
+
+  auto state = std::make_unique<SessionState>();
+  state->plan = &plan;
+  SFDF_RETURN_NOT_OK(SetupContext(plan, options_, P, &state->ctx));
+
+  WorksetRuntime& rt = state->runtime();
+  rt.gate = &state->gate;
+  int loop_tasks = 0;
+  for (const PhysicalTask& task : plan.tasks) {
+    if (IsLoopTask(task) && task.workset_iteration == 0) ++loop_tasks;
+  }
+  state->gate.participants = loop_tasks * P;
+
+  SpawnThreads(plan, &state->ctx, &state->threads);
+
+  // The cold round (full initial convergence) starts immediately; hand the
+  // session back once every participant parked at its fixpoint.
+  {
+    std::unique_lock<std::mutex> lock(state->gate.mutex);
+    state->AwaitQuiescent(lock);
+    state->initial_report = rt.report;
+  }
+  return std::unique_ptr<ExecutionSession>(
+      new ExecutionSession(std::move(state)));
+}
+
+ExecutionSession::ExecutionSession(std::unique_ptr<SessionState> state)
+    : state_(std::move(state)) {}
+
+ExecutionSession::~ExecutionSession() {
+  if (state_ != nullptr && !state_->finished) {
+    auto ignored = Finish();
+    (void)ignored;
+  }
+}
+
+const IterationReport& ExecutionSession::initial_report() const {
+  return state_->initial_report;
+}
+
+int ExecutionSession::parallelism() const { return state_->ctx.parallelism; }
+
+SolutionSetIndex* ExecutionSession::solution_partition(int p) {
+  return state_->runtime().index[p].get();
+}
+
+int ExecutionSession::PartitionOfSolution(const Record& probe) const {
+  return PartitionOf(probe, state_->runtime().solution_key,
+                     state_->ctx.parallelism);
+}
+
+const KeySpec& ExecutionSession::solution_key() const {
+  return state_->runtime().solution_key;
+}
+
+void ExecutionSession::ForEachSolution(
+    const std::function<void(const Record&)>& fn) const {
+  for (const auto& index : state_->runtime().index) index->ForEach(fn);
+}
+
+Result<IterationReport> ExecutionSession::RunRound(
+    std::vector<Record> workset) {
+  SessionState& s = *state_;
+  if (s.finished) {
+    return Status::InvalidArgument("RunRound on a finished session");
+  }
+  WorksetRuntime& rt = s.runtime();
+  const PhysicalWorksetIteration& spec = s.plan->workset_iterations[0];
+  const int head_task = spec.head_task;
+  const int P = s.ctx.parallelism;
+
+  std::unique_lock<std::mutex> lock(s.gate.mutex);
+  s.AwaitQuiescent(lock);
+
+  // Fresh per-round report; the *_mark counters deliberately survive — they
+  // are absolute marks against the cumulative session metrics.
+  rt.report = IterationReport{};
+  rt.round_start_superstep = rt.coordinator->superstep();
+  rt.coordinator->Rearm();
+  rt.watch.Restart();
+
+  // Route the seed workset into the head's external W_0 port, partitioned
+  // exactly like the runtime's own hash exchanges. If the previous round
+  // stopped at the iteration cap with work left in the queues, that work
+  // simply continues in this round alongside the new seeds.
+  std::vector<RecordBatch> seeds(P);
+  const int64_t seed_count = static_cast<int64_t>(workset.size());
+  for (const Record& rec : workset) {
+    seeds[PartitionOf(rec, rt.route_key, P)].Add(rec);
+  }
+  for (int p = 0; p < P; ++p) {
+    Channel* port = s.ctx.channels[head_task][0][p].get();
+    // The head drained the previous seed (data + markers) at the last
+    // round's first superstep; anything still queued would break the
+    // marker accounting of the phase about to start.
+    SFDF_CHECK(port->Reset() == 0)
+        << "W_0 port of partition " << p << " not drained between rounds";
+    port->Seed(std::move(seeds[p]));
+  }
+  s.ctx.metrics.CountShipped(seed_count, seed_count * sizeof(Record),
+                             /*remote_records=*/0);
+
+  // Release the round, then wait for its fixpoint (everyone parked again).
+  s.gate.parked = 0;
+  ++s.gate.round;
+  s.gate.cv.notify_all();
+  s.AwaitQuiescent(lock);
+  return rt.report;
+}
+
+Result<ExecutionResult> ExecutionSession::Finish() {
+  SessionState& s = *state_;
+  if (s.finished) {
+    return Status::InvalidArgument("session already finished");
+  }
+  {
+    std::unique_lock<std::mutex> lock(s.gate.mutex);
+    s.AwaitQuiescent(lock);
+    s.gate.shutdown = true;
+    s.gate.cv.notify_all();
+  }
+  // Participants flush the converged solution set downstream, the sinks
+  // fill, and every thread (loop and non-loop alike) runs to completion.
+  for (std::thread& thread : s.threads) thread.join();
+  s.finished = true;
+  return AssembleResult(*s.plan, &s.ctx, s.total_watch.ElapsedMillis());
 }
 
 }  // namespace sfdf

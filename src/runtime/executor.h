@@ -21,7 +21,8 @@
 namespace sfdf {
 
 struct ExecutionOptions {
-  /// Degree of parallelism ("nodes"); 0 = DefaultParallelism().
+  /// Degree of parallelism ("nodes"); 0 = DefaultParallelism(). Negative
+  /// values are rejected with InvalidArgument.
   int parallelism = 0;
   /// Capture per-superstep statistics for every iteration.
   bool record_superstep_stats = true;
@@ -30,6 +31,7 @@ struct ExecutionOptions {
   int64_t cache_spill_budget_bytes = INT64_MAX;
   /// Write an IterationCheckpoint (solution set + workset) after this
   /// superstep of every workset iteration; -1 = off (§4.2 recovery logs).
+  /// Values below -1 are rejected with InvalidArgument.
   int checkpoint_superstep = -1;
   std::string checkpoint_path;
 };
@@ -61,6 +63,68 @@ struct ExecutionResult {
   std::vector<IterationReport> workset_reports;
 };
 
+class SolutionSetIndex;
+struct SessionState;
+
+/// A resident, warm-restartable execution of a plan with exactly one
+/// superstep-mode workset iteration — the executor half of the continuous
+/// serving subsystem (src/service/). Created by Executor::StartSession,
+/// which performs the one-shot setup (plan instantiation, channel wiring,
+/// thread spawn) and runs the initial iteration to its fixpoint. The
+/// session then keeps every task thread, channel, constant-path cache and
+/// solution-set partition alive; RunRound seeds a fresh initial workset and
+/// re-enters the superstep loop *warm*, so re-convergence cost is
+/// proportional to the change, not the dataset (§5–§7).
+///
+/// Threading contract: RunRound and Finish must be called from one
+/// controller thread at a time; solution_partition reads are only safe
+/// while no round is running (the serving layer enforces this with its
+/// reader/writer exclusion and epoch tags).
+class ExecutionSession {
+ public:
+  ~ExecutionSession();  ///< implies Finish() if it was not called
+  ExecutionSession(const ExecutionSession&) = delete;
+  ExecutionSession& operator=(const ExecutionSession&) = delete;
+
+  /// Seeds `workset` as the W_0 of a warm round (routed by the iteration's
+  /// workset key into the resident head channels) and re-runs the
+  /// incremental iteration to its fixpoint. Blocking; returns the round's
+  /// report. An empty workset is legal and converges after one superstep.
+  Result<IterationReport> RunRound(std::vector<Record> workset);
+
+  /// Report of the initial (cold) iteration run by StartSession.
+  const IterationReport& initial_report() const;
+
+  /// Degree of parallelism — the number of solution-set partitions.
+  int parallelism() const;
+
+  /// Resident solution-set partition p. Writable so the serving layer can
+  /// upsert records directly between rounds (delta re-seeding).
+  SolutionSetIndex* solution_partition(int p);
+
+  /// Partition that owns `probe`'s solution key (same hash that drives the
+  /// runtime's exchanges, so lookups stay partition-local). The probe must
+  /// carry its key fields at the solution-key positions.
+  int PartitionOfSolution(const Record& probe) const;
+
+  /// Key k(s) of the resident solution set.
+  const KeySpec& solution_key() const;
+
+  /// Visits every record of the resident solution set (all partitions).
+  void ForEachSolution(const std::function<void(const Record&)>& fn) const;
+
+  /// Shuts the resident dataflow down: the loop tasks flush the converged
+  /// solution set downstream (filling the plan's sinks), every thread
+  /// joins, and the aggregate statistics are returned. Idempotent via the
+  /// destructor; must not race RunRound.
+  Result<ExecutionResult> Finish();
+
+ private:
+  friend class Executor;
+  explicit ExecutionSession(std::unique_ptr<SessionState> state);
+  std::unique_ptr<SessionState> state_;
+};
+
 class Executor {
  public:
   explicit Executor(ExecutionOptions options = {});
@@ -68,6 +132,13 @@ class Executor {
   /// Runs the plan to completion; fills every Sink's output vector.
   /// Blocking; returns aggregate statistics.
   Result<ExecutionResult> Run(const PhysicalPlan& plan);
+
+  /// Session mode: runs `plan`'s workset iteration to its initial fixpoint
+  /// and keeps the whole dataflow resident for warm re-convergence rounds.
+  /// Requires exactly one non-microstep workset iteration and no bulk
+  /// iterations. `plan` must outlive the returned session.
+  Result<std::unique_ptr<ExecutionSession>> StartSession(
+      const PhysicalPlan& plan);
 
  private:
   ExecutionOptions options_;

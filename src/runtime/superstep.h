@@ -17,6 +17,7 @@
 
 #include <atomic>
 #include <barrier>
+#include <cstdint>
 #include <functional>
 
 namespace sfdf {
@@ -25,8 +26,11 @@ class SuperstepCoordinator {
  public:
   /// `decide` runs once per superstep after all participants arrived;
   /// returning true terminates the iteration. It receives the finished
-  /// superstep's index (0-based).
-  SuperstepCoordinator(int num_participants, std::function<bool(int)> decide)
+  /// superstep's index (0-based). 64-bit because the counter never resets
+  /// across the rounds of a resident service session (see Rearm) — a
+  /// long-lived server must not overflow it.
+  SuperstepCoordinator(int num_participants,
+                       std::function<bool(int64_t)> decide)
       : decide_(std::move(decide)),
         barrier_(num_participants, Completion{this}) {}
 
@@ -34,7 +38,19 @@ class SuperstepCoordinator {
   void ArriveAndWait() { barrier_.arrive_and_wait(); }
 
   bool terminated() const { return terminated_.load(std::memory_order_acquire); }
-  int superstep() const { return superstep_.load(std::memory_order_acquire); }
+  int64_t superstep() const {
+    return superstep_.load(std::memory_order_acquire);
+  }
+
+  /// Re-arms the coordinator for another round of supersteps (service
+  /// sessions): clears the terminated flag so participants re-enter the
+  /// superstep loop. Only legal while every participant is parked outside
+  /// the barrier (at the session's round gate) — the caller provides that
+  /// quiescence and the happens-before edge to the participants' wake-up.
+  /// The superstep counter intentionally keeps counting across rounds:
+  /// superstep 0 happens exactly once, so cold-start work (constant-path
+  /// cache loads, solution-set builds) is never repeated warm.
+  void Rearm() { terminated_.store(false, std::memory_order_release); }
 
   // --- shared per-superstep accumulators (reset by the decide function) ---
   std::atomic<int64_t> term_records{0};     ///< records at the T sink
@@ -46,7 +62,7 @@ class SuperstepCoordinator {
     SuperstepCoordinator* coordinator;
     void operator()() noexcept {
       SuperstepCoordinator* c = coordinator;
-      int finished = c->superstep_.load(std::memory_order_relaxed);
+      int64_t finished = c->superstep_.load(std::memory_order_relaxed);
       if (c->decide_(finished)) {
         c->terminated_.store(true, std::memory_order_release);
       }
@@ -54,8 +70,8 @@ class SuperstepCoordinator {
     }
   };
 
-  std::function<bool(int)> decide_;
-  std::atomic<int> superstep_{0};
+  std::function<bool(int64_t)> decide_;
+  std::atomic<int64_t> superstep_{0};
   std::atomic<bool> terminated_{false};
   std::barrier<Completion> barrier_;
 };

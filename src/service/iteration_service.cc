@@ -1,0 +1,283 @@
+#include "service/iteration_service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+#include "common/stopwatch.h"
+#include "core/solution_set.h"
+
+namespace sfdf {
+
+IterationService::IterationService(SeedFn translate, ValidateFn validate,
+                                   ServiceOptions options)
+    : translate_(std::move(translate)),
+      validate_(std::move(validate)),
+      options_(std::move(options)) {}
+
+Result<std::unique_ptr<IterationService>> IterationService::Start(
+    PhysicalPlan plan, SeedFn translate, ServiceOptions options,
+    ValidateFn validate) {
+  if (options.max_batch < 1) {
+    return Status::InvalidArgument("ServiceOptions.max_batch must be >= 1");
+  }
+  if (options.max_linger.count() < 0) {
+    return Status::InvalidArgument("ServiceOptions.max_linger must be >= 0");
+  }
+  if (!translate) {
+    return Status::InvalidArgument("IterationService requires a translator");
+  }
+
+  std::unique_ptr<IterationService> service(new IterationService(
+      std::move(translate), std::move(validate), options));
+  service->plan_ = std::make_unique<PhysicalPlan>(std::move(plan));
+
+  // One-shot setup + cold convergence; the session then stays resident.
+  Executor executor(options.exec);
+  auto session = executor.StartSession(*service->plan_);
+  if (!session.ok()) return session.status();
+  service->session_ = std::move(*session);
+
+  service->admission_thread_ =
+      std::thread(&IterationService::AdmissionLoop, service.get());
+  return service;
+}
+
+IterationService::~IterationService() {
+  Status ignored = Stop();
+  (void)ignored;
+}
+
+Status IterationService::Validate(
+    const std::vector<GraphMutation>& mutations) const {
+  if (!validate_) return Status::OK();
+  for (const GraphMutation& mutation : mutations) {
+    Status status = validate_(mutation);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
+}
+
+uint64_t IterationService::Mutate(std::vector<GraphMutation> mutations) {
+  Status ignored;
+  return MutateInternal(std::move(mutations), &ignored);
+}
+
+uint64_t IterationService::MutateInternal(std::vector<GraphMutation> mutations,
+                                          Status* rejection) {
+  if (mutations.empty()) {
+    // A flush: the newest existing ticket is already the right thing to
+    // Await (0 = nothing enqueued yet, which Await satisfies trivially) —
+    // never a rejection.
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    return enqueued_seq_;
+  }
+  Status valid = Validate(mutations);
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  if (!valid.ok() || stopping_ || !failed_.ok()) {
+    // Rejections are counted under the queue lock; stats() merges them. A
+    // validation failure rejects only this call — the service keeps going.
+    rejected_ += mutations.size();
+    *rejection = !valid.ok()
+                     ? valid
+                     : Status::InvalidArgument(
+                           "service no longer accepts mutations (stopped "
+                           "or failed)");
+    return 0;
+  }
+  if (pending_.empty()) {
+    oldest_arrival_ = std::chrono::steady_clock::now();
+  }
+  pending_.insert(pending_.end(), mutations.begin(), mutations.end());
+  enqueued_seq_ += mutations.size();
+  queue_cv_.notify_all();
+  return enqueued_seq_;
+}
+
+Status IterationService::Await(uint64_t ticket) {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  queue_cv_.wait(lock, [this, ticket] {
+    return applied_seq_ >= ticket || !failed_.ok();
+  });
+  if (applied_seq_ >= ticket) return Status::OK();
+  return failed_;
+}
+
+Status IterationService::Apply(std::vector<GraphMutation> mutations) {
+  if (mutations.empty()) return Status::OK();
+  Status rejection;
+  uint64_t ticket = MutateInternal(std::move(mutations), &rejection);
+  if (ticket == 0) return rejection;
+  return Await(ticket);
+}
+
+IterationService::QueryResult IterationService::Query(
+    const Record& probe) const {
+  QueryResult result;
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  // Seqlock validation: while any reader holds the shared lock the writer
+  // cannot be mid-round, so the service epoch must read even and match the
+  // batch stamp of the partition the value comes from.
+  const uint64_t service_epoch = epoch_.load(std::memory_order_acquire);
+  SFDF_DCHECK(service_epoch % 2 == 0) << "read overlapped a round";
+  ExecutionSession& session = *session_;
+  SolutionSetIndex* partition =
+      session.solution_partition(session.PartitionOfSolution(probe));
+  const Record* rec = partition->Peek(probe, session.solution_key());
+  if (rec != nullptr) {
+    result.found = true;
+    result.record = *rec;
+  }
+  // The partition's stamp is the batch boundary this value reflects.
+  result.epoch = partition->epoch();
+  SFDF_DCHECK(result.epoch == service_epoch) << "partition stamp drifted";
+  return result;
+}
+
+IterationService::QueryResult IterationService::QueryKey(int64_t key) const {
+  SFDF_DCHECK(session_->solution_key() == KeySpec{0})
+      << "QueryKey assumes the single-int-field-0 solution key";
+  return Query(Record::OfInts(key));
+}
+
+IterationService::SnapshotResult IterationService::Snapshot() const {
+  SnapshotResult result;
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const uint64_t service_epoch = epoch_.load(std::memory_order_acquire);
+  SFDF_DCHECK(service_epoch % 2 == 0) << "read overlapped a round";
+  session_->ForEachSolution(
+      [&](const Record& rec) { result.records.push_back(rec); });
+  // Every partition must carry the same committed batch stamp; that stamp
+  // is the boundary the snapshot reflects.
+  result.epoch = session_->solution_partition(0)->epoch();
+  for (int p = 1; p < session_->parallelism(); ++p) {
+    SFDF_DCHECK(session_->solution_partition(p)->epoch() == result.epoch)
+        << "partition stamps disagree";
+  }
+  SFDF_DCHECK(result.epoch == service_epoch) << "partition stamp drifted";
+  return result;
+}
+
+ServiceStats IterationService::stats() const {
+  ServiceStats stats;
+  {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    stats = stats_;
+  }
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stats.mutations_rejected = rejected_;
+  }
+  return stats;
+}
+
+Status IterationService::ProcessBatch(
+    const std::vector<GraphMutation>& batch) {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  // Odd epoch: a round is in flight; readers are excluded by the lock and
+  // a lock-free observer can tell the state is mid-batch.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  Stopwatch watch;
+
+  auto seeds = translate_(*session_, batch);
+  Status status = seeds.ok() ? Status::OK() : seeds.status();
+  IterationReport report;
+  if (status.ok()) {
+    auto round = session_->RunRound(std::move(*seeds));
+    if (round.ok()) {
+      report = std::move(*round);
+    } else {
+      status = round.status();
+    }
+  }
+
+  if (status.ok()) {
+    // Even epoch: the batch boundary is committed; stamp every partition
+    // so epoch-tagged reads can attribute values to it.
+    const uint64_t epoch =
+        epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    for (int p = 0; p < session_->parallelism(); ++p) {
+      session_->solution_partition(p)->set_epoch(epoch);
+    }
+    ++stats_.rounds;
+    stats_.mutations_applied += batch.size();
+    stats_.total_supersteps += report.iterations;
+    stats_.total_round_millis += watch.ElapsedMillis();
+  } else {
+    // Failed batch: no boundary was committed (translators are atomic —
+    // they validate before touching any state), so step back to the
+    // previous even epoch; reads keep matching the partition stamps.
+    epoch_.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  return status;
+}
+
+void IterationService::AdmissionLoop() {
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  for (;;) {
+    queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    if (pending_.empty()) return;  // stopping, fully drained
+    if (!stopping_ &&
+        pending_.size() < static_cast<size_t>(options_.max_batch)) {
+      // Linger: give concurrent writers a chance to coalesce into this
+      // batch, bounded by the oldest pending mutation's wait.
+      auto deadline = oldest_arrival_ + options_.max_linger;
+      queue_cv_.wait_until(lock, deadline, [this] {
+        return stopping_ ||
+               pending_.size() >= static_cast<size_t>(options_.max_batch);
+      });
+    }
+
+    const size_t take =
+        std::min(pending_.size(), static_cast<size_t>(options_.max_batch));
+    std::vector<GraphMutation> batch(pending_.begin(),
+                                     pending_.begin() + take);
+    pending_.erase(pending_.begin(), pending_.begin() + take);
+    admitted_seq_ += take;
+    const uint64_t ticket = admitted_seq_;
+    // Remaining mutations restart their linger clock (conservative: they
+    // wait at most one extra max_linger).
+    oldest_arrival_ = std::chrono::steady_clock::now();
+
+    lock.unlock();
+    Status status = ProcessBatch(batch);
+    lock.lock();
+
+    if (!status.ok()) {
+      failed_ = status;
+      rejected_ += pending_.size();
+      pending_.clear();
+      queue_cv_.notify_all();
+      return;
+    }
+    applied_seq_ = ticket;
+    queue_cv_.notify_all();
+  }
+}
+
+Status IterationService::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    stopping_ = true;
+    queue_cv_.notify_all();
+  }
+  if (admission_thread_.joinable()) admission_thread_.join();
+
+  Status status;
+  bool finish_session = false;
+  {
+    std::lock_guard<std::mutex> lock(queue_mutex_);
+    status = failed_;
+    finish_session = !joined_;
+    joined_ = true;
+  }
+  // session_ is null when Start() failed before the session came up (the
+  // half-constructed service is destroyed on the error path).
+  if (finish_session && session_ != nullptr) {
+    auto exec = session_->Finish();
+    if (status.ok() && !exec.ok()) status = exec.status();
+  }
+  return status;
+}
+
+}  // namespace sfdf

@@ -1,0 +1,193 @@
+// The continuous serving subsystem: a resident incremental iteration that
+// stays alive after its initial fixpoint and folds streamed graph mutations
+// in as warm re-convergence rounds.
+//
+// Architecture (see README "Serving"):
+//
+//   clients ──Mutate()──▶ admission queue ──batch──▶ translator (SeedFn)
+//                         (max_batch / max_linger)        │ W_0 seeds
+//                                                         ▼
+//   Query()/Snapshot() ◀──epoch-tagged reads──  resident ExecutionSession
+//                                               (warm RunRound per batch)
+//
+// * Admission: Mutate() enqueues mutations from any number of client
+//   threads; the service thread admits a batch once it reaches
+//   `max_batch` mutations or the oldest pending mutation has lingered
+//   `max_linger` — batching amortizes the per-round barrier cost the same
+//   way the paper's supersteps amortize channel events.
+// * Warm rounds: each admitted batch is translated into workset seeds and
+//   re-converged by ExecutionSession::RunRound, reusing the resident
+//   solution set, constant-path caches and task threads (§5–§7: cost
+//   proportional to the change, not the dataset).
+// * Reads: Query()/Snapshot() are linearizable against batch boundaries
+//   via an epoch/seqlock scheme. The epoch is odd while a round is in
+//   flight and even between rounds; readers hold the shared side of the
+//   state lock (so they only ever overlap a stable, even epoch) and return
+//   the epoch they observed, which tags every value with the exact batch
+//   boundary it reflects.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <shared_mutex>
+#include <thread>
+#include <vector>
+
+#include "common/result.h"
+#include "common/status.h"
+#include "graph/mutation.h"
+#include "optimizer/physical_plan.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+
+struct ServiceOptions {
+  /// Admission queue: a batch is released once it holds this many
+  /// mutations...
+  int max_batch = 256;
+  /// ...or once the oldest pending mutation has waited this long.
+  std::chrono::milliseconds max_linger{2};
+  /// Options for the resident executor session.
+  ExecutionOptions exec;
+};
+
+struct ServiceStats {
+  uint64_t rounds = 0;             ///< warm rounds run (= batches admitted)
+  uint64_t mutations_applied = 0;  ///< mutations folded into the solution
+  uint64_t mutations_rejected = 0; ///< enqueues refused after Stop/failure
+  int64_t total_supersteps = 0;    ///< supersteps across all warm rounds
+  double total_round_millis = 0;   ///< wall time inside warm rounds
+};
+
+/// A long-running serving instance of one incremental iteration. Construct
+/// through Start; thread-safe for any mix of Mutate/Await/Query/Snapshot
+/// callers. Algorithm-specific front-ends (ServingPageRank, the CC serving
+/// tests) supply the plan and the mutation-to-workset translator.
+class IterationService {
+ public:
+  /// Translates one admitted mutation batch into the warm round's initial
+  /// workset. Runs on the service thread between rounds with exclusive
+  /// access to the resident state: it may read the solution partitions and
+  /// upsert records directly (delta re-seeding) through `session`. A
+  /// translator error is treated as an internal fault and fails the service
+  /// — reject untrusted input at the door with a ValidateFn instead.
+  using SeedFn = std::function<Result<std::vector<Record>>(
+      ExecutionSession& session, const std::vector<GraphMutation>& batch)>;
+
+  /// Admission-time structural validation of one client mutation (id
+  /// bounds, supported kinds). Runs inside Mutate/Apply on the caller's
+  /// thread; a failure rejects that call's mutations without touching any
+  /// resident state and without affecting other clients. Null = accept all.
+  using ValidateFn = std::function<Status(const GraphMutation& mutation)>;
+
+  /// Takes ownership of `plan`, runs its workset iteration to the initial
+  /// fixpoint (blocking) and starts the admission thread.
+  static Result<std::unique_ptr<IterationService>> Start(
+      PhysicalPlan plan, SeedFn translate, ServiceOptions options,
+      ValidateFn validate = nullptr);
+
+  ~IterationService();  ///< implies Stop()
+  IterationService(const IterationService&) = delete;
+  IterationService& operator=(const IterationService&) = delete;
+
+  /// Enqueues mutations for admission; returns a ticket to Await, or 0 if
+  /// the call was rejected — the service stopped/failed, or a mutation
+  /// failed admission validation (use Apply for the reason). Mutations are
+  /// applied in admission order; one call's mutations may be split across
+  /// batches but always complete by the returned ticket. An empty vector
+  /// is a flush: it returns the newest existing ticket (0 when nothing was
+  /// ever enqueued — Await(0) is trivially satisfied), never a rejection.
+  uint64_t Mutate(std::vector<GraphMutation> mutations);
+
+  /// Blocks until every mutation up to `ticket` is folded into the served
+  /// solution (its batch's round committed), or the service failed.
+  Status Await(uint64_t ticket);
+
+  /// Mutate + Await.
+  Status Apply(std::vector<GraphMutation> mutations);
+
+  struct QueryResult {
+    bool found = false;
+    Record record;
+    uint64_t epoch = 0;  ///< batch boundary this read reflects (even)
+  };
+
+  /// Batch-consistent point read. The probe must carry its key fields at
+  /// the solution-key positions (QueryKey covers the common single-int-key
+  /// schema).
+  QueryResult Query(const Record& probe) const;
+  QueryResult QueryKey(int64_t key) const;
+
+  /// Batch-consistent full snapshot of the served solution set.
+  struct SnapshotResult {
+    std::vector<Record> records;
+    uint64_t epoch = 0;
+  };
+  SnapshotResult Snapshot() const;
+
+  /// Current batch epoch; even = stable, odd = a round is in flight.
+  uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  ServiceStats stats() const;
+
+  /// Report of the initial cold convergence.
+  const IterationReport& initial_report() const {
+    return session_->initial_report();
+  }
+
+  /// Stops admission, drains every already-enqueued mutation, shuts the
+  /// resident session down and joins all threads. Returns the first round
+  /// failure, if any. Idempotent.
+  Status Stop();
+
+ private:
+  IterationService(SeedFn translate, ValidateFn validate,
+                   ServiceOptions options);
+
+  Status Validate(const std::vector<GraphMutation>& mutations) const;
+  /// Single validation + enqueue step shared by Mutate and Apply; on
+  /// rejection returns 0 and fills `*rejection` with the reason.
+  uint64_t MutateInternal(std::vector<GraphMutation> mutations,
+                          Status* rejection);
+  void AdmissionLoop();
+  Status ProcessBatch(const std::vector<GraphMutation>& batch);
+
+  const SeedFn translate_;
+  const ValidateFn validate_;
+  const ServiceOptions options_;
+
+  // Destruction order (reverse of declaration): the admission thread is
+  // joined by Stop() before session_ and plan_ die; the session must die
+  // before the plan it references.
+  std::unique_ptr<PhysicalPlan> plan_;
+  std::unique_ptr<ExecutionSession> session_;
+
+  /// Guards the resident solution state: the service thread holds the
+  /// unique side across translate+round, readers hold the shared side.
+  mutable std::shared_mutex state_mutex_;
+  std::atomic<uint64_t> epoch_{0};
+  ServiceStats stats_;  // guarded by state_mutex_
+
+  /// Admission queue + ticket/ack state, guarded by queue_mutex_.
+  mutable std::mutex queue_mutex_;
+  std::condition_variable queue_cv_;
+  std::deque<GraphMutation> pending_;
+  std::chrono::steady_clock::time_point oldest_arrival_{};
+  uint64_t enqueued_seq_ = 0;  ///< ticket of the newest enqueued mutation
+  uint64_t admitted_seq_ = 0;  ///< ticket of the newest admitted mutation
+  uint64_t applied_seq_ = 0;   ///< ticket of the newest committed mutation
+  uint64_t rejected_ = 0;      ///< mutations refused after Stop/failure
+  Status failed_ = Status::OK();
+  bool stopping_ = false;
+  bool joined_ = false;
+
+  std::thread admission_thread_;
+};
+
+}  // namespace sfdf

@@ -1,0 +1,132 @@
+// Checkpoint restore (§4.2 recovery) meets the serving subsystem: an
+// IterationCheckpoint (solution set + workset) taken mid-flight is
+// round-tripped through src/core/checkpoint.* and used to seed a fresh
+// *resident session* — the resumed iteration must reach the same fixpoint
+// as the uninterrupted run, and then keep serving warm rounds.
+#include "core/checkpoint.h"
+
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algos/incremental_pagerank.h"
+#include "algos/pagerank.h"
+#include "dataflow/plan_builder.h"
+#include "graph/generators.h"
+#include "optimizer/optimizer.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+namespace {
+
+constexpr double kDamping = 0.85;
+constexpr double kEpsilon = 1e-12;
+
+/// The incremental-PageRank plan of algos/incremental_pagerank.cc, seeded
+/// from explicit S_0 / W_0 so a checkpoint can stand in for the sources.
+Plan BuildIncrPrPlan(std::vector<Record> s0, std::vector<Record> w0,
+                     const Graph& graph, std::vector<Record>* out) {
+  PlanBuilder pb;
+  auto ranks = pb.Source("S0", std::move(s0));
+  auto pushes = pb.Source("W0", std::move(w0));
+  auto matrix = pb.Source("A", BuildTransitionMatrix(graph));
+  auto it = pb.BeginWorksetIteration("incr-pr", ranks, pushes, {0}, nullptr,
+                                     IterationMode::kSuperstep, 10000);
+  auto delta = pb.InnerCoGroup("absorb", it.Workset(), it.SolutionSet(),
+                               {0}, {0}, PageRankAbsorbUdf());
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  auto next = pb.Match(
+      "push", delta, matrix, {0}, {1},
+      [](const Record& d, const Record& a, Collector* c) {
+        double residual = d.GetDouble(2);
+        if (std::abs(residual) <= kEpsilon) return;
+        c->Emit(Record::OfIntDouble(a.GetInt(0),
+                                    kDamping * residual * a.GetDouble(2)));
+      });
+  pb.DeclarePreserved(next, 1, 0, 0);
+  pb.Sink("ranks", it.Close(delta, next), out);
+  return std::move(pb).Finish();
+}
+
+std::map<VertexId, double> SinkRanks(const std::vector<Record>& out) {
+  std::map<VertexId, double> ranks;
+  for (const Record& rec : out) ranks[rec.GetInt(0)] = rec.GetDouble(1);
+  return ranks;
+}
+
+TEST(CheckpointRestoreTest, SessionResumedFromCheckpointMatchesUninterrupted) {
+  RmatOptions ropt;
+  ropt.num_vertices = 256;
+  ropt.num_edges = 1024;
+  ropt.seed = 42;
+  Graph graph = GenerateRmat(ropt);
+
+  std::vector<Record> s0 =
+      BuildInitialRankRecords(graph.num_vertices(), kDamping);
+  std::vector<Record> w0 = BuildInitialPushRecords(graph, kDamping);
+
+  // Phase 1 — uninterrupted run, checkpointing after superstep 1.
+  std::string path = testing::TempDir() + "/sfdf_restore_session.bin";
+  std::vector<Record> uninterrupted_out;
+  {
+    Plan plan = BuildIncrPrPlan(s0, w0, graph, &uninterrupted_out);
+    auto physical = Optimizer(OptimizerOptions{.parallelism = 2}).Optimize(plan);
+    ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+    ExecutionOptions eopt;
+    eopt.parallelism = 2;
+    eopt.checkpoint_superstep = 1;
+    eopt.checkpoint_path = path;
+    auto result = Executor(eopt).Run(*physical);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    EXPECT_TRUE(result->workset_reports[0].converged);
+    EXPECT_GT(result->workset_reports[0].iterations, 2);
+  }
+  std::map<VertexId, double> uninterrupted = SinkRanks(uninterrupted_out);
+
+  // Phase 2 — round-trip the checkpoint and resume it as a *session*: the
+  // materialized S_1/W_2 seed a resident iteration instead of the original
+  // sources.
+  auto checkpoint = LoadCheckpoint(path);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  EXPECT_EQ(checkpoint->superstep, 1);
+  EXPECT_EQ(checkpoint->solution.size(),
+            static_cast<size_t>(graph.num_vertices()));
+  EXPECT_FALSE(checkpoint->workset.empty());
+
+  std::vector<Record> resumed_out;
+  Plan plan = BuildIncrPrPlan(checkpoint->solution, checkpoint->workset,
+                              graph, &resumed_out);
+  auto physical = Optimizer(OptimizerOptions{.parallelism = 2}).Optimize(plan);
+  ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+  auto session = Executor(ExecutionOptions{.parallelism = 2})
+                     .StartSession(*physical);
+  ASSERT_TRUE(session.ok()) << session.status().ToString();
+  EXPECT_TRUE((*session)->initial_report().converged);
+
+  std::map<VertexId, double> resumed;
+  (*session)->ForEachSolution([&](const Record& rec) {
+    resumed[rec.GetInt(0)] = rec.GetDouble(1);
+  });
+  ASSERT_EQ(resumed.size(), uninterrupted.size());
+  for (const auto& [v, rank] : uninterrupted) {
+    EXPECT_NEAR(resumed[v], rank, 1e-9) << "vertex " << v;
+  }
+
+  // The restored session stays serviceable: an empty warm round converges
+  // without disturbing the fixpoint, and Finish flushes it to the sink.
+  auto round = (*session)->RunRound({});
+  ASSERT_TRUE(round.ok()) << round.status().ToString();
+  EXPECT_TRUE(round->converged);
+  ASSERT_TRUE((*session)->Finish().ok());
+  std::map<VertexId, double> flushed = SinkRanks(resumed_out);
+  for (const auto& [v, rank] : uninterrupted) {
+    EXPECT_NEAR(flushed[v], rank, 1e-9) << "vertex " << v;
+  }
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -96,5 +96,42 @@ TEST(ChannelTest, MultipleSuperstepPhases) {
   }
 }
 
+TEST(ChannelTest, SeedReopensADrainedChannel) {
+  // A service session re-feeds an iteration head's external port between
+  // rounds: each Seed is one complete, already-terminated production phase.
+  Channel channel(3);
+  for (int round = 0; round < 2; ++round) {
+    RecordBatch batch;
+    batch.Add(Record::OfInts(round));
+    channel.Seed(std::move(batch));
+    std::vector<int64_t> seen;
+    channel.ReadPhase(MarkerKind::kEndStream, [&](const RecordBatch& data) {
+      for (const Record& rec : data) seen.push_back(rec.GetInt(0));
+    });
+    ASSERT_EQ(seen.size(), 1u);
+    EXPECT_EQ(seen[0], round);
+  }
+  // An empty seed is a pure end-of-stream (an empty warm workset).
+  channel.Seed(RecordBatch());
+  int records = 0;
+  channel.ReadPhase(MarkerKind::kEndStream,
+                    [&](const RecordBatch&) { ++records; });
+  EXPECT_EQ(records, 0);
+}
+
+TEST(ChannelTest, ResetDropsQueuedEnvelopes) {
+  Channel channel(1);
+  channel.Push(DataEnvelope({Record::OfInts(1)}));
+  channel.Push(Marker(MarkerKind::kEndStream));
+  EXPECT_EQ(channel.Reset(), 2u);
+  EXPECT_EQ(channel.Reset(), 0u);
+  // The channel is reusable afterwards.
+  channel.Seed(RecordBatch());
+  int records = 0;
+  channel.ReadPhase(MarkerKind::kEndStream,
+                    [&](const RecordBatch&) { ++records; });
+  EXPECT_EQ(records, 0);
+}
+
 }  // namespace
 }  // namespace sfdf

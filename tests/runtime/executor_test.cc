@@ -211,5 +211,51 @@ INSTANTIATE_TEST_SUITE_P(Parallelism, ExecutorDopTest,
                            return "dop" + std::to_string(info.param);
                          });
 
+PhysicalPlan TrivialPlan(std::vector<Record>* out) {
+  PlanBuilder pb;
+  auto src = pb.Source("src", std::vector<Record>{Record::OfInts(1)});
+  pb.Sink("out", src, out);
+  Plan plan = std::move(pb).Finish();
+  Optimizer optimizer(OptimizerOptions{.parallelism = 2});
+  auto physical = optimizer.Optimize(plan);
+  EXPECT_TRUE(physical.ok()) << physical.status().ToString();
+  return std::move(*physical);
+}
+
+TEST(ExecutionOptionsValidationTest, NegativeParallelismIsRejected) {
+  std::vector<Record> out;
+  PhysicalPlan plan = TrivialPlan(&out);
+  Executor executor(ExecutionOptions{.parallelism = -3});
+  auto result = executor.Run(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("parallelism"),
+            std::string::npos);
+  // StartSession applies the same validation.
+  auto session = executor.StartSession(plan);
+  ASSERT_FALSE(session.ok());
+  EXPECT_EQ(session.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ExecutionOptionsValidationTest, BadCheckpointSuperstepIsRejected) {
+  std::vector<Record> out;
+  PhysicalPlan plan = TrivialPlan(&out);
+  ExecutionOptions options;
+  options.checkpoint_superstep = -2;
+  auto result = Executor(options).Run(plan);
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("checkpoint_superstep"),
+            std::string::npos);
+}
+
+TEST(ExecutionOptionsValidationTest, ZeroParallelismStillDefaults) {
+  std::vector<Record> out;
+  PhysicalPlan plan = TrivialPlan(&out);
+  auto result = Executor(ExecutionOptions{.parallelism = 0}).Run(plan);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(out.size(), 1u);
+}
+
 }  // namespace
 }  // namespace sfdf
