@@ -1,0 +1,249 @@
+// Exchange microbenchmark: the v2 per-producer SPSC data plane against the
+// v1 single-mutex MPSC channel it replaced, across producer/consumer grids.
+//
+// Expected shape: the two are comparable when one producer feeds one
+// consumer (no contention to remove), and the exchange pulls ahead as
+// producers are added — the legacy channel serializes every push through
+// one mutex + condvar pair and allocates a fresh buffer per batch, while
+// exchange lanes publish with plain release stores and recycle retired
+// buffers through the per-lane pool. The acceptance floor for the v2 data
+// plane is >= 2x envelope throughput at 8 producers on one consumer.
+//
+// The floor is only enforced where it is measurable: contention is a
+// parallel phenomenon, so on hosts with < 4 hardware threads (where 8
+// producers are time-sliced onto one or two cores and an uncontended mutex
+// costs ~50ns) the grid is reported, not gated — the same policy
+// bench_service_throughput applies to its smoke mode. The pool hit rate
+// and queue-depth columns are meaningful everywhere.
+#include <algorithm>
+#include <cstdio>
+#include <condition_variable>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "runtime/exchange.h"
+
+namespace sfdf {
+namespace {
+
+/// The v1 channel, verbatim modulo the lane parameter it ignores: an
+/// unbounded MPSC deque, one mutex and one condvar shared by every
+/// producer. Kept here as the benchmark baseline.
+class LegacyMutexChannel {
+ public:
+  explicit LegacyMutexChannel(int num_producers)
+      : num_producers_(num_producers) {}
+
+  void Push(int /*lane*/, Envelope envelope) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      queue_.push_back(std::move(envelope));
+    }
+    cv_.notify_one();
+  }
+
+  // The v1 router cut a fresh, organically growing buffer per batch.
+  RecordBatch AcquireBatch(int /*lane*/) { return RecordBatch(); }
+
+  template <typename Fn>
+  void ReadPhase(MarkerKind until, Fn&& fn) {
+    int markers = 0;
+    while (markers < num_producers_) {
+      Envelope envelope;
+      {
+        std::unique_lock<std::mutex> lock(mutex_);
+        cv_.wait(lock, [this] { return !queue_.empty(); });
+        envelope = std::move(queue_.front());
+        queue_.pop_front();
+      }
+      switch (envelope.kind) {
+        case MarkerKind::kData:
+          fn(envelope.batch);
+          break;
+        case MarkerKind::kEndSuperstep:
+          SFDF_CHECK(until == MarkerKind::kEndSuperstep);
+          ++markers;
+          break;
+        case MarkerKind::kEndStream:
+          ++markers;
+          break;
+      }
+    }
+  }
+
+ private:
+  const int num_producers_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<Envelope> queue_;
+};
+
+// Small envelopes on purpose: they weight the per-envelope channel-layer
+// cost (the thing this bench isolates) the way thin incremental supersteps
+// do — a workset iteration near its fixpoint ships mostly partial batches.
+constexpr int kRecordsPerEnvelope = 4;
+
+struct GridOutcome {
+  double seconds = 0;
+  int64_t pool_hits = 0;
+  int64_t pool_misses = 0;
+  int64_t depth_high_water = 0;
+};
+
+int64_t PoolHits(const Exchange& exchange) {
+  return exchange.stats().pool_hits;
+}
+int64_t PoolHits(const LegacyMutexChannel&) { return 0; }
+int64_t PoolMisses(const Exchange& exchange) {
+  return exchange.stats().pool_misses;
+}
+int64_t PoolMisses(const LegacyMutexChannel&) { return 0; }
+int64_t DepthHighWater(const Exchange& exchange) {
+  return exchange.stats().depth_high_water;
+}
+int64_t DepthHighWater(const LegacyMutexChannel&) { return 0; }
+
+/// Free-running throughput: every producer streams `per_producer` small
+/// batches into every consumer queue (round-robin), ends each queue with
+/// one end-of-stream marker, and the consumers drain to end-of-stream —
+/// the regime inside one superstep, where producers run ahead unboundedly
+/// and retired buffers flow back through the returns queue as the consumer
+/// catches up.
+template <typename Queue>
+GridOutcome RunGrid(int producers, int consumers, int64_t per_producer) {
+  std::vector<std::unique_ptr<Queue>> queues;
+  for (int c = 0; c < consumers; ++c) {
+    queues.push_back(std::make_unique<Queue>(producers));
+  }
+  std::vector<int64_t> received(consumers, 0);
+  Stopwatch watch;
+  std::vector<std::thread> threads;
+  for (int p = 0; p < producers; ++p) {
+    threads.emplace_back([&, p] {
+      for (int64_t i = 0; i < per_producer; ++i) {
+        Queue& queue = *queues[i % consumers];
+        RecordBatch batch = queue.AcquireBatch(p);
+        for (int r = 0; r < kRecordsPerEnvelope; ++r) {
+          batch.Add(Record::OfInts(p, i, r));
+        }
+        queue.Push(p, Envelope{MarkerKind::kData, std::move(batch)});
+      }
+      for (int c = 0; c < consumers; ++c) {
+        Envelope end;
+        end.kind = MarkerKind::kEndStream;
+        queues[c]->Push(p, std::move(end));
+      }
+    });
+  }
+  for (int c = 0; c < consumers; ++c) {
+    threads.emplace_back([&, c] {
+      queues[c]->ReadPhase(MarkerKind::kEndStream,
+                           [&](const RecordBatch& batch) {
+                             received[c] +=
+                                 static_cast<int64_t>(batch.size());
+                           });
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  GridOutcome outcome;
+  outcome.seconds = watch.ElapsedSeconds();
+  int64_t total = 0;
+  for (int c = 0; c < consumers; ++c) total += received[c];
+  SFDF_CHECK(total == static_cast<int64_t>(producers) * per_producer *
+                          kRecordsPerEnvelope)
+      << "lost records: " << total;
+  for (const auto& queue : queues) {
+    outcome.pool_hits += PoolHits(*queue);
+    outcome.pool_misses += PoolMisses(*queue);
+    const int64_t hw = DepthHighWater(*queue);
+    if (hw > outcome.depth_high_water) outcome.depth_high_water = hw;
+  }
+  return outcome;
+}
+
+}  // namespace
+}  // namespace sfdf
+
+int main() {
+  using namespace sfdf;
+  bench::Header("Exchange", "v2 SPSC-lane exchange vs v1 mutex channel "
+                            "(envelope throughput)",
+                "parity at 1 producer; exchange >= 2x at 8 producers on one "
+                "consumer (lock-light lanes + pooled batches)");
+
+  const int64_t total_envelope_target = Scaled(320000, 4000);
+  std::printf("%-10s %-10s %14s %14s %9s %10s %9s\n", "producers",
+              "consumers", "legacy_meps", "exchange_meps", "speedup",
+              "pool_hit", "depth_hw");
+
+  double speedup_8x1 = 0;
+  for (int consumers : {1, 2}) {
+    for (int producers : {1, 2, 4, 8}) {
+      // Keep total envelope volume constant per grid cell so cells are
+      // comparable: more producers, fewer envelopes each. Best-of-k runs
+      // suppress scheduler noise (the whole grid is heavily oversubscribed
+      // on small machines).
+      const int64_t per_producer =
+          std::max<int64_t>(total_envelope_target / producers, 100);
+      const int kReps = 3;
+      GridOutcome legacy;
+      GridOutcome exchange;
+      for (int rep = 0; rep < kReps; ++rep) {
+        GridOutcome l = RunGrid<LegacyMutexChannel>(producers, consumers,
+                                                    per_producer);
+        if (rep == 0 || l.seconds < legacy.seconds) legacy = l;
+        GridOutcome e = RunGrid<Exchange>(producers, consumers, per_producer);
+        if (rep == 0 || e.seconds < exchange.seconds) exchange = e;
+      }
+
+      const double pool_hit_rate =
+          static_cast<double>(exchange.pool_hits) /
+          static_cast<double>(exchange.pool_hits + exchange.pool_misses);
+      const double total_envelopes = static_cast<double>(producers) *
+                                     static_cast<double>(per_producer);
+      const double legacy_meps = total_envelopes / legacy.seconds / 1e6;
+      const double exchange_meps = total_envelopes / exchange.seconds / 1e6;
+      const double speedup = legacy.seconds / exchange.seconds;
+      if (producers == 8 && consumers == 1) speedup_8x1 = speedup;
+
+      std::printf("%-10d %-10d %14.3f %14.3f %8.2fx %9.1f%% %9lld\n",
+                  producers, consumers, legacy_meps, exchange_meps, speedup,
+                  pool_hit_rate * 100.0,
+                  static_cast<long long>(exchange.depth_high_water));
+      std::printf(
+          "row producers=%d consumers=%d legacy_meps=%.3f "
+          "exchange_meps=%.3f speedup=%.3f pool_hits=%lld pool_misses=%lld "
+          "depth_high_water=%lld\n",
+          producers, consumers, legacy_meps, exchange_meps, speedup,
+          static_cast<long long>(exchange.pool_hits),
+          static_cast<long long>(exchange.pool_misses),
+          static_cast<long long>(exchange.depth_high_water));
+    }
+  }
+
+  // Acceptance floor: the lock-light exchange must at least double the
+  // mutex channel's envelope throughput under 8-producer contention.
+  // Enforced only at full scale (smoke runs are too short) and only where
+  // producers can actually contend in parallel (>= 4 hardware threads);
+  // elsewhere the grid is reported for the record.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (ScaleFactor() < 1.0) return 0;
+  if (hw < 4) {
+    std::printf("note: %u hardware thread(s) — 8 producers are time-sliced, "
+                "so the 2x contention floor is reported, not enforced "
+                "(measured %.2fx)\n",
+                hw, speedup_8x1);
+    return 0;
+  }
+  if (speedup_8x1 < 2.0) {
+    std::printf("FAIL: 8-producer speedup %.2fx below the 2x floor\n",
+                speedup_8x1);
+    return 1;
+  }
+  return 0;
+}

@@ -115,6 +115,12 @@ int main() {
   const double sustained =
       static_cast<double>(streamed) / std::max(stream_seconds, 1e-9);
   if (!serving.Stop().ok()) return 1;
+  // Exchange-health counters of the whole resident execution (v2 data
+  // plane): available once the session shut down cleanly.
+  const auto exec = serving.final_result();
+  const int64_t depth_hw = exec ? exec->queue_depth_high_water : -1;
+  const int64_t pool_hits = exec ? exec->batch_pool_hits : -1;
+  const int64_t pool_misses = exec ? exec->batch_pool_misses : -1;
 
   std::printf("%-34s %12s\n", "measure", "value");
   std::printf("%-34s %12.3f\n", "cold full recompute (s)", cold_seconds);
@@ -126,17 +132,25 @@ int main() {
   std::printf("%-34s %12.0f\n", "sustained mutations/s", sustained);
   std::printf("%-34s %12llu\n", "batched rounds (streaming phase)",
               static_cast<unsigned long long>(stats.rounds));
+  std::printf("%-34s %12lld\n", "exchange queue depth high-water",
+              static_cast<long long>(depth_hw));
+  std::printf("%-34s %12lld\n", "batch pool hits",
+              static_cast<long long>(pool_hits));
+  std::printf("%-34s %12lld\n", "batch pool misses",
+              static_cast<long long>(pool_misses));
   std::printf(
       "row cold_s=%.3f cold_serve_s=%.3f warm_p50_ms=%.3f warm_p99_ms=%.3f "
       "speedup=%.1f sustained_per_s=%.0f streamed=%llu rounds=%llu "
-      "avg_batch=%.1f\n",
+      "avg_batch=%.1f queue_depth_hw=%lld pool_hits=%lld pool_misses=%lld\n",
       cold_seconds, cold_serve_seconds, p50, p99, speedup, sustained,
       static_cast<unsigned long long>(streamed),
       static_cast<unsigned long long>(stats.rounds),
       stats.rounds > 0
           ? static_cast<double>(stats.mutations_applied) /
                 static_cast<double>(stats.rounds)
-          : 0.0);
+          : 0.0,
+      static_cast<long long>(depth_hw), static_cast<long long>(pool_hits),
+      static_cast<long long>(pool_misses));
 
   // Acceptance floor: warm beats cold by >= 5x on a single-edge batch.
   // Only gated at full scale — in smoke mode the cold recompute is a few

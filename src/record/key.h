@@ -88,10 +88,31 @@ inline int CompareKeys(const Record& a, const KeySpec& ka, const Record& b,
   return 0;
 }
 
-/// Partition assignment used by every hash-exchange in the runtime.
+/// Partition assignment used by every hash-exchange in the runtime: Lemire
+/// fast-range, mapping the full 64-bit hash onto [0, num_partitions) with a
+/// multiply + shift instead of the hardware divide that `%` costs on the
+/// hot shipping path. The mapping consumes the hash's high bits (scaled
+/// uniformly), so records with equal key values still agree on a partition
+/// regardless of field position — the property hash-partitioned streams
+/// probing partition-local hash tables rely on.
 inline int PartitionOf(const Record& rec, const KeySpec& key,
                        int num_partitions) {
-  return static_cast<int>(HashKey(rec, key) % static_cast<uint64_t>(num_partitions));
+  const uint64_t h = HashKey(rec, key);
+  const uint64_t n = static_cast<uint64_t>(num_partitions);
+#ifdef __SIZEOF_INT128__
+  return static_cast<int>(
+      static_cast<uint64_t>((static_cast<unsigned __int128>(h) * n) >> 64));
+#else
+  // No 128-bit multiply: emulate the high 64 bits of h * n via 32-bit limbs
+  // so the assignment is identical on every platform.
+  const uint64_t h_lo = h & 0xffffffffULL;
+  const uint64_t h_hi = h >> 32;
+  const uint64_t n_lo = n & 0xffffffffULL;
+  const uint64_t n_hi = n >> 32;
+  const uint64_t mid = h_hi * n_lo + ((h_lo * n_lo) >> 32);
+  const uint64_t mid2 = h_lo * n_hi + (mid & 0xffffffffULL);
+  return static_cast<int>(h_hi * n_hi + (mid >> 32) + (mid2 >> 32));
+#endif
 }
 
 /// One entry of a field-preservation contract: input field `from` is copied

@@ -1,0 +1,452 @@
+// Exchange: the v2 data plane — the in-memory stand-in for Nephele's data
+// channels, rewritten as lock-light per-producer lanes.
+//
+// An Exchange carries envelopes from `num_producers` producer task instances
+// to ONE consumer instance. Where the v1 Channel funneled every producer
+// through a single mutex + condvar MPSC deque, an Exchange gives each
+// producer its own single-producer/single-consumer lane: an unbounded
+// segmented ring written with plain release stores and read with acquire
+// loads. Steady-state traffic takes no lock anywhere; the only mutex is the
+// consumer's park lock, touched when the consumer runs out of work.
+//
+// ## The exchange contract
+//
+// * Lane ownership. Lane `l` may be pushed to by exactly one thread at a
+//   time — producer instance `l` while the dataflow runs, or the session
+//   controller between rounds (see Seed/Reset below). The consumer side
+//   (ReadPhase) is single-threaded by construction: every Exchange belongs
+//   to exactly one consumer task instance.
+//
+// * Markers. Besides data batches, producers send marker envelopes — the
+//   "channel events" of Section 5.3. kEndSuperstep ends a producer's
+//   superstep; kEndStream ends its life. ReadPhase(until, fn) drains data
+//   batches until EVERY lane has delivered one `until` marker ("upon
+//   reception of an according number of events, each node switches to the
+//   next superstep") — the accounting is per lane, so no producer can
+//   satisfy the phase on another producer's behalf. kEndStream always
+//   substitutes for kEndSuperstep and closes the lane: a producer that left
+//   the loop implicitly ends every later phase. Envelopes a producer pushes
+//   for the *next* phase stay queued — a lane whose marker arrived is not
+//   popped again until the next ReadPhase.
+//
+// * Unboundedness. Lanes grow without limit (linked fixed-size segments),
+//   so a push never blocks. This keeps the task DAG deadlock-free: diamond
+//   topologies where a consumer drains one port to end-of-stream before
+//   touching the next would deadlock under bounded-queue backpressure.
+//   Memory stays modest at the scales this runtime targets.
+//
+// * Batch pool. Each lane owns a return queue of retired record buffers
+//   (the same unbounded SPSC structure, pointed the other way): ReadPhase
+//   recycles every drained data batch back to the lane it arrived on, and
+//   producers cut fresh batches from their lane's returns via AcquireBatch.
+//   In steady state a superstep's shipping allocates nothing — buffers just
+//   circulate producer → consumer → producer, keeping the capacity they
+//   grew.
+//
+// * Seed/Reset are controller-side operations and are only legal while no
+//   producer or consumer is active (service sessions call them between
+//   rounds, with every participating task parked at the round gate, whose
+//   mutex provides the happens-before edge in both directions). Reset drops
+//   every queued envelope; Seed reopens the closed lanes and feeds one
+//   complete, already-terminated production phase.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "record/batch.h"
+
+namespace sfdf {
+
+enum class MarkerKind : uint8_t {
+  kData,
+  kEndSuperstep,
+  kEndStream,
+};
+
+struct Envelope {
+  MarkerKind kind = MarkerKind::kData;
+  RecordBatch batch;
+};
+
+/// Unbounded single-producer/single-consumer FIFO: a linked list of
+/// fixed-size ring segments. The producer publishes with one release store
+/// per push (plus one segment allocation per kSlots pushes); the consumer
+/// reads with acquire loads and frees exhausted segments. Used for both
+/// directions of an exchange lane — envelopes forward, retired batch
+/// buffers back.
+template <typename T>
+class SpscSegmentQueue {
+ public:
+  SpscSegmentQueue() : head_seg_(new Segment()), tail_seg_(head_seg_) {}
+
+  ~SpscSegmentQueue() {
+    Segment* seg = head_seg_;
+    while (seg != nullptr) {
+      Segment* next = seg->next.load(std::memory_order_relaxed);
+      delete seg;
+      seg = next;
+    }
+  }
+
+  SpscSegmentQueue(const SpscSegmentQueue&) = delete;
+  SpscSegmentQueue& operator=(const SpscSegmentQueue&) = delete;
+
+  /// Producer side. Never blocks.
+  void Push(T value) {
+    Segment* seg = tail_seg_;
+    const size_t t = seg->tail.load(std::memory_order_relaxed);
+    if (t == kSlots) {
+      // Current segment full: publish in a fresh segment. Slot and tail are
+      // written before the old segment's `next` release-store makes the new
+      // segment reachable.
+      Segment* grown = new Segment();
+      grown->slots[0] = std::move(value);
+      grown->tail.store(1, std::memory_order_relaxed);
+      seg->next.store(grown, std::memory_order_release);
+      tail_seg_ = grown;
+    } else {
+      seg->slots[t] = std::move(value);
+      seg->tail.store(t + 1, std::memory_order_release);
+    }
+  }
+
+  /// Consumer side. Returns false when no element is currently published.
+  bool TryPop(T* out) {
+    Segment* seg = head_seg_;
+    for (;;) {
+      if (head_ == kSlots) {
+        Segment* next = seg->next.load(std::memory_order_acquire);
+        if (next == nullptr) return false;  // producer not past this segment
+        delete seg;
+        head_seg_ = seg = next;
+        head_ = 0;
+      }
+      if (head_ < seg->tail.load(std::memory_order_acquire)) {
+        *out = std::move(seg->slots[head_]);
+        ++head_;
+        return true;
+      }
+      if (head_ < kSlots) return false;
+    }
+  }
+
+  /// Consumer-side readability probe (no side effects).
+  bool Readable() const {
+    const Segment* seg = head_seg_;
+    if (head_ == kSlots) {
+      // A successor segment only exists because an element was pushed into
+      // it, so reachability implies readability.
+      return seg->next.load(std::memory_order_acquire) != nullptr;
+    }
+    return head_ < seg->tail.load(std::memory_order_acquire);
+  }
+
+ private:
+  static constexpr size_t kSlots = 64;
+
+  struct Segment {
+    std::atomic<size_t> tail{0};  ///< producer publish index
+    std::atomic<Segment*> next{nullptr};
+    std::array<T, kSlots> slots;
+  };
+
+  Segment* head_seg_;  ///< consumer-owned
+  size_t head_ = 0;    ///< consumer read index into head_seg_
+  Segment* tail_seg_;  ///< producer-owned
+};
+
+class Exchange {
+ public:
+  explicit Exchange(int num_producers) : num_producers_(num_producers) {
+    SFDF_CHECK(num_producers >= 1) << "an exchange needs at least one lane";
+    lanes_.reserve(static_cast<size_t>(num_producers));
+    for (int l = 0; l < num_producers; ++l) {
+      lanes_.push_back(std::make_unique<Lane>());
+    }
+  }
+
+  Exchange(const Exchange&) = delete;
+  Exchange& operator=(const Exchange&) = delete;
+
+  int num_producers() const { return num_producers_; }
+
+  // --- producer side (one thread per lane) --------------------------------
+
+  /// Appends `envelope` to lane `lane` (the calling producer's own lane).
+  /// Never blocks; wakes the consumer if it parked.
+  void Push(int lane, Envelope envelope) {
+    Lane& ln = LaneAt(lane);
+    ln.queue.Push(std::move(envelope));
+    const uint64_t pushed = ln.pushed.load(std::memory_order_relaxed) + 1;
+    // Queue-depth high-water mark (observability; the counters are
+    // per-envelope, so this costs a few relaxed atomics per shipped batch).
+    const uint64_t depth = pushed - ln.popped.load(std::memory_order_relaxed);
+    if (depth > ln.depth_high_water.load(std::memory_order_relaxed)) {
+      ln.depth_high_water.store(depth, std::memory_order_relaxed);
+    }
+    // Deliberately the LAST producer-side write of every push, with release
+    // semantics: a session controller taking the lane over under quiescence
+    // (Seed/Reset/AcquireBatch between rounds) first acquires `pushed`
+    // (SyncWithProducers), which orders every plain producer-owned write —
+    // the queue's tail-segment pointer, the returns queue's read cursor —
+    // before the controller's own accesses. The lane's own producer never
+    // needs the edge (program order), and on mainstream ISAs the release
+    // store costs the same as a relaxed one.
+    ln.pushed.store(pushed, std::memory_order_release);
+    WakeConsumer();
+  }
+
+  /// Cuts a batch buffer for lane `lane`: a recycled buffer from the lane's
+  /// return queue when one is available (pool hit — the buffer keeps its
+  /// grown capacity), a fresh buffer otherwise (pool miss). Deliberately no
+  /// eager reserve on a miss: partial batches (end-of-superstep flushes of
+  /// thin worksets) are common, and a full-batch reservation per miss would
+  /// dwarf the payload.
+  RecordBatch AcquireBatch(int lane) {
+    Lane& ln = LaneAt(lane);
+    std::vector<Record> buffer;
+    if (ln.returns.TryPop(&buffer)) {
+      ln.pool_hits.fetch_add(1, std::memory_order_relaxed);
+      return RecordBatch(std::move(buffer));
+    }
+    ln.pool_misses.fetch_add(1, std::memory_order_relaxed);
+    return RecordBatch();
+  }
+
+  // --- consumer side (single thread) --------------------------------------
+
+  /// Drains data batches until one `until` marker per lane arrived, calling
+  /// `fn(batch)` for each data batch. Markers of the *other* kind are a
+  /// protocol violation, except that kEndStream substitutes for
+  /// kEndSuperstep (a producer leaving the loop ends every phase) and
+  /// closes its lane for all later phases. Drained batches are recycled
+  /// into the lane's buffer pool after `fn` returns, so `fn` must not
+  /// retain references into the batch.
+  template <typename Fn>
+  void ReadPhase(MarkerKind until, Fn&& fn) {
+    int remaining = 0;
+    for (auto& lane : lanes_) {
+      lane->phase_done = lane->closed;
+      if (!lane->phase_done) ++remaining;
+    }
+    while (remaining > 0) {
+      bool progressed = false;
+      for (auto& lane_ptr : lanes_) {
+        Lane& lane = *lane_ptr;
+        if (lane.phase_done) continue;
+        Envelope envelope;
+        while (!lane.phase_done && PopLane(lane, &envelope)) {
+          progressed = true;
+          switch (envelope.kind) {
+            case MarkerKind::kData:
+              fn(envelope.batch);
+              Recycle(lane, std::move(envelope.batch));
+              break;
+            case MarkerKind::kEndSuperstep:
+              SFDF_CHECK(until == MarkerKind::kEndSuperstep)
+                  << "unexpected end-of-superstep marker";
+              lane.phase_done = true;
+              --remaining;
+              break;
+            case MarkerKind::kEndStream:
+              lane.phase_done = true;
+              lane.closed = true;
+              --remaining;
+              break;
+          }
+        }
+      }
+      if (!progressed && remaining > 0) WaitForWork();
+    }
+  }
+
+  // --- controller side (requires external quiescence) ---------------------
+
+  /// Drops every queued envelope so the exchange can be reused for another
+  /// production phase; returns the number dropped. Only legal while no
+  /// producer or consumer is active — service sessions call it between
+  /// rounds (with every participating task parked at the round gate) to
+  /// assert the previous round's seed was fully drained, lane by lane,
+  /// before reseeding.
+  size_t Reset() {
+    SyncWithProducers();
+    size_t dropped = 0;
+    for (auto& lane : lanes_) {
+      Envelope envelope;
+      while (PopLane(*lane, &envelope)) ++dropped;
+    }
+    return dropped;
+  }
+
+  /// Reopens a drained exchange for one more production phase and seeds it:
+  /// pushes `batch` as a data envelope (when non-empty) into lane 0,
+  /// followed by one kEndStream marker per lane, so the consumer's next
+  /// ReadPhase sees a complete, already-terminated stream without the
+  /// original producers running again. Service sessions use this to feed a
+  /// warm round's initial workset through the iteration head's external
+  /// port. Lanes closed by a previous phase's kEndStream are reopened.
+  void Seed(RecordBatch batch) {
+    SyncWithProducers();
+    for (auto& lane : lanes_) lane->closed = false;
+    if (!batch.empty()) {
+      Push(0, Envelope{MarkerKind::kData, std::move(batch)});
+    } else {
+      // An empty seed is a pure end-of-stream; if the caller cut `batch`
+      // from the pool, hand its capacity back instead of dropping it.
+      Recycle(*lanes_[0], std::move(batch));
+    }
+    for (int l = 0; l < num_producers_; ++l) {
+      Push(l, Envelope{MarkerKind::kEndStream, RecordBatch()});
+    }
+  }
+
+  // --- observability -------------------------------------------------------
+
+  struct Stats {
+    /// Deepest any lane's queue ever got, in envelopes.
+    int64_t depth_high_water = 0;
+    /// Batch-pool acquisitions served from recycled buffers / fresh heap.
+    int64_t pool_hits = 0;
+    int64_t pool_misses = 0;
+  };
+
+  /// Aggregated counters over all lanes. Relaxed reads: exact after the
+  /// producers quiesced (threads joined / parked), approximate while they
+  /// run — fine for both AssembleResult and live monitoring.
+  Stats stats() const {
+    Stats s;
+    for (const auto& lane : lanes_) {
+      const int64_t hw = static_cast<int64_t>(
+          lane->depth_high_water.load(std::memory_order_relaxed));
+      if (hw > s.depth_high_water) s.depth_high_water = hw;
+      s.pool_hits += static_cast<int64_t>(
+          lane->pool_hits.load(std::memory_order_relaxed));
+      s.pool_misses += static_cast<int64_t>(
+          lane->pool_misses.load(std::memory_order_relaxed));
+    }
+    return s;
+  }
+
+ private:
+  struct alignas(64) Lane {
+    // Forward direction: envelopes, producer -> consumer.
+    SpscSegmentQueue<Envelope> queue;
+    // Return direction: retired batch buffers, consumer -> producer. As
+    // unbounded as the forward queue, so recycling never drops a buffer no
+    // matter how far a producer runs ahead; total retention is bounded by
+    // the forward queue's own high-water mark (every buffer is either in
+    // flight or in returns).
+    SpscSegmentQueue<std::vector<Record>> returns;
+
+    // Producer-side counters.
+    std::atomic<uint64_t> pushed{0};
+    std::atomic<uint64_t> depth_high_water{0};
+    std::atomic<uint64_t> pool_hits{0};
+    std::atomic<uint64_t> pool_misses{0};
+
+    // Consumer-owned phase state.
+    bool closed = false;      ///< kEndStream observed (reset by Seed)
+    bool phase_done = false;  ///< marker observed for the running ReadPhase
+    std::atomic<uint64_t> popped{0};
+  };
+
+  Lane& LaneAt(int lane) {
+    SFDF_DCHECK(lane >= 0 && lane < num_producers_)
+        << "lane " << lane << " out of range";
+    return *lanes_[static_cast<size_t>(lane)];
+  }
+
+  /// Controller-side entry edge: acquire every lane's `pushed` counter,
+  /// pairing with the release store that ends each producer's Push. After
+  /// this, the producers' plain lane state (tail segment pointer, returns
+  /// cursor) is safely visible to the calling thread. Callers must still
+  /// guarantee the producers are quiescent (done pushing) — this orders
+  /// their writes, it does not stop them. Controller-side AcquireBatch is
+  /// covered by calling Reset() first (program order on the controller).
+  void SyncWithProducers() {
+    for (auto& lane : lanes_) {
+      (void)lane->pushed.load(std::memory_order_acquire);
+    }
+  }
+
+  bool PopLane(Lane& lane, Envelope* out) {
+    if (!lane.queue.TryPop(out)) return false;
+    lane.popped.store(lane.popped.load(std::memory_order_relaxed) + 1,
+                      std::memory_order_relaxed);
+    return true;
+  }
+
+  bool AnyPhaseLaneReadable() const {
+    for (const auto& lane : lanes_) {
+      if (!lane->phase_done && lane->queue.Readable()) return true;
+    }
+    return false;
+  }
+
+  /// Returns a retired batch buffer to `lane`'s pool. Buffers that never
+  /// allocated are not worth the round trip.
+  void Recycle(Lane& lane, RecordBatch batch) {
+    std::vector<Record> buffer = std::move(batch.records());
+    if (buffer.capacity() == 0) return;
+    buffer.clear();  // keeps capacity — that is the point of the pool
+    lane.returns.Push(std::move(buffer));
+  }
+
+  /// Spin-then-park: the consumer briefly spins over the open lanes, then
+  /// parks on the exchange's condvar. Producers publish their envelope
+  /// first and only then check `consumer_waiting_`; the consumer announces
+  /// `consumer_waiting_` first and only then re-checks the lanes — the two
+  /// seq_cst fences order that store/load pair (Dekker), so either the
+  /// producer sees the flag and rings the bell, or the consumer sees the
+  /// envelope and never sleeps.
+  void WaitForWork() {
+    for (int spin = 0; spin < kSpinIterations; ++spin) {
+      if (AnyPhaseLaneReadable()) return;
+    }
+    consumer_waiting_.store(true, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (AnyPhaseLaneReadable()) {
+      consumer_waiting_.store(false, std::memory_order_relaxed);
+      return;
+    }
+    std::unique_lock<std::mutex> lock(park_mutex_);
+    park_cv_.wait(lock, [this] { return AnyPhaseLaneReadable(); });
+    consumer_waiting_.store(false, std::memory_order_relaxed);
+  }
+
+  void WakeConsumer() {
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    if (consumer_waiting_.load(std::memory_order_relaxed)) {
+      // The empty critical section fences against the consumer being
+      // between its last lane check and the actual sleep.
+      { std::lock_guard<std::mutex> lock(park_mutex_); }
+      park_cv_.notify_one();
+    }
+  }
+
+  /// Lane re-scans before the consumer parks. Kept deliberately small:
+  /// oversubscribed deployments (every task instance is a thread) are the
+  /// common case, and burning a timeslice spinning starves the very
+  /// producer we are waiting on. Overridable for experiments.
+#ifndef SFDF_EXCHANGE_SPIN
+#define SFDF_EXCHANGE_SPIN 16
+#endif
+  static constexpr int kSpinIterations = SFDF_EXCHANGE_SPIN;
+
+  const int num_producers_;
+  std::vector<std::unique_ptr<Lane>> lanes_;
+
+  std::atomic<bool> consumer_waiting_{false};
+  std::mutex park_mutex_;
+  std::condition_variable park_cv_;
+};
+
+}  // namespace sfdf

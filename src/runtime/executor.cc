@@ -13,7 +13,7 @@
 #include "core/solution_set.h"
 #include "core/termination.h"
 #include "dataflow/udf.h"
-#include "runtime/channel.h"
+#include "runtime/exchange.h"
 #include "runtime/hash_table.h"
 #include "runtime/router.h"
 #include "runtime/sorter.h"
@@ -174,8 +174,9 @@ struct ExecContext {
   std::string checkpoint_path;
   Metrics metrics;
 
-  /// channels[task][port][partition]: the consumer-side queues.
-  std::vector<std::vector<std::vector<std::unique_ptr<Channel>>>> channels;
+  /// channels[task][port][partition]: the consumer-side exchanges. Each
+  /// holds one SPSC lane per producer partition.
+  std::vector<std::vector<std::vector<std::unique_ptr<Exchange>>>> channels;
   /// consumer edges per producer task: (consumer task, consumer port).
   std::vector<std::vector<std::pair<int, int>>> consumer_edges;
 
@@ -208,7 +209,7 @@ class TaskInstance {
     for (const auto& [consumer_id, port] : ctx_->consumer_edges[task_->id]) {
       const PhysicalTask& consumer = ctx_->task(consumer_id);
       const PhysicalInput& edge = consumer.inputs[port];
-      std::vector<Channel*> targets;
+      std::vector<Exchange*> targets;
       targets.reserve(ctx_->parallelism);
       for (int p = 0; p < ctx_->parallelism; ++p) {
         targets.push_back(ctx_->channels[consumer_id][port][p].get());
@@ -221,7 +222,7 @@ class TaskInstance {
     }
   }
 
-  Channel* Input(int port) {
+  Exchange* Input(int port) {
     return ctx_->channels[task_->id][port][partition_].get();
   }
 
@@ -723,7 +724,7 @@ void TaskInstance::RunWorksetHead() {
         if (superstep == rt.round_start_superstep) {
           // A round's first superstep consumes the external W_0 port: the
           // original source in the cold round, a controller-seeded stream
-          // (Channel::Seed) in warm rounds.
+          // (Exchange::Seed) in warm rounds.
           ReadPort(0, [&](const Record& rec) {
             collector.Emit(rec);
             ++count;
@@ -976,7 +977,7 @@ class MicrostepInstance {
   }
 
  private:
-  Channel* InputOf(const PhysicalTask* task, int port) {
+  Exchange* InputOf(const PhysicalTask* task, int port) {
     return ctx_->channels[task->id][port][partition_].get();
   }
 
@@ -1198,7 +1199,7 @@ class MicrostepInstance {
          ctx_->consumer_edges[delta_apply_task_->id]) {
       const PhysicalTask& consumer = ctx_->task(consumer_id);
       const PhysicalInput& edge = consumer.inputs[port];
-      std::vector<Channel*> targets;
+      std::vector<Exchange*> targets;
       for (int p = 0; p < ctx_->parallelism; ++p) {
         targets.push_back(ctx_->channels[consumer_id][port][p].get());
       }
@@ -1396,7 +1397,7 @@ Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
     ctx.channels[task.id].resize(task.inputs.size());
     for (size_t port = 0; port < task.inputs.size(); ++port) {
       for (int p = 0; p < P; ++p) {
-        ctx.channels[task.id][port].push_back(std::make_unique<Channel>(P));
+        ctx.channels[task.id][port].push_back(std::make_unique<Exchange>(P));
       }
       ctx.consumer_edges[task.inputs[port].producer].emplace_back(
           task.id, static_cast<int>(port));
@@ -1541,6 +1542,19 @@ ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
     }
   }
 
+  // --- fold exchange-health counters into the metrics ---
+  // Safe here: every producer/consumer thread has joined, so the per-lane
+  // relaxed counters are exact.
+  for (const auto& task_channels : ctx.channels) {
+    for (const auto& port_channels : task_channels) {
+      for (const auto& exchange : port_channels) {
+        const Exchange::Stats s = exchange->stats();
+        ctx.metrics.RecordQueueDepth(s.depth_high_water);
+        ctx.metrics.CountBatchPool(s.pool_hits, s.pool_misses);
+      }
+    }
+  }
+
   // --- assemble result ---
   ExecutionResult result;
   result.total_millis = total_millis;
@@ -1548,6 +1562,9 @@ ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
   result.records_remote = ctx.metrics.records_remote();
   result.bytes_shipped = ctx.metrics.bytes_shipped();
   result.records_combined = ctx.metrics.records_combined();
+  result.queue_depth_high_water = ctx.metrics.queue_depth_high_water();
+  result.batch_pool_hits = ctx.metrics.batch_pool_hits();
+  result.batch_pool_misses = ctx.metrics.batch_pool_misses();
   for (auto& rt : ctx.bulk) {
     result.bulk_reports.push_back(std::move(rt->report));
   }
@@ -1723,20 +1740,30 @@ Result<IterationReport> ExecutionSession::RunRound(
   // Route the seed workset into the head's external W_0 port, partitioned
   // exactly like the runtime's own hash exchanges. If the previous round
   // stopped at the iteration cap with work left in the queues, that work
-  // simply continues in this round alongside the new seeds.
-  std::vector<RecordBatch> seeds(P);
+  // simply continues in this round alongside the new seeds. Seed batches
+  // are cut from each port's lane-0 pool (the controller acts as that
+  // lane's producer between rounds; Reset below provides the acquire edge
+  // first), so the buffers the head recycled after draining the previous
+  // round's seed come back here instead of piling up unread — a resident
+  // session's seeding allocates nothing in steady state.
+  std::vector<RecordBatch> seeds;
+  seeds.reserve(P);
+  for (int p = 0; p < P; ++p) {
+    Exchange* port = s.ctx.channels[head_task][0][p].get();
+    // The head drained the previous seed (data + markers) at the last
+    // round's first superstep; anything still queued in ANY lane would
+    // break the per-lane marker accounting of the phase about to start.
+    // Reset scans every lane, so this asserts all of them drained.
+    SFDF_CHECK(port->Reset() == 0)
+        << "W_0 port of partition " << p << " not drained between rounds";
+    seeds.push_back(port->AcquireBatch(0));
+  }
   const int64_t seed_count = static_cast<int64_t>(workset.size());
   for (const Record& rec : workset) {
     seeds[PartitionOf(rec, rt.route_key, P)].Add(rec);
   }
   for (int p = 0; p < P; ++p) {
-    Channel* port = s.ctx.channels[head_task][0][p].get();
-    // The head drained the previous seed (data + markers) at the last
-    // round's first superstep; anything still queued would break the
-    // marker accounting of the phase about to start.
-    SFDF_CHECK(port->Reset() == 0)
-        << "W_0 port of partition " << p << " not drained between rounds";
-    port->Seed(std::move(seeds[p]));
+    s.ctx.channels[head_task][0][p]->Seed(std::move(seeds[p]));
   }
   s.ctx.metrics.CountShipped(seed_count, seed_count * sizeof(Record),
                              /*remote_records=*/0);

@@ -57,6 +57,13 @@ struct ExecutionResult {
   int64_t records_remote = 0;
   int64_t bytes_shipped = 0;
   int64_t records_combined = 0;
+  /// Exchange health (v2 data plane): deepest any exchange lane ever got
+  /// (envelopes) and how batch-buffer acquisitions split between recycled
+  /// pool buffers and fresh allocations. A healthy steady state shows a
+  /// bounded high-water mark and a hit-dominated pool.
+  int64_t queue_depth_high_water = 0;
+  int64_t batch_pool_hits = 0;
+  int64_t batch_pool_misses = 0;
   /// Reports indexed like PhysicalPlan::bulk_iterations /
   /// workset_iterations.
   std::vector<IterationReport> bulk_reports;

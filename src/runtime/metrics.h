@@ -1,7 +1,9 @@
-// Execution metrics. Channel routers count every record that enters a
-// channel; records that cross partition boundaries count additionally as
+// Execution metrics. Exchange routers count every record that enters an
+// exchange; records that cross partition boundaries count additionally as
 // "remote" — the stand-in for the paper's network messages (Figures 10/12
-// plot "messages sent").
+// plot "messages sent"). The exchange-health counters (queue-depth
+// high-water mark, batch-pool hits/misses) are aggregated from every
+// exchange's per-lane stats when a run or session is assembled.
 #pragma once
 
 #include <atomic>
@@ -21,6 +23,22 @@ class Metrics {
     records_combined_.fetch_add(records_absorbed, std::memory_order_relaxed);
   }
 
+  /// Folds one exchange's queue-depth high-water mark (envelopes) into the
+  /// run-wide maximum.
+  void RecordQueueDepth(int64_t high_water) {
+    int64_t seen = queue_depth_high_water_.load(std::memory_order_relaxed);
+    while (high_water > seen &&
+           !queue_depth_high_water_.compare_exchange_weak(
+               seen, high_water, std::memory_order_relaxed)) {
+    }
+  }
+
+  /// Accumulates batch-pool acquisition outcomes (recycled vs fresh).
+  void CountBatchPool(int64_t hits, int64_t misses) {
+    batch_pool_hits_.fetch_add(hits, std::memory_order_relaxed);
+    batch_pool_misses_.fetch_add(misses, std::memory_order_relaxed);
+  }
+
   int64_t records_shipped() const {
     return records_shipped_.load(std::memory_order_relaxed);
   }
@@ -33,12 +51,24 @@ class Metrics {
   int64_t records_combined() const {
     return records_combined_.load(std::memory_order_relaxed);
   }
+  int64_t queue_depth_high_water() const {
+    return queue_depth_high_water_.load(std::memory_order_relaxed);
+  }
+  int64_t batch_pool_hits() const {
+    return batch_pool_hits_.load(std::memory_order_relaxed);
+  }
+  int64_t batch_pool_misses() const {
+    return batch_pool_misses_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<int64_t> records_shipped_{0};
   std::atomic<int64_t> records_remote_{0};
   std::atomic<int64_t> bytes_shipped_{0};
   std::atomic<int64_t> records_combined_{0};
+  std::atomic<int64_t> queue_depth_high_water_{0};
+  std::atomic<int64_t> batch_pool_hits_{0};
+  std::atomic<int64_t> batch_pool_misses_{0};
 };
 
 /// Per-superstep measurements of one iteration (Figures 2, 8, 10, 11, 12).

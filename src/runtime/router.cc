@@ -2,7 +2,7 @@
 
 namespace sfdf {
 
-OutputPort::OutputPort(std::vector<Channel*> targets, ShipStrategy ship,
+OutputPort::OutputPort(std::vector<Exchange*> targets, ShipStrategy ship,
                        KeySpec ship_key, int my_partition, Metrics* metrics,
                        bool in_loop, CombineFn combiner, KeySpec combine_key)
     : targets_(std::move(targets)),
@@ -21,6 +21,11 @@ OutputPort::OutputPort(std::vector<Channel*> targets, ShipStrategy ship,
 
 void OutputPort::SendTo(int partition, const Record& rec) {
   RecordBatch& buffer = buffers_[partition];
+  if (buffer.empty() && buffer.records().capacity() == 0) {
+    // First record since the last flush: cut a buffer from our lane's
+    // recycle pool so steady-state supersteps allocate nothing.
+    buffer = targets_[partition]->AcquireBatch(my_partition_);
+  }
   buffer.Add(rec);
   ++records_sent_;
   if (buffer.size() >= RecordBatch::kDefaultBatchSize) {
@@ -70,7 +75,7 @@ void OutputPort::FlushPartition(int partition) {
   envelope.kind = MarkerKind::kData;
   envelope.batch = std::move(buffer);
   buffer = RecordBatch();
-  targets_[partition]->Push(std::move(envelope));
+  targets_[partition]->Push(my_partition_, std::move(envelope));
 }
 
 void OutputPort::FlushCombiner() {
@@ -91,11 +96,14 @@ void OutputPort::Flush() {
 }
 
 void OutputPort::SendMarker(MarkerKind kind) {
+  // Combined and buffered data must reach the lane before the marker does:
+  // a lane's marker ends its phase, and anything pushed after it would leak
+  // into the consumer's next phase.
   Flush();
-  for (Channel* target : targets_) {
+  for (Exchange* target : targets_) {
     Envelope envelope;
     envelope.kind = kind;
-    target->Push(std::move(envelope));
+    target->Push(my_partition_, std::move(envelope));
   }
 }
 

@@ -1,7 +1,10 @@
 // OutputPort: routes a task instance's emissions to the consumer's
-// partitioned channels according to the edge's ship strategy, with optional
+// partitioned exchanges according to the edge's ship strategy, with optional
 // chained pre-aggregation (combiner) before shipping — the Combiner
-// optimization the paper notes for PageRank (Section 6.1).
+// optimization the paper notes for PageRank (Section 6.1). The port writes
+// exclusively to lane `my_partition` of every target exchange (the SPSC
+// contract of the v2 data plane) and cuts its batch buffers from the
+// target lane's recycle pool.
 #pragma once
 
 #include <memory>
@@ -11,7 +14,7 @@
 #include "dataflow/udf.h"
 #include "optimizer/strategies.h"
 #include "record/key.h"
-#include "runtime/channel.h"
+#include "runtime/exchange.h"
 #include "runtime/hash_table.h"
 #include "runtime/metrics.h"
 
@@ -19,10 +22,11 @@ namespace sfdf {
 
 class OutputPort {
  public:
-  /// `targets[p]` is the channel into the consumer's partition p.
-  /// `my_partition` is the producing instance's partition (for kForward and
-  /// for remote-record accounting).
-  OutputPort(std::vector<Channel*> targets, ShipStrategy ship,
+  /// `targets[p]` is the exchange into the consumer's partition p.
+  /// `my_partition` is the producing instance's partition: the kForward
+  /// target, the remote-record accounting base, and the lane this port owns
+  /// in every target exchange.
+  OutputPort(std::vector<Exchange*> targets, ShipStrategy ship,
              KeySpec ship_key, int my_partition, Metrics* metrics,
              bool in_loop, CombineFn combiner = nullptr,
              KeySpec combine_key = KeySpec());
@@ -47,14 +51,16 @@ class OutputPort {
   void FlushPartition(int partition);
   void FlushCombiner();
 
-  std::vector<Channel*> targets_;
+  std::vector<Exchange*> targets_;
   ShipStrategy ship_;
   KeySpec ship_key_;
   int my_partition_;
   Metrics* metrics_;
   bool in_loop_;
 
-  std::vector<RecordBatch> buffers_;  // one per target partition
+  /// One pending batch per target partition, cut from the target lane's
+  /// buffer pool on first use after each flush.
+  std::vector<RecordBatch> buffers_;
 
   // Combiner state: per target partition, merged records by key.
   CombineFn combiner_;

@@ -1,11 +1,17 @@
 // Superstep coordination (Sections 4.2 / 5.3).
 //
 // All dynamic-path task instances of an iteration meet at a barrier after
-// emitting their end-of-superstep channel events. The completion step —
-// running while every participant is parked — evaluates the termination
-// criterion (empty workset, T-criterion silence, or the iteration cap),
-// swaps the double-buffered workset queues, and captures per-superstep
-// statistics. This is the shared-memory analogue of Nephele's
+// emitting their end-of-superstep channel events — one kEndSuperstep marker
+// into their own lane of every in-loop target exchange. The barrier and the
+// per-lane marker accounting divide the work: a consumer's ReadPhase ends
+// its *input* phase once every lane delivered its marker, while the barrier
+// ends the *superstep* once every participant arrived; because each
+// participant sends its markers before arriving, a new superstep can only
+// begin after every lane's previous phase is fully delimited. The
+// completion step — running while every participant is parked — evaluates
+// the termination criterion (empty workset, T-criterion silence, or the
+// iteration cap), swaps the double-buffered workset queues, and captures
+// per-superstep statistics. This is the shared-memory analogue of Nephele's
 // "according number of channel events" protocol.
 #pragma once
 

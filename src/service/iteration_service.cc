@@ -275,9 +275,19 @@ Status IterationService::Stop() {
   // half-constructed service is destroyed on the error path).
   if (finish_session && session_ != nullptr) {
     auto exec = session_->Finish();
-    if (status.ok() && !exec.ok()) status = exec.status();
+    if (exec.ok()) {
+      std::lock_guard<std::mutex> lock(queue_mutex_);
+      final_result_ = std::move(*exec);
+    } else if (status.ok()) {
+      status = exec.status();
+    }
   }
   return status;
+}
+
+std::optional<ExecutionResult> IterationService::final_result() const {
+  std::lock_guard<std::mutex> lock(queue_mutex_);
+  return final_result_;
 }
 
 }  // namespace sfdf

@@ -35,6 +35,7 @@
 #include <functional>
 #include <memory>
 #include <mutex>
+#include <optional>
 #include <shared_mutex>
 #include <thread>
 #include <vector>
@@ -141,6 +142,12 @@ class IterationService {
     return session_->initial_report();
   }
 
+  /// Aggregate statistics of the whole resident execution — including the
+  /// exchange-health counters (queue-depth high-water mark, batch-pool
+  /// hits/misses) folded in when the session was assembled. Empty until
+  /// Stop() has shut the session down cleanly.
+  std::optional<ExecutionResult> final_result() const;
+
   /// Stops admission, drains every already-enqueued mutation, shuts the
   /// resident session down and joins all threads. Returns the first round
   /// failure, if any. Idempotent.
@@ -186,6 +193,8 @@ class IterationService {
   Status failed_ = Status::OK();
   bool stopping_ = false;
   bool joined_ = false;
+  /// Filled by Stop() from ExecutionSession::Finish.
+  std::optional<ExecutionResult> final_result_;
 
   std::thread admission_thread_;
 };

@@ -82,6 +82,9 @@ class ServingPageRank {
 
   uint64_t epoch() const { return service_->epoch(); }
   ServiceStats stats() const { return service_->stats(); }
+  std::optional<ExecutionResult> final_result() const {
+    return service_->final_result();
+  }
   const IterationReport& initial_report() const {
     return service_->initial_report();
   }

@@ -58,6 +58,83 @@ TEST(PartitionTest, StableAndInRange) {
   EXPECT_EQ(PartitionOf(other, KeySpec{1}, 4), p);
 }
 
+// High 64 bits of h * n via 32-bit limbs — the same arithmetic as
+// PartitionOf's no-__int128 fallback, written here independently so the
+// test compiles on every platform and, where the 128-bit fast path is
+// compiled (all CI targets), proves the two formulations agree.
+uint64_t MulHigh64Reference(uint64_t h, uint64_t n) {
+  const uint64_t h_lo = h & 0xffffffffULL;
+  const uint64_t h_hi = h >> 32;
+  const uint64_t n_lo = n & 0xffffffffULL;
+  const uint64_t n_hi = n >> 32;
+  const uint64_t mid = h_hi * n_lo + ((h_lo * n_lo) >> 32);
+  const uint64_t mid2 = h_lo * n_hi + (mid & 0xffffffffULL);
+  return h_hi * n_hi + (mid >> 32) + (mid2 >> 32);
+}
+
+TEST(PartitionTest, FastRangeMatchesReferenceFormula) {
+  // PartitionOf is Lemire fast-range: the high 64 bits of hash * n. Pin the
+  // mapping against an independently computed reference so a silent change
+  // of formula (or of HashKey) cannot slip through — a changed assignment
+  // redistributes every hash exchange, solution-set partition and
+  // checkpoint in the system.
+  for (int64_t v : {0LL, 1LL, 7LL, 12345LL, 1000000007LL}) {
+    Record rec = Record::OfInts(v);
+    const uint64_t h = HashKey(rec, KeySpec{0});
+    for (int n : {1, 2, 3, 4, 7, 64, 1000}) {
+      const int expected = static_cast<int>(
+          MulHigh64Reference(h, static_cast<uint64_t>(n)));
+      EXPECT_EQ(PartitionOf(rec, KeySpec{0}, n), expected) << v << "/" << n;
+    }
+  }
+}
+
+TEST(PartitionTest, PinnedGoldenAssignments) {
+  // Golden values computed once from the committed HashKey + fast-range
+  // pair. If these move, on-disk checkpoints and any baseline that pinned
+  // partition placement are invalidated — bump them only deliberately.
+  struct Golden {
+    int64_t value;
+    int p4, p7, p64;
+  };
+  const Golden goldens[] = {
+      {0, 3, 6, 55},
+      {1, 2, 3, 34},
+      {7, 1, 1, 18},
+      {12345, 0, 1, 13},
+      {1000000007, 1, 2, 25},
+  };
+  for (const Golden& g : goldens) {
+    Record rec = Record::OfInts(g.value);
+    EXPECT_EQ(PartitionOf(rec, KeySpec{0}, 4), g.p4) << g.value;
+    EXPECT_EQ(PartitionOf(rec, KeySpec{0}, 7), g.p7) << g.value;
+    EXPECT_EQ(PartitionOf(rec, KeySpec{0}, 64), g.p64) << g.value;
+  }
+}
+
+TEST(PartitionTest, FastRangeCoversAndBalancesPartitions) {
+  // The mapping must stay a function of the hash alone (hash-partition /
+  // hash-table agreement: equal keys probe the partition that owns them)
+  // and use the whole range without starving partitions.
+  const int kPartitions = 8;
+  const int kKeys = 4096;
+  std::vector<int> counts(kPartitions, 0);
+  for (int i = 0; i < kKeys; ++i) {
+    Record rec = Record::OfInts(i);
+    Record shifted = Record::OfInts(9999, i);  // same key, other position
+    int p = PartitionOf(rec, KeySpec{0}, kPartitions);
+    ASSERT_GE(p, 0);
+    ASSERT_LT(p, kPartitions);
+    EXPECT_EQ(PartitionOf(shifted, KeySpec{1}, kPartitions), p);
+    ++counts[p];
+  }
+  for (int p = 0; p < kPartitions; ++p) {
+    // Uniform expectation is 512 per partition; allow a wide margin.
+    EXPECT_GT(counts[p], 256) << "partition " << p << " starved";
+    EXPECT_LT(counts[p], 1024) << "partition " << p << " overloaded";
+  }
+}
+
 TEST(RemapKeyTest, ForwardRemap) {
   std::vector<FieldMapping> mapping = {{0, 1}, {2, 0}};
   KeySpec out;

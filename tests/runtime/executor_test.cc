@@ -157,6 +157,10 @@ TEST_P(ExecutorDopTest, MetricsCountShippedRecords) {
   // At least the 100 reduce inputs crossed a channel.
   EXPECT_GE(result.records_shipped, 100);
   EXPECT_GT(result.bytes_shipped, 0);
+  // Exchange health was aggregated: something was queued, and every shipped
+  // batch buffer was accounted as a pool hit or miss.
+  EXPECT_GT(result.queue_depth_high_water, 0);
+  EXPECT_GT(result.batch_pool_hits + result.batch_pool_misses, 0);
 }
 
 TEST_P(ExecutorDopTest, EmptyInputsProduceEmptyOutputs) {

@@ -7,34 +7,53 @@
 namespace sfdf {
 namespace {
 
+/// Consumer-side fixture: one exchange per target partition, each with
+/// `producers` lanes. Tests that drive a single OutputPort close the unused
+/// lanes explicitly (in the executor every lane is owned by a live producer
+/// instance that sends its own markers).
 struct RouterFixture {
-  explicit RouterFixture(int partitions) {
+  RouterFixture(int partitions, int producers) : num_producers(producers) {
     for (int p = 0; p < partitions; ++p) {
-      channels.push_back(std::make_unique<Channel>(1));
-      targets.push_back(channels.back().get());
+      exchanges.push_back(std::make_unique<Exchange>(producers));
+      targets.push_back(exchanges.back().get());
+    }
+  }
+
+  /// Sends `kind` on every lane except `active_lane` of every exchange, as
+  /// the other producer instances would at end of phase.
+  void CloseOtherLanes(int active_lane, MarkerKind kind) {
+    for (auto& exchange : exchanges) {
+      for (int l = 0; l < num_producers; ++l) {
+        if (l == active_lane) continue;
+        Envelope envelope;
+        envelope.kind = kind;
+        exchange->Push(l, std::move(envelope));
+      }
     }
   }
 
   /// Drains everything currently in partition p (after a marker was sent).
   std::vector<Record> Drain(int p, MarkerKind until) {
     std::vector<Record> records;
-    channels[p]->ReadPhase(until, [&](const RecordBatch& batch) {
+    exchanges[p]->ReadPhase(until, [&](const RecordBatch& batch) {
       for (const Record& rec : batch) records.push_back(rec);
     });
     return records;
   }
 
-  std::vector<std::unique_ptr<Channel>> channels;
-  std::vector<Channel*> targets;
+  int num_producers;
+  std::vector<std::unique_ptr<Exchange>> exchanges;
+  std::vector<Exchange*> targets;
   Metrics metrics;
 };
 
 TEST(RouterTest, ForwardStaysInOwnPartition) {
-  RouterFixture fx(3);
+  RouterFixture fx(3, 3);
   OutputPort port(fx.targets, ShipStrategy::kForward, KeySpec{}, 1,
                   &fx.metrics, false);
   port.Send(Record::OfInts(42));
   port.SendMarker(MarkerKind::kEndStream);
+  fx.CloseOtherLanes(1, MarkerKind::kEndStream);
   EXPECT_EQ(fx.Drain(0, MarkerKind::kEndStream).size(), 0u);
   EXPECT_EQ(fx.Drain(1, MarkerKind::kEndStream).size(), 1u);
   EXPECT_EQ(fx.Drain(2, MarkerKind::kEndStream).size(), 0u);
@@ -43,7 +62,7 @@ TEST(RouterTest, ForwardStaysInOwnPartition) {
 }
 
 TEST(RouterTest, HashPartitionGroupsEqualKeys) {
-  RouterFixture fx(4);
+  RouterFixture fx(4, 1);
   OutputPort port(fx.targets, ShipStrategy::kHashPartition, KeySpec{0}, 0,
                   &fx.metrics, false);
   for (int i = 0; i < 100; ++i) {
@@ -66,7 +85,7 @@ TEST(RouterTest, HashPartitionGroupsEqualKeys) {
 }
 
 TEST(RouterTest, BroadcastReplicatesToAll) {
-  RouterFixture fx(3);
+  RouterFixture fx(3, 1);
   OutputPort port(fx.targets, ShipStrategy::kBroadcast, KeySpec{}, 0,
                   &fx.metrics, false);
   port.Send(Record::OfInts(7));
@@ -79,7 +98,7 @@ TEST(RouterTest, BroadcastReplicatesToAll) {
 }
 
 TEST(RouterTest, CombinerPreAggregates) {
-  RouterFixture fx(2);
+  RouterFixture fx(2, 1);
   CombineFn sum = [](const Record& a, const Record& b) {
     return Record::OfInts(a.GetInt(0), a.GetInt(1) + b.GetInt(1));
   };
@@ -105,7 +124,7 @@ TEST(RouterTest, CombinerPreAggregates) {
 }
 
 TEST(RouterTest, LargeVolumeFlushesInBatches) {
-  RouterFixture fx(2);
+  RouterFixture fx(2, 1);
   OutputPort port(fx.targets, ShipStrategy::kHashPartition, KeySpec{0}, 0,
                   &fx.metrics, false);
   const int n = 5000;  // > kDefaultBatchSize: triggers intermediate flushes
@@ -119,9 +138,27 @@ TEST(RouterTest, LargeVolumeFlushesInBatches) {
   EXPECT_EQ(fx.metrics.records_shipped(), n);
 }
 
+TEST(RouterTest, BatchBuffersComeFromTheLanePool) {
+  // Across superstep-like cycles of send + flush + drain, the port's batch
+  // buffers circulate through the exchange's recycle ring: after the first
+  // cycle, acquisitions are pool hits and steady state allocates nothing.
+  RouterFixture fx(1, 1);
+  OutputPort port(fx.targets, ShipStrategy::kForward, KeySpec{}, 0,
+                  &fx.metrics, true);
+  const int kCycles = 5;
+  for (int cycle = 0; cycle < kCycles; ++cycle) {
+    for (int i = 0; i < 10; ++i) port.Send(Record::OfInts(cycle, i));
+    port.SendMarker(MarkerKind::kEndSuperstep);
+    EXPECT_EQ(fx.Drain(0, MarkerKind::kEndSuperstep).size(), 10u);
+  }
+  const Exchange::Stats stats = fx.exchanges[0]->stats();
+  EXPECT_EQ(stats.pool_hits + stats.pool_misses, kCycles);
+  EXPECT_EQ(stats.pool_misses, 1);  // only the very first cut allocates
+}
+
 TEST(PortsCollectorTest, FansOutToAllPorts) {
-  RouterFixture fx1(1);
-  RouterFixture fx2(1);
+  RouterFixture fx1(1, 1);
+  RouterFixture fx2(1, 1);
   OutputPort port1(fx1.targets, ShipStrategy::kForward, KeySpec{}, 0,
                    &fx1.metrics, false);
   OutputPort port2(fx2.targets, ShipStrategy::kForward, KeySpec{}, 0,
