@@ -130,6 +130,19 @@ int main() {
   std::printf("%-34s %12.3f\n", "warm single-edge p99 (ms)", p99);
   std::printf("%-34s %12.1f\n", "speedup cold/warm-p50", speedup);
   std::printf("%-34s %12.0f\n", "sustained mutations/s", sustained);
+  std::printf("%-34s %12.3f\n", "service round p50 (ms)",
+              stats.round_p50_ms);
+  std::printf("%-34s %12.3f\n", "service round p95 (ms)",
+              stats.round_p95_ms);
+  std::printf("%-34s %12.3f\n", "service round p99 (ms)",
+              stats.round_p99_ms);
+  std::printf("%-34s %12d\n", "engine workers", stats.engine_workers);
+  std::printf("%-34s %12lld\n", "engine tasks",
+              static_cast<long long>(stats.engine_tasks));
+  std::printf("%-34s %12.3f\n", "engine queue wait total (ms)",
+              stats.engine_queue_wait_total_ms);
+  std::printf("%-34s %12.3f\n", "engine queue wait max (ms)",
+              stats.engine_queue_wait_max_ms);
   std::printf("%-34s %12llu\n", "batched rounds (streaming phase)",
               static_cast<unsigned long long>(stats.rounds));
   std::printf("%-34s %12lld\n", "exchange queue depth high-water",
@@ -141,7 +154,10 @@ int main() {
   std::printf(
       "row cold_s=%.3f cold_serve_s=%.3f warm_p50_ms=%.3f warm_p99_ms=%.3f "
       "speedup=%.1f sustained_per_s=%.0f streamed=%llu rounds=%llu "
-      "avg_batch=%.1f queue_depth_hw=%lld pool_hits=%lld pool_misses=%lld\n",
+      "avg_batch=%.1f queue_depth_hw=%lld pool_hits=%lld pool_misses=%lld "
+      "round_p50_ms=%.3f round_p95_ms=%.3f round_p99_ms=%.3f "
+      "engine_workers=%d engine_tasks=%lld engine_queue_wait_ms=%.3f "
+      "engine_queue_wait_max_ms=%.3f\n",
       cold_seconds, cold_serve_seconds, p50, p99, speedup, sustained,
       static_cast<unsigned long long>(streamed),
       static_cast<unsigned long long>(stats.rounds),
@@ -150,7 +166,10 @@ int main() {
                 static_cast<double>(stats.rounds)
           : 0.0,
       static_cast<long long>(depth_hw), static_cast<long long>(pool_hits),
-      static_cast<long long>(pool_misses));
+      static_cast<long long>(pool_misses), stats.round_p50_ms,
+      stats.round_p95_ms, stats.round_p99_ms, stats.engine_workers,
+      static_cast<long long>(stats.engine_tasks),
+      stats.engine_queue_wait_total_ms, stats.engine_queue_wait_max_ms);
 
   // Acceptance floor: warm beats cold by >= 5x on a single-edge batch.
   // Only gated at full scale — in smoke mode the cold recompute is a few

@@ -45,6 +45,18 @@ int DefaultParallelism() {
   return g_dop;
 }
 
+int DefaultEngineWorkers() {
+  static const int workers = [] {
+    const char* env = std::getenv("SFDF_ENGINE_WORKERS");
+    if (env != nullptr) {
+      int v = std::atoi(env);
+      if (v > 0) return v;
+    }
+    return DefaultParallelism();
+  }();
+  return workers;
+}
+
 void SetScaleFactorForTesting(double scale) { g_scale = scale; }
 void SetDefaultParallelismForTesting(int dop) { g_dop = dop; }
 

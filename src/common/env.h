@@ -2,7 +2,10 @@
 //
 //   SFDF_SCALE    — scale factor for synthetic datasets (default 1.0; the
 //                   Table 2 configs are sized so scale 1.0 runs on a laptop).
-//   SFDF_THREADS  — worker ("node") count for the parallel runtime.
+//   SFDF_THREADS  — degree of parallelism ("nodes"): solution-set /
+//                   exchange partitions per plan.
+//   SFDF_ENGINE_WORKERS — OS worker threads in the process-wide default
+//                   Engine pool (defaults to SFDF_THREADS' value).
 //   SFDF_LOG      — log level (see logging.h).
 #pragma once
 
@@ -17,6 +20,11 @@ double ScaleFactor();
 /// Default degree of parallelism: SFDF_THREADS if set, otherwise
 /// hardware_concurrency (at least 2).
 int DefaultParallelism();
+
+/// Worker-thread count of the process-wide default Engine pool:
+/// SFDF_ENGINE_WORKERS if set, otherwise DefaultParallelism(). Read once,
+/// when Engine::Default() first constructs the pool.
+int DefaultEngineWorkers();
 
 /// Overrides for tests (not thread-safe against concurrent readers; call at
 /// startup only).

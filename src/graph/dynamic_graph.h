@@ -4,10 +4,12 @@
 // serving session instead needs adjacency that absorbs streamed edge
 // mutations between warm rounds. DynamicGraph keeps one neighbor vector per
 // vertex. It is deliberately NOT internally synchronized: the serving layer
-// mutates it only between rounds (on the admission thread, while every
-// executor task is parked at the round gate) and the executor's task
-// threads read it only during rounds — the round gate provides the
-// happens-before edges, so readers and writers never overlap.
+// mutates it only between rounds (on the admission thread, while the
+// session has no wave task scheduled) and the executor's tasks read it
+// only during rounds — the session's round boundary (the wave-complete
+// hand-off and the engine submit releasing the next wave; see
+// ExecutionSession::RunRound) provides the happens-before edges, so
+// readers and writers never overlap.
 #pragma once
 
 #include <cstdint>

@@ -1,0 +1,123 @@
+#include "runtime/engine.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "common/env.h"
+#include "common/logging.h"
+
+namespace sfdf {
+
+Engine::Engine(Options options) {
+  int workers = options.workers > 0 ? options.workers : DefaultEngineWorkers();
+  workers = std::max(1, workers);
+  workers_.reserve(static_cast<size_t>(workers));
+  for (int i = 0; i < workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+Engine::~Engine() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+    for (const auto& [id, client] : clients_) {
+      SFDF_DCHECK(client.queue.empty())
+          << "engine destroyed with tasks queued on client '" << client.name
+          << "'";
+    }
+    cv_.notify_all();
+  }
+  for (std::thread& worker : workers_) worker.join();
+}
+
+int Engine::RegisterClient(std::string name) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const int id = next_client_++;
+  clients_[id].name = std::move(name);
+  return id;
+}
+
+void Engine::UnregisterClient(int client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = clients_.find(client);
+  SFDF_CHECK(it != clients_.end()) << "unregister of unknown engine client";
+  SFDF_CHECK(it->second.queue.empty())
+      << "unregister of engine client '" << it->second.name
+      << "' with tasks still queued";
+  clients_.erase(it);
+}
+
+void Engine::Submit(int client, TaskFn fn) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = clients_.find(client);
+    SFDF_CHECK(it != clients_.end()) << "submit to unknown engine client";
+    SFDF_CHECK(!stopping_) << "submit to a stopping engine";
+    it->second.queue.push_back(
+        Queued{std::move(fn), std::chrono::steady_clock::now()});
+  }
+  cv_.notify_one();
+}
+
+bool Engine::PopNext(Queued* out, ClientStats** stats_out) {
+  if (clients_.empty()) return false;
+  // Round-robin: resume the scan strictly after the client served last,
+  // wrapping once. A client with many queued tasks yields to every other
+  // non-empty client before its next task is taken.
+  auto it = clients_.upper_bound(rr_cursor_);
+  for (size_t scanned = 0; scanned < clients_.size() + 1; ++scanned) {
+    if (it == clients_.end()) {
+      it = clients_.begin();
+      if (it == clients_.end()) return false;
+    }
+    if (!it->second.queue.empty()) {
+      *out = std::move(it->second.queue.front());
+      it->second.queue.pop_front();
+      *stats_out = &it->second.stats;
+      rr_cursor_ = it->first;
+      return true;
+    }
+    ++it;
+  }
+  return false;
+}
+
+void Engine::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    Queued task;
+    ClientStats* stats = nullptr;
+    if (PopNext(&task, &stats)) {
+      const int64_t wait_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - task.enqueued)
+              .count();
+      stats->tasks_run += 1;
+      stats->queue_wait_ns_total += wait_ns;
+      stats->queue_wait_ns_max = std::max(stats->queue_wait_ns_max, wait_ns);
+      lock.unlock();
+      task.fn();
+      // Drop the closure (and everything it captures) outside the lock.
+      task.fn = nullptr;
+      lock.lock();
+      continue;
+    }
+    if (stopping_) return;
+    cv_.wait(lock);
+  }
+}
+
+Engine::ClientStats Engine::client_stats(int client) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = clients_.find(client);
+  SFDF_CHECK(it != clients_.end()) << "stats of unknown engine client";
+  return it->second.stats;
+}
+
+Engine& Engine::Default() {
+  static Engine engine{Options{}};
+  return engine;
+}
+
+}  // namespace sfdf

@@ -45,8 +45,9 @@
 //
 // * Seed/Reset are controller-side operations and are only legal while no
 //   producer or consumer is active (service sessions call them between
-//   rounds, with every participating task parked at the round gate, whose
-//   mutex provides the happens-before edge in both directions). Reset drops
+//   rounds, while no wave task is scheduled; the round boundary's mutex +
+//   the engine submit path provide the happens-before edge in both
+//   directions). Reset drops
 //   every queued envelope; Seed reopens the closed lanes and feeds one
 //   complete, already-terminated production phase.
 #pragma once
@@ -273,7 +274,7 @@ class Exchange {
   /// Drops every queued envelope so the exchange can be reused for another
   /// production phase; returns the number dropped. Only legal while no
   /// producer or consumer is active — service sessions call it between
-  /// rounds (with every participating task parked at the round gate) to
+  /// rounds (while no wave task of the resident iteration is scheduled) to
   /// assert the previous round's seed was fully drained, lane by lane,
   /// before reseeding.
   size_t Reset() {

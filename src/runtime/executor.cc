@@ -1,8 +1,12 @@
 #include "runtime/executor.h"
 
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <deque>
 #include <mutex>
+#include <set>
 #include <thread>
 #include <utility>
 
@@ -13,6 +17,7 @@
 #include "core/solution_set.h"
 #include "core/termination.h"
 #include "dataflow/udf.h"
+#include "runtime/engine.h"
 #include "runtime/exchange.h"
 #include "runtime/hash_table.h"
 #include "runtime/router.h"
@@ -58,12 +63,12 @@ bool SameLoop(const PhysicalTask& a, const PhysicalTask& b) {
 struct BulkRuntime {
   std::unique_ptr<SuperstepCoordinator> coordinator;
   /// Feedback buffers: tail instance p writes the next partial solution,
-  /// head instance p picks it up after the barrier.
+  /// head instance p picks it up after the arrival gate flips the phase.
   std::vector<std::vector<Record>> feedback;
   bool has_term = false;
   int max_iterations = 0;
   IterationReport report;
-  // Stats capture (only touched in the barrier completion step).
+  // Stats capture (only touched in the gate's completion step).
   Stopwatch watch;
   Metrics* metrics = nullptr;
   int64_t shipped_mark = 0;
@@ -72,39 +77,8 @@ struct BulkRuntime {
 
 struct MicroQueue {
   std::mutex mutex;
-  std::condition_variable cv;
   std::deque<Record> queue;
 };
-
-/// Rendezvous between a session controller and the loop-task instances of a
-/// resident workset iteration (service sessions). After a round terminates,
-/// every participant parks here instead of flushing its result; the
-/// controller reseeds the workset, re-arms the coordinator and releases the
-/// next round — or shuts the session down, upon which the participants run
-/// their final flush and exit. The gate mutex doubles as the happens-before
-/// edge for everything the controller mutates between rounds (workset
-/// seeds, report resets, coordinator re-arm).
-struct RoundGate {
-  std::mutex mutex;
-  std::condition_variable cv;
-  int participants = 0;  ///< loop-task instances that park between rounds
-  int parked = 0;        ///< currently parked participants
-  uint64_t round = 0;    ///< rounds released so far
-  bool shutdown = false;
-};
-
-/// Participant side: park until the controller either releases another
-/// round (returns true) or shuts the session down (returns false).
-bool AwaitNextRound(RoundGate* gate) {
-  std::unique_lock<std::mutex> lock(gate->mutex);
-  const uint64_t arrived_round = gate->round;
-  ++gate->parked;
-  gate->cv.notify_all();
-  gate->cv.wait(lock, [gate, arrived_round] {
-    return gate->round != arrived_round || gate->shutdown;
-  });
-  return gate->round != arrived_round;
-}
 
 struct WorksetRuntime {
   std::unique_ptr<SuperstepCoordinator> coordinator;
@@ -115,20 +89,17 @@ struct WorksetRuntime {
   bool microstep = false;
   int max_iterations = 0;
 
-  /// Session mode (resident iterations): participants park here between
-  /// rounds; null for one-shot runs.
-  RoundGate* gate = nullptr;
   /// Superstep at which the current round started. The head consumes its
   /// external W_0 port exactly at a round's first superstep (re-seeded by
   /// the session controller for warm rounds), and the iteration cap counts
   /// supersteps relative to this mark. Written only by the controller while
-  /// every participant is parked. 64-bit: the absolute counter never resets
-  /// across a resident session's rounds.
+  /// no wave task is scheduled (the engine submit path publishes it).
+  /// 64-bit: the absolute counter never resets across a session's rounds.
   int64_t round_start_superstep = 0;
 
   /// Superstep mode: double-buffered workset queues (Section 5.3). `front`
   /// is drained by head p during the superstep; tails append to `back`
-  /// under the per-partition mutex; the barrier completion swaps them.
+  /// under the per-partition mutex; the gate's completion step swaps them.
   std::vector<std::vector<Record>> front;
   std::vector<std::vector<Record>> back;
   std::vector<std::unique_ptr<std::mutex>> back_mutex;
@@ -184,16 +155,34 @@ struct ExecContext {
   std::vector<std::unique_ptr<WorksetRuntime>> workset;
 
   /// sink_slots[task][partition]: per-partition sink collections, merged
-  /// deterministically after all threads joined.
+  /// deterministically after the plan drained.
   std::vector<std::vector<std::vector<Record>>> sink_slots;
 
   const PhysicalTask& task(int id) const { return plan->tasks[id]; }
 };
 
 // ---------------------------------------------------------------------------
-// TaskInstance: one thread's work
+// TaskInstance: one partition of one physical task
 // ---------------------------------------------------------------------------
 
+/// A loop task's resumable program (runtime v3). The executor schedules
+/// `body` once per superstep wave — it processes exactly one superstep,
+/// sends this instance's end-of-superstep markers and returns to the pool
+/// (run-to-superstep-boundary). All cross-superstep state — §4.3
+/// constant-path caches, hash tables, spill buffers — lives in the
+/// program's closure, which is what makes warm session rounds warm.
+/// `final_flush` runs once after the iteration terminated, emitting the
+/// task's final result downstream and closing its output lanes.
+struct LoopProgram {
+  std::function<void(int64_t)> body;
+  std::function<void()> final_flush;
+};
+
+/// The non-blocking contract (engine.h): every `body` and every RunOnce is
+/// only enqueued after the producers of the phase it reads have finished —
+/// one-shot producers after their stream completed, in-loop producers after
+/// their superstep body ran earlier in the same wave (stage order). Every
+/// ReadPhase therefore finds a fully delimited phase and never parks.
 class TaskInstance {
  public:
   TaskInstance(ExecContext* ctx, const PhysicalTask* task, int partition)
@@ -201,7 +190,11 @@ class TaskInstance {
     BuildOutputs();
   }
 
-  void Run();
+  /// Non-loop tasks: the whole life of the instance, one engine task.
+  void RunOnce();
+
+  /// Loop tasks: the resumable per-superstep program.
+  LoopProgram MakeLoopProgram();
 
  private:
   // --- wiring helpers -----------------------------------------------------
@@ -262,47 +255,30 @@ class TaskInstance {
     ReadPort(port, [out](const Record& rec) { out->push_back(rec); });
   }
 
-  // --- drivers --------------------------------------------------------------
+  // --- one-shot drivers (non-loop tasks) ----------------------------------
   void RunSource();
   void RunSink();
-  void RunSimple();        // Map / Filter / Union, non-loop
-  void RunReduce(bool in_loop);
-  void RunMatchHash(bool in_loop);
-  void RunMatchSortMerge(bool in_loop);
-  void RunCross(bool in_loop);
-  void RunCoGroup(bool in_loop);
-  void RunSimpleLoop();    // Map / Filter / Union inside a loop
-  void RunBulkHead();
-  void RunBulkTail();
-  void RunTermSink();
-  void RunWorksetHead();
-  void RunWorksetTail();
-  void RunDeltaApply();
-  void RunSolutionJoin();
+  void RunSimple();  // Map / Filter / Union
+  void RunReduce();
+  void RunMatchHash();
+  void RunMatchSortMerge();
+  void RunCross();
+  void RunCoGroup();
 
-  /// Superstep loop skeleton for dynamic body tasks. `body(superstep)`
-  /// processes one superstep; `final_flush` runs after termination before
-  /// END_STREAM is sent downstream. In session mode (resident workset
-  /// iterations) a terminated round parks at the round gate instead; the
-  /// task's local state — constant-path caches, hash tables, spill buffers —
-  /// survives in place, which is what makes warm rounds warm.
-  template <typename BodyFn, typename FinalFn>
-  void LoopSupersteps(SuperstepCoordinator* coordinator, BodyFn&& body,
-                      FinalFn&& final_flush) {
-    RoundGate* gate =
-        task_->workset_iteration >= 0 ? WsRt().gate : nullptr;
-    for (;;) {
-      body(coordinator->superstep());
-      SendSuperstepMarkers();
-      coordinator->ArriveAndWait();
-      if (coordinator->terminated()) {
-        if (gate != nullptr && AwaitNextRound(gate)) continue;
-        final_flush();
-        SendEndStream();
-        return;
-      }
-    }
-  }
+  // --- loop program makers -------------------------------------------------
+  LoopProgram MakeSimpleLoop();  // Map / Filter / Union inside a loop
+  LoopProgram MakeReduceLoop();
+  LoopProgram MakeMatchHashLoop();
+  LoopProgram MakeMatchSortMergeLoop();
+  LoopProgram MakeCrossLoop();
+  LoopProgram MakeCoGroupLoop();
+  LoopProgram MakeBulkHead();
+  LoopProgram MakeBulkTail();
+  LoopProgram MakeTermSink();
+  LoopProgram MakeWorksetHead();
+  LoopProgram MakeWorksetTail();
+  LoopProgram MakeDeltaApply();
+  LoopProgram MakeSolutionJoin();
 
   WorksetRuntime& WsRt() { return *ctx_->workset[task_->workset_iteration]; }
   BulkRuntime& BulkRt() { return *ctx_->bulk[task_->bulk_iteration]; }
@@ -350,84 +326,96 @@ void TaskInstance::RunSimple() {
   SendEndStream();
 }
 
-void TaskInstance::RunSimpleLoop() {
-  PortsCollector collector(out_ptrs_);
-  // Constant ports are read once and replayed every superstep (§4.3 cache).
-  std::vector<std::vector<Record>> cache(task_->inputs.size());
-  SuperstepCoordinator* coordinator =
-      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
-                                 : WsRt().coordinator.get();
-  auto process_record = [&](const Record& rec) {
-    switch (task_->kind) {
-      case OperatorKind::kMap:
-        task_->map_udf(rec, &collector);
-        break;
-      case OperatorKind::kFilter:
-        if (task_->filter_udf(rec)) collector.Emit(rec);
-        break;
-      case OperatorKind::kUnion:
-        collector.Emit(rec);
-        break;
-      default:
-        SFDF_CHECK(false);
+LoopProgram TaskInstance::MakeSimpleLoop() {
+  struct State {
+    PortsCollector collector;
+    // Constant ports are read once and replayed every superstep (§4.3).
+    std::vector<std::vector<Record>> cache;
+    explicit State(std::vector<OutputPort*> ports)
+        : collector(std::move(ports)) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_);
+  st->cache.resize(task_->inputs.size());
+  LoopProgram prog;
+  prog.body = [this, st](int64_t superstep) {
+    auto process_record = [&](const Record& rec) {
+      switch (task_->kind) {
+        case OperatorKind::kMap:
+          task_->map_udf(rec, &st->collector);
+          break;
+        case OperatorKind::kFilter:
+          if (task_->filter_udf(rec)) st->collector.Emit(rec);
+          break;
+        case OperatorKind::kUnion:
+          st->collector.Emit(rec);
+          break;
+        default:
+          SFDF_CHECK(false);
+      }
+    };
+    for (size_t port = 0; port < task_->inputs.size(); ++port) {
+      if (PortInLoop(static_cast<int>(port))) {
+        ReadPort(static_cast<int>(port), process_record);
+      } else if (superstep == 0) {
+        CollectPort(static_cast<int>(port), &st->cache[port]);
+        for (const Record& rec : st->cache[port]) process_record(rec);
+      } else {
+        for (const Record& rec : st->cache[port]) process_record(rec);
+      }
     }
+    SendSuperstepMarkers();
   };
-  LoopSupersteps(
-      coordinator,
-      [&](int64_t superstep) {
-        for (size_t port = 0; port < task_->inputs.size(); ++port) {
-          if (PortInLoop(static_cast<int>(port))) {
-            ReadPort(static_cast<int>(port), process_record);
-          } else if (superstep == 0) {
-            CollectPort(static_cast<int>(port), &cache[port]);
-            for (const Record& rec : cache[port]) process_record(rec);
-          } else {
-            for (const Record& rec : cache[port]) process_record(rec);
-          }
-        }
-      },
-      [] {});
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
 }
 
-void TaskInstance::RunReduce(bool in_loop) {
+void TaskInstance::RunReduce() {
   PortsCollector collector(out_ptrs_);
-  auto reduce_pass = [&](std::vector<Record>* records) {
-    // `input_presorted`: the optimizer proved the input arrives sorted on
-    // the grouping key (single forward producer emitting in key order).
-    if (!task_->input_presorted) SortByKey(records, task_->key_left);
-    ForEachGroup(*records, task_->key_left,
-                 [&](const std::vector<Record>& group) {
-                   task_->reduce_udf(group, &collector);
-                 });
-  };
-  if (!in_loop) {
-    std::vector<Record> records;
-    CollectPort(0, &records);
-    reduce_pass(&records);
-    SendEndStream();
-    return;
-  }
-  SuperstepCoordinator* coordinator =
-      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
-                                 : WsRt().coordinator.get();
-  std::vector<Record> cache;  // constant input (rare; recomputed per step)
-  LoopSupersteps(
-      coordinator,
-      [&](int64_t superstep) {
-        if (PortInLoop(0)) {
-          std::vector<Record> records;
-          CollectPort(0, &records);
-          reduce_pass(&records);
-        } else {
-          if (superstep == 0) CollectPort(0, &cache);
-          std::vector<Record> copy = cache;
-          reduce_pass(&copy);
-        }
-      },
-      [] {});
+  std::vector<Record> records;
+  CollectPort(0, &records);
+  // `input_presorted`: the optimizer proved the input arrives sorted on
+  // the grouping key (single forward producer emitting in key order).
+  if (!task_->input_presorted) SortByKey(&records, task_->key_left);
+  ForEachGroup(records, task_->key_left,
+               [&](const std::vector<Record>& group) {
+                 task_->reduce_udf(group, &collector);
+               });
+  SendEndStream();
 }
 
-void TaskInstance::RunMatchHash(bool in_loop) {
+LoopProgram TaskInstance::MakeReduceLoop() {
+  struct State {
+    PortsCollector collector;
+    std::vector<Record> cache;  // constant input (rare; recomputed per step)
+    explicit State(std::vector<OutputPort*> ports)
+        : collector(std::move(ports)) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_);
+  LoopProgram prog;
+  prog.body = [this, st](int64_t superstep) {
+    auto reduce_pass = [&](std::vector<Record>* records) {
+      if (!task_->input_presorted) SortByKey(records, task_->key_left);
+      ForEachGroup(*records, task_->key_left,
+                   [&](const std::vector<Record>& group) {
+                     task_->reduce_udf(group, &st->collector);
+                   });
+    };
+    if (PortInLoop(0)) {
+      std::vector<Record> records;
+      CollectPort(0, &records);
+      reduce_pass(&records);
+    } else {
+      if (superstep == 0) CollectPort(0, &st->cache);
+      std::vector<Record> copy = st->cache;
+      reduce_pass(&copy);
+    }
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
+}
+
+void TaskInstance::RunMatchHash() {
   PortsCollector collector(out_ptrs_);
   const bool build_left = task_->local == LocalStrategy::kHashBuildLeft;
   const int build_port = build_left ? 0 : 1;
@@ -435,7 +423,8 @@ void TaskInstance::RunMatchHash(bool in_loop) {
   const KeySpec& build_key = build_left ? task_->key_left : task_->key_right;
   const KeySpec& probe_key = build_left ? task_->key_right : task_->key_left;
   JoinHashTable table(build_key);
-  auto probe_one = [&](const Record& probe) {
+  ReadPort(build_port, [&](const Record& rec) { table.Insert(rec); });
+  ReadPort(probe_port, [&](const Record& probe) {
     table.Probe(probe, probe_key, [&](const Record& build) {
       if (build_left) {
         task_->match_udf(build, probe, &collector);
@@ -443,137 +432,168 @@ void TaskInstance::RunMatchHash(bool in_loop) {
         task_->match_udf(probe, build, &collector);
       }
     });
-  };
-  if (!in_loop) {
-    ReadPort(build_port, [&](const Record& rec) { table.Insert(rec); });
-    ReadPort(probe_port, probe_one);
-    SendEndStream();
-    return;
-  }
-  SuperstepCoordinator* coordinator =
-      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
-                                 : WsRt().coordinator.get();
+  });
+  SendEndStream();
+}
+
+LoopProgram TaskInstance::MakeMatchHashLoop() {
+  const bool build_left = task_->local == LocalStrategy::kHashBuildLeft;
+  const int build_port = build_left ? 0 : 1;
+  const int probe_port = 1 - build_port;
+  const KeySpec& build_key = build_left ? task_->key_left : task_->key_right;
+  const KeySpec probe_key = build_left ? task_->key_right : task_->key_left;
   const bool build_in_loop = PortInLoop(build_port);
   const bool probe_in_loop = PortInLoop(probe_port);
   const bool build_cached = task_->inputs[build_port].cached;
-  std::vector<Record> build_cache;  // raw records for the no-cache ablation
-  std::vector<Record> probe_cache;
-  // Budgeted probe caches gradually spill to disk (§4.3). Spilled caches
-  // cannot be re-sorted in memory, so the sorted-cache optimization only
-  // combines with the unbounded cache.
-  std::unique_ptr<SpillBuffer> spill_cache;
+
+  struct State {
+    PortsCollector collector;
+    JoinHashTable table;
+    std::vector<Record> build_cache;  // raw records, no-cache ablation
+    std::vector<Record> probe_cache;
+    // Budgeted probe caches gradually spill to disk (§4.3). Spilled caches
+    // cannot be re-sorted in memory, so the sorted-cache optimization only
+    // combines with the unbounded cache.
+    std::unique_ptr<SpillBuffer> spill_cache;
+    State(std::vector<OutputPort*> ports, const KeySpec& key)
+        : collector(std::move(ports)), table(key) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_, build_key);
   if (!probe_in_loop && ctx_->cache_spill_budget != INT64_MAX &&
       task_->inputs[probe_port].cache_sort_key.empty()) {
     SpillBufferOptions spill_options;
     spill_options.memory_budget_bytes = ctx_->cache_spill_budget;
-    spill_cache = std::make_unique<SpillBuffer>(spill_options);
+    st->spill_cache = std::make_unique<SpillBuffer>(spill_options);
   }
-  LoopSupersteps(
-      coordinator,
-      [&](int64_t superstep) {
-        if (build_in_loop) {
-          table.Clear();
-          ReadPort(build_port, [&](const Record& rec) { table.Insert(rec); });
-        } else if (superstep == 0) {
-          // Constant build side: the hash table *is* the loop-invariant
-          // cache (§4.3), built once and reused every superstep. With
-          // caching disabled (ablation) only the raw records are kept and
-          // the table is rebuilt each superstep.
-          ReadPort(build_port, [&](const Record& rec) {
-            if (build_cached) {
-              table.Insert(rec);
-            } else {
-              build_cache.push_back(rec);
-            }
-          });
-          if (!build_cached) {
-            for (const Record& rec : build_cache) table.Insert(rec);
-          }
-        } else if (!build_cached) {
-          table.Clear();
-          for (const Record& rec : build_cache) table.Insert(rec);
-        }
-        if (probe_in_loop) {
-          ReadPort(probe_port, probe_one);
+
+  LoopProgram prog;
+  prog.body = [this, st, build_left, build_port, probe_port, probe_key,
+               build_in_loop, probe_in_loop, build_cached](int64_t superstep) {
+    auto probe_one = [&](const Record& probe) {
+      st->table.Probe(probe, probe_key, [&](const Record& build) {
+        if (build_left) {
+          task_->match_udf(build, probe, &st->collector);
         } else {
-          if (superstep == 0) {
-            if (spill_cache != nullptr) {
-              ReadPort(probe_port, [&](const Record& rec) {
-                SFDF_CHECK(spill_cache->Add(rec).ok());
-              });
-              SFDF_CHECK(spill_cache->Seal().ok());
-            } else {
-              CollectPort(probe_port, &probe_cache);
-              // Establish the requested cache order (Figure 4: A cached
-              // partitioned and sorted by tid) so downstream consumers see
-              // pre-sorted data every superstep.
-              const KeySpec& sort_key =
-                  task_->inputs[probe_port].cache_sort_key;
-              if (!sort_key.empty()) SortByKey(&probe_cache, sort_key);
-            }
-          }
-          if (spill_cache != nullptr) {
-            SFDF_CHECK(spill_cache->Replay(probe_one).ok());
-          } else {
-            for (const Record& rec : probe_cache) probe_one(rec);
-          }
+          task_->match_udf(probe, build, &st->collector);
         }
-      },
-      [] {});
+      });
+    };
+    if (build_in_loop) {
+      st->table.Clear();
+      ReadPort(build_port, [&](const Record& rec) { st->table.Insert(rec); });
+    } else if (superstep == 0) {
+      // Constant build side: the hash table *is* the loop-invariant
+      // cache (§4.3), built once and reused every superstep. With
+      // caching disabled (ablation) only the raw records are kept and
+      // the table is rebuilt each superstep.
+      ReadPort(build_port, [&](const Record& rec) {
+        if (build_cached) {
+          st->table.Insert(rec);
+        } else {
+          st->build_cache.push_back(rec);
+        }
+      });
+      if (!build_cached) {
+        for (const Record& rec : st->build_cache) st->table.Insert(rec);
+      }
+    } else if (!build_cached) {
+      st->table.Clear();
+      for (const Record& rec : st->build_cache) st->table.Insert(rec);
+    }
+    if (probe_in_loop) {
+      ReadPort(probe_port, probe_one);
+    } else {
+      if (superstep == 0) {
+        if (st->spill_cache != nullptr) {
+          ReadPort(probe_port, [&](const Record& rec) {
+            SFDF_CHECK(st->spill_cache->Add(rec).ok());
+          });
+          SFDF_CHECK(st->spill_cache->Seal().ok());
+        } else {
+          CollectPort(probe_port, &st->probe_cache);
+          // Establish the requested cache order (Figure 4: A cached
+          // partitioned and sorted by tid) so downstream consumers see
+          // pre-sorted data every superstep.
+          const KeySpec& sort_key = task_->inputs[probe_port].cache_sort_key;
+          if (!sort_key.empty()) SortByKey(&st->probe_cache, sort_key);
+        }
+      }
+      if (st->spill_cache != nullptr) {
+        SFDF_CHECK(st->spill_cache->Replay(probe_one).ok());
+      } else {
+        for (const Record& rec : st->probe_cache) probe_one(rec);
+      }
+    }
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
 }
 
-void TaskInstance::RunMatchSortMerge(bool in_loop) {
+void TaskInstance::RunMatchSortMerge() {
   PortsCollector collector(out_ptrs_);
-  auto merge_pass = [&](std::vector<Record>* left, std::vector<Record>* right) {
-    SortByKey(left, task_->key_left);
-    SortByKey(right, task_->key_right);
-    MergeJoinGroups(*left, task_->key_left, *right, task_->key_right,
+  std::vector<Record> left;
+  std::vector<Record> right;
+  CollectPort(0, &left);
+  CollectPort(1, &right);
+  SortByKey(&left, task_->key_left);
+  SortByKey(&right, task_->key_right);
+  MergeJoinGroups(left, task_->key_left, right, task_->key_right,
+                  [&](const std::vector<Record>& lgroup,
+                      const std::vector<Record>& rgroup) {
+                    for (const Record& l : lgroup) {
+                      for (const Record& r : rgroup) {
+                        task_->match_udf(l, r, &collector);
+                      }
+                    }
+                  });
+  SendEndStream();
+}
+
+LoopProgram TaskInstance::MakeMatchSortMergeLoop() {
+  struct State {
+    PortsCollector collector;
+    std::vector<Record> cache[2];
+    explicit State(std::vector<OutputPort*> ports)
+        : collector(std::move(ports)) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_);
+  LoopProgram prog;
+  prog.body = [this, st](int64_t superstep) {
+    std::vector<Record> sides[2];
+    for (int port = 0; port < 2; ++port) {
+      if (PortInLoop(port)) {
+        CollectPort(port, &sides[port]);
+      } else {
+        if (superstep == 0) CollectPort(port, &st->cache[port]);
+        sides[port] = st->cache[port];
+      }
+    }
+    SortByKey(&sides[0], task_->key_left);
+    SortByKey(&sides[1], task_->key_right);
+    MergeJoinGroups(sides[0], task_->key_left, sides[1], task_->key_right,
                     [&](const std::vector<Record>& lgroup,
                         const std::vector<Record>& rgroup) {
                       for (const Record& l : lgroup) {
                         for (const Record& r : rgroup) {
-                          task_->match_udf(l, r, &collector);
+                          task_->match_udf(l, r, &st->collector);
                         }
                       }
                     });
+    SendSuperstepMarkers();
   };
-  if (!in_loop) {
-    std::vector<Record> left;
-    std::vector<Record> right;
-    CollectPort(0, &left);
-    CollectPort(1, &right);
-    merge_pass(&left, &right);
-    SendEndStream();
-    return;
-  }
-  SuperstepCoordinator* coordinator =
-      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
-                                 : WsRt().coordinator.get();
-  std::vector<Record> cache[2];
-  LoopSupersteps(
-      coordinator,
-      [&](int64_t superstep) {
-        std::vector<Record> sides[2];
-        for (int port = 0; port < 2; ++port) {
-          if (PortInLoop(port)) {
-            CollectPort(port, &sides[port]);
-          } else {
-            if (superstep == 0) CollectPort(port, &cache[port]);
-            sides[port] = cache[port];
-          }
-        }
-        merge_pass(&sides[0], &sides[1]);
-      },
-      [] {});
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
 }
 
-void TaskInstance::RunCross(bool in_loop) {
+void TaskInstance::RunCross() {
   PortsCollector collector(out_ptrs_);
   const bool build_left = task_->local != LocalStrategy::kCrossBuildRight;
   const int build_port = build_left ? 0 : 1;
   const int probe_port = 1 - build_port;
   std::vector<Record> build;
-  auto stream_one = [&](const Record& rec) {
+  CollectPort(build_port, &build);
+  ReadPort(probe_port, [&](const Record& rec) {
     for (const Record& b : build) {
       if (build_left) {
         task_->match_udf(b, rec, &collector);
@@ -581,325 +601,355 @@ void TaskInstance::RunCross(bool in_loop) {
         task_->match_udf(rec, b, &collector);
       }
     }
-  };
-  if (!in_loop) {
-    CollectPort(build_port, &build);
-    ReadPort(probe_port, stream_one);
-    SendEndStream();
-    return;
-  }
-  SuperstepCoordinator* coordinator =
-      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
-                                 : WsRt().coordinator.get();
-  std::vector<Record> probe_cache;
-  LoopSupersteps(
-      coordinator,
-      [&](int64_t superstep) {
-        if (PortInLoop(build_port)) {
-          build.clear();
-          CollectPort(build_port, &build);
-        } else if (superstep == 0) {
-          CollectPort(build_port, &build);
-        }
-        if (PortInLoop(probe_port)) {
-          ReadPort(probe_port, stream_one);
-        } else {
-          if (superstep == 0) CollectPort(probe_port, &probe_cache);
-          for (const Record& rec : probe_cache) stream_one(rec);
-        }
-      },
-      [] {});
+  });
+  SendEndStream();
 }
 
-void TaskInstance::RunCoGroup(bool in_loop) {
+LoopProgram TaskInstance::MakeCrossLoop() {
+  const bool build_left = task_->local != LocalStrategy::kCrossBuildRight;
+  const int build_port = build_left ? 0 : 1;
+  const int probe_port = 1 - build_port;
+  struct State {
+    PortsCollector collector;
+    std::vector<Record> build;
+    std::vector<Record> probe_cache;
+    explicit State(std::vector<OutputPort*> ports)
+        : collector(std::move(ports)) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_);
+  LoopProgram prog;
+  prog.body = [this, st, build_left, build_port,
+               probe_port](int64_t superstep) {
+    auto stream_one = [&](const Record& rec) {
+      for (const Record& b : st->build) {
+        if (build_left) {
+          task_->match_udf(b, rec, &st->collector);
+        } else {
+          task_->match_udf(rec, b, &st->collector);
+        }
+      }
+    };
+    if (PortInLoop(build_port)) {
+      st->build.clear();
+      CollectPort(build_port, &st->build);
+    } else if (superstep == 0) {
+      CollectPort(build_port, &st->build);
+    }
+    if (PortInLoop(probe_port)) {
+      ReadPort(probe_port, stream_one);
+    } else {
+      if (superstep == 0) CollectPort(probe_port, &st->probe_cache);
+      for (const Record& rec : st->probe_cache) stream_one(rec);
+    }
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
+}
+
+void TaskInstance::RunCoGroup() {
   PortsCollector collector(out_ptrs_);
   const bool inner = task_->kind == OperatorKind::kInnerCoGroup;
-  auto cogroup_pass = [&](std::vector<Record>* left,
-                          std::vector<Record>* right) {
-    SortByKey(left, task_->key_left);
-    SortByKey(right, task_->key_right);
-    MergeJoinGroups(*left, task_->key_left, *right, task_->key_right,
+  std::vector<Record> left;
+  std::vector<Record> right;
+  CollectPort(0, &left);
+  CollectPort(1, &right);
+  SortByKey(&left, task_->key_left);
+  SortByKey(&right, task_->key_right);
+  MergeJoinGroups(left, task_->key_left, right, task_->key_right,
+                  [&](const std::vector<Record>& lgroup,
+                      const std::vector<Record>& rgroup) {
+                    if (inner && (lgroup.empty() || rgroup.empty())) return;
+                    task_->cogroup_udf(lgroup, rgroup, &collector);
+                  });
+  SendEndStream();
+}
+
+LoopProgram TaskInstance::MakeCoGroupLoop() {
+  const bool inner = task_->kind == OperatorKind::kInnerCoGroup;
+  struct State {
+    PortsCollector collector;
+    std::vector<Record> cache[2];
+    explicit State(std::vector<OutputPort*> ports)
+        : collector(std::move(ports)) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_);
+  LoopProgram prog;
+  prog.body = [this, st, inner](int64_t superstep) {
+    std::vector<Record> sides[2];
+    for (int port = 0; port < 2; ++port) {
+      if (PortInLoop(port)) {
+        CollectPort(port, &sides[port]);
+      } else {
+        if (superstep == 0) CollectPort(port, &st->cache[port]);
+        sides[port] = st->cache[port];
+      }
+    }
+    SortByKey(&sides[0], task_->key_left);
+    SortByKey(&sides[1], task_->key_right);
+    MergeJoinGroups(sides[0], task_->key_left, sides[1], task_->key_right,
                     [&](const std::vector<Record>& lgroup,
                         const std::vector<Record>& rgroup) {
                       if (inner && (lgroup.empty() || rgroup.empty())) return;
-                      task_->cogroup_udf(lgroup, rgroup, &collector);
+                      task_->cogroup_udf(lgroup, rgroup, &st->collector);
                     });
+    SendSuperstepMarkers();
   };
-  if (!in_loop) {
-    std::vector<Record> left;
-    std::vector<Record> right;
-    CollectPort(0, &left);
-    CollectPort(1, &right);
-    cogroup_pass(&left, &right);
-    SendEndStream();
-    return;
-  }
-  SuperstepCoordinator* coordinator =
-      task_->bulk_iteration >= 0 ? BulkRt().coordinator.get()
-                                 : WsRt().coordinator.get();
-  std::vector<Record> cache[2];
-  LoopSupersteps(
-      coordinator,
-      [&](int64_t superstep) {
-        std::vector<Record> sides[2];
-        for (int port = 0; port < 2; ++port) {
-          if (PortInLoop(port)) {
-            CollectPort(port, &sides[port]);
-          } else {
-            if (superstep == 0) CollectPort(port, &cache[port]);
-            sides[port] = cache[port];
-          }
-        }
-        cogroup_pass(&sides[0], &sides[1]);
-      },
-      [] {});
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
 }
 
 // --- bulk iteration roles ---------------------------------------------------
 
-void TaskInstance::RunBulkHead() {
-  BulkRuntime& rt = BulkRt();
-  PortsCollector collector(out_ptrs_);
-  std::vector<Record> current;
-  LoopSupersteps(
-      rt.coordinator.get(),
-      [&](int64_t superstep) {
-        if (superstep == 0) {
-          // First iteration: consume the initial partial solution.
-          CollectPort(0, &current);
-        } else {
-          current = std::move(rt.feedback[partition_]);
-          rt.feedback[partition_].clear();
-        }
-        rt.coordinator->workset_consumed.fetch_add(
-            static_cast<int64_t>(current.size()), std::memory_order_relaxed);
-        for (const Record& rec : current) collector.Emit(rec);
-      },
-      [] {});
+LoopProgram TaskInstance::MakeBulkHead() {
+  struct State {
+    PortsCollector collector;
+    std::vector<Record> current;
+    explicit State(std::vector<OutputPort*> ports)
+        : collector(std::move(ports)) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_);
+  LoopProgram prog;
+  prog.body = [this, st](int64_t superstep) {
+    BulkRuntime& rt = BulkRt();
+    if (superstep == 0) {
+      // First iteration: consume the initial partial solution.
+      CollectPort(0, &st->current);
+    } else {
+      st->current = std::move(rt.feedback[partition_]);
+      rt.feedback[partition_].clear();
+    }
+    rt.coordinator->workset_consumed.fetch_add(
+        static_cast<int64_t>(st->current.size()), std::memory_order_relaxed);
+    for (const Record& rec : st->current) st->collector.Emit(rec);
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
 }
 
-void TaskInstance::RunBulkTail() {
-  BulkRuntime& rt = BulkRt();
-  LoopSupersteps(
-      rt.coordinator.get(),
-      [&](int64_t) {
-        std::vector<Record>& buffer = rt.feedback[partition_];
-        ReadPort(0, [&](const Record& rec) { buffer.push_back(rec); });
-      },
-      [&] {
-        // The buffer collected in the final superstep is the result.
-        PortsCollector collector(out_ptrs_);
-        for (const Record& rec : rt.feedback[partition_]) collector.Emit(rec);
-      });
+LoopProgram TaskInstance::MakeBulkTail() {
+  LoopProgram prog;
+  prog.body = [this](int64_t) {
+    BulkRuntime& rt = BulkRt();
+    std::vector<Record>& buffer = rt.feedback[partition_];
+    ReadPort(0, [&](const Record& rec) { buffer.push_back(rec); });
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] {
+    // The buffer collected in the final superstep is the result.
+    BulkRuntime& rt = BulkRt();
+    PortsCollector collector(out_ptrs_);
+    for (const Record& rec : rt.feedback[partition_]) collector.Emit(rec);
+    SendEndStream();
+  };
+  return prog;
 }
 
-void TaskInstance::RunTermSink() {
-  BulkRuntime& rt = BulkRt();
-  LoopSupersteps(
-      rt.coordinator.get(),
-      [&](int64_t) {
-        int64_t count = 0;
-        ReadPort(0, [&](const Record&) { ++count; });
-        rt.coordinator->term_records.fetch_add(count,
-                                               std::memory_order_relaxed);
-      },
-      [] {});
+LoopProgram TaskInstance::MakeTermSink() {
+  LoopProgram prog;
+  prog.body = [this](int64_t) {
+    BulkRuntime& rt = BulkRt();
+    int64_t count = 0;
+    ReadPort(0, [&](const Record&) { ++count; });
+    rt.coordinator->term_records.fetch_add(count, std::memory_order_relaxed);
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
 }
 
 // --- workset iteration roles ------------------------------------------------
 
-void TaskInstance::RunWorksetHead() {
-  WorksetRuntime& rt = WsRt();
-  PortsCollector collector(out_ptrs_);
-  LoopSupersteps(
-      rt.coordinator.get(),
-      [&](int64_t superstep) {
-        int64_t count = 0;
-        auto drain_front = [&] {
-          std::vector<Record> records = std::move(rt.front[partition_]);
-          rt.front[partition_].clear();
-          for (const Record& rec : records) collector.Emit(rec);
-          count += static_cast<int64_t>(records.size());
-        };
-        if (superstep == rt.round_start_superstep) {
-          // A round's first superstep consumes the external W_0 port: the
-          // original source in the cold round, a controller-seeded stream
-          // (Exchange::Seed) in warm rounds.
-          ReadPort(0, [&](const Record& rec) {
-            collector.Emit(rec);
-            ++count;
-          });
-          // Plus any workset a previous round left behind when it stopped
-          // at the iteration cap — that work continues in this round.
-          drain_front();
-        } else {
-          drain_front();
-        }
-        rt.coordinator->workset_consumed.fetch_add(count,
-                                                   std::memory_order_relaxed);
-      },
-      [] {});
-}
-
-void TaskInstance::RunWorksetTail() {
-  WorksetRuntime& rt = WsRt();
-  const int P = rt.parallelism;
-  LoopSupersteps(
-      rt.coordinator.get(),
-      [&](int64_t) {
-        // Route W_{i+1} records into the back buffers by the workset key.
-        std::vector<std::vector<Record>> local(P);
-        int64_t count = 0;
-        int64_t remote = 0;
-        ReadPort(0, [&](const Record& rec) {
-          int target = PartitionOf(rec, rt.route_key, P);
-          local[target].push_back(rec);
-          ++count;
-          if (target != partition_) ++remote;
-        });
-        for (int p = 0; p < P; ++p) {
-          if (local[p].empty()) continue;
-          std::lock_guard<std::mutex> lock(*rt.back_mutex[p]);
-          auto& buffer = rt.back[p];
-          buffer.insert(buffer.end(), local[p].begin(), local[p].end());
-        }
-        // Feedback records are the "messages" of the incremental iteration.
-        ctx_->metrics.CountShipped(count, count * sizeof(Record), remote);
-        rt.coordinator->workset_produced.fetch_add(count,
-                                                   std::memory_order_relaxed);
-      },
-      [] {});
-}
-
-void TaskInstance::RunDeltaApply() {
-  WorksetRuntime& rt = WsRt();
-  SolutionSetIndex* index = rt.index[partition_].get();
-  LoopSupersteps(
-      rt.coordinator.get(),
-      [&](int64_t) {
-        if (rt.immediate_apply) {
-          // The solution join already merged its emissions; drain markers.
-          ReadPort(0, [](const Record&) {});
-          return;
-        }
-        // Buffer D until the superstep's reads finished (they have: our
-        // producer sent its end-of-superstep marker), then merge via ∪̇.
-        std::vector<Record> delta;
-        CollectPort(0, &delta);
-        for (const Record& rec : delta) index->Apply(rec);
-      },
-      [&] {
-        // The converged solution set is the iteration's result (§5.1).
-        PortsCollector collector(out_ptrs_);
-        index->ForEach([&](const Record& rec) { collector.Emit(rec); });
+LoopProgram TaskInstance::MakeWorksetHead() {
+  struct State {
+    PortsCollector collector;
+    explicit State(std::vector<OutputPort*> ports)
+        : collector(std::move(ports)) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_);
+  LoopProgram prog;
+  prog.body = [this, st](int64_t superstep) {
+    WorksetRuntime& rt = WsRt();
+    int64_t count = 0;
+    auto drain_front = [&] {
+      std::vector<Record> records = std::move(rt.front[partition_]);
+      rt.front[partition_].clear();
+      for (const Record& rec : records) st->collector.Emit(rec);
+      count += static_cast<int64_t>(records.size());
+    };
+    if (superstep == rt.round_start_superstep) {
+      // A round's first superstep consumes the external W_0 port: the
+      // original source in the cold round, a controller-seeded stream
+      // (Exchange::Seed) in warm rounds.
+      ReadPort(0, [&](const Record& rec) {
+        st->collector.Emit(rec);
+        ++count;
       });
+      // Plus any workset a previous round left behind when it stopped
+      // at the iteration cap — that work continues in this round.
+      drain_front();
+    } else {
+      drain_front();
+    }
+    rt.coordinator->workset_consumed.fetch_add(count,
+                                               std::memory_order_relaxed);
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
 }
 
-void TaskInstance::RunSolutionJoin() {
+LoopProgram TaskInstance::MakeWorksetTail() {
+  LoopProgram prog;
+  prog.body = [this](int64_t) {
+    WorksetRuntime& rt = WsRt();
+    const int P = rt.parallelism;
+    // Route W_{i+1} records into the back buffers by the workset key.
+    std::vector<std::vector<Record>> local(P);
+    int64_t count = 0;
+    int64_t remote = 0;
+    ReadPort(0, [&](const Record& rec) {
+      int target = PartitionOf(rec, rt.route_key, P);
+      local[target].push_back(rec);
+      ++count;
+      if (target != partition_) ++remote;
+    });
+    for (int p = 0; p < P; ++p) {
+      if (local[p].empty()) continue;
+      std::lock_guard<std::mutex> lock(*rt.back_mutex[p]);
+      auto& buffer = rt.back[p];
+      buffer.insert(buffer.end(), local[p].begin(), local[p].end());
+    }
+    // Feedback records are the "messages" of the incremental iteration.
+    ctx_->metrics.CountShipped(count, count * sizeof(Record), remote);
+    rt.coordinator->workset_produced.fetch_add(count,
+                                               std::memory_order_relaxed);
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
+}
+
+LoopProgram TaskInstance::MakeDeltaApply() {
+  LoopProgram prog;
+  prog.body = [this](int64_t) {
+    WorksetRuntime& rt = WsRt();
+    SolutionSetIndex* index = rt.index[partition_].get();
+    if (rt.immediate_apply) {
+      // The solution join already merged its emissions; drain markers.
+      ReadPort(0, [](const Record&) {});
+      SendSuperstepMarkers();
+      return;
+    }
+    // Buffer D until the superstep's reads finished (they have: our
+    // producer sent its end-of-superstep marker), then merge via ∪̇.
+    std::vector<Record> delta;
+    CollectPort(0, &delta);
+    for (const Record& rec : delta) index->Apply(rec);
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] {
+    // The converged solution set is the iteration's result (§5.1).
+    WorksetRuntime& rt = WsRt();
+    PortsCollector collector(out_ptrs_);
+    rt.index[partition_]->ForEach([&](const Record& rec) {
+      collector.Emit(rec);
+    });
+    SendEndStream();
+  };
+  return prog;
+}
+
+/// Emissions of a solution join are delta records: in immediate mode they
+/// merge into S right here, and records the comparator discards never
+/// propagate (§5.1: "D reflects only the records that contributed to the
+/// new partial solution").
+class ApplyCollector : public Collector {
+ public:
+  ApplyCollector(SolutionSetIndex* index, Collector* next, bool immediate)
+      : index_(index), next_(next), immediate_(immediate) {}
+  void Emit(const Record& rec) override {
+    if (immediate_ && !index_->Apply(rec)) return;
+    next_->Emit(rec);
+  }
+
+ private:
+  SolutionSetIndex* index_;
+  Collector* next_;
+  bool immediate_;
+};
+
+LoopProgram TaskInstance::MakeSolutionJoin() {
   WorksetRuntime& rt = WsRt();
   SolutionSetIndex* index = rt.index[partition_].get();
   const int s_port = task_->solution_side;
   const int probe_port = 1 - s_port;
-  const KeySpec& probe_key =
-      s_port == 0 ? task_->key_right : task_->key_left;
-
-  // Emissions are delta records: in immediate mode they merge into S right
-  // here, and records the comparator discards never propagate (§5.1: "D
-  // reflects only the records that contributed to the new partial
-  // solution").
-  PortsCollector downstream(out_ptrs_);
-  class ApplyCollector : public Collector {
-   public:
-    ApplyCollector(SolutionSetIndex* index, Collector* next, bool immediate)
-        : index_(index), next_(next), immediate_(immediate) {}
-    void Emit(const Record& rec) override {
-      if (immediate_ && !index_->Apply(rec)) return;
-      next_->Emit(rec);
-    }
-
-   private:
-    SolutionSetIndex* index_;
-    Collector* next_;
-    bool immediate_;
-  } collector(index, &downstream, rt.immediate_apply);
-
+  const KeySpec probe_key = s_port == 0 ? task_->key_right : task_->key_left;
   const bool group_mode = task_->kind == OperatorKind::kCoGroup ||
                           task_->kind == OperatorKind::kInnerCoGroup;
   const bool inner = task_->kind != OperatorKind::kCoGroup;
 
-  LoopSupersteps(
-      rt.coordinator.get(),
-      [&](int64_t superstep) {
-        if (superstep == 0) {
-          // Build the S index from the initial solution (hash-partitioned
-          // by the solution key). Building is not update work: reset the
-          // stats so Figure 2's counters only see iteration activity.
-          ReadPort(s_port, [&](const Record& rec) { index->Apply(rec); });
-          index->ResetStats();
-        }
-        if (!group_mode) {
-          // Match: record-at-a-time probes against the index.
-          ReadPort(probe_port, [&](const Record& probe) {
-            const Record* s_rec = index->Lookup(probe, probe_key);
-            if (s_rec == nullptr) return;  // inner-join semantics
-            if (s_port == 0) {
-              task_->match_udf(*s_rec, probe, &collector);
-            } else {
-              task_->match_udf(probe, *s_rec, &collector);
-            }
-          });
+  struct State {
+    PortsCollector downstream;
+    ApplyCollector apply;
+    State(std::vector<OutputPort*> ports, SolutionSetIndex* idx,
+          bool immediate)
+        : downstream(std::move(ports)),
+          apply(idx, &downstream, immediate) {}
+  };
+  auto st = std::make_shared<State>(out_ptrs_, index, rt.immediate_apply);
+
+  LoopProgram prog;
+  prog.body = [this, st, index, s_port, probe_port, probe_key, group_mode,
+               inner](int64_t superstep) {
+    if (superstep == 0) {
+      // Build the S index from the initial solution (hash-partitioned
+      // by the solution key). Building is not update work: reset the
+      // stats so Figure 2's counters only see iteration activity.
+      ReadPort(s_port, [&](const Record& rec) { index->Apply(rec); });
+      index->ResetStats();
+    }
+    if (!group_mode) {
+      // Match: record-at-a-time probes against the index.
+      ReadPort(probe_port, [&](const Record& probe) {
+        const Record* s_rec = index->Lookup(probe, probe_key);
+        if (s_rec == nullptr) return;  // inner-join semantics
+        if (s_port == 0) {
+          task_->match_udf(*s_rec, probe, &st->apply);
         } else {
-          // (Inner)CoGroup: group the superstep's workset records per key,
-          // pair each group with the solution record of that key.
-          std::vector<Record> probes;
-          CollectPort(probe_port, &probes);
-          SortByKey(&probes, probe_key);
-          std::vector<Record> s_group;
-          ForEachGroup(probes, probe_key,
-                       [&](const std::vector<Record>& group) {
-                         const Record* s_rec =
-                             index->Lookup(group.front(), probe_key);
-                         s_group.clear();
-                         if (s_rec != nullptr) s_group.push_back(*s_rec);
-                         if (inner && s_group.empty()) return;
-                         if (s_port == 0) {
-                           task_->cogroup_udf(s_group, group, &collector);
-                         } else {
-                           task_->cogroup_udf(group, s_group, &collector);
-                         }
-                       });
+          task_->match_udf(probe, *s_rec, &st->apply);
         }
-      },
-      [] {});
+      });
+    } else {
+      // (Inner)CoGroup: group the superstep's workset records per key,
+      // pair each group with the solution record of that key.
+      std::vector<Record> probes;
+      CollectPort(probe_port, &probes);
+      SortByKey(&probes, probe_key);
+      std::vector<Record> s_group;
+      ForEachGroup(probes, probe_key,
+                   [&](const std::vector<Record>& group) {
+                     const Record* s_rec =
+                         index->Lookup(group.front(), probe_key);
+                     s_group.clear();
+                     if (s_rec != nullptr) s_group.push_back(*s_rec);
+                     if (inner && s_group.empty()) return;
+                     if (s_port == 0) {
+                       task_->cogroup_udf(s_group, group, &st->apply);
+                     } else {
+                       task_->cogroup_udf(group, s_group, &st->apply);
+                     }
+                   });
+    }
+    SendSuperstepMarkers();
+  };
+  prog.final_flush = [this] { SendEndStream(); };
+  return prog;
 }
 
-void TaskInstance::Run() {
-  switch (task_->role) {
-    case TaskRole::kBulkHead:
-      RunBulkHead();
-      return;
-    case TaskRole::kBulkTail:
-      RunBulkTail();
-      return;
-    case TaskRole::kTermSink:
-      RunTermSink();
-      return;
-    case TaskRole::kWorksetHead:
-      RunWorksetHead();
-      return;
-    case TaskRole::kWorksetTail:
-      RunWorksetTail();
-      return;
-    case TaskRole::kDeltaApply:
-      RunDeltaApply();
-      return;
-    case TaskRole::kSolutionJoin:
-      RunSolutionJoin();
-      return;
-    case TaskRole::kRegular:
-      break;
-  }
-  const bool in_loop = IsLoopTask(*task_);
+void TaskInstance::RunOnce() {
+  SFDF_DCHECK(!IsLoopTask(*task_));
   switch (task_->kind) {
     case OperatorKind::kSource:
       RunSource();
@@ -910,32 +960,71 @@ void TaskInstance::Run() {
     case OperatorKind::kMap:
     case OperatorKind::kFilter:
     case OperatorKind::kUnion:
-      if (in_loop) {
-        RunSimpleLoop();
-      } else {
-        RunSimple();
-      }
+      RunSimple();
       return;
     case OperatorKind::kReduce:
-      RunReduce(in_loop);
+      RunReduce();
       return;
     case OperatorKind::kMatch:
       if (task_->local == LocalStrategy::kSortMerge) {
-        RunMatchSortMerge(in_loop);
+        RunMatchSortMerge();
       } else {
-        RunMatchHash(in_loop);
+        RunMatchHash();
       }
       return;
     case OperatorKind::kCross:
-      RunCross(in_loop);
+      RunCross();
       return;
     case OperatorKind::kCoGroup:
     case OperatorKind::kInnerCoGroup:
-      RunCoGroup(in_loop);
+      RunCoGroup();
       return;
     default:
       SFDF_CHECK(false) << "unexpected task kind "
                         << OperatorKindName(task_->kind);
+  }
+}
+
+LoopProgram TaskInstance::MakeLoopProgram() {
+  switch (task_->role) {
+    case TaskRole::kBulkHead:
+      return MakeBulkHead();
+    case TaskRole::kBulkTail:
+      return MakeBulkTail();
+    case TaskRole::kTermSink:
+      return MakeTermSink();
+    case TaskRole::kWorksetHead:
+      return MakeWorksetHead();
+    case TaskRole::kWorksetTail:
+      return MakeWorksetTail();
+    case TaskRole::kDeltaApply:
+      return MakeDeltaApply();
+    case TaskRole::kSolutionJoin:
+      return MakeSolutionJoin();
+    case TaskRole::kRegular:
+      break;
+  }
+  switch (task_->kind) {
+    case OperatorKind::kMap:
+    case OperatorKind::kFilter:
+    case OperatorKind::kUnion:
+      return MakeSimpleLoop();
+    case OperatorKind::kReduce:
+      return MakeReduceLoop();
+    case OperatorKind::kMatch:
+      if (task_->local == LocalStrategy::kSortMerge) {
+        return MakeMatchSortMergeLoop();
+      }
+      return MakeMatchHashLoop();
+    case OperatorKind::kCross:
+      return MakeCrossLoop();
+    case OperatorKind::kCoGroup:
+    case OperatorKind::kInnerCoGroup:
+      return MakeCoGroupLoop();
+    default:
+      SFDF_CHECK(false) << "unexpected loop task kind "
+                        << OperatorKindName(task_->kind);
+      return {};
   }
 }
 
@@ -944,8 +1033,9 @@ void TaskInstance::Run() {
 // ---------------------------------------------------------------------------
 
 /// One fused pipeline step. The whole dynamic path of a microstep-capable
-/// iteration runs inside the head thread, so solution updates are applied
-/// by the same thread that owns the partition's index — no locking.
+/// iteration runs inside a partition's chain, so solution updates are
+/// applied by the same logical task that owns the partition's index — no
+/// locking on the index.
 struct ChainStep {
   enum class Kind { kMap, kFilter, kSolutionJoin, kMatchConst };
   Kind kind;
@@ -956,6 +1046,16 @@ struct ChainStep {
   KeySpec probe_key;
   bool const_is_left = false;
 };
+
+/// Cooperative microstep unit (runtime v3): instead of a dedicated thread
+/// parked on a condition variable, each partition is a polling task. Step()
+/// drains whatever is queued for its partition, runs the fused chain, and
+/// returns kYield — the scheduler re-enqueues it — until the quiescence
+/// detector proves the whole computation drained, upon which the unit emits
+/// its partition's converged solution and returns kDone. Liveness needs
+/// only one pool worker: every unit always runs to completion of its poll
+/// and re-enqueues, so the engine's round-robin reaches every partition.
+enum class MicroStatus { kYield, kDone };
 
 class MicrostepInstance {
  public:
@@ -968,12 +1068,41 @@ class MicrostepInstance {
         chain_tasks_(std::move(chain_tasks)),
         delta_apply_task_(delta_apply_task) {}
 
-  void Run() {
-    BuildChain();
-    LoadInitialState();
-    rt_.detector->FinishStartup();
-    ProcessLoop();
-    EmitResult();
+  MicroStatus Step() {
+    if (!setup_done_) {
+      staged_.resize(rt_.parallelism);
+      BuildChain();
+      LoadInitialState();
+      rt_.detector->FinishStartup();
+      setup_done_ = true;
+    }
+    std::vector<Record> batch;
+    if (TryPopBatch(&batch)) {
+      for (const Record& rec : batch) {
+        RunChain(0, rec);
+      }
+      FlushStaged();
+      // Release the batch's credits only after its children are visible.
+      for (size_t i = 0; i < batch.size(); ++i) {
+        rt_.detector->RecordProcessed();
+      }
+      processed_ += static_cast<int64_t>(batch.size());
+      idle_polls_ = 0;
+      return MicroStatus::kYield;
+    }
+    if (rt_.detector->Quiescent()) {
+      rt_.micro_processed.fetch_add(processed_, std::memory_order_relaxed);
+      EmitResult();
+      return MicroStatus::kDone;
+    }
+    // Empty queue but records are still in flight on other partitions:
+    // yield and poll again. A long idle streak backs off briefly so a
+    // small pool is not pegged by polling while peers hold the work.
+    if (++idle_polls_ >= 64) {
+      idle_polls_ = 0;
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+    return MicroStatus::kYield;
   }
 
  private:
@@ -1055,29 +1184,21 @@ class MicrostepInstance {
           for (size_t i = 0; i < batch.size(); ++i) {
             rt_.detector->RecordEnqueued();
           }
-          {
-            std::lock_guard<std::mutex> lock(queue.mutex);
-            queue.queue.insert(queue.queue.end(), batch.begin(), batch.end());
-          }
-          queue.cv.notify_all();
+          std::lock_guard<std::mutex> lock(queue.mutex);
+          queue.queue.insert(queue.queue.end(), batch.begin(), batch.end());
         });
   }
 
-  /// Drains every currently-queued record for this partition. Returns
-  /// false only when the whole computation is quiescent.
-  bool PopBatch(std::vector<Record>* out) {
-    out->clear();
+  /// Drains every currently-queued record for this partition, without
+  /// blocking. False = nothing queued right now (which does NOT mean the
+  /// computation is quiescent — Step checks the detector separately).
+  bool TryPopBatch(std::vector<Record>* out) {
     MicroQueue& queue = *rt_.queues[partition_];
-    std::unique_lock<std::mutex> lock(queue.mutex);
-    for (;;) {
-      if (!queue.queue.empty()) {
-        out->assign(queue.queue.begin(), queue.queue.end());
-        queue.queue.clear();
-        return true;
-      }
-      if (rt_.detector->Quiescent()) return false;
-      queue.cv.wait_for(lock, std::chrono::microseconds(200));
-    }
+    std::lock_guard<std::mutex> lock(queue.mutex);
+    if (queue.queue.empty()) return false;
+    out->assign(queue.queue.begin(), queue.queue.end());
+    queue.queue.clear();
+    return true;
   }
 
   /// Stages an end-of-chain record (a W_{i+1} element) for its partition.
@@ -1101,7 +1222,6 @@ class MicrostepInstance {
         queue.queue.insert(queue.queue.end(), staged_[target].begin(),
                            staged_[target].end());
       }
-      queue.cv.notify_one();
       staged_[target].clear();
     }
   }
@@ -1168,28 +1288,6 @@ class MicrostepInstance {
     }
   }
 
-  void ProcessLoop() {
-    staged_.resize(rt_.parallelism);
-    std::vector<Record> batch;
-    int64_t processed = 0;
-    while (PopBatch(&batch)) {
-      for (const Record& rec : batch) {
-        RunChain(0, rec);
-      }
-      FlushStaged();
-      // Release the batch's credits only after its children are visible.
-      for (size_t i = 0; i < batch.size(); ++i) {
-        rt_.detector->RecordProcessed();
-      }
-      processed += static_cast<int64_t>(batch.size());
-      // Wake peers that may be waiting on quiescence.
-      if (rt_.detector->Quiescent()) {
-        for (auto& queue : rt_.queues) queue->cv.notify_all();
-      }
-    }
-    rt_.micro_processed.fetch_add(processed, std::memory_order_relaxed);
-  }
-
   void EmitResult() {
     // Emit this partition's converged solution set through the delta-apply
     // task's output ports (its downstream consumers expect P producers).
@@ -1222,6 +1320,9 @@ class MicrostepInstance {
   std::vector<ChainStep> chain_;
   /// Per-target staging buffers for outgoing workset records.
   std::vector<std::vector<Record>> staged_;
+  bool setup_done_ = false;
+  int64_t processed_ = 0;
+  int idle_polls_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -1327,8 +1428,9 @@ std::function<bool(int64_t)> MakeWorksetDecide(ExecContext* ctx,
     rt->report.iterations = round_superstep + 1;
     // §4.2 recovery log: snapshot the materialization points (solution set
     // + pending workset) at the configured superstep boundary. Safe here:
-    // every task instance is parked at the barrier. Round-relative, like
-    // the report numbering, so session rounds each hit the same mark.
+    // the completion step runs inside the wave's last arrival, while no
+    // participant task is live. Round-relative, like the report numbering,
+    // so session rounds each hit the same mark.
     if (round_superstep == ctx->checkpoint_superstep &&
         !ctx->checkpoint_path.empty()) {
       IterationCheckpoint checkpoint;
@@ -1364,6 +1466,12 @@ Status ValidateExecutionOptions(const ExecutionOptions& options) {
         "ExecutionOptions.parallelism must be >= 0 (0 = default), got " +
         std::to_string(options.parallelism));
   }
+  if (options.worker_threads < 0) {
+    return Status::InvalidArgument(
+        "ExecutionOptions.worker_threads must be >= 0 (0 = shared default "
+        "engine), got " +
+        std::to_string(options.worker_threads));
+  }
   if (options.checkpoint_superstep < -1) {
     return Status::InvalidArgument(
         "ExecutionOptions.checkpoint_superstep must be >= -1 (-1 = off), "
@@ -1375,7 +1483,7 @@ Status ValidateExecutionOptions(const ExecutionOptions& options) {
 
 /// One-shot setup: validates the plan and builds the channels, consumer
 /// index, iteration runtimes and sink slots for degree-of-parallelism P.
-/// Shared between Run (setup → execute → tear down) and StartSession
+/// Shared between Run (setup → schedule → tear down) and StartSession
 /// (setup once, re-enter rounds warm).
 Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
                     int P, ExecContext* ctx_out) {
@@ -1418,7 +1526,6 @@ Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
       if (task.workset_iteration >= 0) ++loop_tasks_ws[task.workset_iteration];
     }
   }
-
   for (size_t i = 0; i < plan.bulk_iterations.size(); ++i) {
     const PhysicalBulkIteration& spec = plan.bulk_iterations[i];
     auto rt = std::make_unique<BulkRuntime>();
@@ -1469,64 +1576,7 @@ Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
   return Status::OK();
 }
 
-/// Spawns one thread per task instance (plus the fused microstep instances).
-/// Threads reference `ctx` and `plan`, both of which must outlive the join.
-void SpawnThreads(const PhysicalPlan& plan, ExecContext* ctx_ptr,
-                  std::vector<std::thread>* threads_out) {
-  ExecContext& ctx = *ctx_ptr;
-  std::vector<std::thread>& threads = *threads_out;
-  const int P = ctx.parallelism;
-
-  for (const PhysicalTask& task : plan.tasks) {
-    if (task.workset_iteration >= 0 &&
-        plan.workset_iterations[task.workset_iteration].microstep &&
-        IsLoopTask(task)) {
-      continue;  // fused into MicrostepInstance below
-    }
-    for (int p = 0; p < P; ++p) {
-      threads.emplace_back([&ctx, &task, p] {
-        TaskInstance instance(&ctx, &task, p);
-        instance.Run();
-      });
-    }
-  }
-
-  for (size_t i = 0; i < plan.workset_iterations.size(); ++i) {
-    const PhysicalWorksetIteration& spec = plan.workset_iterations[i];
-    if (!spec.microstep) continue;
-    // Chain = the dynamic body tasks in dataflow order, starting from the
-    // head's unique consumer.
-    std::vector<const PhysicalTask*> chain;
-    int cursor = -1;
-    for (const auto& [consumer, port] :
-         ctx.consumer_edges[spec.head_task]) {
-      (void)port;
-      if (ctx.task(consumer).role != TaskRole::kWorksetTail) cursor = consumer;
-    }
-    while (cursor >= 0) {
-      const PhysicalTask& task = ctx.task(cursor);
-      chain.push_back(&task);
-      int next = -1;
-      for (const auto& [consumer, port] : ctx.consumer_edges[cursor]) {
-        (void)port;
-        const PhysicalTask& c = ctx.task(consumer);
-        if (c.role == TaskRole::kRegular && IsLoopTask(c)) next = consumer;
-        if (c.role == TaskRole::kSolutionJoin) next = consumer;
-      }
-      cursor = next;
-    }
-    const PhysicalTask* delta_apply = &ctx.task(spec.delta_apply_task);
-    for (int p = 0; p < P; ++p) {
-      threads.emplace_back([&ctx, i, p, chain, delta_apply] {
-        MicrostepInstance instance(&ctx, static_cast<int>(i), p, chain,
-                                   delta_apply);
-        instance.Run();
-      });
-    }
-  }
-}
-
-/// Post-join epilogue: merges the sink slots deterministically and
+/// Post-drain epilogue: merges the sink slots deterministically and
 /// assembles the aggregate statistics.
 ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
                                double total_millis) {
@@ -1543,7 +1593,7 @@ ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
   }
 
   // --- fold exchange-health counters into the metrics ---
-  // Safe here: every producer/consumer thread has joined, so the per-lane
+  // Safe here: every producer/consumer task has completed, so the per-lane
   // relaxed counters are exact.
   for (const auto& task_channels : ctx.channels) {
     for (const auto& port_channels : task_channels) {
@@ -1590,6 +1640,468 @@ ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
   return result;
 }
 
+// ---------------------------------------------------------------------------
+// PlanSchedule: dataflow-topological scheduling on the engine
+// ---------------------------------------------------------------------------
+
+/// One loop task instance of a superstep wave.
+struct LoopUnit {
+  TaskInstance* instance = nullptr;
+  LoopProgram program;
+};
+
+/// A schedulable region of the plan. The plan's exchange graph is a DAG —
+/// every feedback edge of an iteration goes through in-memory buffers
+/// swapped at the superstep gate, not through an exchange — so regions can
+/// run strictly producers-before-consumers:
+///   kTask  — one non-loop physical task: P one-shot units, runnable once
+///            every producer region completed (its input phases are then
+///            fully delivered, so the existing streaming drivers run
+///            without ever blocking).
+///   kWave  — one superstep iteration: self-scheduling superstep waves
+///            (see ScheduleWave); completes after its final flush.
+///   kMicro — one fused microstep iteration: P cooperative polling units.
+struct SchedNode {
+  enum class Kind { kTask, kWave, kMicro };
+  Kind kind = Kind::kTask;
+  int task_id = -1;    ///< kTask
+  bool is_bulk = false;
+  int iteration = -1;  ///< index into ctx.bulk / ctx.workset
+  std::vector<int> dependents;
+  std::atomic<int> pending_deps{0};
+  // kTask:
+  std::atomic<int> units_remaining{0};
+  // kWave:
+  SuperstepCoordinator* coordinator = nullptr;
+  /// Wave stages: the loop units grouped by in-loop dataflow depth. Stage
+  /// k+1 is enqueued once stage k fully finished, so every in-loop
+  /// ReadPhase finds its producers' superstep phase already delivered.
+  std::vector<std::vector<LoopUnit>> stages;
+  std::vector<std::unique_ptr<std::atomic<int>>> stage_remaining;
+  /// Resident session iteration: a terminated wave hands the round
+  /// boundary to the session controller instead of final-flushing; the
+  /// node only completes when Finish schedules the flush.
+  bool session_resident = false;
+  std::atomic<int> flush_remaining{0};
+  // kMicro:
+  std::vector<std::unique_ptr<MicrostepInstance>> micro_units;
+  std::atomic<int> micro_remaining{0};
+};
+
+class PlanSchedule {
+ public:
+  PlanSchedule(const PhysicalPlan* plan, ExecContext* ctx, Engine* engine,
+               std::string client_name, bool session_mode)
+      : plan_(plan),
+        ctx_(ctx),
+        engine_(engine),
+        session_mode_(session_mode) {
+    client_ = engine_->RegisterClient(std::move(client_name));
+    BuildInstances();
+    BuildNodes();
+  }
+
+  /// The owner destroys the schedule only after WaitPlanDone (or, for an
+  /// abandoned session, after Finish ran) — the client queue is drained.
+  ~PlanSchedule() { engine_->UnregisterClient(client_); }
+
+  PlanSchedule(const PlanSchedule&) = delete;
+  PlanSchedule& operator=(const PlanSchedule&) = delete;
+
+  int client() const { return client_; }
+
+  /// Enqueues every dependency-free region; the rest self-schedule as
+  /// their producers complete.
+  void Start() {
+    if (session_mode_) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      round_running_ = true;  // the cold round is in flight from the start
+    }
+    // Snapshot the dependency-free set BEFORE submitting anything: once the
+    // first region is enqueued, workers may complete it and schedule its
+    // dependents concurrently, and reading pending_deps mid-loop would then
+    // double-schedule a region that just hit zero.
+    std::vector<int> ready;
+    for (size_t i = 0; i < nodes_.size(); ++i) {
+      if (nodes_[i]->pending_deps.load(std::memory_order_acquire) == 0) {
+        ready.push_back(static_cast<int>(i));
+      }
+    }
+    for (int id : ready) ScheduleNodeById(id);
+  }
+
+  /// Blocks until every region completed (one-shot runs; session Finish).
+  void WaitPlanDone() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return nodes_remaining_ == 0; });
+  }
+
+  // --- session controller API (resident workset iteration) ----------------
+
+  /// Blocks until the in-flight round's wave terminated. On return no task
+  /// of the resident iteration is scheduled, so the controller may read and
+  /// reseed the resident state (the wait's mutex publishes the wave's
+  /// writes; the next round's engine submits publish the controller's).
+  void WaitRoundDone() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return !round_running_; });
+  }
+
+  /// Releases a warm round: the controller has reseeded W_0 and re-armed
+  /// the coordinator; schedule the next superstep wave.
+  void BeginRound() {
+    SchedNode* node = nodes_[resident_node_].get();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      SFDF_CHECK(!round_running_) << "BeginRound while a round is in flight";
+      round_running_ = true;
+    }
+    ScheduleWave(node);
+  }
+
+  /// Session shutdown: final-flush the resident iteration; its downstream
+  /// regions then drain normally (WaitPlanDone observes the end).
+  void BeginShutdown() { ScheduleFinalFlush(nodes_[resident_node_].get()); }
+
+ private:
+  TaskInstance* instance(int task_id, int p) {
+    return instances_[static_cast<size_t>(task_id) * ctx_->parallelism + p]
+        .get();
+  }
+
+  void BuildInstances() {
+    const int P = ctx_->parallelism;
+    instances_.resize(plan_->tasks.size() * static_cast<size_t>(P));
+    for (const PhysicalTask& task : plan_->tasks) {
+      if (task.workset_iteration >= 0 &&
+          plan_->workset_iterations[task.workset_iteration].microstep &&
+          IsLoopTask(task)) {
+        continue;  // fused into MicrostepInstance units
+      }
+      for (int p = 0; p < P; ++p) {
+        instances_[static_cast<size_t>(task.id) * P + p] =
+            std::make_unique<TaskInstance>(ctx_, &task, p);
+      }
+    }
+  }
+
+  void BuildNodes() {
+    auto add_node = [&](SchedNode::Kind kind) {
+      nodes_.push_back(std::make_unique<SchedNode>());
+      nodes_.back()->kind = kind;
+      return static_cast<int>(nodes_.size()) - 1;
+    };
+    std::vector<int> bulk_node(plan_->bulk_iterations.size(), -1);
+    std::vector<int> ws_node(plan_->workset_iterations.size(), -1);
+    for (size_t i = 0; i < plan_->bulk_iterations.size(); ++i) {
+      int id = add_node(SchedNode::Kind::kWave);
+      nodes_[id]->is_bulk = true;
+      nodes_[id]->iteration = static_cast<int>(i);
+      nodes_[id]->coordinator = ctx_->bulk[i]->coordinator.get();
+      bulk_node[i] = id;
+    }
+    for (size_t i = 0; i < plan_->workset_iterations.size(); ++i) {
+      const bool micro = plan_->workset_iterations[i].microstep;
+      int id = add_node(micro ? SchedNode::Kind::kMicro
+                              : SchedNode::Kind::kWave);
+      nodes_[id]->iteration = static_cast<int>(i);
+      if (!micro) nodes_[id]->coordinator = ctx_->workset[i]->coordinator.get();
+      ws_node[i] = id;
+    }
+    node_of_task_.assign(plan_->tasks.size(), -1);
+    for (const PhysicalTask& task : plan_->tasks) {
+      if (IsLoopTask(task)) {
+        node_of_task_[task.id] = task.bulk_iteration >= 0
+                                     ? bulk_node[task.bulk_iteration]
+                                     : ws_node[task.workset_iteration];
+      } else {
+        int id = add_node(SchedNode::Kind::kTask);
+        nodes_[id]->task_id = task.id;
+        node_of_task_[task.id] = id;
+      }
+    }
+    // Region dependencies: every exchange edge whose endpoints live in
+    // different regions, deduplicated.
+    std::vector<std::set<int>> preds(nodes_.size());
+    for (const PhysicalTask& task : plan_->tasks) {
+      for (const PhysicalInput& input : task.inputs) {
+        int a = node_of_task_[input.producer];
+        int b = node_of_task_[task.id];
+        if (a != b) preds[b].insert(a);
+      }
+    }
+    for (size_t b = 0; b < nodes_.size(); ++b) {
+      nodes_[b]->pending_deps.store(static_cast<int>(preds[b].size()),
+                                    std::memory_order_relaxed);
+      for (int a : preds[b]) {
+        nodes_[a]->dependents.push_back(static_cast<int>(b));
+      }
+    }
+    nodes_remaining_ = static_cast<int>(nodes_.size());
+    if (session_mode_) {
+      resident_node_ = ws_node[0];
+      nodes_[resident_node_]->session_resident = true;
+    }
+  }
+
+  void ScheduleNodeById(int id) {
+    SchedNode* node = nodes_[id].get();
+    const int P = ctx_->parallelism;
+    switch (node->kind) {
+      case SchedNode::Kind::kTask: {
+        node->units_remaining.store(P, std::memory_order_relaxed);
+        for (int p = 0; p < P; ++p) {
+          TaskInstance* inst = instance(node->task_id, p);
+          engine_->Submit(client_, [this, node, inst] {
+            inst->RunOnce();
+            if (node->units_remaining.fetch_sub(
+                    1, std::memory_order_acq_rel) == 1) {
+              NodeComplete(node);
+            }
+          });
+        }
+        break;
+      }
+      case SchedNode::Kind::kWave:
+        BuildWave(node);
+        ScheduleWave(node);
+        break;
+      case SchedNode::Kind::kMicro: {
+        BuildMicro(node);
+        node->micro_remaining.store(P, std::memory_order_relaxed);
+        for (auto& unit : node->micro_units) {
+          SubmitMicroStep(node, unit.get());
+        }
+        break;
+      }
+    }
+  }
+
+  /// Groups the iteration's loop units into stages by in-loop dataflow
+  /// depth and creates their resumable programs (whose closures then hold
+  /// all cross-superstep state).
+  void BuildWave(SchedNode* node) {
+    const int P = ctx_->parallelism;
+    std::vector<const PhysicalTask*> members;
+    for (const PhysicalTask& task : plan_->tasks) {
+      if (!IsLoopTask(task)) continue;
+      if (node->is_bulk ? task.bulk_iteration == node->iteration
+                        : task.workset_iteration == node->iteration) {
+        members.push_back(&task);
+      }
+    }
+    // In-loop depth: 1 + max over in-loop producers; heads (no in-loop
+    // input) sit at 0. Relax to fixpoint — loop bodies are tiny DAGs.
+    std::vector<int> depth(plan_->tasks.size(), 0);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (const PhysicalTask* task : members) {
+        int want = 0;
+        for (const PhysicalInput& input : task->inputs) {
+          const PhysicalTask& producer = plan_->tasks[input.producer];
+          if (IsLoopTask(producer) && SameLoop(producer, *task)) {
+            want = std::max(want, depth[producer.id] + 1);
+          }
+        }
+        if (want != depth[task->id]) {
+          depth[task->id] = want;
+          changed = true;
+        }
+      }
+    }
+    int max_depth = 0;
+    for (const PhysicalTask* task : members) {
+      max_depth = std::max(max_depth, depth[task->id]);
+    }
+    node->stages.assign(static_cast<size_t>(max_depth) + 1, {});
+    for (const PhysicalTask* task : members) {
+      for (int p = 0; p < P; ++p) {
+        TaskInstance* inst = instance(task->id, p);
+        node->stages[depth[task->id]].push_back(
+            LoopUnit{inst, inst->MakeLoopProgram()});
+      }
+    }
+    node->stage_remaining.clear();
+    int total = 0;
+    for (const auto& stage : node->stages) {
+      node->stage_remaining.push_back(std::make_unique<std::atomic<int>>(0));
+      total += static_cast<int>(stage.size());
+    }
+    SFDF_CHECK(total == node->coordinator->num_participants())
+        << "wave units out of sync with the coordinator's participants";
+  }
+
+  /// Enqueues one superstep: stage 0 now, later stages as their
+  /// predecessors drain, everyone through the arrival gate at the end.
+  void ScheduleWave(SchedNode* node) {
+    const int64_t superstep = node->coordinator->superstep();
+    for (size_t k = 0; k < node->stages.size(); ++k) {
+      node->stage_remaining[k]->store(static_cast<int>(node->stages[k].size()),
+                                      std::memory_order_relaxed);
+    }
+    SubmitStage(node, 0, superstep);
+  }
+
+  void SubmitStage(SchedNode* node, size_t stage, int64_t superstep) {
+    for (LoopUnit& ref : node->stages[stage]) {
+      LoopUnit* unit = &ref;
+      engine_->Submit(client_, [this, node, unit, stage, superstep] {
+        unit->program.body(superstep);
+        OnLoopUnitDone(node, stage, superstep);
+      });
+    }
+  }
+
+  void OnLoopUnitDone(SchedNode* node, size_t stage, int64_t superstep) {
+    // Arrival gate (superstep.h): every participant arrives exactly once
+    // per wave; the completion step (termination decide + phase flip) runs
+    // inside the last arrival, which can only happen in the final stage.
+    const bool wave_closed = node->coordinator->Arrive();
+    if (stage + 1 < node->stages.size()) {
+      SFDF_DCHECK(!wave_closed);
+      if (node->stage_remaining[stage]->fetch_sub(
+              1, std::memory_order_acq_rel) == 1) {
+        SubmitStage(node, stage + 1, superstep);
+      }
+      return;
+    }
+    if (!wave_closed) return;
+    if (!node->coordinator->terminated()) {
+      ScheduleWave(node);  // next superstep's task wave
+      return;
+    }
+    if (node->session_resident) {
+      // Round boundary: hand control to the session controller. Nothing of
+      // this iteration stays scheduled — the session now costs no worker
+      // time until RunRound releases the next wave or Finish flushes.
+      std::lock_guard<std::mutex> lock(mutex_);
+      round_running_ = false;
+      cv_.notify_all();
+      return;
+    }
+    ScheduleFinalFlush(node);
+  }
+
+  void ScheduleFinalFlush(SchedNode* node) {
+    int total = 0;
+    for (const auto& stage : node->stages) {
+      total += static_cast<int>(stage.size());
+    }
+    node->flush_remaining.store(total, std::memory_order_relaxed);
+    for (auto& stage : node->stages) {
+      for (LoopUnit& ref : stage) {
+        LoopUnit* unit = &ref;
+        engine_->Submit(client_, [this, node, unit] {
+          unit->program.final_flush();
+          if (node->flush_remaining.fetch_sub(
+                  1, std::memory_order_acq_rel) == 1) {
+            NodeComplete(node);
+          }
+        });
+      }
+    }
+  }
+
+  void BuildMicro(SchedNode* node) {
+    const PhysicalWorksetIteration& spec =
+        plan_->workset_iterations[node->iteration];
+    // Chain = the dynamic body tasks in dataflow order, starting from the
+    // head's unique consumer.
+    std::vector<const PhysicalTask*> chain;
+    int cursor = -1;
+    for (const auto& [consumer, port] : ctx_->consumer_edges[spec.head_task]) {
+      (void)port;
+      if (ctx_->task(consumer).role != TaskRole::kWorksetTail) {
+        cursor = consumer;
+      }
+    }
+    while (cursor >= 0) {
+      const PhysicalTask& task = ctx_->task(cursor);
+      chain.push_back(&task);
+      int next = -1;
+      for (const auto& [consumer, port] : ctx_->consumer_edges[cursor]) {
+        (void)port;
+        const PhysicalTask& c = ctx_->task(consumer);
+        if (c.role == TaskRole::kRegular && IsLoopTask(c)) next = consumer;
+        if (c.role == TaskRole::kSolutionJoin) next = consumer;
+      }
+      cursor = next;
+    }
+    const PhysicalTask* delta_apply = &ctx_->task(spec.delta_apply_task);
+    for (int p = 0; p < ctx_->parallelism; ++p) {
+      node->micro_units.push_back(std::make_unique<MicrostepInstance>(
+          ctx_, node->iteration, p, chain, delta_apply));
+    }
+  }
+
+  void SubmitMicroStep(SchedNode* node, MicrostepInstance* unit) {
+    engine_->Submit(client_, [this, node, unit] {
+      if (unit->Step() == MicroStatus::kDone) {
+        if (node->micro_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          NodeComplete(node);
+        }
+      } else {
+        SubmitMicroStep(node, unit);  // cooperative re-enqueue
+      }
+    });
+  }
+
+  void NodeComplete(SchedNode* node) {
+    for (int dep : node->dependents) {
+      SchedNode* d = nodes_[dep].get();
+      if (d->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+        ScheduleNodeById(dep);
+      }
+    }
+    std::lock_guard<std::mutex> lock(mutex_);
+    --nodes_remaining_;
+    if (nodes_remaining_ == 0) cv_.notify_all();
+  }
+
+  const PhysicalPlan* plan_;
+  ExecContext* ctx_;
+  Engine* engine_;
+  int client_ = -1;
+  const bool session_mode_;
+  int resident_node_ = -1;
+
+  /// instances_[task * P + p]; null for microstep-fused loop tasks.
+  std::vector<std::unique_ptr<TaskInstance>> instances_;
+  std::vector<std::unique_ptr<SchedNode>> nodes_;
+  std::vector<int> node_of_task_;
+
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int nodes_remaining_ = 0;
+  bool round_running_ = false;
+};
+
+/// Engine selection: an externally owned engine (multi-tenant host) wins,
+/// then a private per-run pool (worker_threads > 0, the "dedicated team"
+/// baseline), then the process-wide shared default.
+struct EngineRef {
+  Engine* engine = nullptr;
+  std::unique_ptr<Engine> owned;
+};
+
+EngineRef ResolveEngine(const ExecutionOptions& options) {
+  EngineRef ref;
+  if (options.engine != nullptr) {
+    ref.engine = options.engine;
+    return ref;
+  }
+  if (options.worker_threads > 0) {
+    ref.owned = std::make_unique<Engine>(
+        Engine::Options{.workers = options.worker_threads});
+    ref.engine = ref.owned.get();
+    return ref;
+  }
+  ref.engine = &Engine::Default();
+  return ref;
+}
+
 }  // namespace executor_detail
 
 using namespace executor_detail;  // NOLINT — single-TU detail namespace
@@ -1598,7 +2110,7 @@ using namespace executor_detail;  // NOLINT — single-TU detail namespace
 // Public entry points
 // ---------------------------------------------------------------------------
 
-Executor::Executor(ExecutionOptions options) : options_(options) {}
+Executor::Executor(ExecutionOptions options) : options_(std::move(options)) {}
 
 Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
   SFDF_RETURN_NOT_OK(ValidateExecutionOptions(options_));
@@ -1607,13 +2119,24 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
 
   ExecContext ctx;
   SFDF_RETURN_NOT_OK(SetupContext(plan, options_, P, &ctx));
+  EngineRef engine = ResolveEngine(options_);
 
   Stopwatch total_watch;
-  std::vector<std::thread> threads;
-  SpawnThreads(plan, &ctx, &threads);
-  for (std::thread& thread : threads) thread.join();
-
-  return AssembleResult(plan, &ctx, total_watch.ElapsedMillis());
+  ExecutionResult result;
+  {
+    PlanSchedule schedule(&plan, &ctx, engine.engine, "run",
+                          /*session_mode=*/false);
+    schedule.Start();
+    schedule.WaitPlanDone();
+    const Engine::ClientStats stats =
+        engine.engine->client_stats(schedule.client());
+    result = AssembleResult(plan, &ctx, total_watch.ElapsedMillis());
+    result.engine_tasks = stats.tasks_run;
+    result.engine_queue_wait_ns_total = stats.queue_wait_ns_total;
+    result.engine_queue_wait_ns_max = stats.queue_wait_ns_max;
+    result.engine_workers = engine.engine->workers();
+  }
+  return result;
 }
 
 // ---------------------------------------------------------------------------
@@ -1621,24 +2144,23 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
 // ---------------------------------------------------------------------------
 
 /// The resident half of a session: the full execution context plus the
-/// round gate and the still-running task threads. Lives until Finish.
+/// schedule whose resident iteration waits between rounds with nothing
+/// enqueued. Lives until Finish. Destruction order matters: the schedule
+/// (task instances, output ports) dies before the context it references,
+/// and the owned engine — whose workers may still be parked — outlives
+/// both (members are destroyed in reverse declaration order).
 struct SessionState {
   const PhysicalPlan* plan = nullptr;
+  std::unique_ptr<Engine> owned_engine;
+  Engine* engine = nullptr;
   ExecContext ctx;
-  RoundGate gate;
-  std::vector<std::thread> threads;
+  std::unique_ptr<PlanSchedule> schedule;
   Stopwatch total_watch;
   IterationReport initial_report;
   bool finished = false;
 
   WorksetRuntime& runtime() { return *ctx.workset[0]; }
   const WorksetRuntime& runtime() const { return *ctx.workset[0]; }
-
-  /// Blocks until every participant is parked at the gate (round over).
-  /// Caller must hold gate.mutex via `lock`.
-  void AwaitQuiescent(std::unique_lock<std::mutex>& lock) {
-    gate.cv.wait(lock, [this] { return gate.parked == gate.participants; });
-  }
 };
 
 Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
@@ -1652,7 +2174,7 @@ Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
   if (plan.workset_iterations[0].microstep) {
     return Status::Unsupported(
         "session mode requires superstep execution — a microstep plan has "
-        "no superstep barrier to park rounds at");
+        "no superstep boundary to park rounds at");
   }
   const int P =
       options_.parallelism > 0 ? options_.parallelism : DefaultParallelism();
@@ -1660,24 +2182,19 @@ Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
   auto state = std::make_unique<SessionState>();
   state->plan = &plan;
   SFDF_RETURN_NOT_OK(SetupContext(plan, options_, P, &state->ctx));
+  EngineRef engine = ResolveEngine(options_);
+  state->owned_engine = std::move(engine.owned);
+  state->engine = engine.engine;
 
-  WorksetRuntime& rt = state->runtime();
-  rt.gate = &state->gate;
-  int loop_tasks = 0;
-  for (const PhysicalTask& task : plan.tasks) {
-    if (IsLoopTask(task) && task.workset_iteration == 0) ++loop_tasks;
-  }
-  state->gate.participants = loop_tasks * P;
-
-  SpawnThreads(plan, &state->ctx, &state->threads);
+  state->schedule = std::make_unique<PlanSchedule>(
+      &plan, &state->ctx, state->engine, "session", /*session_mode=*/true);
 
   // The cold round (full initial convergence) starts immediately; hand the
-  // session back once every participant parked at its fixpoint.
-  {
-    std::unique_lock<std::mutex> lock(state->gate.mutex);
-    state->AwaitQuiescent(lock);
-    state->initial_report = rt.report;
-  }
+  // session back once its wave terminated — from then on the session has
+  // nothing enqueued until the next RunRound.
+  state->schedule->Start();
+  state->schedule->WaitRoundDone();
+  state->initial_report = state->runtime().report;
   return std::unique_ptr<ExecutionSession>(
       new ExecutionSession(std::move(state)));
 }
@@ -1716,6 +2233,15 @@ void ExecutionSession::ForEachSolution(
   for (const auto& index : state_->runtime().index) index->ForEach(fn);
 }
 
+Engine::ClientStats ExecutionSession::engine_stats() const {
+  if (state_->schedule == nullptr) return Engine::ClientStats{};
+  return state_->engine->client_stats(state_->schedule->client());
+}
+
+int ExecutionSession::engine_workers() const {
+  return state_->engine->workers();
+}
+
 Result<IterationReport> ExecutionSession::RunRound(
     std::vector<Record> workset) {
   SessionState& s = *state_;
@@ -1727,8 +2253,10 @@ Result<IterationReport> ExecutionSession::RunRound(
   const int head_task = spec.head_task;
   const int P = s.ctx.parallelism;
 
-  std::unique_lock<std::mutex> lock(s.gate.mutex);
-  s.AwaitQuiescent(lock);
+  // The previous round's wave terminated before its RunRound returned (and
+  // StartSession waited out the cold round), so no task of the resident
+  // iteration is scheduled: the controller owns the resident state.
+  s.schedule->WaitRoundDone();
 
   // Fresh per-round report; the *_mark counters deliberately survive — they
   // are absolute marks against the cumulative session metrics.
@@ -1768,11 +2296,10 @@ Result<IterationReport> ExecutionSession::RunRound(
   s.ctx.metrics.CountShipped(seed_count, seed_count * sizeof(Record),
                              /*remote_records=*/0);
 
-  // Release the round, then wait for its fixpoint (everyone parked again).
-  s.gate.parked = 0;
-  ++s.gate.round;
-  s.gate.cv.notify_all();
-  s.AwaitQuiescent(lock);
+  // Release the round's first wave, then wait for its fixpoint. The engine
+  // submit path publishes every controller write above to the wave tasks.
+  s.schedule->BeginRound();
+  s.schedule->WaitRoundDone();
   return rt.report;
 }
 
@@ -1781,17 +2308,22 @@ Result<ExecutionResult> ExecutionSession::Finish() {
   if (s.finished) {
     return Status::InvalidArgument("session already finished");
   }
-  {
-    std::unique_lock<std::mutex> lock(s.gate.mutex);
-    s.AwaitQuiescent(lock);
-    s.gate.shutdown = true;
-    s.gate.cv.notify_all();
-  }
-  // Participants flush the converged solution set downstream, the sinks
-  // fill, and every thread (loop and non-loop alike) runs to completion.
-  for (std::thread& thread : s.threads) thread.join();
+  // The final-flush tasks ship the converged solution set downstream, the
+  // sinks fill, and every remaining plan region drains.
+  s.schedule->WaitRoundDone();
+  s.schedule->BeginShutdown();
+  s.schedule->WaitPlanDone();
+  const Engine::ClientStats stats =
+      s.engine->client_stats(s.schedule->client());
+  s.schedule.reset();  // unregisters the engine client
   s.finished = true;
-  return AssembleResult(*s.plan, &s.ctx, s.total_watch.ElapsedMillis());
+  ExecutionResult result =
+      AssembleResult(*s.plan, &s.ctx, s.total_watch.ElapsedMillis());
+  result.engine_tasks = stats.tasks_run;
+  result.engine_queue_wait_ns_total = stats.queue_wait_ns_total;
+  result.engine_queue_wait_ns_max = stats.queue_wait_ns_max;
+  result.engine_workers = s.engine->workers();
+  return result;
 }
 
 }  // namespace sfdf

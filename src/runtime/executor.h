@@ -1,11 +1,18 @@
-// The parallel execution engine (the Nephele stand-in).
+// The parallel execution engine (the Nephele stand-in), runtime v3.
 //
 // The executor instantiates every physical task once per partition, wires
-// the instances with channels according to each edge's ship strategy, and
-// runs one thread per instance. Iterations execute with feedback buffers
-// and superstep barriers (Sections 4.2, 5.3); workset iterations that pass
-// the Section 5.2 analysis may instead run as an asynchronous fused
-// microstep loop with quiescence-based termination detection.
+// the instances with exchanges according to each edge's ship strategy, and
+// schedules the work on a shared worker-pool Engine (runtime/engine.h) in
+// dataflow-topological order: one-shot tasks run when their producers'
+// streams are complete; iterations run as superstep waves of resumable
+// partition tasks that run-to-superstep-boundary and re-enqueue from an
+// atomic arrival gate (Sections 4.2, 5.3). Workset iterations that pass the
+// Section 5.2 analysis may instead run as an asynchronous fused microstep
+// loop with quiescence-based termination detection, scheduled as
+// cooperative polling tasks on the same pool. No dataflow ever pins an OS
+// thread: a resident session between rounds has nothing queued and costs
+// zero worker time, which is what lets one process serve many concurrent
+// sessions on a pool of any size (see src/service/service_host.h).
 #pragma once
 
 #include <cstdint>
@@ -16,14 +23,37 @@
 #include "common/result.h"
 #include "common/status.h"
 #include "optimizer/physical_plan.h"
+#include "runtime/engine.h"
 #include "runtime/metrics.h"
 
 namespace sfdf {
 
 struct ExecutionOptions {
-  /// Degree of parallelism ("nodes"); 0 = DefaultParallelism(). Negative
-  /// values are rejected with InvalidArgument.
+  /// Degree of parallelism ("nodes"): the number of partitions each task is
+  /// instantiated with — solution-set partitions, exchange lanes, sink
+  /// slots. 0 = DefaultParallelism(). Negative values are rejected with
+  /// InvalidArgument.
+  ///
+  /// Orthogonal to `worker_threads`: parallelism fixes the LOGICAL
+  /// partitioning of the plan (how data is split and keyed), while
+  /// worker_threads sizes the PHYSICAL pool that executes the partition
+  /// tasks. parallelism > workers is legal and common — partition tasks
+  /// are time-sliced over the pool; workers > parallelism lets independent
+  /// stages or co-hosted plans run concurrently.
   int parallelism = 0;
+  /// Engine worker pool executing this plan's tasks:
+  ///   0  — share the process-wide default engine (Engine::Default(), pool
+  ///        size SFDF_ENGINE_WORKERS / DefaultParallelism());
+  ///   >0 — this executor creates a private engine of that many workers
+  ///        per run/session (a "dedicated team", e.g. for isolation
+  ///        baselines).
+  /// Negative values are rejected with InvalidArgument. Ignored when
+  /// `engine` is set.
+  int worker_threads = 0;
+  /// Externally owned engine to schedule on (overrides worker_threads) —
+  /// how a multi-tenant host runs many plans/sessions on one shared pool.
+  /// Must outlive every run/session started with these options.
+  Engine* engine = nullptr;
   /// Capture per-superstep statistics for every iteration.
   bool record_superstep_stats = true;
   /// Memory budget per constant-path record cache before it gradually
@@ -64,6 +94,14 @@ struct ExecutionResult {
   int64_t queue_depth_high_water = 0;
   int64_t batch_pool_hits = 0;
   int64_t batch_pool_misses = 0;
+  /// Engine scheduling health (runtime v3): tasks this run enqueued on its
+  /// engine client and how long they sat queued before a worker picked
+  /// them up. A rising wait on a shared pool means the pool, not the
+  /// dataflow, is the bottleneck.
+  int64_t engine_tasks = 0;
+  int64_t engine_queue_wait_ns_total = 0;
+  int64_t engine_queue_wait_ns_max = 0;
+  int engine_workers = 0;
   /// Reports indexed like PhysicalPlan::bulk_iterations /
   /// workset_iterations.
   std::vector<IterationReport> bulk_reports;
@@ -76,12 +114,14 @@ struct SessionState;
 /// A resident, warm-restartable execution of a plan with exactly one
 /// superstep-mode workset iteration — the executor half of the continuous
 /// serving subsystem (src/service/). Created by Executor::StartSession,
-/// which performs the one-shot setup (plan instantiation, channel wiring,
-/// thread spawn) and runs the initial iteration to its fixpoint. The
-/// session then keeps every task thread, channel, constant-path cache and
+/// which performs the one-shot setup (plan instantiation, exchange wiring,
+/// engine-client registration) and runs the initial iteration to its
+/// fixpoint. The session then keeps every exchange, constant-path cache and
 /// solution-set partition alive; RunRound seeds a fresh initial workset and
 /// re-enters the superstep loop *warm*, so re-convergence cost is
-/// proportional to the change, not the dataset (§5–§7).
+/// proportional to the change, not the dataset (§5–§7). Between rounds the
+/// session has no tasks queued — it consumes no worker time at all, so any
+/// number of sessions can share one engine pool.
 ///
 /// Threading contract: RunRound and Finish must be called from one
 /// controller thread at a time; solution_partition reads are only safe
@@ -94,7 +134,7 @@ class ExecutionSession {
   ExecutionSession& operator=(const ExecutionSession&) = delete;
 
   /// Seeds `workset` as the W_0 of a warm round (routed by the iteration's
-  /// workset key into the resident head channels) and re-runs the
+  /// workset key into the resident head exchanges) and re-runs the
   /// incremental iteration to its fixpoint. Blocking; returns the round's
   /// report. An empty workset is legal and converges after one superstep.
   Result<IterationReport> RunRound(std::vector<Record> workset);
@@ -120,10 +160,18 @@ class ExecutionSession {
   /// Visits every record of the resident solution set (all partitions).
   void ForEachSolution(const std::function<void(const Record&)>& fn) const;
 
-  /// Shuts the resident dataflow down: the loop tasks flush the converged
-  /// solution set downstream (filling the plan's sinks), every thread
-  /// joins, and the aggregate statistics are returned. Idempotent via the
-  /// destructor; must not race RunRound.
+  /// Live scheduling counters of this session's engine client — how many
+  /// tasks its rounds have enqueued and how long they waited for a worker.
+  /// Safe to call between rounds (same contract as solution reads).
+  Engine::ClientStats engine_stats() const;
+
+  /// Workers in the engine pool this session runs on.
+  int engine_workers() const;
+
+  /// Shuts the resident dataflow down: the final-flush tasks ship the
+  /// converged solution set downstream (filling the plan's sinks), the
+  /// remaining plan nodes drain, and the aggregate statistics are
+  /// returned. Idempotent via the destructor; must not race RunRound.
   Result<ExecutionResult> Finish();
 
  private:
@@ -137,7 +185,8 @@ class Executor {
   explicit Executor(ExecutionOptions options = {});
 
   /// Runs the plan to completion; fills every Sink's output vector.
-  /// Blocking; returns aggregate statistics.
+  /// Blocking; returns aggregate statistics. May be called from any thread
+  /// that is not an engine pool worker.
   Result<ExecutionResult> Run(const PhysicalPlan& plan);
 
   /// Session mode: runs `plan`'s workset iteration to its initial fixpoint

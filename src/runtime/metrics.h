@@ -7,9 +7,71 @@
 #pragma once
 
 #include <atomic>
+#include <bit>
 #include <cstdint>
 
 namespace sfdf {
+
+/// Compact log-scale latency histogram: four linear sub-buckets per
+/// power-of-two octave of microseconds (HDR-histogram style), so quantile
+/// estimates carry at most ~12% relative error while the whole state is a
+/// few hundred bytes — safe to keep per resident service for its entire
+/// lifetime (a sample vector would grow without bound). Not thread-safe;
+/// callers serialize (the serving layer records under its state lock).
+class LatencyHistogram {
+ public:
+  void Record(double millis) {
+    int64_t us = static_cast<int64_t>(millis * 1000.0);
+    if (us < 0) us = 0;
+    int idx = BucketOf(us);
+    if (idx >= kBuckets) idx = kBuckets - 1;
+    buckets_[idx] += 1;
+    ++count_;
+  }
+
+  int64_t count() const { return count_; }
+
+  /// Quantile estimate in milliseconds, q in [0, 1]; 0 when empty. Returns
+  /// the midpoint of the bucket holding the q-th sample.
+  double Quantile(double q) const {
+    if (count_ == 0) return 0;
+    if (q < 0) q = 0;
+    if (q > 1) q = 1;
+    int64_t rank = static_cast<int64_t>(q * static_cast<double>(count_ - 1));
+    int64_t seen = 0;
+    for (int idx = 0; idx < kBuckets; ++idx) {
+      seen += buckets_[idx];
+      if (seen > rank) return BucketMidUs(idx) / 1000.0;
+    }
+    return BucketMidUs(kBuckets - 1) / 1000.0;
+  }
+
+ private:
+  static constexpr int kSub = 4;       // linear sub-buckets per octave
+  static constexpr int kOctaves = 40;  // covers > 12 days in microseconds
+  static constexpr int kBuckets = kSub * kOctaves;
+
+  static int BucketOf(int64_t us) {
+    if (us < kSub) return static_cast<int>(us);  // exact for tiny values
+    int octave = std::bit_width(static_cast<uint64_t>(us)) - 1;
+    int sub = static_cast<int>((us >> (octave - 2)) & (kSub - 1));
+    return octave * kSub + sub;
+  }
+
+  static double BucketMidUs(int idx) {
+    if (idx < kSub) return static_cast<double>(idx);
+    const int octave = idx / kSub;
+    const int sub = idx % kSub;
+    const double lo = static_cast<double>(int64_t{1} << octave) +
+                      static_cast<double>(sub) *
+                          static_cast<double>(int64_t{1} << (octave - 2));
+    const double width = static_cast<double>(int64_t{1} << (octave - 2));
+    return lo + width / 2.0;
+  }
+
+  int64_t buckets_[kBuckets] = {};
+  int64_t count_ = 0;
+};
 
 class Metrics {
  public:

@@ -1,30 +1,33 @@
-// Superstep coordination (Sections 4.2 / 5.3).
+// Superstep coordination (Sections 4.2 / 5.3), engine edition.
 //
-// All dynamic-path task instances of an iteration meet at a barrier after
-// emitting their end-of-superstep channel events — one kEndSuperstep marker
-// into their own lane of every in-loop target exchange. The barrier and the
-// per-lane marker accounting divide the work: a consumer's ReadPhase ends
-// its *input* phase once every lane delivered its marker, while the barrier
-// ends the *superstep* once every participant arrived; because each
-// participant sends its markers before arriving, a new superstep can only
-// begin after every lane's previous phase is fully delimited. The
-// completion step — running while every participant is parked — evaluates
-// the termination criterion (empty workset, T-criterion silence, or the
-// iteration cap), swaps the double-buffered workset queues, and captures
-// per-superstep statistics. This is the shared-memory analogue of Nephele's
-// "according number of channel events" protocol.
+// All dynamic-path task instances of an iteration meet at an arrival-count
+// gate after emitting their end-of-superstep channel events — one
+// kEndSuperstep marker into their own lane of every in-loop target
+// exchange. The gate and the per-lane marker accounting divide the work: a
+// consumer's ReadPhase ends its *input* phase once every lane delivered its
+// marker, while the gate ends the *superstep* once every participant
+// arrived; because each participant sends its markers before arriving, a
+// new superstep can only begin after every lane's previous phase is fully
+// delimited. This is the shared-memory analogue of Nephele's "according
+// number of channel events" protocol.
+//
+// v3 (shared worker-pool engine): participants are schedulable tasks, not
+// parked threads, so nobody waits here. Arrive() decrements an atomic
+// countdown; the LAST-arriving task runs the completion step inline —
+// evaluate the termination criterion (empty workset, T-criterion silence,
+// or the iteration cap), swap the double-buffered workset queues, capture
+// per-superstep statistics — flips the phase, and its caller (the
+// executor's wave scheduler) re-enqueues the next superstep's task wave.
+// The completion runs while no participant task is live, exactly like the
+// old std::barrier completion step ran while every thread was parked; the
+// acq_rel countdown publishes every participant's superstep writes to it.
 #pragma once
 
-#include <version>
-
-#if __cplusplus < 202002L || !defined(__cpp_lib_barrier)
-#error "sfdf requires C++20 with <barrier> (std::barrier). Build with -std=c++20 or newer — the root CMakeLists.txt sets CMAKE_CXX_STANDARD 20; do not override it downward."
-#endif
-
 #include <atomic>
-#include <barrier>
 #include <cstdint>
 #include <functional>
+
+#include "common/logging.h"
 
 namespace sfdf {
 
@@ -38,25 +41,50 @@ class SuperstepCoordinator {
   SuperstepCoordinator(int num_participants,
                        std::function<bool(int64_t)> decide)
       : decide_(std::move(decide)),
-        barrier_(num_participants, Completion{this}) {}
+        num_participants_(num_participants),
+        pending_(num_participants) {}
 
-  /// Called by each participant at the end of its superstep.
-  void ArriveAndWait() { barrier_.arrive_and_wait(); }
+  /// Called by each participant task at the end of its superstep, after its
+  /// markers are sent. Never blocks. Returns true for exactly one arrival
+  /// per superstep — the last one — by which time the completion step
+  /// (decide + phase flip) has already run in this call; the caller then
+  /// schedules the next wave, or the final flush / round hand-off if
+  /// terminated() reads true. The countdown is re-armed for the next
+  /// superstep before returning, which is safe because the next wave is
+  /// only enqueued by this arrival's caller, afterwards.
+  bool Arrive() {
+    if (pending_.fetch_sub(1, std::memory_order_acq_rel) != 1) return false;
+    const int64_t finished = superstep_.load(std::memory_order_relaxed);
+    if (decide_(finished)) {
+      terminated_.store(true, std::memory_order_release);
+    }
+    superstep_.store(finished + 1, std::memory_order_release);
+    pending_.store(num_participants_, std::memory_order_release);
+    return true;
+  }
 
-  bool terminated() const { return terminated_.load(std::memory_order_acquire); }
+  bool terminated() const {
+    return terminated_.load(std::memory_order_acquire);
+  }
   int64_t superstep() const {
     return superstep_.load(std::memory_order_acquire);
   }
+  int num_participants() const { return num_participants_; }
 
   /// Re-arms the coordinator for another round of supersteps (service
-  /// sessions): clears the terminated flag so participants re-enter the
-  /// superstep loop. Only legal while every participant is parked outside
-  /// the barrier (at the session's round gate) — the caller provides that
-  /// quiescence and the happens-before edge to the participants' wake-up.
+  /// sessions): clears the terminated flag so the wave scheduler re-enters
+  /// the superstep loop. Only legal while no participant task is scheduled
+  /// (the session controller provides that quiescence and the
+  /// happens-before edge to the next wave via the engine's submit path).
   /// The superstep counter intentionally keeps counting across rounds:
   /// superstep 0 happens exactly once, so cold-start work (constant-path
   /// cache loads, solution-set builds) is never repeated warm.
-  void Rearm() { terminated_.store(false, std::memory_order_release); }
+  void Rearm() {
+    SFDF_DCHECK(pending_.load(std::memory_order_acquire) ==
+                num_participants_)
+        << "Rearm while a wave is in flight";
+    terminated_.store(false, std::memory_order_release);
+  }
 
   // --- shared per-superstep accumulators (reset by the decide function) ---
   std::atomic<int64_t> term_records{0};     ///< records at the T sink
@@ -64,22 +92,11 @@ class SuperstepCoordinator {
   std::atomic<int64_t> workset_produced{0}; ///< records routed by tails
 
  private:
-  struct Completion {
-    SuperstepCoordinator* coordinator;
-    void operator()() noexcept {
-      SuperstepCoordinator* c = coordinator;
-      int64_t finished = c->superstep_.load(std::memory_order_relaxed);
-      if (c->decide_(finished)) {
-        c->terminated_.store(true, std::memory_order_release);
-      }
-      c->superstep_.store(finished + 1, std::memory_order_release);
-    }
-  };
-
   std::function<bool(int64_t)> decide_;
+  const int num_participants_;
+  std::atomic<int> pending_;
   std::atomic<int64_t> superstep_{0};
   std::atomic<bool> terminated_{false};
-  std::barrier<Completion> barrier_;
 };
 
 }  // namespace sfdf

@@ -163,6 +163,9 @@ ServiceStats IterationService::stats() const {
   {
     std::shared_lock<std::shared_mutex> lock(state_mutex_);
     stats = stats_;
+    stats.round_p50_ms = round_latency_.Quantile(0.50);
+    stats.round_p95_ms = round_latency_.Quantile(0.95);
+    stats.round_p99_ms = round_latency_.Quantile(0.99);
   }
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
@@ -202,7 +205,19 @@ Status IterationService::ProcessBatch(
     ++stats_.rounds;
     stats_.mutations_applied += batch.size();
     stats_.total_supersteps += report.iterations;
-    stats_.total_round_millis += watch.ElapsedMillis();
+    const double round_millis = watch.ElapsedMillis();
+    stats_.total_round_millis += round_millis;
+    round_latency_.Record(round_millis);
+    // Engine-scheduling snapshot, taken here on the admission thread (the
+    // only thread that may touch the session) so stats() never races the
+    // session teardown in Stop().
+    const Engine::ClientStats engine = session_->engine_stats();
+    stats_.engine_workers = session_->engine_workers();
+    stats_.engine_tasks = engine.tasks_run;
+    stats_.engine_queue_wait_total_ms =
+        static_cast<double>(engine.queue_wait_ns_total) / 1e6;
+    stats_.engine_queue_wait_max_ms =
+        static_cast<double>(engine.queue_wait_ns_max) / 1e6;
   } else {
     // Failed batch: no boundary was committed (translators are atomic —
     // they validate before touching any state), so step back to the

@@ -64,6 +64,19 @@ struct ServiceStats {
   uint64_t mutations_rejected = 0; ///< enqueues refused after Stop/failure
   int64_t total_supersteps = 0;    ///< supersteps across all warm rounds
   double total_round_millis = 0;   ///< wall time inside warm rounds
+  /// Warm-round latency distribution (translate + RunRound, ms), estimated
+  /// from a log-scale histogram over every committed round.
+  double round_p50_ms = 0;
+  double round_p95_ms = 0;
+  double round_p99_ms = 0;
+  /// Engine scheduling health of this service's resident session (runtime
+  /// v3): tasks its rounds enqueued on the shared pool and how long they
+  /// sat queued. Rising waits mean the pool — not this service's dataflow —
+  /// is the bottleneck (add workers or shed tenants).
+  int engine_workers = 0;
+  int64_t engine_tasks = 0;
+  double engine_queue_wait_total_ms = 0;
+  double engine_queue_wait_max_ms = 0;
 };
 
 /// A long-running serving instance of one incremental iteration. Construct
@@ -180,6 +193,9 @@ class IterationService {
   mutable std::shared_mutex state_mutex_;
   std::atomic<uint64_t> epoch_{0};
   ServiceStats stats_;  // guarded by state_mutex_
+  /// Per-committed-round latency histogram feeding the stats percentiles;
+  /// guarded by state_mutex_ like the counters it accompanies.
+  LatencyHistogram round_latency_;
 
   /// Admission queue + ticket/ack state, guarded by queue_mutex_.
   mutable std::mutex queue_mutex_;

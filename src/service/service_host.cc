@@ -1,0 +1,116 @@
+#include "service/service_host.h"
+
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sfdf {
+
+ServiceHost::ServiceHost(Options options)
+    : engine_(Engine::Options{.workers = options.workers}) {}
+
+ServiceHost::~ServiceHost() {
+  Status ignored = StopAll();
+  (void)ignored;
+}
+
+Result<IterationService*> ServiceHost::StartService(
+    std::string name, PhysicalPlan plan, IterationService::SeedFn translate,
+    ServiceOptions options, IterationService::ValidateFn validate) {
+  {
+    // Reserve the name (null service) before the blocking cold start, so a
+    // concurrent StartService with the same name is rejected instead of
+    // racing past the check while this one converges. The in-flight count
+    // keeps StopAll from tearing the engine down under the cold start.
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return Status::InvalidArgument("service host is stopping");
+    }
+    for (const auto& [existing, service] : services_) {
+      (void)service;
+      if (existing == name) {
+        return Status::InvalidArgument("service '" + name +
+                                       "' already hosted");
+      }
+    }
+    services_.emplace_back(name, nullptr);
+    ++starting_;
+  }
+  // The resident session schedules on the host's shared pool; a private
+  // per-service pool would defeat the multi-tenant decoupling.
+  options.exec.engine = &engine_;
+  options.exec.worker_threads = 0;
+  auto service = IterationService::Start(std::move(plan), std::move(translate),
+                                         std::move(options),
+                                         std::move(validate));
+  std::lock_guard<std::mutex> lock(mutex_);
+  --starting_;
+  starts_cv_.notify_all();
+  auto slot = services_.end();
+  for (auto it = services_.begin(); it != services_.end(); ++it) {
+    if (it->first == name) slot = it;
+  }
+  SFDF_CHECK(slot != services_.end())
+      << "reservation for '" << name
+      << "' vanished (StopAll waits for in-flight starts)";
+  if (!service.ok()) {
+    services_.erase(slot);  // release the reservation
+    return service.status();
+  }
+  // If StopAll raced in after the reservation, it is now waiting on
+  // starting_ and will stop this tenant too, right after we publish it.
+  slot->second = std::move(*service);
+  return slot->second.get();
+}
+
+IterationService* ServiceHost::service(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [existing, service] : services_) {
+    // Null = a reservation whose cold start is still running; not servable.
+    if (existing == name) return service.get();
+  }
+  return nullptr;
+}
+
+std::vector<std::string> ServiceHost::service_names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(services_.size());
+  for (const auto& [name, service] : services_) {
+    (void)service;
+    names.push_back(name);
+  }
+  return names;
+}
+
+int ServiceHost::num_services() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return static_cast<int>(services_.size());
+}
+
+Status ServiceHost::StopAll() {
+  // Refuse new tenants, then wait out cold starts already in flight —
+  // their sessions schedule on engine_, which must outlive them. Then swap
+  // the services out under the lock and stop them outside it: Stop()
+  // blocks on round drains and must not hold the host lock while doing so.
+  std::vector<std::pair<std::string, std::unique_ptr<IterationService>>>
+      services;
+  {
+    std::unique_lock<std::mutex> lock(mutex_);
+    stopping_ = true;
+    starts_cv_.wait(lock, [this] { return starting_ == 0; });
+    services.swap(services_);
+  }
+  Status first;
+  for (auto& [name, service] : services) {
+    (void)name;
+    if (service == nullptr) continue;  // failed start released mid-sweep
+    Status status = service->Stop();
+    if (first.ok() && !status.ok()) first = status;
+  }
+  // Destroying the services here — before the host's engine — tears every
+  // session down while the pool is still alive.
+  return first;
+}
+
+}  // namespace sfdf

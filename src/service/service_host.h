@@ -1,0 +1,85 @@
+// ServiceHost: multi-tenant serving on one shared worker pool (runtime v3).
+//
+// PR 2's serving subsystem made one iteration resident; under the old
+// thread-per-task-instance runtime, N resident services cost
+// N × parallelism parked OS threads. The host closes that gap: it owns ONE
+// Engine and starts every hosted IterationService's resident session on it.
+// Between rounds a session has nothing queued (zero worker cost), so the
+// pool only ever holds the tasks of rounds actually in flight, and the
+// engine's per-client round-robin gives each service a fair share of the
+// workers when several rounds overlap — 4+ resident services run fine on a
+// pool of 2 workers, which was structurally impossible before.
+//
+//   clients ──Mutate()──▶ service A ──round tasks──▶┐
+//   clients ──Mutate()──▶ service B ──round tasks──▶│ shared Engine
+//   clients ──Mutate()──▶ service C ──(idle: ∅)     │ (fair-share RR)
+//                                                   ▶ workers × N
+//
+// Ownership: the host owns both the engine and the services; StopAll (or
+// destruction) stops every service — draining its admitted mutations and
+// finishing its session — before the pool winds down.
+#pragma once
+
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "runtime/engine.h"
+#include "service/iteration_service.h"
+
+namespace sfdf {
+
+class ServiceHost {
+ public:
+  struct Options {
+    /// Shared engine pool size; 0 = DefaultEngineWorkers(). Deliberately
+    /// independent of how many services are hosted — decoupling logical
+    /// services from physical workers is the point.
+    int workers = 0;
+  };
+
+  explicit ServiceHost(Options options);
+  ServiceHost() : ServiceHost(Options()) {}
+
+  ~ServiceHost();  ///< implies StopAll()
+  ServiceHost(const ServiceHost&) = delete;
+  ServiceHost& operator=(const ServiceHost&) = delete;
+
+  /// Starts a service whose resident session runs on the host's engine
+  /// (`options.exec.engine` is overridden; set worker_threads to 0).
+  /// Blocking: runs the plan's cold convergence. The returned service is
+  /// owned by the host and valid until StopAll/destruction. Names must be
+  /// unique; a duplicate is rejected with InvalidArgument.
+  Result<IterationService*> StartService(
+      std::string name, PhysicalPlan plan, IterationService::SeedFn translate,
+      ServiceOptions options, IterationService::ValidateFn validate = nullptr);
+
+  /// Hosted service by name; null if unknown.
+  IterationService* service(const std::string& name) const;
+
+  std::vector<std::string> service_names() const;
+  int num_services() const;
+
+  Engine& engine() { return engine_; }
+
+  /// Stops every hosted service (draining already-admitted mutations) and
+  /// finishes their sessions; waits out any StartService cold start still
+  /// in flight first (the shared engine must outlive every session). First
+  /// error wins; idempotent; the host rejects new tenants afterwards.
+  Status StopAll();
+
+ private:
+  Engine engine_;
+  mutable std::mutex mutex_;
+  std::condition_variable starts_cv_;
+  int starting_ = 0;      ///< StartService cold starts in flight
+  bool stopping_ = false; ///< StopAll ran; new starts are rejected
+  std::vector<std::pair<std::string, std::unique_ptr<IterationService>>>
+      services_;
+};
+
+}  // namespace sfdf

@@ -55,7 +55,7 @@ Result<std::unique_ptr<ServingPageRank>> ServingPageRank::Start(
       "S0", BuildInitialRankRecords(graph.num_vertices(), options.damping));
   auto pushes = pb.Source(
       "W0", BuildInitialPushRecords(graph, options.damping));
-  // Sessions need the superstep barrier to park rounds at — no microsteps.
+  // Sessions need superstep boundaries to park rounds at — no microsteps.
   auto it = pb.BeginWorksetIteration(
       "serve-pr", ranks, pushes, /*solution_key=*/{0},
       /*comparator=*/nullptr, IterationMode::kSuperstep,
@@ -69,7 +69,8 @@ Result<std::unique_ptr<ServingPageRank>> ServingPageRank::Start(
   // formulation's constant transition-matrix Match, the UDF walks the
   // DynamicGraph this serving instance owns, so edge mutations take effect
   // the round after they are applied — no frozen cache to rebuild. The
-  // round gate orders the admission thread's writes against these reads.
+  // session's round boundary orders the admission thread's writes against
+  // these reads.
   std::shared_ptr<DynamicGraph> adjacency = serving->graph_;
   const double damping = options.damping;
   const double epsilon = options.epsilon;
@@ -102,6 +103,8 @@ Result<std::unique_ptr<ServingPageRank>> ServingPageRank::Start(
   sopt.max_batch = options.max_batch;
   sopt.max_linger = options.max_linger;
   sopt.exec.parallelism = options.parallelism;
+  sopt.exec.worker_threads = options.worker_threads;
+  sopt.exec.engine = options.engine;
   ServingPageRank* raw = serving.get();
   auto service = IterationService::Start(
       std::move(*physical),

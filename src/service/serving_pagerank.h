@@ -12,8 +12,8 @@
 // class instead of a constant transition-matrix input, so edge mutations
 // take effect without rebuilding a frozen cache. The adjacency is only
 // mutated between rounds (on the admission thread, via the translator) and
-// only read during rounds (by the executor's task threads); the session's
-// round gate orders the two.
+// only read during rounds (by the executor's wave tasks); the session's
+// round boundary (see ExecutionSession::RunRound) orders the two.
 #pragma once
 
 #include <chrono>
@@ -36,6 +36,12 @@ struct ServingPageRankOptions {
   /// below it (§7.2). Smaller = more precise re-convergence.
   double epsilon = 1e-9;
   int parallelism = 0;  ///< 0 = DefaultParallelism()
+  /// Engine pool for the resident session (see ExecutionOptions): 0/null =
+  /// the shared process default; worker_threads > 0 = a private dedicated
+  /// pool; `engine` = an externally owned pool (e.g. a ServiceHost's),
+  /// overriding worker_threads.
+  int worker_threads = 0;
+  Engine* engine = nullptr;
   /// Safety cap on supersteps per warm round.
   int max_iterations_per_round = 10000;
   /// Admission batching (see ServiceOptions).

@@ -1,0 +1,219 @@
+// The shared worker-pool engine (runtime v3): pool sizing, fair-share
+// round-robin across clients, idle clients costing no worker time,
+// queue-wait accounting, and the executor running on private pools.
+#include "runtime/engine.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <vector>
+
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+#include "runtime/executor.h"
+
+namespace sfdf {
+namespace {
+
+/// Completion latch for fire-and-forget submits.
+class Latch {
+ public:
+  explicit Latch(int count) : remaining_(count) {}
+  void CountDown() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+ private:
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  int remaining_;
+};
+
+TEST(EngineTest, PoolSizeFollowsOptionsAndClampsToOne) {
+  EXPECT_EQ(Engine(Engine::Options{.workers = 3}).workers(), 3);
+  EXPECT_EQ(Engine(Engine::Options{.workers = 1}).workers(), 1);
+  // 0 falls back to the process default, which is at least 1.
+  EXPECT_GE(Engine(Engine::Options{.workers = 0}).workers(), 1);
+}
+
+TEST(EngineTest, RunsEverySubmittedTask) {
+  Engine engine(Engine::Options{.workers = 2});
+  const int client = engine.RegisterClient("t");
+  constexpr int kTasks = 200;
+  std::atomic<int> ran{0};
+  Latch latch(kTasks);
+  for (int i = 0; i < kTasks; ++i) {
+    engine.Submit(client, [&] {
+      ran.fetch_add(1, std::memory_order_relaxed);
+      latch.CountDown();
+    });
+  }
+  latch.Wait();
+  EXPECT_EQ(ran.load(), kTasks);
+  const Engine::ClientStats stats = engine.client_stats(client);
+  EXPECT_EQ(stats.tasks_run, kTasks);
+  EXPECT_GE(stats.queue_wait_ns_total, 0);
+  EXPECT_GE(stats.queue_wait_ns_max, 0);
+  engine.UnregisterClient(client);
+}
+
+TEST(EngineTest, FairShareRoundRobinsAcrossClients) {
+  // One worker, deterministic pop order. Block the worker on a gate task,
+  // queue a burst on client A and a single task on client B, release: the
+  // round-robin must serve B before taking A's second task.
+  Engine engine(Engine::Options{.workers = 1});
+  const int gate_client = engine.RegisterClient("gate");
+  const int a = engine.RegisterClient("a");
+  const int b = engine.RegisterClient("b");
+
+  std::mutex gate_mutex;
+  std::condition_variable gate_cv;
+  bool gate_open = false;
+  bool gate_entered = false;
+  engine.Submit(gate_client, [&] {
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_entered = true;
+    gate_cv.notify_all();
+    gate_cv.wait(lock, [&] { return gate_open; });
+  });
+  {
+    // The worker must be INSIDE the gate before the burst is queued,
+    // otherwise it could pop a1 first and skew the order.
+    std::unique_lock<std::mutex> lock(gate_mutex);
+    gate_cv.wait(lock, [&] { return gate_entered; });
+  }
+
+  std::mutex order_mutex;
+  std::vector<std::string> order;
+  Latch latch(4);
+  auto record = [&](const char* name) {
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      order.push_back(name);
+    }
+    latch.CountDown();
+  };
+  engine.Submit(a, [&] { record("a1"); });
+  engine.Submit(a, [&] { record("a2"); });
+  engine.Submit(a, [&] { record("a3"); });
+  engine.Submit(b, [&] { record("b1"); });
+  {
+    std::lock_guard<std::mutex> lock(gate_mutex);
+    gate_open = true;
+    gate_cv.notify_all();
+  }
+  latch.Wait();
+
+  ASSERT_EQ(order.size(), 4u);
+  auto index_of = [&](const std::string& name) {
+    for (size_t i = 0; i < order.size(); ++i) {
+      if (order[i] == name) return static_cast<int>(i);
+    }
+    return -1;
+  };
+  // a1 then b1 (rotation) then a2, a3: b never waits behind A's whole burst.
+  EXPECT_LT(index_of("b1"), index_of("a2"))
+      << "client b starved behind client a's burst";
+  engine.UnregisterClient(gate_client);
+  engine.UnregisterClient(a);
+  engine.UnregisterClient(b);
+}
+
+TEST(EngineTest, IdleClientsConsumeNoWorkerTime) {
+  // The multi-tenancy contract: a registered client with nothing queued is
+  // never scheduled — an idle resident session costs zero worker time.
+  Engine engine(Engine::Options{.workers = 2});
+  const int busy = engine.RegisterClient("busy");
+  const int idle = engine.RegisterClient("idle");
+  Latch latch(100);
+  for (int i = 0; i < 100; ++i) {
+    engine.Submit(busy, [&] { latch.CountDown(); });
+  }
+  latch.Wait();
+  EXPECT_EQ(engine.client_stats(busy).tasks_run, 100);
+  EXPECT_EQ(engine.client_stats(idle).tasks_run, 0);
+  EXPECT_EQ(engine.client_stats(idle).queue_wait_ns_total, 0);
+  engine.UnregisterClient(busy);
+  engine.UnregisterClient(idle);
+}
+
+TEST(EngineTest, TasksMaySubmitMoreTasks) {
+  // Superstep waves re-enqueue from inside running tasks; make sure the
+  // recursion pattern drains fully even on a single worker.
+  Engine engine(Engine::Options{.workers = 1});
+  const int client = engine.RegisterClient("chain");
+  std::atomic<int> depth{0};
+  Latch latch(1);
+  std::function<void()> step = [&] {
+    if (depth.fetch_add(1) + 1 == 50) {
+      latch.CountDown();
+      return;
+    }
+    engine.Submit(client, step);
+  };
+  engine.Submit(client, step);
+  latch.Wait();
+  EXPECT_EQ(depth.load(), 50);
+  engine.UnregisterClient(client);
+}
+
+// ---------------------------------------------------------------------------
+// Executor-level engine options
+// ---------------------------------------------------------------------------
+
+Result<ExecutionResult> RunTinyPlan(ExecutionOptions options) {
+  std::vector<Record> out;
+  PlanBuilder pb;
+  std::vector<Record> data;
+  for (int i = 0; i < 10; ++i) data.push_back(Record::OfInts(i));
+  auto src = pb.Source("src", std::move(data));
+  auto doubled = pb.Map("double", src, [](const Record& r, Collector* c) {
+    c->Emit(Record::OfInts(r.GetInt(0) * 2));
+  });
+  pb.Sink("out", doubled, &out);
+  Plan plan = std::move(pb).Finish();
+  Optimizer optimizer(OptimizerOptions{.parallelism = 2});
+  auto physical = optimizer.Optimize(plan);
+  EXPECT_TRUE(physical.ok()) << physical.status().ToString();
+  auto result = Executor(options).Run(*physical);
+  if (result.ok()) EXPECT_EQ(out.size(), 10u);
+  return result;
+}
+
+TEST(ExecutorEngineTest, RunsOnPrivatePoolOfOneWorker) {
+  // A pool smaller than the plan's parallelism must still drain the plan —
+  // partition tasks are time-sliced over the pool, never parked on it.
+  auto result =
+      RunTinyPlan(ExecutionOptions{.parallelism = 2, .worker_threads = 1});
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->engine_workers, 1);
+  EXPECT_GT(result->engine_tasks, 0);
+}
+
+TEST(ExecutorEngineTest, RunsOnExternallyOwnedEngine) {
+  Engine engine(Engine::Options{.workers = 2});
+  ExecutionOptions options;
+  options.parallelism = 2;
+  options.engine = &engine;
+  auto result = RunTinyPlan(options);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->engine_workers, 2);
+}
+
+TEST(ExecutorEngineTest, RejectsNegativeWorkerThreads) {
+  auto result = RunTinyPlan(ExecutionOptions{.worker_threads = -2});
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(result.status().ToString().find("worker_threads"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sfdf

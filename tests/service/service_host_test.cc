@@ -1,0 +1,261 @@
+// Multi-tenant serving on one shared engine pool (runtime v3): several
+// resident services over a ServiceHost, interleaved warm rounds, epoch
+// reads staying batch-consistent under concurrency, and the acceptance
+// shape that was structurally impossible under thread-per-instance — more
+// resident services than pool workers. Runs under the CI TSan job via the
+// service/ suite prefix.
+#include "service/service_host.h"
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "algos/connected_components.h"
+#include "core/solution_set.h"
+#include "dataflow/plan_builder.h"
+#include "graph/dynamic_graph.h"
+#include "optimizer/optimizer.h"
+#include "record/comparator.h"
+
+namespace sfdf {
+namespace {
+
+// ---------------------------------------------------------------------------
+// A streamed Connected Components tenant (same dataflow as the
+// iteration_service_test fixture) started on a shared ServiceHost. The
+// tenant object owns state the resident plan references (adjacency, sink
+// vector), so tests StopAll() the host while their tenants are alive.
+// ---------------------------------------------------------------------------
+
+class HostedCc {
+ public:
+  static std::unique_ptr<HostedCc> Start(ServiceHost* host,
+                                         const std::string& name,
+                                         int64_t num_vertices,
+                                         ServiceOptions options = {}) {
+    auto cc = std::unique_ptr<HostedCc>(new HostedCc);
+    cc->graph_ = std::make_shared<DynamicGraph>(num_vertices);
+    cc->output_ = std::make_unique<std::vector<Record>>();
+
+    std::vector<Record> labels;
+    for (int64_t v = 0; v < num_vertices; ++v) {
+      labels.push_back(Record::OfInts(v, v));
+    }
+    PlanBuilder pb;
+    auto labels_src = pb.Source("V", std::move(labels));
+    auto workset_src = pb.Source("W0", std::vector<Record>{});
+    auto it = pb.BeginWorksetIteration("host-cc", labels_src, workset_src,
+                                       /*solution_key=*/{0},
+                                       OrderByIntFieldDesc(1),
+                                       IterationMode::kSuperstep, 1000);
+    auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                          [](const Record& cand, const Record& current,
+                             Collector* out) {
+                            if (cand.GetInt(1) < current.GetInt(1)) {
+                              out->Emit(Record::OfInts(cand.GetInt(0),
+                                                       cand.GetInt(1)));
+                            }
+                          });
+    pb.DeclarePreserved(delta, 1, 0, 0);
+    std::shared_ptr<DynamicGraph> adjacency = cc->graph_;
+    auto next = pb.Map("neighbors", delta,
+                       [adjacency](const Record& changed, Collector* out) {
+                         for (VertexId n :
+                              adjacency->Neighbors(changed.GetInt(0))) {
+                           out->Emit(Record::OfInts(n, changed.GetInt(1)));
+                         }
+                       });
+    auto result = it.Close(delta, next);
+    pb.Sink("labels", result, cc->output_.get());
+    Plan plan = std::move(pb).Finish();
+
+    Optimizer optimizer(OptimizerOptions{});
+    auto physical = optimizer.Optimize(plan);
+    EXPECT_TRUE(physical.ok()) << physical.status().ToString();
+
+    HostedCc* raw = cc.get();
+    auto service = host->StartService(
+        name, std::move(*physical),
+        [raw](ExecutionSession& session,
+              const std::vector<GraphMutation>& batch) {
+          return raw->Translate(session, batch);
+        },
+        options);
+    EXPECT_TRUE(service.ok()) << service.status().ToString();
+    cc->service_ = *service;
+    return cc;
+  }
+
+  IterationService& service() { return *service_; }
+
+  std::map<int64_t, int64_t> Labels() {
+    std::map<int64_t, int64_t> labels;
+    for (const Record& rec : service_->Snapshot().records) {
+      labels[rec.GetInt(0)] = rec.GetInt(1);
+    }
+    return labels;
+  }
+
+ private:
+  HostedCc() = default;
+
+  Result<std::vector<Record>> Translate(
+      ExecutionSession& session, const std::vector<GraphMutation>& batch) {
+    std::vector<Record> seeds;
+    const KeySpec& key = session.solution_key();
+    auto component_of = [&](VertexId v) -> int64_t {
+      Record probe = Record::OfInts(v);
+      const Record* rec =
+          session.solution_partition(session.PartitionOfSolution(probe))
+              ->Peek(probe, key);
+      return rec != nullptr ? rec->GetInt(1) : v;
+    };
+    for (const GraphMutation& m : batch) {
+      if (m.kind == MutationKind::kEdgeInsert) {
+        graph_->EnsureVertex(std::max(m.u, m.v));
+        for (VertexId v : {m.u, m.v}) {
+          Record probe = Record::OfInts(v);
+          SolutionSetIndex* partition =
+              session.solution_partition(session.PartitionOfSolution(probe));
+          if (partition->Peek(probe, key) == nullptr) {
+            partition->Apply(Record::OfInts(v, v));
+          }
+        }
+      }
+      Status status = AppendCcMutationSeeds(component_of, m, &seeds);
+      if (!status.ok()) return status;
+      if (m.kind == MutationKind::kEdgeInsert) {
+        graph_->AddEdge(m.u, m.v);
+        graph_->AddEdge(m.v, m.u);
+      }
+    }
+    return seeds;
+  }
+
+  std::shared_ptr<DynamicGraph> graph_;
+  std::unique_ptr<std::vector<Record>> output_;
+  IterationService* service_ = nullptr;  ///< owned by the host
+};
+
+TEST(ServiceHostTest, FourResidentServicesOnTwoWorkers) {
+  // More resident services than pool workers: impossible under the old
+  // thread-per-instance runtime, routine under the shared engine.
+  ServiceHost host(ServiceHost::Options{.workers = 2});
+  ASSERT_EQ(host.engine().workers(), 2);
+
+  std::vector<std::unique_ptr<HostedCc>> tenants;
+  for (int i = 0; i < 4; ++i) {
+    tenants.push_back(HostedCc::Start(&host, "cc-" + std::to_string(i), 6));
+  }
+  ASSERT_EQ(host.num_services(), 4);
+
+  // Interleave rounds across all four tenants; each folds its own edges.
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      ASSERT_TRUE(tenants[i]
+                      ->service()
+                      .Apply({GraphMutation::EdgeInsert(round, round + 1)})
+                      .ok());
+    }
+  }
+  // Chain 0-1-2-3 everywhere: component 0 spans vertices 0..3.
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(tenants[i]->Labels(),
+              (std::map<int64_t, int64_t>{
+                  {0, 0}, {1, 0}, {2, 0}, {3, 0}, {4, 4}, {5, 5}}))
+        << "tenant " << i;
+    const ServiceStats stats = tenants[i]->service().stats();
+    EXPECT_EQ(stats.rounds, 3u) << "tenant " << i;
+    EXPECT_EQ(stats.engine_workers, 2) << "tenant " << i;
+    EXPECT_GT(stats.engine_tasks, 0) << "tenant " << i;
+    EXPECT_GT(stats.round_p50_ms, 0) << "tenant " << i;
+    EXPECT_LE(stats.round_p50_ms, stats.round_p99_ms) << "tenant " << i;
+  }
+  EXPECT_TRUE(host.StopAll().ok());
+}
+
+TEST(ServiceHostTest, ConcurrentTenantsKeepEpochReadsConsistent) {
+  // Two services sharing one pool, written and read concurrently: every
+  // read must observe an even (committed) epoch and a full snapshot; the
+  // round interleaving of one tenant must never bleed into the other.
+  ServiceHost host(ServiceHost::Options{.workers = 2});
+  ServiceOptions fast_batches;
+  fast_batches.max_batch = 4;
+  fast_batches.max_linger = std::chrono::milliseconds(0);
+  auto left = HostedCc::Start(&host, "left", 8, fast_batches);
+  auto right = HostedCc::Start(&host, "right", 8, fast_batches);
+
+  constexpr int kEdgesPerWriter = 40;
+  std::vector<std::thread> threads;
+  for (HostedCc* cc : {left.get(), right.get()}) {
+    threads.emplace_back([cc] {
+      for (int i = 0; i < kEdgesPerWriter; ++i) {
+        // Walk a ring so every insert does residual work.
+        ASSERT_TRUE(
+            cc->service()
+                .Apply({GraphMutation::EdgeInsert(i % 7, (i + 1) % 7)})
+                .ok());
+      }
+    });
+    threads.emplace_back([cc] {
+      for (int i = 0; i < 200; ++i) {
+        auto snapshot = cc->service().Snapshot();
+        EXPECT_EQ(snapshot.epoch % 2, 0u) << "read overlapped a round";
+        EXPECT_EQ(snapshot.records.size(), 8u);
+        auto query = cc->service().QueryKey(3);
+        EXPECT_EQ(query.epoch % 2, 0u);
+        EXPECT_TRUE(query.found);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  // Both tenants converged to the ring's single component over 0..6.
+  for (HostedCc* cc : {left.get(), right.get()}) {
+    EXPECT_EQ(cc->Labels(),
+              (std::map<int64_t, int64_t>{{0, 0},
+                                          {1, 0},
+                                          {2, 0},
+                                          {3, 0},
+                                          {4, 0},
+                                          {5, 0},
+                                          {6, 0},
+                                          {7, 7}}));
+  }
+  EXPECT_TRUE(host.StopAll().ok());
+}
+
+TEST(ServiceHostTest, DuplicateNamesRejectedAndLookupWorks) {
+  ServiceHost host(ServiceHost::Options{.workers = 1});
+  auto cc = HostedCc::Start(&host, "only", 4);
+  EXPECT_EQ(host.service("only"), &cc->service());
+  EXPECT_EQ(host.service("missing"), nullptr);
+
+  // Second tenant under the same name is rejected at the door.
+  PlanBuilder pb;
+  std::vector<Record> out;
+  auto src = pb.Source("src", std::vector<Record>{Record::OfInts(1)});
+  pb.Sink("out", src, &out);
+  Plan plan = std::move(pb).Finish();
+  Optimizer optimizer(OptimizerOptions{});
+  auto physical = optimizer.Optimize(plan);
+  ASSERT_TRUE(physical.ok());
+  auto duplicate = host.StartService(
+      "only", std::move(*physical),
+      [](ExecutionSession&, const std::vector<GraphMutation>&)
+          -> Result<std::vector<Record>> { return std::vector<Record>{}; },
+      ServiceOptions{});
+  ASSERT_FALSE(duplicate.ok());
+  EXPECT_EQ(duplicate.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(host.service_names(), std::vector<std::string>{"only"});
+  // Stop before `cc` (which owns the tenant's sink vector) goes out of
+  // scope — the final flush writes into it.
+  EXPECT_TRUE(host.StopAll().ok());
+}
+
+}  // namespace
+}  // namespace sfdf
