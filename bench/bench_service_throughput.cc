@@ -145,6 +145,10 @@ int main() {
               stats.engine_queue_wait_max_ms);
   std::printf("%-34s %12llu\n", "batched rounds (streaming phase)",
               static_cast<unsigned long long>(stats.rounds));
+  std::printf("%-34s %12llu\n", "mutations rejected",
+              static_cast<unsigned long long>(stats.mutations_rejected));
+  std::printf("%-34s %12llu\n", "admission queue depth (final)",
+              static_cast<unsigned long long>(stats.admission_queue_depth));
   std::printf("%-34s %12lld\n", "exchange queue depth high-water",
               static_cast<long long>(depth_hw));
   std::printf("%-34s %12lld\n", "batch pool hits",
@@ -157,7 +161,8 @@ int main() {
       "avg_batch=%.1f queue_depth_hw=%lld pool_hits=%lld pool_misses=%lld "
       "round_p50_ms=%.3f round_p95_ms=%.3f round_p99_ms=%.3f "
       "engine_workers=%d engine_tasks=%lld engine_queue_wait_ms=%.3f "
-      "engine_queue_wait_max_ms=%.3f\n",
+      "engine_queue_wait_max_ms=%.3f mutations_rejected=%llu "
+      "admission_queue_depth=%llu\n",
       cold_seconds, cold_serve_seconds, p50, p99, speedup, sustained,
       static_cast<unsigned long long>(streamed),
       static_cast<unsigned long long>(stats.rounds),
@@ -169,7 +174,9 @@ int main() {
       static_cast<long long>(pool_misses), stats.round_p50_ms,
       stats.round_p95_ms, stats.round_p99_ms, stats.engine_workers,
       static_cast<long long>(stats.engine_tasks),
-      stats.engine_queue_wait_total_ms, stats.engine_queue_wait_max_ms);
+      stats.engine_queue_wait_total_ms, stats.engine_queue_wait_max_ms,
+      static_cast<unsigned long long>(stats.mutations_rejected),
+      static_cast<unsigned long long>(stats.admission_queue_depth));
 
   // Acceptance floor: warm beats cold by >= 5x on a single-edge batch.
   // Only gated at full scale — in smoke mode the cold recompute is a few

@@ -13,6 +13,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kUnsupported: return "Unsupported";
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kIoError: return "IoError";
+    case StatusCode::kResourceExhausted: return "ResourceExhausted";
   }
   return "Unknown";
 }

@@ -20,6 +20,8 @@ enum class StatusCode : int {
   kUnsupported = 6,        ///< e.g. a plan that violates microstep conditions
   kInternal = 7,
   kIoError = 8,
+  kResourceExhausted = 9,  ///< a capacity bound was hit; retry later (e.g.
+                           ///< the serving admission queue is full)
 };
 
 /// Return value for fallible operations. Cheap to copy in the OK case
@@ -54,6 +56,9 @@ class Status {
   }
   static Status IoError(std::string msg) {
     return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

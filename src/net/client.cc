@@ -1,0 +1,225 @@
+#include "net/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace sfdf {
+namespace net {
+
+Status StatusOfReply(const Frame& reply) {
+  if (reply.status == WireCode::kOk) return Status::OK();
+  PayloadReader reader(reply.payload);
+  std::string message = reader.String();
+  if (!reader.ok()) message = "(unparseable error payload)";
+  message = std::string(WireCodeName(reply.status)) + ": " + message;
+  switch (reply.status) {
+    case WireCode::kRetry:
+      return Status::ResourceExhausted(std::move(message));
+    case WireCode::kReject:
+    case WireCode::kBadRequest:
+      return Status::InvalidArgument(std::move(message));
+    case WireCode::kNotFound:
+    case WireCode::kUnknownTenant:
+      return Status::NotFound(std::move(message));
+    default:
+      return Status::Internal(std::move(message));
+  }
+}
+
+Result<std::unique_ptr<RpcClient>> RpcClient::Connect(const std::string& host,
+                                                      uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad address '" + host + "'");
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("connect failed: ") +
+                           std::strerror(err));
+  }
+  int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  auto client = std::unique_ptr<RpcClient>(new RpcClient);
+  client->fd_ = fd;
+  return client;
+}
+
+RpcClient::~RpcClient() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Status RpcClient::SendRaw(const void* data, size_t n) {
+  const uint8_t* bytes = static_cast<const uint8_t*>(data);
+  size_t sent = 0;
+  while (sent < n) {
+    const ssize_t w = ::send(fd_, bytes + sent, n - sent, MSG_NOSIGNAL);
+    if (w < 0) {
+      if (errno == EINTR) continue;
+      return Status::IoError(std::string("send failed: ") +
+                             std::strerror(errno));
+    }
+    sent += static_cast<size_t>(w);
+  }
+  return Status::OK();
+}
+
+Result<uint64_t> RpcClient::SendRequest(Opcode opcode,
+                                        std::vector<uint8_t> payload) {
+  Frame frame;
+  frame.opcode = opcode;
+  frame.request_id = next_request_id_++;
+  frame.payload = std::move(payload);
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  SFDF_RETURN_NOT_OK(SendRaw(bytes.data(), bytes.size()));
+  return frame.request_id;
+}
+
+Result<Frame> RpcClient::ReceiveReply() {
+  for (;;) {
+    bool got = false;
+    Frame frame;
+    SFDF_RETURN_NOT_OK(decoder_.Next(&got, &frame));
+    if (got) return frame;
+    uint8_t buf[65536];
+    const ssize_t n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      decoder_.Feed(buf, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) {
+      return Status::IoError("connection closed by the gateway");
+    }
+    if (errno == EINTR) continue;
+    return Status::IoError(std::string("recv failed: ") +
+                           std::strerror(errno));
+  }
+}
+
+Result<Frame> RpcClient::Call(Opcode opcode, std::vector<uint8_t> payload) {
+  auto request_id = SendRequest(opcode, std::move(payload));
+  if (!request_id.ok()) return request_id.status();
+  auto reply = ReceiveReply();
+  if (!reply.ok()) return reply.status();
+  if (reply->request_id != *request_id || reply->opcode != opcode) {
+    return Status::Internal("response does not match the request");
+  }
+  SFDF_RETURN_NOT_OK(StatusOfReply(*reply));
+  return reply;
+}
+
+Status RpcClient::Ping() {
+  auto reply = Call(Opcode::kPing, {});
+  return reply.ok() ? Status::OK() : reply.status();
+}
+
+Result<RpcClient::QueryReply> RpcClient::Query(const std::string& tenant,
+                                               const Record& probe) {
+  std::vector<uint8_t> payload;
+  PutString(tenant, &payload);
+  PutRecord(probe, &payload);
+  auto reply = Call(Opcode::kQuery, std::move(payload));
+  if (!reply.ok()) return reply.status();
+  PayloadReader reader(reply->payload);
+  QueryReply result;
+  result.epoch = reader.U64();
+  result.found = reader.U8() != 0;
+  if (result.found) result.record = reader.ReadRecord();
+  if (!reader.AtEnd()) return Status::Internal("malformed Query reply");
+  return result;
+}
+
+Result<RpcClient::QueryReply> RpcClient::QueryKey(const std::string& tenant,
+                                                  int64_t key) {
+  return Query(tenant, Record::OfInts(key));
+}
+
+Result<RpcClient::SnapshotReply> RpcClient::Snapshot(
+    const std::string& tenant) {
+  std::vector<uint8_t> payload;
+  PutString(tenant, &payload);
+  auto reply = Call(Opcode::kSnapshot, std::move(payload));
+  if (!reply.ok()) return reply.status();
+  PayloadReader reader(reply->payload);
+  SnapshotReply result;
+  result.epoch = reader.U64();
+  const uint32_t count = reader.U32();
+  for (uint32_t i = 0; reader.ok() && i < count; ++i) {
+    result.records.push_back(reader.ReadRecord());
+  }
+  if (!reader.AtEnd()) return Status::Internal("malformed Snapshot reply");
+  return result;
+}
+
+namespace {
+
+std::vector<uint8_t> MutatePayload(
+    const std::string& tenant, const std::vector<GraphMutation>& mutations) {
+  std::vector<uint8_t> payload;
+  PutString(tenant, &payload);
+  PutU32(static_cast<uint32_t>(mutations.size()), &payload);
+  for (const GraphMutation& mutation : mutations) {
+    PutMutation(mutation, &payload);
+  }
+  return payload;
+}
+
+}  // namespace
+
+Result<uint64_t> RpcClient::SendMutate(
+    const std::string& tenant, const std::vector<GraphMutation>& mutations) {
+  return SendRequest(Opcode::kMutateBatch, MutatePayload(tenant, mutations));
+}
+
+Result<uint64_t> RpcClient::SendQueryKey(const std::string& tenant,
+                                         int64_t key) {
+  std::vector<uint8_t> payload;
+  PutString(tenant, &payload);
+  PutRecord(Record::OfInts(key), &payload);
+  return SendRequest(Opcode::kQuery, std::move(payload));
+}
+
+Result<RpcClient::MutateReply> RpcClient::Mutate(
+    const std::string& tenant, const std::vector<GraphMutation>& mutations) {
+  auto reply = Call(Opcode::kMutateBatch, MutatePayload(tenant, mutations));
+  if (!reply.ok()) return reply.status();
+  PayloadReader reader(reply->payload);
+  MutateReply result;
+  result.ticket = reader.U64();
+  if (!reader.AtEnd()) return Status::Internal("malformed Mutate reply");
+  return result;
+}
+
+Result<RpcClient::StatsReply> RpcClient::Stats(const std::string& tenant) {
+  std::vector<uint8_t> payload;
+  PutString(tenant, &payload);
+  auto reply = Call(Opcode::kStats, std::move(payload));
+  if (!reply.ok()) return reply.status();
+  PayloadReader reader(reply->payload);
+  StatsReply result;
+  const uint32_t count = reader.U32();
+  for (uint32_t i = 0; reader.ok() && i < count; ++i) {
+    const uint16_t field = reader.U16();
+    const double value = reader.F64();
+    result.fields[field] = value;
+  }
+  if (!reader.AtEnd()) return Status::Internal("malformed Stats reply");
+  return result;
+}
+
+}  // namespace net
+}  // namespace sfdf

@@ -1,0 +1,107 @@
+// RpcClient: a small blocking TCP client for the gateway protocol
+// (net/frame.h; served by service/gateway.h). One connection, one thread at
+// a time — the multi-connection load generator in bench_gateway_qps simply
+// opens one client per worker thread. Requests carry monotonically
+// increasing request ids; the blocking calls verify the response matches.
+//
+// For windowed pipelining (several requests in flight on one connection)
+// use the split Send*/ReceiveReply primitives and pair responses by
+// request id yourself. SendRaw exists for protocol tests: it puts arbitrary
+// bytes on the wire so tests can prove a garbage client only kills its own
+// connection.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/mutation.h"
+#include "net/frame.h"
+#include "record/record.h"
+
+namespace sfdf {
+namespace net {
+
+class RpcClient {
+ public:
+  /// Blocking connect to `host:port` (IPv4 dotted quad), TCP_NODELAY on.
+  static Result<std::unique_ptr<RpcClient>> Connect(const std::string& host,
+                                                    uint16_t port);
+
+  ~RpcClient();  ///< closes the socket
+  RpcClient(const RpcClient&) = delete;
+  RpcClient& operator=(const RpcClient&) = delete;
+
+  /// Round-trip floor: empty frame there and back.
+  Status Ping();
+
+  struct QueryReply {
+    bool found = false;
+    Record record;
+    uint64_t epoch = 0;
+  };
+  /// Batch-consistent point read; `found == false` is a successful reply
+  /// for an unknown key, a non-OK status a transport/protocol/tenant error.
+  Result<QueryReply> Query(const std::string& tenant, const Record& probe);
+  Result<QueryReply> QueryKey(const std::string& tenant, int64_t key);
+
+  struct SnapshotReply {
+    std::vector<Record> records;
+    uint64_t epoch = 0;
+  };
+  Result<SnapshotReply> Snapshot(const std::string& tenant);
+
+  struct MutateReply {
+    uint64_t ticket = 0;  ///< the batch's round committed up to this ticket
+  };
+  /// Sends the batch and blocks until the gateway reports its round
+  /// committed. Admission rejections surface as ResourceExhausted (back
+  /// off and retry) or InvalidArgument (fix the request).
+  Result<MutateReply> Mutate(const std::string& tenant,
+                             const std::vector<GraphMutation>& mutations);
+
+  /// Tenant stats keyed by StatField (unknown ids preserved numerically).
+  struct StatsReply {
+    std::map<uint16_t, double> fields;
+    double Get(StatField field) const {
+      auto it = fields.find(static_cast<uint16_t>(field));
+      return it == fields.end() ? 0.0 : it->second;
+    }
+  };
+  Result<StatsReply> Stats(const std::string& tenant);
+
+  // --- pipelining primitives ---------------------------------------------
+
+  /// Sends a MutateBatch without waiting; returns the request id to pair
+  /// with a later ReceiveReply.
+  Result<uint64_t> SendMutate(const std::string& tenant,
+                              const std::vector<GraphMutation>& mutations);
+  /// Sends a Query without waiting.
+  Result<uint64_t> SendQueryKey(const std::string& tenant, int64_t key);
+  /// Blocks for the next response frame, whatever request it answers.
+  Result<Frame> ReceiveReply();
+
+  /// Raw bytes straight onto the socket (protocol tests only).
+  Status SendRaw(const void* data, size_t n);
+
+ private:
+  RpcClient() = default;
+
+  Result<uint64_t> SendRequest(Opcode opcode, std::vector<uint8_t> payload);
+  /// SendRequest + ReceiveReply + request-id check + wire-error mapping.
+  Result<Frame> Call(Opcode opcode, std::vector<uint8_t> payload);
+
+  int fd_ = -1;
+  uint64_t next_request_id_ = 1;
+  FrameDecoder decoder_;
+};
+
+/// Maps a non-OK response frame to a client-side Status (the payload's
+/// message is preserved). OK frames map to Status::OK().
+Status StatusOfReply(const Frame& reply);
+
+}  // namespace net
+}  // namespace sfdf

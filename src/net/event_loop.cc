@@ -1,0 +1,208 @@
+#include "net/event_loop.h"
+
+#include <sys/epoll.h>
+#include <sys/eventfd.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <utility>
+
+#include "common/logging.h"
+
+namespace sfdf {
+namespace net {
+
+namespace {
+
+/// Heap order: earliest deadline on top (std::push_heap builds a max-heap,
+/// so compare reversed).
+struct TimerCmp {
+  template <typename T>
+  bool operator()(const T& a, const T& b) const {
+    return a.deadline > b.deadline;
+  }
+};
+
+}  // namespace
+
+EventLoop::EventLoop() {
+  epoll_fd_ = epoll_create1(EPOLL_CLOEXEC);
+  SFDF_CHECK(epoll_fd_ >= 0) << "epoll_create1 failed";
+  wake_fd_ = eventfd(0, EFD_NONBLOCK | EFD_CLOEXEC);
+  SFDF_CHECK(wake_fd_ >= 0) << "eventfd failed";
+  epoll_event ev{};
+  ev.events = EPOLLIN;
+  ev.data.u64 = 0;  // token 0 = the wake fd
+  SFDF_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, wake_fd_, &ev) == 0)
+      << "epoll_ctl(wake) failed";
+}
+
+EventLoop::~EventLoop() {
+  ::close(wake_fd_);
+  ::close(epoll_fd_);
+}
+
+void EventLoop::UpdateInterest(int fd, Handler* handler, uint32_t interest) {
+  if (handler->interest == interest) return;
+  handler->interest = interest;
+  epoll_event ev{};
+  ev.events = interest;
+  ev.data.u64 = handler->token;
+  SFDF_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_MOD, fd, &ev) == 0)
+      << "epoll_ctl(mod) failed for fd " << fd;
+}
+
+void EventLoop::Add(int fd, Callback on_readable, Callback on_writable) {
+  Handler handler;
+  handler.on_readable = std::move(on_readable);
+  handler.on_writable = std::move(on_writable);
+  handler.token = next_token_++;
+  handler.interest = EPOLLIN;
+  epoll_event ev{};
+  ev.events = handler.interest;
+  ev.data.u64 = handler.token;
+  SFDF_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_ADD, fd, &ev) == 0)
+      << "epoll_ctl(add) failed for fd " << fd;
+  fd_of_token_[handler.token] = fd;
+  handlers_[fd] = std::move(handler);
+}
+
+void EventLoop::SetReadInterest(int fd, bool enabled) {
+  auto it = handlers_.find(fd);
+  SFDF_CHECK(it != handlers_.end()) << "interest on unregistered fd " << fd;
+  uint32_t interest = it->second.interest;
+  interest = enabled ? (interest | EPOLLIN) : (interest & ~EPOLLIN);
+  UpdateInterest(fd, &it->second, interest);
+}
+
+void EventLoop::SetWriteInterest(int fd, bool enabled) {
+  auto it = handlers_.find(fd);
+  SFDF_CHECK(it != handlers_.end()) << "interest on unregistered fd " << fd;
+  uint32_t interest = it->second.interest;
+  interest = enabled ? (interest | EPOLLOUT) : (interest & ~EPOLLOUT);
+  UpdateInterest(fd, &it->second, interest);
+}
+
+void EventLoop::Remove(int fd) {
+  auto it = handlers_.find(fd);
+  SFDF_CHECK(it != handlers_.end()) << "remove of unregistered fd " << fd;
+  SFDF_CHECK(epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) == 0)
+      << "epoll_ctl(del) failed for fd " << fd;
+  fd_of_token_.erase(it->second.token);
+  handlers_.erase(it);
+}
+
+uint64_t EventLoop::RunAfter(std::chrono::milliseconds delay, Callback fn) {
+  Timer timer;
+  timer.deadline = std::chrono::steady_clock::now() + delay;
+  timer.id = next_timer_id_++;
+  timer.fn = std::move(fn);
+  const uint64_t id = timer.id;
+  timers_.push_back(std::move(timer));
+  std::push_heap(timers_.begin(), timers_.end(), TimerCmp{});
+  return id;
+}
+
+void EventLoop::CancelTimer(uint64_t id) {
+  auto it = std::find_if(timers_.begin(), timers_.end(),
+                         [id](const Timer& t) { return t.id == id; });
+  if (it == timers_.end()) return;
+  timers_.erase(it);
+  std::make_heap(timers_.begin(), timers_.end(), TimerCmp{});
+}
+
+int EventLoop::NextTimeoutMillis() const {
+  if (timers_.empty()) return -1;  // block until an event or a Post wake
+  auto now = std::chrono::steady_clock::now();
+  auto until = timers_.front().deadline - now;
+  auto ms = std::chrono::duration_cast<std::chrono::milliseconds>(until);
+  return std::max<int>(0, static_cast<int>(ms.count()) + 1);
+}
+
+void EventLoop::RunDueTimers() {
+  const auto now = std::chrono::steady_clock::now();
+  while (!timers_.empty() && timers_.front().deadline <= now) {
+    std::pop_heap(timers_.begin(), timers_.end(), TimerCmp{});
+    Timer timer = std::move(timers_.back());
+    timers_.pop_back();
+    timer.fn();
+  }
+}
+
+void EventLoop::DrainPosted() {
+  std::vector<Callback> batch;
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    batch.swap(posted_);
+  }
+  for (Callback& fn : batch) fn();
+}
+
+void EventLoop::Run() {
+  constexpr int kMaxEvents = 64;
+  epoll_event events[kMaxEvents];
+  for (;;) {
+    {
+      std::lock_guard<std::mutex> lock(post_mutex_);
+      if (stopped_) return;
+    }
+    const int n = epoll_wait(epoll_fd_, events, kMaxEvents,
+                             NextTimeoutMillis());
+    if (n < 0) {
+      SFDF_CHECK(errno == EINTR) << "epoll_wait failed";
+      continue;
+    }
+    for (int i = 0; i < n; ++i) {
+      const uint64_t token = events[i].data.u64;
+      if (token == 0) {  // the wake eventfd: drain the counter
+        uint64_t count;
+        while (::read(wake_fd_, &count, sizeof(count)) > 0) {
+        }
+        continue;
+      }
+      // Re-resolve the fd by token: an earlier callback in this round may
+      // have Removed (and even reused) the fd number, but the token dies
+      // with the registration that owned it.
+      auto found = fd_of_token_.find(token);
+      if (found == fd_of_token_.end()) continue;  // stale event, fd removed
+      const uint32_t got = events[i].events;
+      Handler* handler = &handlers_.at(found->second);
+      if ((got & (EPOLLIN | EPOLLERR | EPOLLHUP)) && handler->on_readable) {
+        handler->on_readable();
+      }
+      // The readable callback may have removed the registration.
+      found = fd_of_token_.find(token);
+      if (found == fd_of_token_.end()) continue;
+      handler = &handlers_.at(found->second);
+      if ((got & EPOLLOUT) && handler->on_writable) {
+        handler->on_writable();
+      }
+    }
+    DrainPosted();
+    RunDueTimers();
+  }
+}
+
+void EventLoop::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    stopped_ = true;
+  }
+  const uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+void EventLoop::Post(Callback fn) {
+  {
+    std::lock_guard<std::mutex> lock(post_mutex_);
+    if (stopped_) return;
+    posted_.push_back(std::move(fn));
+  }
+  const uint64_t one = 1;
+  ssize_t ignored = ::write(wake_fd_, &one, sizeof(one));
+  (void)ignored;
+}
+
+}  // namespace net
+}  // namespace sfdf

@@ -1,0 +1,121 @@
+// A dependency-free epoll event loop — the I/O half of the network serving
+// gateway (src/service/gateway.h).
+//
+// One EventLoop is driven by ONE dedicated controller thread calling Run().
+// That thread is never an engine pool worker: the runtime-v3 contract (pool
+// workers must not block on other pool tasks, see runtime/engine.h) stays
+// intact because all socket readiness waiting happens here, outside the
+// pool, and everything the loop hands to the serving layer is dispatched to
+// controller-side worker threads that are allowed to block.
+//
+// Threading model (the usual reactor discipline):
+//   * Fd handlers, posted callbacks and timer callbacks all run on the loop
+//     thread — state touched only from callbacks needs no locking.
+//   * Post() is the only way other threads talk to the loop; it enqueues a
+//     callback and wakes the epoll_wait via an eventfd.
+//   * Stop() is thread-safe and makes Run() return after the current
+//     dispatch round.
+//
+// Fd registrations carry a generation token so a stale readiness event for
+// a just-closed-and-reused fd number (close + accept inside one dispatch
+// round) can never reach the new owner's callbacks.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <vector>
+
+#include "common/status.h"
+
+namespace sfdf {
+namespace net {
+
+class EventLoop {
+ public:
+  using Callback = std::function<void()>;
+
+  /// Creates the epoll instance and the wake eventfd. Aborts (SFDF_CHECK)
+  /// if the kernel refuses either — there is no meaningful fallback.
+  EventLoop();
+  ~EventLoop();
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  /// Registers `fd` with read interest. `on_readable` / `on_writable` run
+  /// on the loop thread; `on_writable` only fires while write interest is
+  /// enabled (SetWriteInterest). Loop thread only.
+  void Add(int fd, Callback on_readable, Callback on_writable);
+
+  /// Toggles EPOLLIN for `fd` — disabling read interest is how a
+  /// connection under write backpressure stops accepting new requests.
+  /// Loop thread only.
+  void SetReadInterest(int fd, bool enabled);
+
+  /// Toggles EPOLLOUT for `fd`. Loop thread only.
+  void SetWriteInterest(int fd, bool enabled);
+
+  /// Deregisters `fd` (does not close it). Pending events already fetched
+  /// for this fd are dropped via the generation token. Loop thread only.
+  void Remove(int fd);
+
+  /// Runs the loop on the calling thread until Stop().
+  void Run();
+
+  /// Makes Run() return; safe from any thread, idempotent.
+  void Stop();
+
+  /// Enqueues `fn` to run on the loop thread; safe from any thread. After
+  /// Stop() the callback is silently dropped (the loop is winding down and
+  /// the state it would touch is being torn off).
+  void Post(Callback fn);
+
+  /// Runs `fn` on the loop thread after `delay`; returns a timer id usable
+  /// with CancelTimer. Loop thread only (the gateway arms timers from
+  /// handlers).
+  uint64_t RunAfter(std::chrono::milliseconds delay, Callback fn);
+
+  /// Cancels a pending timer; a no-op if it already fired. Loop thread
+  /// only.
+  void CancelTimer(uint64_t id);
+
+  /// Number of registered fds (excludes the internal wake fd).
+  int num_fds() const { return static_cast<int>(handlers_.size()); }
+
+ private:
+  struct Handler {
+    Callback on_readable;
+    Callback on_writable;
+    uint64_t token = 0;
+    uint32_t interest = 0;  ///< current EPOLLIN/EPOLLOUT mask
+  };
+  struct Timer {
+    std::chrono::steady_clock::time_point deadline;
+    uint64_t id = 0;
+    Callback fn;
+  };
+
+  void UpdateInterest(int fd, Handler* handler, uint32_t interest);
+  int NextTimeoutMillis() const;
+  void RunDueTimers();
+  void DrainPosted();
+
+  int epoll_fd_ = -1;
+  int wake_fd_ = -1;
+  std::map<int, Handler> handlers_;  ///< loop thread only
+  /// Generation-token → fd index so event dispatch resolves a token in
+  /// O(log n) instead of scanning handlers_; kept in sync by Add/Remove.
+  std::map<uint64_t, int> fd_of_token_;
+  uint64_t next_token_ = 1;
+  std::vector<Timer> timers_;  ///< sorted min-heap by deadline
+  uint64_t next_timer_id_ = 1;
+
+  std::mutex post_mutex_;
+  std::vector<Callback> posted_;
+  bool stopped_ = false;  ///< guarded by post_mutex_
+};
+
+}  // namespace net
+}  // namespace sfdf

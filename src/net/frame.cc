@@ -1,0 +1,248 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/logging.h"
+#include "record/serde.h"
+
+namespace sfdf {
+namespace net {
+
+std::string_view OpcodeName(Opcode opcode) {
+  switch (opcode) {
+    case Opcode::kPing: return "Ping";
+    case Opcode::kQuery: return "Query";
+    case Opcode::kSnapshot: return "Snapshot";
+    case Opcode::kMutateBatch: return "MutateBatch";
+    case Opcode::kStats: return "Stats";
+  }
+  return "Unknown";
+}
+
+std::string_view WireCodeName(WireCode code) {
+  switch (code) {
+    case WireCode::kOk: return "Ok";
+    case WireCode::kRetry: return "Retry";
+    case WireCode::kReject: return "Reject";
+    case WireCode::kNotFound: return "NotFound";
+    case WireCode::kUnknownTenant: return "UnknownTenant";
+    case WireCode::kBadRequest: return "BadRequest";
+    case WireCode::kInternal: return "Internal";
+  }
+  return "Unknown";
+}
+
+WireCode WireCodeOf(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kOk:
+      return WireCode::kOk;
+    case StatusCode::kResourceExhausted:
+      return WireCode::kRetry;
+    case StatusCode::kInvalidArgument:
+    case StatusCode::kUnsupported:
+      return WireCode::kReject;
+    case StatusCode::kNotFound:
+      return WireCode::kNotFound;
+    default:
+      return WireCode::kInternal;
+  }
+}
+
+void PutU8(uint8_t v, std::vector<uint8_t>* out) { out->push_back(v); }
+
+void PutU16(uint16_t v, std::vector<uint8_t>* out) {
+  out->push_back(static_cast<uint8_t>(v));
+  out->push_back(static_cast<uint8_t>(v >> 8));
+}
+
+void PutU32(uint32_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutU64(uint64_t v, std::vector<uint8_t>* out) {
+  for (int i = 0; i < 8; ++i) {
+    out->push_back(static_cast<uint8_t>(v >> (8 * i)));
+  }
+}
+
+void PutI64(int64_t v, std::vector<uint8_t>* out) {
+  PutU64(static_cast<uint64_t>(v), out);
+}
+
+void PutF64(double v, std::vector<uint8_t>* out) {
+  uint64_t raw;
+  std::memcpy(&raw, &v, sizeof(raw));
+  PutU64(raw, out);
+}
+
+void PutString(std::string_view s, std::vector<uint8_t>* out) {
+  SFDF_CHECK(s.size() <= UINT16_MAX) << "wire string too long";
+  PutU16(static_cast<uint16_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
+void PutRecord(const Record& rec, std::vector<uint8_t>* out) {
+  SerializeRecord(rec, out);
+}
+
+void PutMutation(const GraphMutation& mutation, std::vector<uint8_t>* out) {
+  PutU8(static_cast<uint8_t>(mutation.kind), out);
+  PutI64(mutation.u, out);
+  PutI64(mutation.v, out);
+  PutF64(mutation.value, out);
+}
+
+bool PayloadReader::Need(size_t n) {
+  if (!ok_ || data_.size() - pos_ < n) {
+    ok_ = false;
+    return false;
+  }
+  return true;
+}
+
+uint8_t PayloadReader::U8() {
+  if (!Need(1)) return 0;
+  return data_[pos_++];
+}
+
+uint16_t PayloadReader::U16() {
+  if (!Need(2)) return 0;
+  uint16_t v = static_cast<uint16_t>(data_[pos_] |
+                                     (static_cast<uint16_t>(data_[pos_ + 1])
+                                      << 8));
+  pos_ += 2;
+  return v;
+}
+
+uint32_t PayloadReader::U32() {
+  if (!Need(4)) return 0;
+  uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v |= static_cast<uint32_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 4;
+  return v;
+}
+
+uint64_t PayloadReader::U64() {
+  if (!Need(8)) return 0;
+  uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) {
+    v |= static_cast<uint64_t>(data_[pos_ + i]) << (8 * i);
+  }
+  pos_ += 8;
+  return v;
+}
+
+int64_t PayloadReader::I64() { return static_cast<int64_t>(U64()); }
+
+double PayloadReader::F64() {
+  uint64_t raw = U64();
+  double v;
+  std::memcpy(&v, &raw, sizeof(v));
+  return v;
+}
+
+std::string PayloadReader::String() {
+  const uint16_t len = U16();
+  if (!Need(len)) return std::string();
+  std::string s(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+GraphMutation PayloadReader::ReadMutation() {
+  GraphMutation mutation;
+  const uint8_t kind = U8();
+  if (kind > static_cast<uint8_t>(MutationKind::kVertexUpsert)) {
+    ok_ = false;
+    return mutation;
+  }
+  mutation.kind = static_cast<MutationKind>(kind);
+  mutation.u = I64();
+  mutation.v = I64();
+  mutation.value = F64();
+  return mutation;
+}
+
+Record PayloadReader::ReadRecord() {
+  Record rec;
+  if (!ok_) return rec;
+  // Delegate to the serde decoder, which carries its own bounds checks
+  // (arity cap, type validation) against untrusted bytes.
+  Status status = DeserializeRecord(data_, &pos_, &rec);
+  if (!status.ok()) ok_ = false;
+  return rec;
+}
+
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out) {
+  SFDF_CHECK(frame.payload.size() <= kMaxPayloadBytes)
+      << "frame payload over kMaxPayloadBytes";
+  out->reserve(out->size() + kFrameHeaderBytes + frame.payload.size());
+  PutU32(kFrameMagic, out);
+  PutU8(kFrameVersion, out);
+  PutU8(static_cast<uint8_t>(frame.opcode), out);
+  PutU16(static_cast<uint16_t>(frame.status), out);
+  PutU64(frame.request_id, out);
+  PutU32(static_cast<uint32_t>(frame.payload.size()), out);
+  out->insert(out->end(), frame.payload.begin(), frame.payload.end());
+}
+
+void FrameDecoder::Feed(const uint8_t* data, size_t n) {
+  // Compact lazily: drop fully-consumed bytes once they dominate the
+  // buffer, so a long-lived connection does not grow it forever.
+  if (consumed_ > 4096 && consumed_ > buffer_.size() / 2) {
+    buffer_.erase(buffer_.begin(),
+                  buffer_.begin() + static_cast<ptrdiff_t>(consumed_));
+    consumed_ = 0;
+  }
+  buffer_.insert(buffer_.end(), data, data + n);
+}
+
+Status FrameDecoder::Next(bool* got, Frame* out) {
+  *got = false;
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderBytes) return Status::OK();
+  const uint8_t* h = buffer_.data() + consumed_;
+  uint32_t magic = 0;
+  for (int i = 0; i < 4; ++i) {
+    magic |= static_cast<uint32_t>(h[i]) << (8 * i);
+  }
+  if (magic != kFrameMagic) {
+    return Status::InvalidArgument("bad frame magic");
+  }
+  const uint8_t version = h[4];
+  if (version != kFrameVersion) {
+    return Status::InvalidArgument("unsupported frame version " +
+                                   std::to_string(version));
+  }
+  uint32_t payload_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    payload_len |= static_cast<uint32_t>(h[16 + i]) << (8 * i);
+  }
+  if (payload_len > max_payload_) {
+    return Status::InvalidArgument("frame payload length " +
+                                   std::to_string(payload_len) +
+                                   " over limit");
+  }
+  if (available < kFrameHeaderBytes + payload_len) return Status::OK();
+
+  out->opcode = static_cast<Opcode>(h[5]);
+  out->status = static_cast<WireCode>(
+      static_cast<uint16_t>(h[6] | (static_cast<uint16_t>(h[7]) << 8)));
+  uint64_t request_id = 0;
+  for (int i = 0; i < 8; ++i) {
+    request_id |= static_cast<uint64_t>(h[8 + i]) << (8 * i);
+  }
+  out->request_id = request_id;
+  out->payload.assign(h + kFrameHeaderBytes,
+                      h + kFrameHeaderBytes + payload_len);
+  consumed_ += kFrameHeaderBytes + payload_len;
+  *got = true;
+  return Status::OK();
+}
+
+}  // namespace net
+}  // namespace sfdf

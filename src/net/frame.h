@@ -1,0 +1,182 @@
+// The gateway's binary wire format: length-prefixed frames with strict
+// bounds checking, built on the record/serde primitives.
+//
+// ## Frame layout (all integers little-endian)
+//
+//   offset  size  field
+//        0     4  magic       the ASCII bytes "SFDF" (a little-endian
+//                             uint32 load of them reads 0x46444653)
+//        4     1  version     kFrameVersion (1)
+//        5     1  opcode      Opcode
+//        6     2  status      WireCode; 0 in requests
+//        8     8  request_id  client-chosen, echoed verbatim in the response
+//       16     4  payload_len bytes following the header; bounded by
+//                             kMaxPayloadBytes
+//       20  ....  payload     opcode-specific (see service/gateway.h)
+//
+// ## Error discipline
+//
+// The decoder distinguishes "need more bytes" (a clean prefix of a valid
+// frame — keep reading) from a protocol violation (bad magic, unknown
+// version, oversize declared length). A violation is unrecoverable for the
+// STREAM — there is no way to resynchronize a length-prefixed protocol —
+// so the gateway closes that connection; but only that connection. The
+// payload of a well-formed frame is parsed with the same
+// bounds-checked-cursor discipline (PayloadReader): a malformed payload
+// yields a per-request error response, never undefined behavior.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "graph/mutation.h"
+#include "record/record.h"
+
+namespace sfdf {
+namespace net {
+
+/// LE uint32 load of the bytes "SFDF".
+constexpr uint32_t kFrameMagic = 0x46444653u;
+constexpr uint8_t kFrameVersion = 1;
+constexpr size_t kFrameHeaderBytes = 20;
+/// Upper bound on a frame payload; a declared length above this is a
+/// protocol violation (it would otherwise let one client commit the server
+/// to an arbitrary allocation).
+constexpr uint32_t kMaxPayloadBytes = 16u << 20;
+
+/// Request/response kinds. Responses echo the request's opcode; the status
+/// field tells success from failure.
+enum class Opcode : uint8_t {
+  kPing = 1,         ///< empty payload; response echoes it (RTT floor)
+  kQuery = 2,        ///< tenant + probe record -> found flag + record
+  kSnapshot = 3,     ///< tenant -> full epoch-consistent solution set
+  kMutateBatch = 4,  ///< tenant + mutations -> ticket, answered at commit
+  kStats = 5,        ///< tenant -> ServiceStats + gateway counters
+};
+std::string_view OpcodeName(Opcode opcode);
+
+/// Wire-level result codes, chosen so clients can decide retry-vs-reject
+/// without parsing messages.
+enum class WireCode : uint16_t {
+  kOk = 0,
+  kRetry = 1,          ///< transient overload (ResourceExhausted): back off
+  kReject = 2,         ///< the request itself is invalid; do not retry
+  kNotFound = 3,       ///< query key unknown to the solution set
+  kUnknownTenant = 4,  ///< no hosted service under that name
+  kBadRequest = 5,     ///< malformed payload inside a well-formed frame
+  kInternal = 6,       ///< server-side failure
+};
+std::string_view WireCodeName(WireCode code);
+
+/// Maps a service-layer Status onto the wire taxonomy.
+WireCode WireCodeOf(const Status& status);
+
+/// Field ids of a Stats response payload (u32 count, then per entry a u16
+/// StatField + f64 value — integral counters are carried as exact doubles,
+/// all being far below 2^53). Unknown ids must be skipped by clients so
+/// servers can add fields.
+enum class StatField : uint16_t {
+  kRounds = 1,
+  kMutationsApplied = 2,
+  kMutationsRejected = 3,
+  kAdmissionQueueDepth = 4,
+  kTotalSupersteps = 5,
+  kRoundP50Ms = 6,
+  kRoundP95Ms = 7,
+  kRoundP99Ms = 8,
+  kEpoch = 9,
+  kEngineWorkers = 10,
+  kEngineTasks = 11,
+  kEngineQueueWaitTotalMs = 12,
+};
+
+struct Frame {
+  Opcode opcode = Opcode::kPing;
+  WireCode status = WireCode::kOk;
+  uint64_t request_id = 0;
+  std::vector<uint8_t> payload;
+};
+
+/// Appends the wire image of `frame` (header + payload) to `out`. The
+/// payload must respect kMaxPayloadBytes (checked).
+void EncodeFrame(const Frame& frame, std::vector<uint8_t>* out);
+
+/// Incremental decoder for one connection's byte stream.
+class FrameDecoder {
+ public:
+  /// `max_payload` lets a server tighten the global bound per connection.
+  explicit FrameDecoder(uint32_t max_payload = kMaxPayloadBytes)
+      : max_payload_(max_payload) {}
+
+  /// Appends raw socket bytes.
+  void Feed(const uint8_t* data, size_t n);
+
+  /// Tries to decode the next complete frame. Returns OK with *got=true
+  /// and *out filled; OK with *got=false when more bytes are needed; or a
+  /// non-OK status on a protocol violation (close the connection).
+  Status Next(bool* got, Frame* out);
+
+  size_t buffered_bytes() const { return buffer_.size() - consumed_; }
+
+ private:
+  const uint32_t max_payload_;
+  std::vector<uint8_t> buffer_;
+  size_t consumed_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Payload building blocks. Writers append to a byte vector; PayloadReader
+// is a bounds-checked cursor that goes (and stays) failed on any overrun,
+// so call sites can parse eagerly and check status() once.
+// ---------------------------------------------------------------------------
+
+void PutU8(uint8_t v, std::vector<uint8_t>* out);
+void PutU16(uint16_t v, std::vector<uint8_t>* out);
+void PutU32(uint32_t v, std::vector<uint8_t>* out);
+void PutU64(uint64_t v, std::vector<uint8_t>* out);
+void PutI64(int64_t v, std::vector<uint8_t>* out);
+void PutF64(double v, std::vector<uint8_t>* out);
+/// u16 length + raw bytes; strings above 64 KiB are a programming error.
+void PutString(std::string_view s, std::vector<uint8_t>* out);
+/// Reuses record/serde's SerializeRecord image.
+void PutRecord(const Record& rec, std::vector<uint8_t>* out);
+/// Wire image of one graph mutation: u8 kind, i64 u, i64 v, f64 value.
+void PutMutation(const GraphMutation& mutation, std::vector<uint8_t>* out);
+
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::vector<uint8_t>& data) : data_(data) {}
+
+  uint8_t U8();
+  uint16_t U16();
+  uint32_t U32();
+  uint64_t U64();
+  int64_t I64();
+  double F64();
+  std::string String();
+  Record ReadRecord();
+  /// Fails the reader on an unknown kind byte (untrusted input).
+  GraphMutation ReadMutation();
+
+  /// True once every read so far stayed in bounds AND the cursor consumed
+  /// the payload exactly (call at the end: trailing garbage is an error).
+  bool AtEnd() const { return ok_ && pos_ == data_.size(); }
+  bool ok() const { return ok_; }
+  Status status() const {
+    return ok_ ? Status::OK()
+               : Status::InvalidArgument("malformed request payload");
+  }
+
+ private:
+  bool Need(size_t n);
+
+  const std::vector<uint8_t>& data_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+}  // namespace net
+}  // namespace sfdf

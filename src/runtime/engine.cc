@@ -26,6 +26,10 @@ Engine::~Engine() {
           << "engine destroyed with tasks queued on client '" << client.name
           << "'";
     }
+    for (const auto& [slot, parked] : park_slots_) {
+      SFDF_DCHECK(!parked.fn)
+          << "engine destroyed with a parked continuation on slot " << slot;
+    }
     cv_.notify_all();
   }
   for (std::thread& worker : workers_) worker.join();
@@ -45,7 +49,78 @@ void Engine::UnregisterClient(int client) {
   SFDF_CHECK(it->second.queue.empty())
       << "unregister of engine client '" << it->second.name
       << "' with tasks still queued";
+  for (const auto& [slot, parked] : park_slots_) {
+    SFDF_CHECK(parked.client != client)
+        << "unregister of engine client '" << it->second.name
+        << "' with a live park slot";
+  }
   clients_.erase(it);
+}
+
+uint64_t Engine::CreateParkSlot(int client) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  SFDF_CHECK(clients_.find(client) != clients_.end())
+      << "park slot for unknown engine client";
+  const uint64_t slot = next_park_slot_++;
+  park_slots_[slot].client = client;
+  return slot;
+}
+
+void Engine::Park(uint64_t slot, TaskFn fn) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = park_slots_.find(slot);
+    SFDF_CHECK(it != park_slots_.end()) << "park on unknown slot";
+    ParkSlot& parked = it->second;
+    SFDF_CHECK(!parked.fn) << "park slot already holds a continuation";
+    auto client = clients_.find(parked.client);
+    SFDF_CHECK(client != clients_.end()) << "park on dead engine client";
+    client->second.stats.tasks_parked += 1;
+    if (parked.wake_pending) {
+      // The wake raced ahead of the park: consume it and run immediately
+      // (this is what makes the peer's wake-then-park interleaving safe).
+      parked.wake_pending = false;
+      client->second.stats.tasks_woken += 1;
+      client->second.queue.push_back(
+          Queued{std::move(fn), std::chrono::steady_clock::now()});
+      notify = true;
+    } else {
+      parked.fn = std::move(fn);
+    }
+  }
+  if (notify) cv_.notify_one();
+}
+
+void Engine::Wake(uint64_t slot) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = park_slots_.find(slot);
+    SFDF_CHECK(it != park_slots_.end()) << "wake on unknown slot";
+    ParkSlot& parked = it->second;
+    if (parked.fn) {
+      auto client = clients_.find(parked.client);
+      SFDF_CHECK(client != clients_.end()) << "wake on dead engine client";
+      client->second.stats.tasks_woken += 1;
+      client->second.queue.push_back(
+          Queued{std::move(parked.fn), std::chrono::steady_clock::now()});
+      parked.fn = nullptr;
+      notify = true;
+    } else {
+      parked.wake_pending = true;
+    }
+  }
+  if (notify) cv_.notify_one();
+}
+
+void Engine::DestroyParkSlot(uint64_t slot) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = park_slots_.find(slot);
+  SFDF_CHECK(it != park_slots_.end()) << "destroy of unknown park slot";
+  SFDF_CHECK(!it->second.fn)
+      << "destroy of a park slot with a parked continuation";
+  park_slots_.erase(it);
 }
 
 void Engine::Submit(int client, TaskFn fn) {

@@ -36,6 +36,20 @@
 // admission threads) may block on engine-driven completions — they are not
 // pool workers.
 //
+// ## Parked tasks
+//
+// A cooperative task that runs out of input has two bad options on a shared
+// pool: busy re-enqueue (burning workers on empty polls) or blocking (which
+// the contract forbids). Park slots are the third: the task hands its
+// continuation to the engine (`Park`) and costs nothing until a peer calls
+// `Wake`, which moves the continuation back onto the client's queue. The
+// wake side is race-free against a concurrent park — a Wake that arrives
+// while the task is still deciding to park is remembered as pending and
+// consumed by the Park call itself, so no wake-up is ever lost. The fused
+// microstep loop uses this to replace its idle-poll backoff: a partition
+// parks when its queue is empty and is woken by whichever peer stages
+// records for it (or observes global quiescence).
+//
 // ## Queue-wait accounting
 //
 // Every pop records how long the task sat queued; per-client totals and
@@ -74,6 +88,8 @@ class Engine {
     int64_t tasks_run = 0;           ///< tasks popped by a worker
     int64_t queue_wait_ns_total = 0; ///< summed submit→pop latency
     int64_t queue_wait_ns_max = 0;   ///< worst single submit→pop latency
+    int64_t tasks_parked = 0;        ///< continuations handed to a park slot
+    int64_t tasks_woken = 0;         ///< parked continuations re-enqueued
   };
 
   Engine() : Engine(Options()) {}
@@ -98,6 +114,25 @@ class Engine {
   /// inside a running task (that is how superstep waves re-enqueue).
   void Submit(int client, TaskFn fn);
 
+  /// Allocates a park slot on `client`'s lane (one per parkable task).
+  /// Destroy with DestroyParkSlot before unregistering the client.
+  uint64_t CreateParkSlot(int client);
+
+  /// Parks `fn` on `slot`: it runs only after a Wake. If a Wake already
+  /// arrived since the last run (wake-pending), `fn` is enqueued
+  /// immediately instead — the caller never needs its own race handling.
+  /// A slot holds at most one parked continuation.
+  void Park(uint64_t slot, TaskFn fn);
+
+  /// Re-enqueues the slot's parked continuation on its client lane, or —
+  /// when nothing is parked right now — records a pending wake that the
+  /// next Park consumes. Extra wakes coalesce (at most one is pending).
+  void Wake(uint64_t slot);
+
+  /// Frees a park slot. Must not hold a parked continuation (the task it
+  /// belongs to has finished); a stale pending wake is fine and dropped.
+  void DestroyParkSlot(uint64_t slot);
+
   /// Snapshot of a client's scheduling counters.
   ClientStats client_stats(int client) const;
 
@@ -117,6 +152,11 @@ class Engine {
     std::deque<Queued> queue;
     ClientStats stats;
   };
+  struct ParkSlot {
+    int client = -1;
+    TaskFn fn;                 ///< the parked continuation, if any
+    bool wake_pending = false; ///< a Wake arrived while nothing was parked
+  };
 
   void WorkerLoop();
   /// Picks the next runnable task round-robin across non-empty clients.
@@ -126,6 +166,8 @@ class Engine {
   mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::map<int, ClientState> clients_;
+  std::map<uint64_t, ParkSlot> park_slots_;
+  uint64_t next_park_slot_ = 1;
   int next_client_ = 1;
   int rr_cursor_ = 0;  ///< client id served last; scan resumes after it
   bool stopping_ = false;

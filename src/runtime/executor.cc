@@ -1048,14 +1048,21 @@ struct ChainStep {
 };
 
 /// Cooperative microstep unit (runtime v3): instead of a dedicated thread
-/// parked on a condition variable, each partition is a polling task. Step()
-/// drains whatever is queued for its partition, runs the fused chain, and
-/// returns kYield — the scheduler re-enqueues it — until the quiescence
-/// detector proves the whole computation drained, upon which the unit emits
+/// parked on a condition variable, each partition is a schedulable task.
+/// Step() drains whatever is queued for its partition, runs the fused
+/// chain, and returns kWorked — the scheduler re-enqueues it. When its
+/// queue is empty but records are still in flight elsewhere it returns
+/// kIdle and the scheduler PARKS it on an engine park slot: the unit costs
+/// no worker time until a peer stages records for its partition
+/// (FlushStaged wakes the target's slot) or proves global quiescence (the
+/// kDone path broadcasts a wake so every parked peer re-checks the
+/// detector and finishes). Once the detector is quiescent the unit emits
 /// its partition's converged solution and returns kDone. Liveness needs
-/// only one pool worker: every unit always runs to completion of its poll
-/// and re-enqueues, so the engine's round-robin reaches every partition.
-enum class MicroStatus { kYield, kDone };
+/// only one pool worker: a unit either has queued work (it is scheduled)
+/// or an obligated waker (whoever holds its future input, or whoever
+/// reaches quiescence) — the lost-wakeup race is closed inside
+/// Engine::Park/Wake via the wake-pending handshake.
+enum class MicroStatus { kWorked, kIdle, kDone };
 
 class MicrostepInstance {
  public:
@@ -1087,23 +1094,22 @@ class MicrostepInstance {
         rt_.detector->RecordProcessed();
       }
       processed_ += static_cast<int64_t>(batch.size());
-      idle_polls_ = 0;
-      return MicroStatus::kYield;
+      return MicroStatus::kWorked;
     }
     if (rt_.detector->Quiescent()) {
       rt_.micro_processed.fetch_add(processed_, std::memory_order_relaxed);
       EmitResult();
       return MicroStatus::kDone;
     }
-    // Empty queue but records are still in flight on other partitions:
-    // yield and poll again. A long idle streak backs off briefly so a
-    // small pool is not pegged by polling while peers hold the work.
-    if (++idle_polls_ >= 64) {
-      idle_polls_ = 0;
-      std::this_thread::sleep_for(std::chrono::microseconds(50));
-    }
-    return MicroStatus::kYield;
+    // Empty queue but records are still in flight on other partitions: ask
+    // the scheduler to park this unit until a peer wakes it.
+    return MicroStatus::kIdle;
   }
+
+  int partition() const { return partition_; }
+
+  /// Installed by the scheduler: wakes the park slot of `target`'s unit.
+  void set_waker(std::function<void(int)> waker) { waker_ = std::move(waker); }
 
  private:
   Exchange* InputOf(const PhysicalTask* task, int port) {
@@ -1223,6 +1229,10 @@ class MicrostepInstance {
                            staged_[target].end());
       }
       staged_[target].clear();
+      // The target may be parked on an empty queue; hand it its wake-up.
+      // (Never needed for self: a unit only parks when its own queue is
+      // empty, which it just made false for `target`.)
+      if (target != partition_ && waker_) waker_(target);
     }
   }
 
@@ -1320,9 +1330,9 @@ class MicrostepInstance {
   std::vector<ChainStep> chain_;
   /// Per-target staging buffers for outgoing workset records.
   std::vector<std::vector<Record>> staged_;
+  std::function<void(int)> waker_;
   bool setup_done_ = false;
   int64_t processed_ = 0;
-  int idle_polls_ = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -1686,6 +1696,9 @@ struct SchedNode {
   // kMicro:
   std::vector<std::unique_ptr<MicrostepInstance>> micro_units;
   std::atomic<int> micro_remaining{0};
+  /// One engine park slot per micro unit (indexed by partition): idle units
+  /// park there instead of busy re-polling; destroyed in NodeComplete.
+  std::vector<uint64_t> micro_park_slots;
 };
 
 class PlanSchedule {
@@ -2032,23 +2045,55 @@ class PlanSchedule {
     for (int p = 0; p < ctx_->parallelism; ++p) {
       node->micro_units.push_back(std::make_unique<MicrostepInstance>(
           ctx_, node->iteration, p, chain, delta_apply));
+      node->micro_park_slots.push_back(engine_->CreateParkSlot(client_));
+    }
+    for (auto& unit : node->micro_units) {
+      unit->set_waker(
+          [this, node](int target) {
+            engine_->Wake(node->micro_park_slots[target]);
+          });
     }
   }
 
   void SubmitMicroStep(SchedNode* node, MicrostepInstance* unit) {
-    engine_->Submit(client_, [this, node, unit] {
-      if (unit->Step() == MicroStatus::kDone) {
+    engine_->Submit(client_, [this, node, unit] { RunMicroStep(node, unit); });
+  }
+
+  void RunMicroStep(SchedNode* node, MicrostepInstance* unit) {
+    switch (unit->Step()) {
+      case MicroStatus::kWorked:
+        SubmitMicroStep(node, unit);  // cooperative re-enqueue
+        return;
+      case MicroStatus::kIdle:
+        // Nothing queued for this partition: park until a peer stages
+        // records for it or broadcasts quiescence. A wake that raced this
+        // decision is pending inside the slot and re-enqueues immediately.
+        engine_->Park(node->micro_park_slots[unit->partition()],
+                      [this, node, unit] { RunMicroStep(node, unit); });
+        return;
+      case MicroStatus::kDone:
+        // This unit observed global quiescence; peers may be parked on
+        // empty queues and can only learn it from us. Broadcast before the
+        // arrival decrement so every slot is still alive (NodeComplete —
+        // which frees them — needs all units, including this one, done).
+        for (size_t p = 0; p < node->micro_park_slots.size(); ++p) {
+          if (static_cast<int>(p) != unit->partition()) {
+            engine_->Wake(node->micro_park_slots[p]);
+          }
+        }
         if (node->micro_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
             1) {
           NodeComplete(node);
         }
-      } else {
-        SubmitMicroStep(node, unit);  // cooperative re-enqueue
-      }
-    });
+        return;
+    }
   }
 
   void NodeComplete(SchedNode* node) {
+    for (uint64_t slot : node->micro_park_slots) {
+      engine_->DestroyParkSlot(slot);
+    }
+    node->micro_park_slots.clear();
     for (int dep : node->dependents) {
       SchedNode* d = nodes_[dep].get();
       if (d->pending_deps.fetch_sub(1, std::memory_order_acq_rel) == 1) {
@@ -2134,6 +2179,8 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
     result.engine_tasks = stats.tasks_run;
     result.engine_queue_wait_ns_total = stats.queue_wait_ns_total;
     result.engine_queue_wait_ns_max = stats.queue_wait_ns_max;
+    result.engine_parks = stats.tasks_parked;
+    result.engine_wakes = stats.tasks_woken;
     result.engine_workers = engine.engine->workers();
   }
   return result;
@@ -2322,6 +2369,8 @@ Result<ExecutionResult> ExecutionSession::Finish() {
   result.engine_tasks = stats.tasks_run;
   result.engine_queue_wait_ns_total = stats.queue_wait_ns_total;
   result.engine_queue_wait_ns_max = stats.queue_wait_ns_max;
+  result.engine_parks = stats.tasks_parked;
+  result.engine_wakes = stats.tasks_woken;
   result.engine_workers = s.engine->workers();
   return result;
 }

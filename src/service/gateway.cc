@@ -1,0 +1,586 @@
+#include "service/gateway.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <condition_variable>
+#include <cstring>
+#include <deque>
+#include <functional>
+#include <future>
+#include <map>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "net/event_loop.h"
+
+namespace sfdf {
+
+using net::Frame;
+using net::FrameDecoder;
+using net::Opcode;
+using net::PayloadReader;
+using net::StatField;
+using net::WireCode;
+using net::WireCodeOf;
+
+struct RpcGateway::Impl {
+  ServiceHost* host = nullptr;
+  GatewayOptions options;
+
+  net::EventLoop loop;
+  std::thread loop_thread;
+  int listen_fd = -1;
+
+  /// One client connection; owned and touched by the loop thread only.
+  struct Connection {
+    uint64_t id = 0;
+    int fd = -1;
+    FrameDecoder decoder;
+    /// Bounded response buffer: encoded frames waiting for the socket.
+    std::deque<std::vector<uint8_t>> write_queue;
+    size_t write_queue_bytes = 0;
+    size_t write_offset = 0;  ///< bytes of the front buffer already sent
+    bool paused = false;      ///< read interest dropped by backpressure
+    Connection(uint64_t id, int fd, uint32_t max_payload)
+        : id(id), fd(fd), decoder(max_payload) {}
+  };
+  std::map<uint64_t, std::unique_ptr<Connection>> connections;
+  uint64_t next_connection_id = 1;
+
+  // Dispatch pool: controller threads executing requests (may block).
+  std::mutex dispatch_mutex;
+  std::condition_variable dispatch_cv;
+  std::deque<std::function<void()>> dispatch_queue;
+  bool dispatch_stopping = false;
+  std::vector<std::thread> dispatch_threads;
+
+  // Per-tenant completion threads resolving mutation tickets.
+  struct PendingTicket {
+    IterationService* service = nullptr;
+    uint64_t ticket = 0;
+    uint64_t connection = 0;
+    uint64_t request_id = 0;
+  };
+  struct Awaiter {
+    std::mutex mutex;
+    std::condition_variable cv;
+    std::deque<PendingTicket> queue;
+    bool stopping = false;
+    std::thread thread;
+  };
+  std::mutex awaiters_mutex;
+  std::map<std::string, std::unique_ptr<Awaiter>> awaiters;
+
+  std::mutex stop_mutex;
+  bool stopped = false;
+
+  std::atomic<uint64_t> connections_accepted{0};
+  std::atomic<uint64_t> connections_closed{0};
+  std::atomic<uint64_t> frames_received{0};
+  std::atomic<uint64_t> frames_sent{0};
+  std::atomic<uint64_t> protocol_errors{0};
+  std::atomic<uint64_t> reads_paused{0};
+
+  // --- loop thread -------------------------------------------------------
+
+  void OnAccept() {
+    for (;;) {
+      int fd = ::accept4(listen_fd, nullptr, nullptr,
+                         SOCK_NONBLOCK | SOCK_CLOEXEC);
+      if (fd < 0) {
+        if (errno == EINTR) continue;
+        return;  // EAGAIN or a transient error; the listener stays armed
+      }
+      int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      const uint64_t id = next_connection_id++;
+      connections[id] = std::make_unique<Connection>(
+          id, fd, options.max_payload_bytes);
+      loop.Add(
+          fd, [this, id] { OnReadable(id); }, [this, id] { FlushWrites(id); });
+      connections_accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  void OnReadable(uint64_t id) {
+    auto it = connections.find(id);
+    if (it == connections.end()) return;
+    Connection* conn = it->second.get();
+    // One buffer per readiness event: level-triggered epoll re-fires if
+    // more is pending, which keeps one firehose client from starving the
+    // others.
+    uint8_t buf[65536];
+    for (;;) {
+      const ssize_t n = ::recv(conn->fd, buf, sizeof(buf), 0);
+      if (n > 0) {
+        conn->decoder.Feed(buf, static_cast<size_t>(n));
+        break;
+      }
+      if (n == 0) {  // clean EOF
+        CloseConnection(id);
+        return;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(id);
+      return;
+    }
+    for (;;) {
+      bool got = false;
+      Frame frame;
+      Status status = conn->decoder.Next(&got, &frame);
+      if (!status.ok()) {
+        // Protocol violation: a length-prefixed stream cannot resync, so
+        // this connection dies — and only this connection.
+        protocol_errors.fetch_add(1, std::memory_order_relaxed);
+        CloseConnection(id);
+        return;
+      }
+      if (!got) break;
+      frames_received.fetch_add(1, std::memory_order_relaxed);
+      Dispatch(id, std::move(frame));
+    }
+  }
+
+  void SendFrame(Connection* conn, const Frame& reply) {
+    std::vector<uint8_t> bytes;
+    net::EncodeFrame(reply, &bytes);
+    frames_sent.fetch_add(1, std::memory_order_relaxed);
+    conn->write_queue_bytes += bytes.size();
+    conn->write_queue.push_back(std::move(bytes));
+    FlushWrites(conn->id);
+  }
+
+  void FlushWrites(uint64_t id) {
+    auto it = connections.find(id);
+    if (it == connections.end()) return;
+    Connection* conn = it->second.get();
+    while (!conn->write_queue.empty()) {
+      const std::vector<uint8_t>& front = conn->write_queue.front();
+      const ssize_t n =
+          ::send(conn->fd, front.data() + conn->write_offset,
+                 front.size() - conn->write_offset, MSG_NOSIGNAL);
+      if (n >= 0) {
+        conn->write_offset += static_cast<size_t>(n);
+        conn->write_queue_bytes -= static_cast<size_t>(n);
+        if (conn->write_offset == front.size()) {
+          conn->write_queue.pop_front();
+          conn->write_offset = 0;
+        }
+        continue;
+      }
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+      CloseConnection(id);
+      return;
+    }
+    loop.SetWriteInterest(conn->fd, !conn->write_queue.empty());
+    // Write backpressure: a consumer slower than its response stream stops
+    // being READ once its queue passes the bound — the kernel's TCP window
+    // then pushes back to the client — and resumes below half (hysteresis
+    // so the interest bit does not thrash at the boundary).
+    if (!conn->paused &&
+        conn->write_queue_bytes > options.write_queue_limit_bytes) {
+      conn->paused = true;
+      reads_paused.fetch_add(1, std::memory_order_relaxed);
+      loop.SetReadInterest(conn->fd, false);
+    } else if (conn->paused &&
+               conn->write_queue_bytes <=
+                   options.write_queue_limit_bytes / 2) {
+      conn->paused = false;
+      loop.SetReadInterest(conn->fd, true);
+    }
+  }
+
+  void CloseConnection(uint64_t id) {
+    auto it = connections.find(id);
+    if (it == connections.end()) return;
+    loop.Remove(it->second->fd);
+    ::close(it->second->fd);
+    connections.erase(it);
+    connections_closed.fetch_add(1, std::memory_order_relaxed);
+  }
+
+  // --- dispatch pool -----------------------------------------------------
+
+  void Dispatch(uint64_t conn_id, Frame frame) {
+    {
+      std::lock_guard<std::mutex> lock(dispatch_mutex);
+      if (dispatch_stopping) return;
+      dispatch_queue.push_back(
+          [this, conn_id, frame = std::move(frame)]() mutable {
+            Handle(conn_id, std::move(frame));
+          });
+    }
+    dispatch_cv.notify_one();
+  }
+
+  void DispatchLoop() {
+    std::unique_lock<std::mutex> lock(dispatch_mutex);
+    for (;;) {
+      dispatch_cv.wait(lock, [this] {
+        return dispatch_stopping || !dispatch_queue.empty();
+      });
+      if (dispatch_queue.empty()) return;  // stopping, fully drained
+      std::function<void()> task = std::move(dispatch_queue.front());
+      dispatch_queue.pop_front();
+      lock.unlock();
+      task();
+      lock.lock();
+    }
+  }
+
+  void PostReply(uint64_t conn_id, Frame reply) {
+    loop.Post([this, conn_id, reply = std::move(reply)]() mutable {
+      auto it = connections.find(conn_id);
+      if (it == connections.end()) return;  // closed while in flight
+      SendFrame(it->second.get(), reply);
+    });
+  }
+
+  static void Fail(Frame* reply, WireCode code, const std::string& message) {
+    reply->status = code;
+    reply->payload.clear();
+    net::PutString(message, &reply->payload);
+  }
+
+  IterationService* Resolve(const std::string& tenant, Frame* reply) {
+    IterationService* service = host->service(tenant);
+    if (service == nullptr) {
+      Fail(reply, WireCode::kUnknownTenant, "no tenant '" + tenant + "'");
+    }
+    return service;
+  }
+
+  void Handle(uint64_t conn_id, Frame request) {
+    Frame reply;
+    reply.opcode = request.opcode;
+    reply.request_id = request.request_id;
+    switch (request.opcode) {
+      case Opcode::kPing:
+        reply.payload = std::move(request.payload);  // echo
+        break;
+      case Opcode::kQuery:
+        HandleQuery(request, &reply);
+        break;
+      case Opcode::kSnapshot:
+        HandleSnapshot(request, &reply);
+        break;
+      case Opcode::kStats:
+        HandleStats(request, &reply);
+        break;
+      case Opcode::kMutateBatch:
+        if (HandleMutate(conn_id, request, &reply)) return;  // deferred
+        break;
+      default:
+        Fail(&reply, WireCode::kBadRequest, "unknown opcode");
+    }
+    PostReply(conn_id, std::move(reply));
+  }
+
+  void HandleQuery(const Frame& request, Frame* reply) {
+    PayloadReader reader(request.payload);
+    const std::string tenant = reader.String();
+    const Record probe = reader.ReadRecord();
+    if (!reader.AtEnd()) {
+      Fail(reply, WireCode::kBadRequest, "malformed Query payload");
+      return;
+    }
+    IterationService* service = Resolve(tenant, reply);
+    if (service == nullptr) return;
+    const IterationService::QueryResult result = service->Query(probe);
+    net::PutU64(result.epoch, &reply->payload);
+    net::PutU8(result.found ? 1 : 0, &reply->payload);
+    if (result.found) net::PutRecord(result.record, &reply->payload);
+  }
+
+  void HandleSnapshot(const Frame& request, Frame* reply) {
+    PayloadReader reader(request.payload);
+    const std::string tenant = reader.String();
+    if (!reader.AtEnd()) {
+      Fail(reply, WireCode::kBadRequest, "malformed Snapshot payload");
+      return;
+    }
+    IterationService* service = Resolve(tenant, reply);
+    if (service == nullptr) return;
+    const IterationService::SnapshotResult snapshot = service->Snapshot();
+    net::PutU64(snapshot.epoch, &reply->payload);
+    net::PutU32(static_cast<uint32_t>(snapshot.records.size()),
+                &reply->payload);
+    for (const Record& rec : snapshot.records) {
+      net::PutRecord(rec, &reply->payload);
+    }
+    if (reply->payload.size() > net::kMaxPayloadBytes) {
+      Fail(reply, WireCode::kInternal,
+           "snapshot exceeds the frame payload limit; page via Query");
+    }
+  }
+
+  void HandleStats(const Frame& request, Frame* reply) {
+    PayloadReader reader(request.payload);
+    const std::string tenant = reader.String();
+    if (!reader.AtEnd()) {
+      Fail(reply, WireCode::kBadRequest, "malformed Stats payload");
+      return;
+    }
+    IterationService* service = Resolve(tenant, reply);
+    if (service == nullptr) return;
+    const ServiceStats stats = service->stats();
+    const std::pair<StatField, double> fields[] = {
+        {StatField::kRounds, static_cast<double>(stats.rounds)},
+        {StatField::kMutationsApplied,
+         static_cast<double>(stats.mutations_applied)},
+        {StatField::kMutationsRejected,
+         static_cast<double>(stats.mutations_rejected)},
+        {StatField::kAdmissionQueueDepth,
+         static_cast<double>(stats.admission_queue_depth)},
+        {StatField::kTotalSupersteps,
+         static_cast<double>(stats.total_supersteps)},
+        {StatField::kRoundP50Ms, stats.round_p50_ms},
+        {StatField::kRoundP95Ms, stats.round_p95_ms},
+        {StatField::kRoundP99Ms, stats.round_p99_ms},
+        {StatField::kEpoch, static_cast<double>(service->epoch())},
+        {StatField::kEngineWorkers,
+         static_cast<double>(stats.engine_workers)},
+        {StatField::kEngineTasks, static_cast<double>(stats.engine_tasks)},
+        {StatField::kEngineQueueWaitTotalMs,
+         stats.engine_queue_wait_total_ms},
+    };
+    net::PutU32(static_cast<uint32_t>(std::size(fields)), &reply->payload);
+    for (const auto& [field, value] : fields) {
+      net::PutU16(static_cast<uint16_t>(field), &reply->payload);
+      net::PutF64(value, &reply->payload);
+    }
+  }
+
+  /// Returns true when the response is deferred to the tenant's completion
+  /// thread (ticket accepted), false when `reply` is ready now.
+  bool HandleMutate(uint64_t conn_id, const Frame& request, Frame* reply) {
+    PayloadReader reader(request.payload);
+    const std::string tenant = reader.String();
+    const uint32_t count = reader.U32();
+    std::vector<GraphMutation> mutations;
+    // A lying count cannot commit us to an allocation: each mutation is 25
+    // payload bytes, so cap the reserve by what the payload could hold.
+    mutations.reserve(
+        std::min<size_t>(count, request.payload.size() / 25 + 1));
+    for (uint32_t i = 0; reader.ok() && i < count; ++i) {
+      mutations.push_back(reader.ReadMutation());
+    }
+    if (!reader.AtEnd() || mutations.empty()) {
+      Fail(reply, WireCode::kBadRequest, "malformed MutateBatch payload");
+      return false;
+    }
+    IterationService* service = Resolve(tenant, reply);
+    if (service == nullptr) return false;
+    Status rejection;
+    const uint64_t ticket = service->Mutate(std::move(mutations), &rejection);
+    if (ticket == 0) {
+      // Distinct wire codes: kRetry for queue overload (back off and
+      // resend), kReject for validation failures (fix the request).
+      Fail(reply, WireCodeOf(rejection), rejection.ToString());
+      return false;
+    }
+    EnqueueAwait(tenant, service, ticket, conn_id, request.request_id);
+    return true;
+  }
+
+  // --- completion threads ------------------------------------------------
+
+  void EnqueueAwait(const std::string& tenant, IterationService* service,
+                    uint64_t ticket, uint64_t conn_id, uint64_t request_id) {
+    Awaiter* awaiter;
+    {
+      std::lock_guard<std::mutex> lock(awaiters_mutex);
+      auto it = awaiters.find(tenant);
+      if (it == awaiters.end()) {
+        auto fresh = std::make_unique<Awaiter>();
+        fresh->thread = std::thread(&Impl::AwaiterLoop, this, fresh.get());
+        it = awaiters.emplace(tenant, std::move(fresh)).first;
+      }
+      awaiter = it->second.get();
+    }
+    {
+      std::lock_guard<std::mutex> lock(awaiter->mutex);
+      awaiter->queue.push_back(
+          PendingTicket{service, ticket, conn_id, request_id});
+    }
+    awaiter->cv.notify_one();
+  }
+
+  void AwaiterLoop(Awaiter* awaiter) {
+    std::unique_lock<std::mutex> lock(awaiter->mutex);
+    for (;;) {
+      awaiter->cv.wait(lock, [awaiter] {
+        return awaiter->stopping || !awaiter->queue.empty();
+      });
+      if (awaiter->queue.empty()) return;  // stopping, fully drained
+      const PendingTicket pending = awaiter->queue.front();
+      awaiter->queue.pop_front();
+      lock.unlock();
+      // Tickets are admitted in enqueue order, so awaiting in FIFO order
+      // means most Awaits return immediately after the first of a batch.
+      const Status status = pending.service->Await(pending.ticket);
+      Frame reply;
+      reply.opcode = Opcode::kMutateBatch;
+      reply.request_id = pending.request_id;
+      if (status.ok()) {
+        // Just the ticket: a "current epoch" here would race later batches
+        // (another client's round may already be in flight). Epoch-tagged
+        // reads come from Query/Snapshot, which take them consistently.
+        net::PutU64(pending.ticket, &reply.payload);
+      } else {
+        reply.status = WireCodeOf(status);
+        net::PutString(status.ToString(), &reply.payload);
+      }
+      PostReply(pending.connection, std::move(reply));
+      lock.lock();
+    }
+  }
+};
+
+RpcGateway::RpcGateway() : impl_(std::make_unique<Impl>()) {}
+
+RpcGateway::~RpcGateway() {
+  Status ignored = Stop();
+  (void)ignored;
+}
+
+Result<std::unique_ptr<RpcGateway>> RpcGateway::Start(ServiceHost* host,
+                                                      GatewayOptions options) {
+  if (host == nullptr) {
+    return Status::InvalidArgument("RpcGateway requires a ServiceHost");
+  }
+  if (options.dispatch_threads < 1) {
+    return Status::InvalidArgument(
+        "GatewayOptions.dispatch_threads must be >= 1");
+  }
+  if (options.max_payload_bytes > net::kMaxPayloadBytes) {
+    options.max_payload_bytes = net::kMaxPayloadBytes;
+  }
+
+  auto gateway = std::unique_ptr<RpcGateway>(new RpcGateway);
+  Impl* impl = gateway->impl_.get();
+  impl->host = host;
+  impl->options = options;
+
+  const int fd =
+      ::socket(AF_INET, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0);
+  if (fd < 0) return Status::IoError("socket() failed");
+  int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(options.port);
+  if (::inet_pton(AF_INET, options.bind_address.c_str(), &addr.sin_addr) !=
+      1) {
+    ::close(fd);
+    return Status::InvalidArgument("bad bind address '" +
+                                   options.bind_address + "'");
+  }
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("bind failed: ") +
+                           std::strerror(err));
+  }
+  if (::listen(fd, 128) != 0) {
+    const int err = errno;
+    ::close(fd);
+    return Status::IoError(std::string("listen failed: ") +
+                           std::strerror(err));
+  }
+  sockaddr_in bound{};
+  socklen_t len = sizeof(bound);
+  ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
+  gateway->port_ = ntohs(bound.sin_port);
+  impl->listen_fd = fd;
+
+  // Registering before the loop thread exists satisfies Add's loop-thread
+  // contract trivially (no concurrent loop yet).
+  impl->loop.Add(fd, [impl] { impl->OnAccept(); }, nullptr);
+  impl->loop_thread = std::thread([impl] { impl->loop.Run(); });
+  for (int i = 0; i < options.dispatch_threads; ++i) {
+    impl->dispatch_threads.emplace_back([impl] { impl->DispatchLoop(); });
+  }
+  return gateway;
+}
+
+RpcGateway::Counters RpcGateway::counters() const {
+  Counters counters;
+  counters.connections_accepted =
+      impl_->connections_accepted.load(std::memory_order_relaxed);
+  counters.connections_closed =
+      impl_->connections_closed.load(std::memory_order_relaxed);
+  counters.frames_received =
+      impl_->frames_received.load(std::memory_order_relaxed);
+  counters.frames_sent = impl_->frames_sent.load(std::memory_order_relaxed);
+  counters.protocol_errors =
+      impl_->protocol_errors.load(std::memory_order_relaxed);
+  counters.reads_paused = impl_->reads_paused.load(std::memory_order_relaxed);
+  return counters;
+}
+
+Status RpcGateway::Stop() {
+  Impl* impl = impl_.get();
+  {
+    std::lock_guard<std::mutex> lock(impl->stop_mutex);
+    if (impl->stopped) return Status::OK();
+    impl->stopped = true;
+  }
+  // A gateway that never finished Start() (socket/bind/listen failed before
+  // the loop thread spawned) has nothing to drain — and posting to a loop
+  // nobody runs would wait forever.
+  if (!impl->loop_thread.joinable()) return Status::OK();
+  // 1. Freeze the I/O plane on its own thread: close the listener and
+  //    every connection (late replies then drop harmlessly).
+  std::promise<void> io_closed;
+  impl->loop.Post([impl, &io_closed] {
+    impl->loop.Remove(impl->listen_fd);
+    ::close(impl->listen_fd);
+    while (!impl->connections.empty()) {
+      impl->CloseConnection(impl->connections.begin()->first);
+    }
+    io_closed.set_value();
+  });
+  io_closed.get_future().wait();
+  // 2. Drain the dispatch pool (tasks may still enqueue awaits).
+  {
+    std::lock_guard<std::mutex> lock(impl->dispatch_mutex);
+    impl->dispatch_stopping = true;
+  }
+  impl->dispatch_cv.notify_all();
+  for (std::thread& thread : impl->dispatch_threads) thread.join();
+  impl->dispatch_threads.clear();
+  // 3. Drain the completion threads — every accepted ticket is still
+  //    awaited so its service-side effects are settled before we return.
+  {
+    std::lock_guard<std::mutex> lock(impl->awaiters_mutex);
+    for (auto& [tenant, awaiter] : impl->awaiters) {
+      {
+        std::lock_guard<std::mutex> alock(awaiter->mutex);
+        awaiter->stopping = true;
+      }
+      awaiter->cv.notify_all();
+    }
+    for (auto& [tenant, awaiter] : impl->awaiters) {
+      awaiter->thread.join();
+    }
+    impl->awaiters.clear();
+  }
+  // 4. Stop the loop itself.
+  impl->loop.Stop();
+  impl->loop_thread.join();
+  return Status::OK();
+}
+
+}  // namespace sfdf

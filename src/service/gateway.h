@@ -1,0 +1,116 @@
+// RpcGateway: the TCP serving front-end — many concurrent client
+// connections multiplexed onto one ServiceHost over the binary frame
+// protocol of net/frame.h. This is the layer that turns the resident
+// iterative sessions into an actual network service (ROADMAP north star;
+// OpenMLDB/Fries-style request-path serving in PAPERS.md).
+//
+//   clients ──TCP──▶ EventLoop (1 controller thread: accept/read/write)
+//                        │ decoded request frames
+//                        ▼
+//                    dispatch pool (controller threads, may block)
+//                        │ Query/Snapshot/Stats answered inline
+//                        │ MutateBatch: Mutate() ticket ──▶ per-tenant
+//                        │                                 completion thread
+//                        ▼                                 (Await, reply at
+//                    ServiceHost tenants                    round commit)
+//
+// ## Threading
+//
+// The event loop runs on ONE dedicated controller thread; it never blocks
+// on service state (runtime-v3 rule: only controller threads may block, and
+// even they shouldn't stall the I/O plane). Requests are handed to a small
+// dispatch pool — controller threads that MAY block (Query briefly waits
+// out an in-flight round on the tenant's reader lock). Mutation tickets are
+// resolved asynchronously: the dispatch thread only enqueues (non-blocking
+// Mutate) and a per-tenant completion thread Awaits tickets in order,
+// posting each response back to the loop thread, which owns all sockets.
+//
+// ## Backpressure
+//
+// Responses go through per-connection bounded write queues. When a
+// connection's queued bytes exceed write_queue_limit_bytes the gateway
+// stops READING that connection (EPOLLIN off) until the queue drains below
+// half the limit — a slow consumer throttles itself through natural TCP
+// backpressure instead of growing server memory. Admission-side overload is
+// separate: ServiceOptions.max_pending_mutations makes the tenant reject
+// with ResourceExhausted, which reaches the client as WireCode::kRetry.
+//
+// ## Failure containment
+//
+// A malformed or truncated frame (bad magic, wrong version, oversize
+// declared length) closes ONLY that connection; a malformed payload inside
+// a valid frame gets a kBadRequest response. Admission rejections map to
+// distinct wire codes (kRetry for overload, kReject for invalid input) so
+// clients can tell backoff from bug. Nothing a client sends can fault the
+// host or another tenant's connections.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/result.h"
+#include "net/frame.h"
+#include "service/service_host.h"
+
+namespace sfdf {
+
+struct GatewayOptions {
+  /// Listen address; loopback by default (this is a building block, not a
+  /// hardened public endpoint).
+  std::string bind_address = "127.0.0.1";
+  /// TCP port; 0 = kernel-assigned (read it back via port()).
+  uint16_t port = 0;
+  /// Dispatch pool size — controller threads that execute requests and may
+  /// block on tenant state.
+  int dispatch_threads = 2;
+  /// Per-connection write-queue bound; above it the connection stops being
+  /// read until the queue drains below half.
+  size_t write_queue_limit_bytes = 1u << 20;
+  /// Per-connection cap on a request frame's payload (tightens the codec's
+  /// global kMaxPayloadBytes).
+  uint32_t max_payload_bytes = net::kMaxPayloadBytes;
+};
+
+class RpcGateway {
+ public:
+  /// Binds, listens and starts the loop/dispatch/completion threads.
+  /// `host` must outlive the gateway and be stopped AFTER it (the gateway
+  /// resolves tenants and Awaits tickets against it until Stop()).
+  static Result<std::unique_ptr<RpcGateway>> Start(ServiceHost* host,
+                                                   GatewayOptions options);
+
+  ~RpcGateway();  ///< implies Stop()
+  RpcGateway(const RpcGateway&) = delete;
+  RpcGateway& operator=(const RpcGateway&) = delete;
+
+  /// The bound TCP port (useful with options.port = 0).
+  uint16_t port() const { return port_; }
+
+  /// Serving-plane health counters (all monotonic except none).
+  struct Counters {
+    uint64_t connections_accepted = 0;
+    uint64_t connections_closed = 0;
+    uint64_t frames_received = 0;
+    uint64_t frames_sent = 0;
+    /// Connections killed for frame-level protocol violations.
+    uint64_t protocol_errors = 0;
+    /// Times a connection's read side was paused by write backpressure.
+    uint64_t reads_paused = 0;
+  };
+  Counters counters() const;
+
+  /// Closes the listener and every connection, drains the dispatch and
+  /// completion threads, and joins the loop thread. Idempotent.
+  Status Stop();
+
+ private:
+  struct Impl;
+  RpcGateway();
+
+  std::unique_ptr<Impl> impl_;
+  uint16_t port_ = 0;
+};
+
+}  // namespace sfdf

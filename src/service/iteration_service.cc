@@ -24,6 +24,10 @@ Result<std::unique_ptr<IterationService>> IterationService::Start(
   if (options.max_linger.count() < 0) {
     return Status::InvalidArgument("ServiceOptions.max_linger must be >= 0");
   }
+  if (options.max_pending_mutations < 0) {
+    return Status::InvalidArgument(
+        "ServiceOptions.max_pending_mutations must be >= 0");
+  }
   if (!translate) {
     return Status::InvalidArgument("IterationService requires a translator");
   }
@@ -63,6 +67,12 @@ uint64_t IterationService::Mutate(std::vector<GraphMutation> mutations) {
   return MutateInternal(std::move(mutations), &ignored);
 }
 
+uint64_t IterationService::Mutate(std::vector<GraphMutation> mutations,
+                                  Status* rejection) {
+  *rejection = Status::OK();
+  return MutateInternal(std::move(mutations), rejection);
+}
+
 uint64_t IterationService::MutateInternal(std::vector<GraphMutation> mutations,
                                           Status* rejection) {
   if (mutations.empty()) {
@@ -83,6 +93,19 @@ uint64_t IterationService::MutateInternal(std::vector<GraphMutation> mutations,
                      : Status::InvalidArgument(
                            "service no longer accepts mutations (stopped "
                            "or failed)");
+    return 0;
+  }
+  if (options_.max_pending_mutations > 0 &&
+      pending_.size() + mutations.size() >
+          static_cast<size_t>(options_.max_pending_mutations)) {
+    // Bounded admission: the queue is the only elastic buffer between
+    // clients and the round cadence; past the bound we shed load instead
+    // of growing it. Retryable — nothing about this call was invalid.
+    rejected_ += mutations.size();
+    *rejection = Status::ResourceExhausted(
+        "admission queue full (" + std::to_string(pending_.size()) + " of " +
+        std::to_string(options_.max_pending_mutations) +
+        " pending mutations); retry later");
     return 0;
   }
   if (pending_.empty()) {
@@ -170,6 +193,7 @@ ServiceStats IterationService::stats() const {
   {
     std::lock_guard<std::mutex> lock(queue_mutex_);
     stats.mutations_rejected = rejected_;
+    stats.admission_queue_depth = pending_.size();
   }
   return stats;
 }

@@ -54,6 +54,12 @@ struct ServiceOptions {
   int max_batch = 256;
   /// ...or once the oldest pending mutation has waited this long.
   std::chrono::milliseconds max_linger{2};
+  /// Bounded admission: a Mutate/Apply call whose mutations would push the
+  /// pending (enqueued, not yet admitted) queue beyond this many entries is
+  /// rejected with ResourceExhausted instead of queueing unboundedly —
+  /// clients should back off and retry (the network gateway maps this to a
+  /// retryable wire code). 0 = unbounded, the historical behavior.
+  int64_t max_pending_mutations = 0;
   /// Options for the resident executor session.
   ExecutionOptions exec;
 };
@@ -61,7 +67,13 @@ struct ServiceOptions {
 struct ServiceStats {
   uint64_t rounds = 0;             ///< warm rounds run (= batches admitted)
   uint64_t mutations_applied = 0;  ///< mutations folded into the solution
-  uint64_t mutations_rejected = 0; ///< enqueues refused after Stop/failure
+  /// Enqueues refused — after Stop/failure, by admission validation, or by
+  /// the max_pending_mutations bound.
+  uint64_t mutations_rejected = 0;
+  /// Mutations sitting in the admission queue right now (enqueued, not yet
+  /// admitted into a round) — the backlog the max_pending_mutations bound
+  /// applies to.
+  uint64_t admission_queue_depth = 0;
   int64_t total_supersteps = 0;    ///< supersteps across all warm rounds
   double total_round_millis = 0;   ///< wall time inside warm rounds
   /// Warm-round latency distribution (translate + RunRound, ms), estimated
@@ -118,6 +130,14 @@ class IterationService {
   /// is a flush: it returns the newest existing ticket (0 when nothing was
   /// ever enqueued — Await(0) is trivially satisfied), never a rejection.
   uint64_t Mutate(std::vector<GraphMutation> mutations);
+
+  /// Like Mutate, but on rejection (returned ticket 0) fills `*rejection`
+  /// with the reason: InvalidArgument/Unsupported from admission
+  /// validation, ResourceExhausted when the pending queue is over
+  /// max_pending_mutations, InvalidArgument after Stop/failure. This is
+  /// what lets the network gateway hand clients distinct retry-vs-reject
+  /// error codes.
+  uint64_t Mutate(std::vector<GraphMutation> mutations, Status* rejection);
 
   /// Blocks until every mutation up to `ticket` is folded into the served
   /// solution (its batch's round committed), or the service failed.

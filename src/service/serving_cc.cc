@@ -1,0 +1,153 @@
+#include "service/serving_cc.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "algos/connected_components.h"
+#include "core/solution_set.h"
+#include "dataflow/plan_builder.h"
+#include "optimizer/optimizer.h"
+#include "record/comparator.h"
+
+namespace sfdf {
+
+Result<std::unique_ptr<ServingCc>> ServingCc::StartOn(ServiceHost* host,
+                                                      std::string name,
+                                                      Options options) {
+  if (options.num_vertices < 1) {
+    return Status::InvalidArgument("ServingCc needs num_vertices >= 1");
+  }
+  auto cc = std::unique_ptr<ServingCc>(new ServingCc);
+  cc->max_vertices_ = options.max_vertices > 0
+                          ? options.max_vertices
+                          : 16 * options.num_vertices + 1024;
+  cc->graph_ = std::make_shared<DynamicGraph>(options.num_vertices);
+  cc->output_ = std::make_unique<std::vector<Record>>();
+
+  // The streamed-CC workset iteration: S = (vertex, label) keyed by vertex
+  // with min-label conflict resolution; the delta join keeps strict
+  // improvements and the neighbors map fans them out over the mutable
+  // adjacency.
+  std::vector<Record> labels;
+  labels.reserve(static_cast<size_t>(options.num_vertices));
+  for (int64_t v = 0; v < options.num_vertices; ++v) {
+    labels.push_back(Record::OfInts(v, v));
+  }
+  PlanBuilder pb;
+  auto labels_src = pb.Source("V", std::move(labels));
+  auto workset_src = pb.Source("W0", std::vector<Record>{});
+  auto it = pb.BeginWorksetIteration("serving-cc", labels_src, workset_src,
+                                     /*solution_key=*/{0},
+                                     OrderByIntFieldDesc(1),
+                                     IterationMode::kSuperstep, 100000);
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                        [](const Record& cand, const Record& current,
+                           Collector* out) {
+                          if (cand.GetInt(1) < current.GetInt(1)) {
+                            out->Emit(Record::OfInts(cand.GetInt(0),
+                                                     cand.GetInt(1)));
+                          }
+                        });
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  std::shared_ptr<DynamicGraph> adjacency = cc->graph_;
+  auto next = pb.Map("neighbors", delta,
+                     [adjacency](const Record& changed, Collector* out) {
+                       for (VertexId n :
+                            adjacency->Neighbors(changed.GetInt(0))) {
+                         out->Emit(Record::OfInts(n, changed.GetInt(1)));
+                       }
+                     });
+  auto result = it.Close(delta, next);
+  pb.Sink("labels", result, cc->output_.get());
+  Plan plan = std::move(pb).Finish();
+
+  Optimizer optimizer(OptimizerOptions{});
+  auto physical = optimizer.Optimize(plan);
+  if (!physical.ok()) return physical.status();
+
+  ServingCc* raw = cc.get();
+  auto service = host->StartService(
+      std::move(name), std::move(*physical),
+      [raw](ExecutionSession& session,
+            const std::vector<GraphMutation>& batch) {
+        return raw->Translate(session, batch);
+      },
+      options.service,
+      [raw](const GraphMutation& m) { return raw->ValidateMutation(m); });
+  if (!service.ok()) return service.status();
+  cc->service_ = *service;
+  return cc;
+}
+
+Status ServingCc::ValidateMutation(const GraphMutation& mutation) const {
+  switch (mutation.kind) {
+    case MutationKind::kEdgeInsert:
+      break;
+    case MutationKind::kEdgeRemove:
+      // Not invertible under the min-label CPO (see AppendCcMutationSeeds);
+      // reject at the door so only this call fails, not the service.
+      return Status::Unsupported(
+          "edge removal is not incrementally servable for connected "
+          "components (min-label updates cannot be retracted)");
+    case MutationKind::kVertexUpsert:
+      if (mutation.u < 0 || mutation.u >= max_vertices_) {
+        return Status::InvalidArgument("vertex id out of serving range");
+      }
+      return Status::OK();
+  }
+  if (mutation.u < 0 || mutation.v < 0 || mutation.u >= max_vertices_ ||
+      mutation.v >= max_vertices_) {
+    return Status::InvalidArgument("vertex id out of serving range");
+  }
+  return Status::OK();
+}
+
+Result<std::vector<Record>> ServingCc::Translate(
+    ExecutionSession& session, const std::vector<GraphMutation>& batch) {
+  std::vector<Record> seeds;
+  const KeySpec& key = session.solution_key();
+  auto component_of = [&](VertexId v) -> int64_t {
+    Record probe = Record::OfInts(v);
+    const Record* rec =
+        session.solution_partition(session.PartitionOfSolution(probe))
+            ->Peek(probe, key);
+    return rec != nullptr ? rec->GetInt(1) : v;
+  };
+  for (const GraphMutation& m : batch) {
+    if (m.kind == MutationKind::kEdgeInsert ||
+        m.kind == MutationKind::kVertexUpsert) {
+      // A previously unseen vertex enters S as its own singleton component
+      // before any seed references it.
+      const std::vector<VertexId> touched =
+          m.kind == MutationKind::kEdgeInsert
+              ? std::vector<VertexId>{m.u, m.v}
+              : std::vector<VertexId>{m.u};
+      graph_->EnsureVertex(*std::max_element(touched.begin(), touched.end()));
+      for (VertexId v : touched) {
+        Record probe = Record::OfInts(v);
+        SolutionSetIndex* partition =
+            session.solution_partition(session.PartitionOfSolution(probe));
+        if (partition->Peek(probe, key) == nullptr) {
+          partition->Apply(Record::OfInts(v, v));
+        }
+      }
+    }
+    Status status = AppendCcMutationSeeds(component_of, m, &seeds);
+    if (!status.ok()) return status;
+    if (m.kind == MutationKind::kEdgeInsert) {
+      graph_->AddEdge(m.u, m.v);
+      graph_->AddEdge(m.v, m.u);
+    }
+  }
+  return seeds;
+}
+
+std::map<int64_t, int64_t> ServingCc::Labels() const {
+  std::map<int64_t, int64_t> labels;
+  for (const Record& rec : service_->Snapshot().records) {
+    labels[rec.GetInt(0)] = rec.GetInt(1);
+  }
+  return labels;
+}
+
+}  // namespace sfdf

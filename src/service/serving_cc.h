@@ -1,0 +1,73 @@
+// Connected components as a hosted serving workload: the streamed-CC
+// dataflow (min-label propagation over a mutable adjacency, §7.1's CPO
+// iteration served continuously) packaged as a ServiceHost tenant.
+//
+// This is the canonical multi-tenant serving fixture: the gateway tests,
+// the network example and the QPS bench all host N of these on one
+// ServiceHost and drive them concurrently. Edge inserts are folded in as
+// warm incremental rounds; edge removes are rejected AT ADMISSION with
+// Unsupported (min-label CC is not invertible — see
+// AppendCcMutationSeeds), so a remove rejects only the offending call
+// instead of faulting the service. Vertex ids are capped at admission the
+// same way ServingPageRank caps them.
+//
+// Lifetime: the host owns the IterationService; this object owns the state
+// the resident plan references (the adjacency and the final-flush sink), so
+// it must stay alive until the host's StopAll() — destroy tenants only
+// after the host stopped (or the host itself) has torn the services down.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "graph/dynamic_graph.h"
+#include "service/service_host.h"
+
+namespace sfdf {
+
+class ServingCc {
+ public:
+  struct Options {
+    /// Initial vertices (each starts as its own singleton component).
+    int64_t num_vertices = 0;
+    /// Mutations naming a vertex id >= this are rejected at admission;
+    /// 0 = 16 × num_vertices + 1024 (same rationale as ServingPageRank:
+    /// an untrusted id must not force an arbitrary allocation).
+    int64_t max_vertices = 0;
+    /// Admission/batching knobs, forwarded to the IterationService.
+    ServiceOptions service;
+  };
+
+  /// Starts a CC tenant named `name` on `host` (blocking cold
+  /// convergence — trivial here, every vertex is its own component).
+  static Result<std::unique_ptr<ServingCc>> StartOn(ServiceHost* host,
+                                                    std::string name,
+                                                    Options options);
+
+  /// The hosted service (owned by the host): Mutate/Apply/Query/Snapshot/
+  /// Await/stats. Edge inserts are treated as undirected (both arcs).
+  IterationService& service() { return *service_; }
+  const IterationService& service() const { return *service_; }
+
+  /// Convenience: component label per vertex from an epoch-consistent
+  /// snapshot.
+  std::map<int64_t, int64_t> Labels() const;
+
+ private:
+  ServingCc() = default;
+
+  Result<std::vector<Record>> Translate(
+      ExecutionSession& session, const std::vector<GraphMutation>& batch);
+  Status ValidateMutation(const GraphMutation& mutation) const;
+
+  int64_t max_vertices_ = 0;
+  std::shared_ptr<DynamicGraph> graph_;
+  std::unique_ptr<std::vector<Record>> output_;
+  IterationService* service_ = nullptr;  ///< owned by the host
+};
+
+}  // namespace sfdf

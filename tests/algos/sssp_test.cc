@@ -63,6 +63,11 @@ TEST(SsspTest, AsyncMicrostepsAgree) {
   ASSERT_TRUE(result.ok()) << result.status().ToString();
   ExpectDistancesMatch(graph, *result, 0, 5);
   EXPECT_TRUE(result->exec.workset_reports[0].ran_microsteps);
+  // Parked/ready accounting (runtime v3): every park was matched by
+  // exactly one wake by the time the run drained. (Whether any unit idled
+  // at all is schedule-dependent; iteration_semantics_test pins a run that
+  // must park.)
+  EXPECT_EQ(result->exec.engine_parks, result->exec.engine_wakes);
 }
 
 TEST(SsspTest, UnreachableVerticesStayInfinite) {

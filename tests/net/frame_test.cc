@@ -1,0 +1,206 @@
+// The gateway wire format: golden header bytes (the layout is a contract
+// with every client ever built), incremental decoding across truncated
+// feeds, and the strict-bounds failure paths — bad magic, version
+// mismatch, oversize declared length, malformed payloads.
+#include "net/frame.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "graph/mutation.h"
+#include "record/record.h"
+
+namespace sfdf {
+namespace net {
+namespace {
+
+TEST(FrameTest, GoldenHeaderBytes) {
+  Frame frame;
+  frame.opcode = Opcode::kQuery;
+  frame.status = WireCode::kOk;
+  frame.request_id = 0x0123456789ABCDEFull;
+  frame.payload = {0xAA, 0xBB};
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  // Pinned layout: changing any of this breaks deployed clients — bump
+  // kFrameVersion instead.
+  const std::vector<uint8_t> expected = {
+      'S',  'F',  'D',  'F',              // magic
+      0x01,                               // version
+      0x02,                               // opcode (kQuery)
+      0x00, 0x00,                         // status
+      0xEF, 0xCD, 0xAB, 0x89,             // request id, little-endian
+      0x67, 0x45, 0x23, 0x01,             //
+      0x02, 0x00, 0x00, 0x00,             // payload length
+      0xAA, 0xBB,                         // payload
+  };
+  EXPECT_EQ(bytes, expected);
+  EXPECT_EQ(bytes.size(), kFrameHeaderBytes + 2);
+}
+
+TEST(FrameTest, RoundTripThroughBytewiseFeeds) {
+  Frame frame;
+  frame.opcode = Opcode::kMutateBatch;
+  frame.status = WireCode::kRetry;
+  frame.request_id = 42;
+  for (int i = 0; i < 100; ++i) {
+    frame.payload.push_back(static_cast<uint8_t>(i));
+  }
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+
+  // Feed one byte at a time: every prefix must be "need more", never an
+  // error, and the frame must pop out exactly once at the last byte.
+  FrameDecoder decoder;
+  Frame out;
+  for (size_t i = 0; i + 1 < bytes.size(); ++i) {
+    decoder.Feed(&bytes[i], 1);
+    bool got = true;
+    ASSERT_TRUE(decoder.Next(&got, &out).ok()) << "at byte " << i;
+    ASSERT_FALSE(got) << "frame complete early at byte " << i;
+  }
+  decoder.Feed(&bytes.back(), 1);
+  bool got = false;
+  ASSERT_TRUE(decoder.Next(&got, &out).ok());
+  ASSERT_TRUE(got);
+  EXPECT_EQ(out.opcode, Opcode::kMutateBatch);
+  EXPECT_EQ(out.status, WireCode::kRetry);
+  EXPECT_EQ(out.request_id, 42u);
+  EXPECT_EQ(out.payload, frame.payload);
+  // And nothing more is buffered.
+  ASSERT_TRUE(decoder.Next(&got, &out).ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameTest, BackToBackFramesDecodeInOrder) {
+  std::vector<uint8_t> bytes;
+  for (uint64_t id = 1; id <= 3; ++id) {
+    Frame frame;
+    frame.opcode = Opcode::kPing;
+    frame.request_id = id;
+    EncodeFrame(frame, &bytes);
+  }
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  for (uint64_t id = 1; id <= 3; ++id) {
+    bool got = false;
+    Frame out;
+    ASSERT_TRUE(decoder.Next(&got, &out).ok());
+    ASSERT_TRUE(got);
+    EXPECT_EQ(out.request_id, id);
+  }
+}
+
+TEST(FrameTest, BadMagicIsAProtocolError) {
+  std::vector<uint8_t> bytes(kFrameHeaderBytes, 0);
+  bytes[0] = 'X';
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  bool got = false;
+  Frame out;
+  const Status status = decoder.Next(&got, &out);
+  EXPECT_FALSE(status.ok());
+  EXPECT_FALSE(got);
+}
+
+TEST(FrameTest, VersionMismatchIsAProtocolError) {
+  Frame frame;
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  bytes[4] = kFrameVersion + 1;
+  FrameDecoder decoder;
+  decoder.Feed(bytes.data(), bytes.size());
+  bool got = false;
+  Frame out;
+  EXPECT_FALSE(decoder.Next(&got, &out).ok());
+}
+
+TEST(FrameTest, OversizeDeclaredLengthIsRejectedBeforeBuffering) {
+  // Header declaring a payload over the decoder's limit: the error must
+  // fire from the header alone — the decoder must not wait for (or try to
+  // buffer) the impossible payload.
+  Frame frame;
+  frame.payload = {1, 2, 3};
+  std::vector<uint8_t> bytes;
+  EncodeFrame(frame, &bytes);
+  bytes[16] = 0xFF;  // payload_len := 0x...FF (over a tiny limit)
+  FrameDecoder decoder(/*max_payload=*/16);
+  decoder.Feed(bytes.data(), kFrameHeaderBytes);
+  bool got = false;
+  Frame out;
+  EXPECT_FALSE(decoder.Next(&got, &out).ok());
+}
+
+TEST(FrameTest, PayloadReaderRoundTripsEveryPrimitive) {
+  std::vector<uint8_t> payload;
+  PutU8(7, &payload);
+  PutU16(0xBEEF, &payload);
+  PutU32(0xDEADBEEF, &payload);
+  PutU64(1ull << 60, &payload);
+  PutI64(-17, &payload);
+  PutF64(3.25, &payload);
+  PutString("tenant-a", &payload);
+  PutRecord(Record::OfIntDouble(9, 0.5), &payload);
+  PutMutation(GraphMutation::EdgeInsert(3, 4), &payload);
+
+  PayloadReader reader(payload);
+  EXPECT_EQ(reader.U8(), 7);
+  EXPECT_EQ(reader.U16(), 0xBEEF);
+  EXPECT_EQ(reader.U32(), 0xDEADBEEFu);
+  EXPECT_EQ(reader.U64(), 1ull << 60);
+  EXPECT_EQ(reader.I64(), -17);
+  EXPECT_EQ(reader.F64(), 3.25);
+  EXPECT_EQ(reader.String(), "tenant-a");
+  const Record rec = reader.ReadRecord();
+  EXPECT_EQ(rec.GetInt(0), 9);
+  EXPECT_EQ(rec.GetDouble(1), 0.5);
+  const GraphMutation mutation = reader.ReadMutation();
+  EXPECT_EQ(mutation.kind, MutationKind::kEdgeInsert);
+  EXPECT_EQ(mutation.u, 3);
+  EXPECT_EQ(mutation.v, 4);
+  EXPECT_TRUE(reader.AtEnd());
+}
+
+TEST(FrameTest, PayloadReaderFailsClosedOnTruncationAndGarbage) {
+  std::vector<uint8_t> payload;
+  PutString("abc", &payload);
+  payload.pop_back();  // truncate inside the string body
+  PayloadReader reader(payload);
+  reader.String();
+  EXPECT_FALSE(reader.ok());
+  // Once failed, every further read stays failed and AtEnd is false.
+  EXPECT_EQ(reader.U64(), 0u);
+  EXPECT_FALSE(reader.AtEnd());
+
+  // Trailing garbage after a clean parse fails AtEnd (requests must
+  // consume their payload exactly).
+  std::vector<uint8_t> padded;
+  PutU8(1, &padded);
+  PutU8(2, &padded);
+  PayloadReader strict(padded);
+  strict.U8();
+  EXPECT_TRUE(strict.ok());
+  EXPECT_FALSE(strict.AtEnd());
+
+  // An unknown mutation kind byte is rejected, not cast blindly.
+  std::vector<uint8_t> bad_kind;
+  PutMutation(GraphMutation::EdgeInsert(1, 2), &bad_kind);
+  bad_kind[0] = 99;
+  PayloadReader mreader(bad_kind);
+  mreader.ReadMutation();
+  EXPECT_FALSE(mreader.ok());
+}
+
+TEST(FrameTest, WireCodeMappingSeparatesRetryFromReject) {
+  EXPECT_EQ(WireCodeOf(Status::OK()), WireCode::kOk);
+  EXPECT_EQ(WireCodeOf(Status::ResourceExhausted("full")), WireCode::kRetry);
+  EXPECT_EQ(WireCodeOf(Status::InvalidArgument("bad")), WireCode::kReject);
+  EXPECT_EQ(WireCodeOf(Status::Unsupported("no")), WireCode::kReject);
+  EXPECT_EQ(WireCodeOf(Status::NotFound("?")), WireCode::kNotFound);
+  EXPECT_EQ(WireCodeOf(Status::Internal("boom")), WireCode::kInternal);
+}
+
+}  // namespace
+}  // namespace net
+}  // namespace sfdf

@@ -8,6 +8,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <mutex>
+#include <thread>
 #include <vector>
 
 #include "dataflow/plan_builder.h"
@@ -161,6 +162,58 @@ TEST(EngineTest, TasksMaySubmitMoreTasks) {
   engine.Submit(client, step);
   latch.Wait();
   EXPECT_EQ(depth.load(), 50);
+  engine.UnregisterClient(client);
+}
+
+TEST(EngineTest, ParkedTaskRunsOnlyAfterWake) {
+  // The parked/ready protocol behind the microstep idle path: a parked
+  // continuation costs no worker time and runs exactly once per wake.
+  Engine engine(Engine::Options{.workers = 1});
+  const int client = engine.RegisterClient("parker");
+  const uint64_t slot = engine.CreateParkSlot(client);
+
+  std::atomic<int> runs{0};
+  engine.Park(slot, [&] { runs.fetch_add(1); });
+  // Give the (idle) worker ample chance to misbehave.
+  Latch latch(1);
+  engine.Submit(client, [&] { latch.CountDown(); });
+  latch.Wait();
+  EXPECT_EQ(runs.load(), 0) << "parked task ran without a wake";
+  EXPECT_EQ(engine.client_stats(client).tasks_parked, 1);
+  EXPECT_EQ(engine.client_stats(client).tasks_woken, 0);
+
+  engine.Wake(slot);
+  while (runs.load() == 0) std::this_thread::yield();
+  EXPECT_EQ(runs.load(), 1);
+  EXPECT_EQ(engine.client_stats(client).tasks_woken, 1);
+
+  engine.DestroyParkSlot(slot);
+  engine.UnregisterClient(client);
+}
+
+TEST(EngineTest, WakeBeforeParkIsPendingAndNeverLost) {
+  // The lost-wakeup race: the waker fires while the task is still deciding
+  // to park. The pending wake must make the park run immediately.
+  Engine engine(Engine::Options{.workers = 1});
+  const int client = engine.RegisterClient("racer");
+  const uint64_t slot = engine.CreateParkSlot(client);
+
+  engine.Wake(slot);  // nothing parked: recorded as pending
+  std::atomic<int> runs{0};
+  Latch latch(1);
+  engine.Park(slot, [&] {
+    runs.fetch_add(1);
+    latch.CountDown();
+  });
+  latch.Wait();
+  EXPECT_EQ(runs.load(), 1);
+  const Engine::ClientStats stats = engine.client_stats(client);
+  EXPECT_EQ(stats.tasks_parked, 1);
+  EXPECT_EQ(stats.tasks_woken, 1);
+  // Extra wakes coalesce: a second pending wake plus a destroy is legal.
+  engine.Wake(slot);
+  engine.Wake(slot);
+  engine.DestroyParkSlot(slot);
   engine.UnregisterClient(client);
 }
 

@@ -67,6 +67,48 @@ TEST(IterationSemanticsTest, MaxIterationCapReportsNotConverged) {
   EXPECT_FALSE(result.workset_reports[0].converged);
 }
 
+TEST(IterationSemanticsTest, MicrostepIdlePartitionsParkUntilWoken) {
+  // Parked/ready microstep scheduling (runtime v3): all the initial work
+  // lives in ONE partition and the chain never leaves it, so on a single
+  // FIFO worker every other partition steps once, finds its queue empty
+  // while records are still in flight, and PARKS — costing no worker time
+  // until the quiescence broadcast wakes it to finish. Before parking
+  // existed these units would have burned the pool with idle re-polls.
+  std::vector<Record> out;
+  PlanBuilder pb;
+  std::vector<Record> s0;
+  for (int k = 0; k < 4; ++k) s0.push_back(Record::OfInts(k, 1000));
+  auto s0_src = pb.Source("S0", std::move(s0));
+  auto w0_src = pb.Source("W0", {Record::OfInts(2, 100)});
+  auto it = pb.BeginWorksetIteration("park", s0_src, w0_src, {0},
+                                     OrderByIntFieldDesc(1),
+                                     IterationMode::kMicrostep, 100000);
+  auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
+                        EmitIfSmaller());
+  pb.DeclarePreserved(delta, 1, 0, 0);
+  auto next = pb.Map("decay", delta, [](const Record& rec, Collector* c) {
+    if (rec.GetInt(1) > 90) {
+      c->Emit(Record::OfInts(rec.GetInt(0), rec.GetInt(1) - 1));
+    }
+  });
+  pb.DeclarePreserved(next, 0, 1, 1);
+  pb.Sink("out", it.Close(delta, next), &out);
+  ExecutionResult result = RunToResult(
+      std::move(pb).Finish(),
+      ExecutionOptions{.parallelism = 4, .worker_threads = 1});
+  EXPECT_TRUE(result.workset_reports[0].ran_microsteps);
+  EXPECT_TRUE(result.workset_reports[0].converged);
+  // Exactly the three work-less partitions parked, and each was woken
+  // exactly once (by the quiescence broadcast).
+  EXPECT_EQ(result.engine_parks, 3);
+  EXPECT_EQ(result.engine_wakes, 3);
+  // And the chain really ran: key 2 decayed to 90.
+  ASSERT_EQ(out.size(), 4u);
+  for (const Record& rec : out) {
+    EXPECT_EQ(rec.GetInt(1), rec.GetInt(0) == 2 ? 90 : 1000);
+  }
+}
+
 TEST(IterationSemanticsTest, WorksetForUnknownKeysIsDropped) {
   // A Match-based solution join has inner-join semantics: workset records
   // whose key is absent from S never reach the UDF (the paper's

@@ -216,6 +216,62 @@ TEST(StreamedCcServiceTest, EdgeRemovalIsRejectedAtAdmissionAsUnsupported) {
   EXPECT_TRUE(cc->service().Stop().ok());
 }
 
+TEST(StreamedCcServiceTest, BoundedAdmissionRejectsOverloadAsRetryable) {
+  // max_pending_mutations bounds the enqueued-not-yet-admitted backlog: a
+  // call that would overflow it is refused with ResourceExhausted — a
+  // RETRYABLE condition, distinct from validation failures.
+  ServiceOptions options;
+  options.max_pending_mutations = 2;
+  auto cc = StreamedCc::Start(8, options);
+
+  // One call with more mutations than the whole bound can never fit.
+  Status rejection;
+  const uint64_t ticket = cc->service().Mutate(
+      {GraphMutation::EdgeInsert(0, 1), GraphMutation::EdgeInsert(1, 2),
+       GraphMutation::EdgeInsert(2, 3)},
+      &rejection);
+  EXPECT_EQ(ticket, 0u);
+  EXPECT_EQ(rejection.code(), StatusCode::kResourceExhausted)
+      << rejection.ToString();
+  EXPECT_GE(cc->service().stats().mutations_rejected, 3u);
+
+  // A validation failure on the same service reports the OTHER family —
+  // clients must be able to tell "back off" from "fix your request".
+  const uint64_t invalid = cc->service().Mutate(
+      {GraphMutation::EdgeInsert(-5, 1)}, &rejection);
+  EXPECT_EQ(invalid, 0u);
+  EXPECT_EQ(rejection.code(), StatusCode::kInvalidArgument);
+
+  // Within the bound everything flows normally and the depth gauge reads
+  // zero again once drained.
+  ASSERT_TRUE(cc->service()
+                  .Apply({GraphMutation::EdgeInsert(0, 1),
+                          GraphMutation::EdgeInsert(1, 2)})
+                  .ok());
+  EXPECT_EQ(cc->Labels()[2], 0);
+  EXPECT_EQ(cc->service().stats().admission_queue_depth, 0u);
+  EXPECT_TRUE(cc->service().Stop().ok());
+}
+
+TEST(StreamedCcServiceTest, NegativeAdmissionBoundIsRejectedAtStart) {
+  ServiceOptions options;
+  options.max_pending_mutations = -1;
+  PlanBuilder pb;
+  std::vector<Record> out;
+  auto src = pb.Source("src", std::vector<Record>{Record::OfInts(1)});
+  pb.Sink("out", src, &out);
+  Plan plan = std::move(pb).Finish();
+  auto physical = Optimizer(OptimizerOptions{}).Optimize(plan);
+  ASSERT_TRUE(physical.ok());
+  auto service = IterationService::Start(
+      std::move(*physical),
+      [](ExecutionSession&, const std::vector<GraphMutation>&)
+          -> Result<std::vector<Record>> { return std::vector<Record>{}; },
+      options);
+  ASSERT_FALSE(service.ok());
+  EXPECT_EQ(service.status().code(), StatusCode::kInvalidArgument);
+}
+
 // ---------------------------------------------------------------------------
 // ServingPageRank: warm re-convergence matches cold recomputes.
 // ---------------------------------------------------------------------------

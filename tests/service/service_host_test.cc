@@ -14,132 +14,28 @@
 
 #include <gtest/gtest.h>
 
-#include "algos/connected_components.h"
-#include "core/solution_set.h"
 #include "dataflow/plan_builder.h"
-#include "graph/dynamic_graph.h"
 #include "optimizer/optimizer.h"
-#include "record/comparator.h"
+#include "service/serving_cc.h"
 
 namespace sfdf {
 namespace {
 
-// ---------------------------------------------------------------------------
-// A streamed Connected Components tenant (same dataflow as the
-// iteration_service_test fixture) started on a shared ServiceHost. The
-// tenant object owns state the resident plan references (adjacency, sink
-// vector), so tests StopAll() the host while their tenants are alive.
-// ---------------------------------------------------------------------------
-
-class HostedCc {
- public:
-  static std::unique_ptr<HostedCc> Start(ServiceHost* host,
-                                         const std::string& name,
-                                         int64_t num_vertices,
-                                         ServiceOptions options = {}) {
-    auto cc = std::unique_ptr<HostedCc>(new HostedCc);
-    cc->graph_ = std::make_shared<DynamicGraph>(num_vertices);
-    cc->output_ = std::make_unique<std::vector<Record>>();
-
-    std::vector<Record> labels;
-    for (int64_t v = 0; v < num_vertices; ++v) {
-      labels.push_back(Record::OfInts(v, v));
-    }
-    PlanBuilder pb;
-    auto labels_src = pb.Source("V", std::move(labels));
-    auto workset_src = pb.Source("W0", std::vector<Record>{});
-    auto it = pb.BeginWorksetIteration("host-cc", labels_src, workset_src,
-                                       /*solution_key=*/{0},
-                                       OrderByIntFieldDesc(1),
-                                       IterationMode::kSuperstep, 1000);
-    auto delta = pb.Match("update", it.Workset(), it.SolutionSet(), {0}, {0},
-                          [](const Record& cand, const Record& current,
-                             Collector* out) {
-                            if (cand.GetInt(1) < current.GetInt(1)) {
-                              out->Emit(Record::OfInts(cand.GetInt(0),
-                                                       cand.GetInt(1)));
-                            }
-                          });
-    pb.DeclarePreserved(delta, 1, 0, 0);
-    std::shared_ptr<DynamicGraph> adjacency = cc->graph_;
-    auto next = pb.Map("neighbors", delta,
-                       [adjacency](const Record& changed, Collector* out) {
-                         for (VertexId n :
-                              adjacency->Neighbors(changed.GetInt(0))) {
-                           out->Emit(Record::OfInts(n, changed.GetInt(1)));
-                         }
-                       });
-    auto result = it.Close(delta, next);
-    pb.Sink("labels", result, cc->output_.get());
-    Plan plan = std::move(pb).Finish();
-
-    Optimizer optimizer(OptimizerOptions{});
-    auto physical = optimizer.Optimize(plan);
-    EXPECT_TRUE(physical.ok()) << physical.status().ToString();
-
-    HostedCc* raw = cc.get();
-    auto service = host->StartService(
-        name, std::move(*physical),
-        [raw](ExecutionSession& session,
-              const std::vector<GraphMutation>& batch) {
-          return raw->Translate(session, batch);
-        },
-        options);
-    EXPECT_TRUE(service.ok()) << service.status().ToString();
-    cc->service_ = *service;
-    return cc;
-  }
-
-  IterationService& service() { return *service_; }
-
-  std::map<int64_t, int64_t> Labels() {
-    std::map<int64_t, int64_t> labels;
-    for (const Record& rec : service_->Snapshot().records) {
-      labels[rec.GetInt(0)] = rec.GetInt(1);
-    }
-    return labels;
-  }
-
- private:
-  HostedCc() = default;
-
-  Result<std::vector<Record>> Translate(
-      ExecutionSession& session, const std::vector<GraphMutation>& batch) {
-    std::vector<Record> seeds;
-    const KeySpec& key = session.solution_key();
-    auto component_of = [&](VertexId v) -> int64_t {
-      Record probe = Record::OfInts(v);
-      const Record* rec =
-          session.solution_partition(session.PartitionOfSolution(probe))
-              ->Peek(probe, key);
-      return rec != nullptr ? rec->GetInt(1) : v;
-    };
-    for (const GraphMutation& m : batch) {
-      if (m.kind == MutationKind::kEdgeInsert) {
-        graph_->EnsureVertex(std::max(m.u, m.v));
-        for (VertexId v : {m.u, m.v}) {
-          Record probe = Record::OfInts(v);
-          SolutionSetIndex* partition =
-              session.solution_partition(session.PartitionOfSolution(probe));
-          if (partition->Peek(probe, key) == nullptr) {
-            partition->Apply(Record::OfInts(v, v));
-          }
-        }
-      }
-      Status status = AppendCcMutationSeeds(component_of, m, &seeds);
-      if (!status.ok()) return status;
-      if (m.kind == MutationKind::kEdgeInsert) {
-        graph_->AddEdge(m.u, m.v);
-        graph_->AddEdge(m.v, m.u);
-      }
-    }
-    return seeds;
-  }
-
-  std::shared_ptr<DynamicGraph> graph_;
-  std::unique_ptr<std::vector<Record>> output_;
-  IterationService* service_ = nullptr;  ///< owned by the host
-};
+// The streamed-CC tenant lives in src/service/serving_cc.h since the
+// network gateway PR (the gateway tests, bench and example host the same
+// workload). The tenant object owns state the resident plan references
+// (adjacency, sink vector), so tests StopAll() the host while their
+// tenants are alive.
+std::unique_ptr<ServingCc> StartCc(ServiceHost* host, const std::string& name,
+                                   int64_t num_vertices,
+                                   ServiceOptions options = {}) {
+  ServingCc::Options cc_options;
+  cc_options.num_vertices = num_vertices;
+  cc_options.service = options;
+  auto cc = ServingCc::StartOn(host, name, cc_options);
+  EXPECT_TRUE(cc.ok()) << cc.status().ToString();
+  return std::move(*cc);
+}
 
 TEST(ServiceHostTest, FourResidentServicesOnTwoWorkers) {
   // More resident services than pool workers: impossible under the old
@@ -147,9 +43,9 @@ TEST(ServiceHostTest, FourResidentServicesOnTwoWorkers) {
   ServiceHost host(ServiceHost::Options{.workers = 2});
   ASSERT_EQ(host.engine().workers(), 2);
 
-  std::vector<std::unique_ptr<HostedCc>> tenants;
+  std::vector<std::unique_ptr<ServingCc>> tenants;
   for (int i = 0; i < 4; ++i) {
-    tenants.push_back(HostedCc::Start(&host, "cc-" + std::to_string(i), 6));
+    tenants.push_back(StartCc(&host, "cc-" + std::to_string(i), 6));
   }
   ASSERT_EQ(host.num_services(), 4);
 
@@ -186,12 +82,12 @@ TEST(ServiceHostTest, ConcurrentTenantsKeepEpochReadsConsistent) {
   ServiceOptions fast_batches;
   fast_batches.max_batch = 4;
   fast_batches.max_linger = std::chrono::milliseconds(0);
-  auto left = HostedCc::Start(&host, "left", 8, fast_batches);
-  auto right = HostedCc::Start(&host, "right", 8, fast_batches);
+  auto left = StartCc(&host, "left", 8, fast_batches);
+  auto right = StartCc(&host, "right", 8, fast_batches);
 
   constexpr int kEdgesPerWriter = 40;
   std::vector<std::thread> threads;
-  for (HostedCc* cc : {left.get(), right.get()}) {
+  for (ServingCc* cc : {left.get(), right.get()}) {
     threads.emplace_back([cc] {
       for (int i = 0; i < kEdgesPerWriter; ++i) {
         // Walk a ring so every insert does residual work.
@@ -215,7 +111,7 @@ TEST(ServiceHostTest, ConcurrentTenantsKeepEpochReadsConsistent) {
   for (std::thread& thread : threads) thread.join();
 
   // Both tenants converged to the ring's single component over 0..6.
-  for (HostedCc* cc : {left.get(), right.get()}) {
+  for (ServingCc* cc : {left.get(), right.get()}) {
     EXPECT_EQ(cc->Labels(),
               (std::map<int64_t, int64_t>{{0, 0},
                                           {1, 0},
@@ -231,7 +127,7 @@ TEST(ServiceHostTest, ConcurrentTenantsKeepEpochReadsConsistent) {
 
 TEST(ServiceHostTest, DuplicateNamesRejectedAndLookupWorks) {
   ServiceHost host(ServiceHost::Options{.workers = 1});
-  auto cc = HostedCc::Start(&host, "only", 4);
+  auto cc = StartCc(&host, "only", 4);
   EXPECT_EQ(host.service("only"), &cc->service());
   EXPECT_EQ(host.service("missing"), nullptr);
 
