@@ -143,6 +143,14 @@ int main() {
               stats.engine_queue_wait_total_ms);
   std::printf("%-34s %12.3f\n", "engine queue wait max (ms)",
               stats.engine_queue_wait_max_ms);
+  std::printf("%-34s %12lld\n", "engine parks",
+              static_cast<long long>(stats.engine_parks));
+  std::printf("%-34s %12lld\n", "engine wakes",
+              static_cast<long long>(stats.engine_wakes));
+  std::printf("%-34s %12llu\n", "reconfigurations",
+              static_cast<unsigned long long>(stats.reconfigs));
+  std::printf("%-34s %12.3f\n", "last reconfiguration (ms)",
+              stats.reconfig_ms_last);
   std::printf("%-34s %12llu\n", "batched rounds (streaming phase)",
               static_cast<unsigned long long>(stats.rounds));
   std::printf("%-34s %12llu\n", "mutations rejected",
@@ -161,7 +169,8 @@ int main() {
       "avg_batch=%.1f queue_depth_hw=%lld pool_hits=%lld pool_misses=%lld "
       "round_p50_ms=%.3f round_p95_ms=%.3f round_p99_ms=%.3f "
       "engine_workers=%d engine_tasks=%lld engine_queue_wait_ms=%.3f "
-      "engine_queue_wait_max_ms=%.3f mutations_rejected=%llu "
+      "engine_queue_wait_max_ms=%.3f engine_parks=%lld engine_wakes=%lld "
+      "reconfigs=%llu reconfig_ms_last=%.3f mutations_rejected=%llu "
       "admission_queue_depth=%llu\n",
       cold_seconds, cold_serve_seconds, p50, p99, speedup, sustained,
       static_cast<unsigned long long>(streamed),
@@ -175,6 +184,10 @@ int main() {
       stats.round_p95_ms, stats.round_p99_ms, stats.engine_workers,
       static_cast<long long>(stats.engine_tasks),
       stats.engine_queue_wait_total_ms, stats.engine_queue_wait_max_ms,
+      static_cast<long long>(stats.engine_parks),
+      static_cast<long long>(stats.engine_wakes),
+      static_cast<unsigned long long>(stats.reconfigs),
+      stats.reconfig_ms_last,
       static_cast<unsigned long long>(stats.mutations_rejected),
       static_cast<unsigned long long>(stats.admission_queue_depth));
 

@@ -14,6 +14,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kInternal: return "Internal";
     case StatusCode::kIoError: return "IoError";
     case StatusCode::kResourceExhausted: return "ResourceExhausted";
+    case StatusCode::kPermissionDenied: return "PermissionDenied";
   }
   return "Unknown";
 }

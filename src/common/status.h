@@ -22,6 +22,8 @@ enum class StatusCode : int {
   kIoError = 8,
   kResourceExhausted = 9,  ///< a capacity bound was hit; retry later (e.g.
                            ///< the serving admission queue is full)
+  kPermissionDenied = 10,  ///< the caller failed authentication/authorization
+                           ///< (e.g. a gateway tenant-token mismatch)
 };
 
 /// Return value for fallible operations. Cheap to copy in the OK case
@@ -59,6 +61,9 @@ class Status {
   }
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  static Status PermissionDenied(std::string msg) {
+    return Status(StatusCode::kPermissionDenied, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -68,6 +68,20 @@ class SolutionSetIndex {
   virtual void ForEach(
       const std::function<void(const Record&)>& fn) const = 0;
 
+  /// Visits records until `fn` returns false. The visit order is the
+  /// index's internal order, which is stable as long as no records are
+  /// merged in between calls — the property the serving layer's paged
+  /// snapshot cursors rely on. The default adapts ForEach (the underlying
+  /// containers have no early-exit walk): once `fn` declines, remaining
+  /// records are still iterated but no longer passed through.
+  virtual void ForEachWhile(
+      const std::function<bool(const Record&)>& fn) const {
+    bool more = true;
+    ForEach([&](const Record& rec) {
+      if (more) more = fn(rec);
+    });
+  }
+
   virtual int64_t size() const = 0;
 
   const SolutionSetStats& stats() const { return stats_; }

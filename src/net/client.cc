@@ -28,6 +28,8 @@ Status StatusOfReply(const Frame& reply) {
     case WireCode::kNotFound:
     case WireCode::kUnknownTenant:
       return Status::NotFound(std::move(message));
+    case WireCode::kUnauthorized:
+      return Status::PermissionDenied(std::move(message));
     default:
       return Status::Internal(std::move(message));
   }
@@ -81,6 +83,9 @@ Result<uint64_t> RpcClient::SendRequest(Opcode opcode,
                                         std::vector<uint8_t> payload) {
   Frame frame;
   frame.opcode = opcode;
+  // In a request the header's status slot carries the tenant auth token
+  // (net/frame.h); 0 = unsecured.
+  frame.status = static_cast<WireCode>(auth_token_);
   frame.request_id = next_request_id_++;
   frame.payload = std::move(payload);
   std::vector<uint8_t> bytes;
@@ -165,6 +170,56 @@ Result<RpcClient::SnapshotReply> RpcClient::Snapshot(
   return result;
 }
 
+Result<RpcClient::SnapshotPageReply> RpcClient::SnapshotPage(
+    const std::string& tenant, uint64_t cursor, uint32_t max_records) {
+  std::vector<uint8_t> payload;
+  PutString(tenant, &payload);
+  PutU64(cursor, &payload);
+  PutU32(max_records, &payload);
+  auto reply = Call(Opcode::kSnapshotPage, std::move(payload));
+  if (!reply.ok()) return reply.status();
+  PayloadReader reader(reply->payload);
+  SnapshotPageReply result;
+  result.epoch = reader.U64();
+  result.next_cursor = reader.U64();
+  const uint32_t count = reader.U32();
+  for (uint32_t i = 0; reader.ok() && i < count; ++i) {
+    result.records.push_back(reader.ReadRecord());
+  }
+  if (!reader.AtEnd()) {
+    return Status::Internal("malformed SnapshotPage reply");
+  }
+  return result;
+}
+
+Result<RpcClient::SnapshotReply> RpcClient::SnapshotAll(
+    const std::string& tenant, uint32_t max_records_per_page) {
+  // Pages only concatenate within one epoch; a commit (or remap) between
+  // pages invalidates the cursor, so start over. Bounded retries: a write
+  // rate that outpaces whole-snapshot reads is a caller problem.
+  for (int attempt = 0; attempt < 8; ++attempt) {
+    SnapshotReply result;
+    uint64_t cursor = 0;
+    bool restart = false;
+    do {
+      auto page = SnapshotPage(tenant, cursor, max_records_per_page);
+      if (!page.ok()) return page.status();
+      if (!result.records.empty() && page->epoch != result.epoch) {
+        restart = true;
+        break;
+      }
+      result.epoch = page->epoch;
+      result.records.insert(result.records.end(),
+                            std::make_move_iterator(page->records.begin()),
+                            std::make_move_iterator(page->records.end()));
+      cursor = page->next_cursor;
+    } while (cursor != 0);
+    if (!restart) return result;
+  }
+  return Status::ResourceExhausted(
+      "snapshot epoch kept advancing across paging attempts");
+}
+
 namespace {
 
 std::vector<uint8_t> MutatePayload(
@@ -202,6 +257,23 @@ Result<RpcClient::MutateReply> RpcClient::Mutate(
   result.ticket = reader.U64();
   if (!reader.AtEnd()) return Status::Internal("malformed Mutate reply");
   return result;
+}
+
+Result<uint32_t> RpcClient::Reconfigure(const std::string& tenant,
+                                        uint32_t partitions,
+                                        const std::string& pool) {
+  std::vector<uint8_t> payload;
+  PutString(tenant, &payload);
+  PutU32(partitions, &payload);
+  PutString(pool, &payload);
+  auto reply = Call(Opcode::kReconfigure, std::move(payload));
+  if (!reply.ok()) return reply.status();
+  PayloadReader reader(reply->payload);
+  const uint32_t parallelism = reader.U32();
+  if (!reader.AtEnd()) {
+    return Status::Internal("malformed Reconfigure reply");
+  }
+  return parallelism;
 }
 
 Result<RpcClient::StatsReply> RpcClient::Stats(const std::string& tenant) {

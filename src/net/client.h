@@ -35,6 +35,12 @@ class RpcClient {
   RpcClient(const RpcClient&) = delete;
   RpcClient& operator=(const RpcClient&) = delete;
 
+  /// Auth token stamped into every subsequent request's header status
+  /// field (net/frame.h). 0 = unsecured. The gateway rejects a mismatch
+  /// against its per-tenant token table with WireCode::kUnauthorized,
+  /// which these blocking calls surface as PermissionDenied.
+  void set_auth_token(uint16_t token) { auth_token_ = token; }
+
   /// Round-trip floor: empty frame there and back.
   Status Ping();
 
@@ -54,6 +60,23 @@ class RpcClient {
   };
   Result<SnapshotReply> Snapshot(const std::string& tenant);
 
+  struct SnapshotPageReply {
+    std::vector<Record> records;
+    uint64_t epoch = 0;
+    uint64_t next_cursor = 0;  ///< 0 = exhausted; else pass to next call
+  };
+  /// One bounded page of the tenant's snapshot (cursor 0 = first page,
+  /// max_records 0 = server default). Cursors are only valid within one
+  /// epoch: if the epoch changed between pages, restart from 0.
+  Result<SnapshotPageReply> SnapshotPage(const std::string& tenant,
+                                         uint64_t cursor = 0,
+                                         uint32_t max_records = 0);
+  /// Whole snapshot via the paged opcode — unbounded record counts that
+  /// would overflow a single Snapshot frame stream through in pages.
+  /// Restarts automatically when a commit lands between pages.
+  Result<SnapshotReply> SnapshotAll(const std::string& tenant,
+                                    uint32_t max_records_per_page = 0);
+
   struct MutateReply {
     uint64_t ticket = 0;  ///< the batch's round committed up to this ticket
   };
@@ -72,6 +95,13 @@ class RpcClient {
     }
   };
   Result<StatsReply> Stats(const std::string& tenant);
+
+  /// Admin: live-reconfigures a tenant — `partitions` (0 = keep) and/or
+  /// engine pool (`""` = keep, `"primary"` = the host's built-in pool).
+  /// Blocks through the tenant's quiesce/remap/resume cycle; returns the
+  /// session's parallelism after the remap.
+  Result<uint32_t> Reconfigure(const std::string& tenant, uint32_t partitions,
+                               const std::string& pool = "");
 
   // --- pipelining primitives ---------------------------------------------
 
@@ -96,6 +126,7 @@ class RpcClient {
 
   int fd_ = -1;
   uint64_t next_request_id_ = 1;
+  uint16_t auth_token_ = 0;
   FrameDecoder decoder_;
 };
 

@@ -15,6 +15,8 @@ std::string_view OpcodeName(Opcode opcode) {
     case Opcode::kSnapshot: return "Snapshot";
     case Opcode::kMutateBatch: return "MutateBatch";
     case Opcode::kStats: return "Stats";
+    case Opcode::kReconfigure: return "Reconfigure";
+    case Opcode::kSnapshotPage: return "SnapshotPage";
   }
   return "Unknown";
 }
@@ -28,6 +30,7 @@ std::string_view WireCodeName(WireCode code) {
     case WireCode::kUnknownTenant: return "UnknownTenant";
     case WireCode::kBadRequest: return "BadRequest";
     case WireCode::kInternal: return "Internal";
+    case WireCode::kUnauthorized: return "Unauthorized";
   }
   return "Unknown";
 }
@@ -43,6 +46,8 @@ WireCode WireCodeOf(const Status& status) {
       return WireCode::kReject;
     case StatusCode::kNotFound:
       return WireCode::kNotFound;
+    case StatusCode::kPermissionDenied:
+      return WireCode::kUnauthorized;
     default:
       return WireCode::kInternal;
   }

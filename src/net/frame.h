@@ -8,7 +8,11 @@
 //                             uint32 load of them reads 0x46444653)
 //        4     1  version     kFrameVersion (1)
 //        5     1  opcode      Opcode
-//        6     2  status      WireCode; 0 in requests
+//        6     2  status      responses: WireCode. Requests: the tenant
+//                             auth token (0 when the tenant is unsecured)
+//                             — the header's formerly-reserved space,
+//                             reused so authenticated requests cost zero
+//                             extra bytes
 //        8     8  request_id  client-chosen, echoed verbatim in the response
 //       16     4  payload_len bytes following the header; bounded by
 //                             kMaxPayloadBytes
@@ -50,11 +54,15 @@ constexpr uint32_t kMaxPayloadBytes = 16u << 20;
 /// Request/response kinds. Responses echo the request's opcode; the status
 /// field tells success from failure.
 enum class Opcode : uint8_t {
-  kPing = 1,         ///< empty payload; response echoes it (RTT floor)
-  kQuery = 2,        ///< tenant + probe record -> found flag + record
-  kSnapshot = 3,     ///< tenant -> full epoch-consistent solution set
-  kMutateBatch = 4,  ///< tenant + mutations -> ticket, answered at commit
-  kStats = 5,        ///< tenant -> ServiceStats + gateway counters
+  kPing = 1,          ///< empty payload; response echoes it (RTT floor)
+  kQuery = 2,         ///< tenant + probe record -> found flag + record
+  kSnapshot = 3,      ///< tenant -> full epoch-consistent solution set
+  kMutateBatch = 4,   ///< tenant + mutations -> ticket, answered at commit
+  kStats = 5,         ///< tenant -> ServiceStats + gateway counters
+  kReconfigure = 6,   ///< admin: tenant + u32 partitions (0 = keep) +
+                      ///< string pool ("" = keep) -> u32 new parallelism
+  kSnapshotPage = 7,  ///< tenant + u64 cursor + u32 max records -> one
+                      ///< bounded page (epoch, next cursor, records)
 };
 std::string_view OpcodeName(Opcode opcode);
 
@@ -68,6 +76,7 @@ enum class WireCode : uint16_t {
   kUnknownTenant = 4,  ///< no hosted service under that name
   kBadRequest = 5,     ///< malformed payload inside a well-formed frame
   kInternal = 6,       ///< server-side failure
+  kUnauthorized = 7,   ///< tenant auth token missing or wrong; do not retry
 };
 std::string_view WireCodeName(WireCode code);
 
@@ -91,6 +100,10 @@ enum class StatField : uint16_t {
   kEngineWorkers = 10,
   kEngineTasks = 11,
   kEngineQueueWaitTotalMs = 12,
+  kEngineParks = 13,
+  kEngineWakes = 14,
+  kReconfigs = 15,
+  kReconfigMsLast = 16,
 };
 
 struct Frame {

@@ -29,6 +29,15 @@
 //   for the *next* phase stay queued — a lane whose marker arrived is not
 //   popped again until the next ReadPhase.
 //
+// * Fixed width per skeleton. An Exchange's lane count is baked in at
+//   construction: it is wiring of ONE plan skeleton at ONE parallelism, not
+//   of the session. Live reconfiguration (ExecutionSession::Reconfigure)
+//   never mutates exchanges in place — it drains the round, folds each
+//   exchange's shipped/byte counters into the session's carried totals,
+//   tears the whole skeleton down, and builds fresh exchanges at the new
+//   width; the hash partitioners then re-route by PartitionOf under the new
+//   count on the first warm round.
+//
 // * Unboundedness. Lanes grow without limit (linked fixed-size segments),
 //   so a push never blocks. This keeps the task DAG deadlock-free: diamond
 //   topologies where a consumer drains one port to end-of-stream before

@@ -5,6 +5,7 @@
 #include <chrono>
 #include <condition_variable>
 #include <deque>
+#include <map>
 #include <mutex>
 #include <set>
 #include <thread>
@@ -158,6 +159,13 @@ struct ExecContext {
   /// deterministically after the plan drained.
   std::vector<std::vector<std::vector<Record>>> sink_slots;
 
+  /// Per-skeleton source replacement (session Reconfigure): a Source task
+  /// listed here emits this data instead of its plan-owned `source_data` —
+  /// how a rebuilt skeleton re-enters the warm solution set and leftover
+  /// workset through the plan's own entry tasks without mutating the
+  /// (shared, immutable) plan.
+  std::map<int, std::vector<Record>> source_override;
+
   const PhysicalTask& task(int id) const { return plan->tasks[id]; }
 };
 
@@ -292,7 +300,10 @@ class TaskInstance {
 
 void TaskInstance::RunSource() {
   PortsCollector collector(out_ptrs_);
-  const std::vector<Record>& data = *task_->source_data;
+  const auto override_it = ctx_->source_override.find(task_->id);
+  const std::vector<Record>& data = override_it != ctx_->source_override.end()
+                                        ? override_it->second
+                                        : *task_->source_data;
   for (size_t i = partition_; i < data.size();
        i += static_cast<size_t>(ctx_->parallelism)) {
     collector.Emit(data[i]);
@@ -2195,19 +2206,40 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
 /// enqueued. Lives until Finish. Destruction order matters: the schedule
 /// (task instances, output ports) dies before the context it references,
 /// and the owned engine — whose workers may still be parked — outlives
-/// both (members are destroyed in reverse declaration order).
+/// both (members are destroyed in reverse declaration order). The context
+/// and schedule are the session's swappable "runtime skeleton": Reconfigure
+/// replaces both while the session object — and everything cumulative in
+/// it — stays alive, which is what decouples plan wiring from session
+/// lifetime.
 struct SessionState {
   const PhysicalPlan* plan = nullptr;
+  /// The options the session started with; Reconfigure re-derives each new
+  /// skeleton from them with only the parallelism swapped.
+  ExecutionOptions options;
   std::unique_ptr<Engine> owned_engine;
   Engine* engine = nullptr;
-  ExecContext ctx;
+  std::unique_ptr<ExecContext> ctx;
   std::unique_ptr<PlanSchedule> schedule;
   Stopwatch total_watch;
   IterationReport initial_report;
   bool finished = false;
 
-  WorksetRuntime& runtime() { return *ctx.workset[0]; }
-  const WorksetRuntime& runtime() const { return *ctx.workset[0]; }
+  /// Totals banked from skeletons torn down by Reconfigure. The live
+  /// ctx/engine-client only covers the newest skeleton; Finish() and
+  /// engine_stats() fold these in so session-lifetime counters survive a
+  /// remap. Deliberately NOT seeded into the new ctx's Metrics: the new
+  /// WorksetRuntime's per-round marks start at zero against it.
+  int64_t carried_shipped = 0;
+  int64_t carried_remote = 0;
+  int64_t carried_bytes = 0;
+  int64_t carried_combined = 0;
+  int64_t carried_queue_depth_high_water = 0;
+  int64_t carried_pool_hits = 0;
+  int64_t carried_pool_misses = 0;
+  Engine::ClientStats carried_engine;
+
+  WorksetRuntime& runtime() { return *ctx->workset[0]; }
+  const WorksetRuntime& runtime() const { return *ctx->workset[0]; }
 };
 
 Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
@@ -2228,13 +2260,16 @@ Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
 
   auto state = std::make_unique<SessionState>();
   state->plan = &plan;
-  SFDF_RETURN_NOT_OK(SetupContext(plan, options_, P, &state->ctx));
+  state->options = options_;
+  state->ctx = std::make_unique<ExecContext>();
+  SFDF_RETURN_NOT_OK(SetupContext(plan, options_, P, state->ctx.get()));
   EngineRef engine = ResolveEngine(options_);
   state->owned_engine = std::move(engine.owned);
   state->engine = engine.engine;
 
   state->schedule = std::make_unique<PlanSchedule>(
-      &plan, &state->ctx, state->engine, "session", /*session_mode=*/true);
+      &plan, state->ctx.get(), state->engine, "session",
+      /*session_mode=*/true);
 
   // The cold round (full initial convergence) starts immediately; hand the
   // session back once its wave terminated — from then on the session has
@@ -2260,7 +2295,7 @@ const IterationReport& ExecutionSession::initial_report() const {
   return state_->initial_report;
 }
 
-int ExecutionSession::parallelism() const { return state_->ctx.parallelism; }
+int ExecutionSession::parallelism() const { return state_->ctx->parallelism; }
 
 SolutionSetIndex* ExecutionSession::solution_partition(int p) {
   return state_->runtime().index[p].get();
@@ -2268,7 +2303,7 @@ SolutionSetIndex* ExecutionSession::solution_partition(int p) {
 
 int ExecutionSession::PartitionOfSolution(const Record& probe) const {
   return PartitionOf(probe, state_->runtime().solution_key,
-                     state_->ctx.parallelism);
+                     state_->ctx->parallelism);
 }
 
 const KeySpec& ExecutionSession::solution_key() const {
@@ -2281,8 +2316,18 @@ void ExecutionSession::ForEachSolution(
 }
 
 Engine::ClientStats ExecutionSession::engine_stats() const {
-  if (state_->schedule == nullptr) return Engine::ClientStats{};
-  return state_->engine->client_stats(state_->schedule->client());
+  Engine::ClientStats stats = state_->carried_engine;
+  if (state_->schedule != nullptr) {
+    const Engine::ClientStats live =
+        state_->engine->client_stats(state_->schedule->client());
+    stats.tasks_run += live.tasks_run;
+    stats.queue_wait_ns_total += live.queue_wait_ns_total;
+    stats.queue_wait_ns_max =
+        std::max(stats.queue_wait_ns_max, live.queue_wait_ns_max);
+    stats.tasks_parked += live.tasks_parked;
+    stats.tasks_woken += live.tasks_woken;
+  }
+  return stats;
 }
 
 int ExecutionSession::engine_workers() const {
@@ -2298,7 +2343,7 @@ Result<IterationReport> ExecutionSession::RunRound(
   WorksetRuntime& rt = s.runtime();
   const PhysicalWorksetIteration& spec = s.plan->workset_iterations[0];
   const int head_task = spec.head_task;
-  const int P = s.ctx.parallelism;
+  const int P = s.ctx->parallelism;
 
   // The previous round's wave terminated before its RunRound returned (and
   // StartSession waited out the cold round), so no task of the resident
@@ -2324,7 +2369,7 @@ Result<IterationReport> ExecutionSession::RunRound(
   std::vector<RecordBatch> seeds;
   seeds.reserve(P);
   for (int p = 0; p < P; ++p) {
-    Exchange* port = s.ctx.channels[head_task][0][p].get();
+    Exchange* port = s.ctx->channels[head_task][0][p].get();
     // The head drained the previous seed (data + markers) at the last
     // round's first superstep; anything still queued in ANY lane would
     // break the per-lane marker accounting of the phase about to start.
@@ -2338,10 +2383,10 @@ Result<IterationReport> ExecutionSession::RunRound(
     seeds[PartitionOf(rec, rt.route_key, P)].Add(rec);
   }
   for (int p = 0; p < P; ++p) {
-    s.ctx.channels[head_task][0][p]->Seed(std::move(seeds[p]));
+    s.ctx->channels[head_task][0][p]->Seed(std::move(seeds[p]));
   }
-  s.ctx.metrics.CountShipped(seed_count, seed_count * sizeof(Record),
-                             /*remote_records=*/0);
+  s.ctx->metrics.CountShipped(seed_count, seed_count * sizeof(Record),
+                              /*remote_records=*/0);
 
   // Release the round's first wave, then wait for its fixpoint. The engine
   // submit path publishes every controller write above to the wave tasks.
@@ -2365,14 +2410,144 @@ Result<ExecutionResult> ExecutionSession::Finish() {
   s.schedule.reset();  // unregisters the engine client
   s.finished = true;
   ExecutionResult result =
-      AssembleResult(*s.plan, &s.ctx, s.total_watch.ElapsedMillis());
-  result.engine_tasks = stats.tasks_run;
-  result.engine_queue_wait_ns_total = stats.queue_wait_ns_total;
-  result.engine_queue_wait_ns_max = stats.queue_wait_ns_max;
-  result.engine_parks = stats.tasks_parked;
-  result.engine_wakes = stats.tasks_woken;
+      AssembleResult(*s.plan, s.ctx.get(), s.total_watch.ElapsedMillis());
+  // Fold in the totals of skeletons Reconfigure tore down earlier, so the
+  // session-lifetime statistics cover every width the session ran at.
+  result.records_shipped += s.carried_shipped;
+  result.records_remote += s.carried_remote;
+  result.bytes_shipped += s.carried_bytes;
+  result.records_combined += s.carried_combined;
+  result.queue_depth_high_water = std::max(result.queue_depth_high_water,
+                                           s.carried_queue_depth_high_water);
+  result.batch_pool_hits += s.carried_pool_hits;
+  result.batch_pool_misses += s.carried_pool_misses;
+  result.engine_tasks = stats.tasks_run + s.carried_engine.tasks_run;
+  result.engine_queue_wait_ns_total =
+      stats.queue_wait_ns_total + s.carried_engine.queue_wait_ns_total;
+  result.engine_queue_wait_ns_max =
+      std::max(stats.queue_wait_ns_max, s.carried_engine.queue_wait_ns_max);
+  result.engine_parks = stats.tasks_parked + s.carried_engine.tasks_parked;
+  result.engine_wakes = stats.tasks_woken + s.carried_engine.tasks_woken;
   result.engine_workers = s.engine->workers();
   return result;
+}
+
+Result<IterationReport> ExecutionSession::Reconfigure(int new_partitions,
+                                                      Engine* new_engine) {
+  SessionState& s = *state_;
+  if (s.finished) {
+    return Status::InvalidArgument("Reconfigure on a finished session");
+  }
+  if (new_partitions < 0) {
+    return Status::InvalidArgument(
+        "Reconfigure new_partitions must be >= 0 (0 = keep current), got " +
+        std::to_string(new_partitions));
+  }
+  const PhysicalWorksetIteration& spec = s.plan->workset_iterations[0];
+  const PhysicalTask& head = s.plan->tasks[spec.head_task];
+  const int w0_src = head.inputs[0].producer;
+  const PhysicalTask& join = s.plan->tasks[spec.solution_join_task];
+  const int s0_src = join.inputs[join.solution_side].producer;
+  if (s.plan->tasks[w0_src].kind != OperatorKind::kSource ||
+      s.plan->tasks[s0_src].kind != OperatorKind::kSource) {
+    return Status::Unsupported(
+        "Reconfigure requires the initial workset and initial solution to "
+        "enter the iteration through Source tasks — the warm state re-enters "
+        "the rebuilt skeleton through them");
+  }
+  const int new_p = new_partitions > 0 ? new_partitions : s.ctx->parallelism;
+
+  // Quiesce at the committed round boundary: after WaitRoundDone no task of
+  // the resident iteration is scheduled and every lane is drained up to its
+  // end-of-round markers — the controller owns the resident state.
+  s.schedule->WaitRoundDone();
+  WorksetRuntime& rt = s.runtime();
+
+  // Extract the warm state. The back buffers are empty after any round's
+  // final swap; the front buffers are non-empty only when the round stopped
+  // at the iteration cap — that leftover workset continues after the remap.
+  std::vector<Record> solution;
+  int64_t total = 0;
+  for (const auto& index : rt.index) total += index->size();
+  solution.reserve(static_cast<size_t>(total));
+  for (const auto& index : rt.index) {
+    index->ForEach([&](const Record& rec) { solution.push_back(rec); });
+  }
+  std::vector<Record> leftover;
+  for (auto& front : rt.front) {
+    leftover.insert(leftover.end(), front.begin(), front.end());
+  }
+
+  // Bank the dying skeleton's cumulative statistics: fold its exchange
+  // stats into its metrics (the pass AssembleResult runs after a drain is
+  // equally exact here — nothing of this skeleton runs anymore), then
+  // carry the totals for Finish()/engine_stats().
+  for (const auto& task_channels : s.ctx->channels) {
+    for (const auto& port_channels : task_channels) {
+      for (const auto& exchange : port_channels) {
+        const Exchange::Stats st = exchange->stats();
+        s.ctx->metrics.RecordQueueDepth(st.depth_high_water);
+        s.ctx->metrics.CountBatchPool(st.pool_hits, st.pool_misses);
+      }
+    }
+  }
+  s.carried_shipped += s.ctx->metrics.records_shipped();
+  s.carried_remote += s.ctx->metrics.records_remote();
+  s.carried_bytes += s.ctx->metrics.bytes_shipped();
+  s.carried_combined += s.ctx->metrics.records_combined();
+  s.carried_queue_depth_high_water =
+      std::max(s.carried_queue_depth_high_water,
+               s.ctx->metrics.queue_depth_high_water());
+  s.carried_pool_hits += s.ctx->metrics.batch_pool_hits();
+  s.carried_pool_misses += s.ctx->metrics.batch_pool_misses();
+  const Engine::ClientStats old_client =
+      s.engine->client_stats(s.schedule->client());
+  s.carried_engine.tasks_run += old_client.tasks_run;
+  s.carried_engine.queue_wait_ns_total += old_client.queue_wait_ns_total;
+  s.carried_engine.queue_wait_ns_max = std::max(
+      s.carried_engine.queue_wait_ns_max, old_client.queue_wait_ns_max);
+  s.carried_engine.tasks_parked += old_client.tasks_parked;
+  s.carried_engine.tasks_woken += old_client.tasks_woken;
+
+  // Tear the old skeleton down without a shutdown flush: the round is done
+  // (no wave task scheduled), the upstream one-shot regions completed at
+  // Start, and the downstream regions were never released — the engine
+  // client's queue is empty, which is all ~PlanSchedule requires.
+  s.schedule.reset();
+  s.ctx.reset();
+  if (new_engine != nullptr && new_engine != s.engine) {
+    // Engine move: an engine the session owned dies with its old skeleton
+    // (its workers are idle — nothing is queued on them anymore).
+    s.engine = new_engine;
+    s.owned_engine.reset();
+  }
+
+  // Rebuild at the new width. From here on a failure leaves the session
+  // without a usable skeleton — fail it rather than limp half-built.
+  ExecutionOptions options = s.options;
+  options.parallelism = new_p;
+  s.ctx = std::make_unique<ExecContext>();
+  Status setup = SetupContext(*s.plan, options, new_p, s.ctx.get());
+  if (!setup.ok()) {
+    s.finished = true;
+    return setup;
+  }
+  // The warm state re-enters through the plan's own entry sources: the
+  // rebuilt hash exchanges re-route every record with PartitionOf under
+  // the new width, so shard placement is re-derived by exactly the law
+  // point reads use — no explicit shard-moving pass.
+  s.ctx->source_override[s0_src] = std::move(solution);
+  s.ctx->source_override[w0_src] = std::move(leftover);
+  s.schedule = std::make_unique<PlanSchedule>(
+      s.plan, s.ctx.get(), s.engine, "session", /*session_mode=*/true);
+
+  // The resume round: the rebuilt coordinator restarts at superstep 0, so
+  // every §4.3 constant-path cache and the solution index rebuild exactly
+  // where a cold skeleton builds them. With no leftover workset the round
+  // converges after the single barrier superstep (produced == 0).
+  s.schedule->Start();
+  s.schedule->WaitRoundDone();
+  return s.runtime().report;
 }
 
 }  // namespace sfdf

@@ -145,6 +145,22 @@ class ExecutionSession {
   /// report. An empty workset is legal and converges after one superstep.
   Result<IterationReport> RunRound(std::vector<Record> workset);
 
+  /// Live repartition / engine move: quiesces at the committed round
+  /// boundary (all lanes drained), extracts the resident solution set (plus
+  /// any workset an iteration-capped round left behind), tears the runtime
+  /// skeleton down and rebuilds it at `new_partitions` partitions (0 = keep
+  /// the current width) on `new_engine` (null = keep the current engine; a
+  /// non-null engine must outlive the session). The warm state re-enters
+  /// through the plan's initial-solution / initial-workset Source tasks and
+  /// is re-hashed by the rebuilt exchanges, so shard placement is re-derived
+  /// with the same PartitionOf law point reads use. §4.3 constant-path
+  /// caches and the solution index rebuild at the resume round's first
+  /// superstep; cumulative session statistics survive into Finish().
+  /// Blocking; returns the warm resume round's report. On a validation
+  /// error the session is untouched; a mid-rebuild failure finishes it.
+  Result<IterationReport> Reconfigure(int new_partitions,
+                                      Engine* new_engine = nullptr);
+
   /// Report of the initial (cold) iteration run by StartSession.
   const IterationReport& initial_report() const;
 

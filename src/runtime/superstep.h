@@ -37,7 +37,12 @@ class SuperstepCoordinator {
   /// returning true terminates the iteration. It receives the finished
   /// superstep's index (0-based). 64-bit because the counter never resets
   /// across the rounds of a resident service session (see Rearm) — a
-  /// long-lived server must not overflow it.
+  /// long-lived server must not overflow it. It DOES reset across a live
+  /// reconfiguration: the rebuilt skeleton's coordinator starts at 0 again,
+  /// deliberately — operator closures key their §4.3 cache builds and
+  /// solution-index construction off `superstep == 0`, so restarting the
+  /// count is what makes a warm resume rebuild them at the new width
+  /// (cross-skeleton superstep totals live in the session's carried stats).
   SuperstepCoordinator(int num_participants,
                        std::function<bool(int64_t)> decide)
       : decide_(std::move(decide)),

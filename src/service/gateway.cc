@@ -252,7 +252,23 @@ struct RpcGateway::Impl {
     net::PutString(message, &reply->payload);
   }
 
-  IterationService* Resolve(const std::string& tenant, Frame* reply) {
+  /// Auth gate: a tenant with a configured token only answers requests
+  /// whose header token (the request's status slot, net/frame.h) matches.
+  /// Checked BEFORE tenant resolution so an unauthenticated caller cannot
+  /// probe which tenants exist. kPing carries no tenant and stays open.
+  bool Authorize(const std::string& tenant, const Frame& request,
+                 Frame* reply) {
+    const auto it = options.tenant_tokens.find(tenant);
+    if (it == options.tenant_tokens.end()) return true;  // unsecured tenant
+    if (static_cast<uint16_t>(request.status) == it->second) return true;
+    Fail(reply, WireCode::kUnauthorized,
+         "bad or missing auth token for tenant '" + tenant + "'");
+    return false;
+  }
+
+  IterationService* Resolve(const std::string& tenant, const Frame& request,
+                            Frame* reply) {
+    if (!Authorize(tenant, request, reply)) return nullptr;
     IterationService* service = host->service(tenant);
     if (service == nullptr) {
       Fail(reply, WireCode::kUnknownTenant, "no tenant '" + tenant + "'");
@@ -277,6 +293,12 @@ struct RpcGateway::Impl {
       case Opcode::kStats:
         HandleStats(request, &reply);
         break;
+      case Opcode::kSnapshotPage:
+        HandleSnapshotPage(request, &reply);
+        break;
+      case Opcode::kReconfigure:
+        HandleReconfigure(request, &reply);
+        break;
       case Opcode::kMutateBatch:
         if (HandleMutate(conn_id, request, &reply)) return;  // deferred
         break;
@@ -294,7 +316,7 @@ struct RpcGateway::Impl {
       Fail(reply, WireCode::kBadRequest, "malformed Query payload");
       return;
     }
-    IterationService* service = Resolve(tenant, reply);
+    IterationService* service = Resolve(tenant, request, reply);
     if (service == nullptr) return;
     const IterationService::QueryResult result = service->Query(probe);
     net::PutU64(result.epoch, &reply->payload);
@@ -309,7 +331,7 @@ struct RpcGateway::Impl {
       Fail(reply, WireCode::kBadRequest, "malformed Snapshot payload");
       return;
     }
-    IterationService* service = Resolve(tenant, reply);
+    IterationService* service = Resolve(tenant, request, reply);
     if (service == nullptr) return;
     const IterationService::SnapshotResult snapshot = service->Snapshot();
     net::PutU64(snapshot.epoch, &reply->payload);
@@ -320,8 +342,61 @@ struct RpcGateway::Impl {
     }
     if (reply->payload.size() > net::kMaxPayloadBytes) {
       Fail(reply, WireCode::kInternal,
-           "snapshot exceeds the frame payload limit; page via Query");
+           "snapshot exceeds the frame payload limit; stream it in bounded "
+           "frames via SnapshotPage");
     }
+  }
+
+  void HandleSnapshotPage(const Frame& request, Frame* reply) {
+    PayloadReader reader(request.payload);
+    const std::string tenant = reader.String();
+    const uint64_t cursor = reader.U64();
+    const uint32_t max_records = reader.U32();
+    if (!reader.AtEnd()) {
+      Fail(reply, WireCode::kBadRequest, "malformed SnapshotPage payload");
+      return;
+    }
+    IterationService* service = Resolve(tenant, request, reply);
+    if (service == nullptr) return;
+    const IterationService::SnapshotPageResult page =
+        service->SnapshotPage(cursor, static_cast<int64_t>(max_records));
+    net::PutU64(page.epoch, &reply->payload);
+    net::PutU64(page.next_cursor, &reply->payload);
+    net::PutU32(static_cast<uint32_t>(page.records.size()), &reply->payload);
+    for (const Record& rec : page.records) {
+      net::PutRecord(rec, &reply->payload);
+    }
+    if (reply->payload.size() > net::kMaxPayloadBytes) {
+      // Only reachable with an explicit oversize max_records; the default
+      // page size keeps well under the frame cap for serving-size records.
+      Fail(reply, WireCode::kReject,
+           "page exceeds the frame payload limit; lower max records");
+    }
+  }
+
+  void HandleReconfigure(const Frame& request, Frame* reply) {
+    PayloadReader reader(request.payload);
+    const std::string tenant = reader.String();
+    const uint32_t partitions = reader.U32();
+    const std::string pool = reader.String();
+    if (!reader.AtEnd()) {
+      Fail(reply, WireCode::kBadRequest, "malformed Reconfigure payload");
+      return;
+    }
+    IterationService* service = Resolve(tenant, request, reply);
+    if (service == nullptr) return;
+    // Admin path: the host owns the engine pools, so the remap goes through
+    // it. Blocking this dispatch thread through the quiesce/remap/resume
+    // cycle is fine — dispatch threads are controller threads that may
+    // block, and the loop thread keeps serving other connections.
+    const Status status =
+        host->ReconfigureService(tenant, static_cast<int>(partitions), pool);
+    if (!status.ok()) {
+      Fail(reply, WireCodeOf(status), status.ToString());
+      return;
+    }
+    net::PutU32(static_cast<uint32_t>(service->parallelism()),
+                &reply->payload);
   }
 
   void HandleStats(const Frame& request, Frame* reply) {
@@ -331,7 +406,7 @@ struct RpcGateway::Impl {
       Fail(reply, WireCode::kBadRequest, "malformed Stats payload");
       return;
     }
-    IterationService* service = Resolve(tenant, reply);
+    IterationService* service = Resolve(tenant, request, reply);
     if (service == nullptr) return;
     const ServiceStats stats = service->stats();
     const std::pair<StatField, double> fields[] = {
@@ -353,6 +428,10 @@ struct RpcGateway::Impl {
         {StatField::kEngineTasks, static_cast<double>(stats.engine_tasks)},
         {StatField::kEngineQueueWaitTotalMs,
          stats.engine_queue_wait_total_ms},
+        {StatField::kEngineParks, static_cast<double>(stats.engine_parks)},
+        {StatField::kEngineWakes, static_cast<double>(stats.engine_wakes)},
+        {StatField::kReconfigs, static_cast<double>(stats.reconfigs)},
+        {StatField::kReconfigMsLast, stats.reconfig_ms_last},
     };
     net::PutU32(static_cast<uint32_t>(std::size(fields)), &reply->payload);
     for (const auto& [field, value] : fields) {
@@ -379,7 +458,7 @@ struct RpcGateway::Impl {
       Fail(reply, WireCode::kBadRequest, "malformed MutateBatch payload");
       return false;
     }
-    IterationService* service = Resolve(tenant, reply);
+    IterationService* service = Resolve(tenant, request, reply);
     if (service == nullptr) return false;
     Status rejection;
     const uint64_t ticket = service->Mutate(std::move(mutations), &rejection);

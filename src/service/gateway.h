@@ -47,6 +47,7 @@
 
 #include <atomic>
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 
@@ -71,6 +72,13 @@ struct GatewayOptions {
   /// Per-connection cap on a request frame's payload (tightens the codec's
   /// global kMaxPayloadBytes).
   uint32_t max_payload_bytes = net::kMaxPayloadBytes;
+  /// Per-tenant auth tokens. A tenant listed here only answers requests
+  /// whose header status slot carries the matching token (net/frame.h);
+  /// mismatches get WireCode::kUnauthorized. Tenants absent from the map
+  /// are unsecured (any token accepted). Tokens ride in the header's
+  /// formerly-reserved space, so this is tamper-evident transport hygiene
+  /// for trusted networks — not cryptographic authentication.
+  std::map<std::string, uint16_t> tenant_tokens;
 };
 
 class RpcGateway {

@@ -158,9 +158,70 @@ IterationService::QueryResult IterationService::Query(
 }
 
 IterationService::QueryResult IterationService::QueryKey(int64_t key) const {
-  SFDF_DCHECK(session_->solution_key() == KeySpec{0})
-      << "QueryKey assumes the single-int-field-0 solution key";
+  {
+    // solution_key() walks the live ExecContext, which Reconfigure swaps
+    // out under the writer lock — even this sanity probe must hold the
+    // read lock to avoid touching a skeleton mid-teardown.
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    SFDF_DCHECK(session_->solution_key() == KeySpec{0})
+        << "QueryKey assumes the single-int-field-0 solution key";
+  }
   return Query(Record::OfInts(key));
+}
+
+IterationService::SnapshotPageResult IterationService::SnapshotPage(
+    uint64_t cursor, int64_t max_records) const {
+  // Cursor layout: partition index in the high 16 bits, record offset into
+  // that partition's stable iteration order in the low 48. Opaque to
+  // clients; only meaningful within one committed epoch (the index order
+  // is stable as long as no batch merged records and no remap happened).
+  constexpr int kOffsetBits = 48;
+  constexpr uint64_t kOffsetMask = (uint64_t{1} << kOffsetBits) - 1;
+  constexpr int64_t kDefaultPageRecords = 32768;
+  const int64_t page = max_records > 0 ? max_records : kDefaultPageRecords;
+
+  SnapshotPageResult result;
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  const uint64_t service_epoch = epoch_.load(std::memory_order_acquire);
+  SFDF_DCHECK(service_epoch % 2 == 0) << "read overlapped a round";
+  const int P = session_->parallelism();
+  int p = static_cast<int>(cursor >> kOffsetBits);
+  uint64_t skip = cursor & kOffsetMask;
+  while (p < P && static_cast<int64_t>(result.records.size()) < page) {
+    SolutionSetIndex* partition = session_->solution_partition(p);
+    const auto partition_size = static_cast<uint64_t>(partition->size());
+    if (skip >= partition_size) {
+      ++p;
+      skip = 0;
+      continue;
+    }
+    uint64_t index = 0;
+    uint64_t consumed = skip;
+    partition->ForEachWhile([&](const Record& rec) {
+      if (index++ < skip) return true;  // already served by a prior page
+      if (static_cast<int64_t>(result.records.size()) >= page) return false;
+      result.records.push_back(rec);
+      consumed = index;
+      return true;
+    });
+    if (consumed >= partition_size) {
+      ++p;
+      skip = 0;
+    } else {
+      skip = consumed;  // page filled mid-partition
+      break;
+    }
+  }
+  // Skip trailing empty partitions so the client never pays an empty
+  // round-trip for them (only at a partition boundary, skip == 0).
+  while (p < P && skip == 0 && session_->solution_partition(p)->size() == 0) {
+    ++p;
+  }
+  result.next_cursor =
+      p < P ? (static_cast<uint64_t>(p) << kOffsetBits) | skip : 0;
+  result.epoch = session_->solution_partition(0)->epoch();
+  SFDF_DCHECK(result.epoch == service_epoch) << "partition stamp drifted";
+  return result;
 }
 
 IterationService::SnapshotResult IterationService::Snapshot() const {
@@ -198,6 +259,83 @@ ServiceStats IterationService::stats() const {
   return stats;
 }
 
+void IterationService::SnapshotEngineStats() {
+  // Taken on the admission thread (the only thread that may touch the
+  // session) so stats() never races the session teardown in Stop().
+  const Engine::ClientStats engine = session_->engine_stats();
+  stats_.engine_workers = session_->engine_workers();
+  stats_.engine_tasks = engine.tasks_run;
+  stats_.engine_queue_wait_total_ms =
+      static_cast<double>(engine.queue_wait_ns_total) / 1e6;
+  stats_.engine_queue_wait_max_ms =
+      static_cast<double>(engine.queue_wait_ns_max) / 1e6;
+  stats_.engine_parks = engine.tasks_parked;
+  stats_.engine_wakes = engine.tasks_woken;
+}
+
+int IterationService::parallelism() const {
+  std::shared_lock<std::shared_mutex> lock(state_mutex_);
+  return session_->parallelism();
+}
+
+Status IterationService::Reconfigure(int new_partitions, Engine* new_engine) {
+  if (new_partitions < 0) {
+    return Status::InvalidArgument(
+        "Reconfigure new_partitions must be >= 0 (0 = keep current), got " +
+        std::to_string(new_partitions));
+  }
+  ReconfigRequest request;
+  request.new_partitions = new_partitions;
+  request.new_engine = new_engine;
+  std::unique_lock<std::mutex> lock(queue_mutex_);
+  if (stopping_ || !failed_.ok()) {
+    return !failed_.ok() ? failed_
+                         : Status::InvalidArgument(
+                               "service no longer accepts reconfigurations "
+                               "(stopped or failed)");
+  }
+  // Hand the request to the admission thread: reconfiguration is session
+  // work and the admission thread is the only thread allowed to touch the
+  // session. It runs ahead of any pending mutation batch.
+  reconfigs_.push_back(&request);
+  queue_cv_.notify_all();
+  queue_cv_.wait(lock, [&request] { return request.done; });
+  return request.result;
+}
+
+Status IterationService::DoReconfigure(int new_partitions,
+                                       Engine* new_engine) {
+  std::unique_lock<std::shared_mutex> lock(state_mutex_);
+  // Odd epoch across the whole swap, exactly like a round: readers are
+  // excluded by the writer lock (they keep answering from the old shards
+  // right up to the lock handover) and lock-free epoch observers can tell
+  // a boundary is in flight. The session itself quiesces at the committed
+  // round boundary inside ExecutionSession::Reconfigure.
+  epoch_.fetch_add(1, std::memory_order_acq_rel);
+  Stopwatch watch;
+  auto report = session_->Reconfigure(new_partitions, new_engine);
+  if (report.ok()) {
+    // Commit: stamp every partition of the NEW width with the new even
+    // epoch. The epoch bump also tells paged-snapshot clients their
+    // cursors died with the old shard layout.
+    const uint64_t epoch = epoch_.fetch_add(1, std::memory_order_acq_rel) + 1;
+    for (int p = 0; p < session_->parallelism(); ++p) {
+      session_->solution_partition(p)->set_epoch(epoch);
+    }
+    ++stats_.reconfigs;
+    stats_.reconfig_ms_last = watch.ElapsedMillis();
+    stats_.total_supersteps += report->iterations;
+    SnapshotEngineStats();
+    return Status::OK();
+  }
+  // Rejected or failed: no boundary was committed — step back to the
+  // previous even epoch. On a structural rejection the session still
+  // serves at the old width; on a rebuild failure the caller fails the
+  // service (the session is finished).
+  epoch_.fetch_sub(1, std::memory_order_acq_rel);
+  return report.status();
+}
+
 Status IterationService::ProcessBatch(
     const std::vector<GraphMutation>& batch) {
   std::unique_lock<std::shared_mutex> lock(state_mutex_);
@@ -232,16 +370,7 @@ Status IterationService::ProcessBatch(
     const double round_millis = watch.ElapsedMillis();
     stats_.total_round_millis += round_millis;
     round_latency_.Record(round_millis);
-    // Engine-scheduling snapshot, taken here on the admission thread (the
-    // only thread that may touch the session) so stats() never races the
-    // session teardown in Stop().
-    const Engine::ClientStats engine = session_->engine_stats();
-    stats_.engine_workers = session_->engine_workers();
-    stats_.engine_tasks = engine.tasks_run;
-    stats_.engine_queue_wait_total_ms =
-        static_cast<double>(engine.queue_wait_ns_total) / 1e6;
-    stats_.engine_queue_wait_max_ms =
-        static_cast<double>(engine.queue_wait_ns_max) / 1e6;
+    SnapshotEngineStats();
   } else {
     // Failed batch: no boundary was committed (translators are atomic —
     // they validate before touching any state), so step back to the
@@ -253,8 +382,56 @@ Status IterationService::ProcessBatch(
 
 void IterationService::AdmissionLoop() {
   std::unique_lock<std::mutex> lock(queue_mutex_);
+  // Releases every queued Reconfigure waiter with `status` (stop/failure
+  // paths — the remap can no longer happen). Caller holds queue_mutex_.
+  auto release_reconfigs = [this](const Status& status) {
+    while (!reconfigs_.empty()) {
+      ReconfigRequest* request = reconfigs_.front();
+      reconfigs_.pop_front();
+      request->result = status;
+      request->done = true;
+    }
+  };
   for (;;) {
-    queue_cv_.wait(lock, [this] { return stopping_ || !pending_.empty(); });
+    queue_cv_.wait(lock, [this] {
+      return stopping_ || !pending_.empty() || !reconfigs_.empty();
+    });
+    if (stopping_) {
+      // No remap happens once the service is winding down; don't leave
+      // callers blocked behind the drain.
+      release_reconfigs(Status::InvalidArgument(
+          "service no longer accepts reconfigurations (stopping)"));
+      queue_cv_.notify_all();
+    } else if (!reconfigs_.empty()) {
+      // Reconfigurations run ahead of any pending mutation batch: the
+      // admission queue is held across the remap, and its already-enqueued
+      // mutations replay afterwards with their tickets preserved.
+      ReconfigRequest* request = reconfigs_.front();
+      reconfigs_.pop_front();
+      lock.unlock();
+      Status status =
+          DoReconfigure(request->new_partitions, request->new_engine);
+      lock.lock();
+      // Structural rejections (InvalidArgument/Unsupported) leave the
+      // session serving at the old width and reject only this call;
+      // anything else means the rebuild died mid-swap — the session is
+      // finished, so the service fails like it does on a failed round.
+      const bool fatal = !status.ok() &&
+                         status.code() != StatusCode::kInvalidArgument &&
+                         status.code() != StatusCode::kUnsupported;
+      request->result = status;
+      request->done = true;
+      if (fatal) {
+        failed_ = status;
+        release_reconfigs(status);
+        rejected_ += pending_.size();
+        pending_.clear();
+        queue_cv_.notify_all();
+        return;
+      }
+      queue_cv_.notify_all();
+      continue;
+    }
     if (pending_.empty()) return;  // stopping, fully drained
     if (!stopping_ &&
         pending_.size() < static_cast<size_t>(options_.max_batch)) {
@@ -284,6 +461,7 @@ void IterationService::AdmissionLoop() {
 
     if (!status.ok()) {
       failed_ = status;
+      release_reconfigs(status);
       rejected_ += pending_.size();
       pending_.clear();
       queue_cv_.notify_all();

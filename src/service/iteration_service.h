@@ -89,6 +89,16 @@ struct ServiceStats {
   int64_t engine_tasks = 0;
   double engine_queue_wait_total_ms = 0;
   double engine_queue_wait_max_ms = 0;
+  /// Parked-task accounting of the resident session's engine client: how
+  /// often its cooperative tasks parked instead of busy re-polling and how
+  /// many were re-enqueued by a peer's wake.
+  int64_t engine_parks = 0;
+  int64_t engine_wakes = 0;
+  /// Live reconfigurations (repartition / engine move) committed on this
+  /// service, and the wall time the last one spent between quiesce and the
+  /// warm resume round's completion — the serving pause a resize costs.
+  uint64_t reconfigs = 0;
+  double reconfig_ms_last = 0;
 };
 
 /// A long-running serving instance of one incremental iteration. Construct
@@ -165,8 +175,41 @@ class IterationService {
   };
   SnapshotResult Snapshot() const;
 
+  /// One bounded page of the served solution set, for snapshot streaming.
+  struct SnapshotPageResult {
+    std::vector<Record> records;
+    uint64_t epoch = 0;        ///< batch boundary this page reflects
+    uint64_t next_cursor = 0;  ///< pass to the next call; 0 = exhausted
+  };
+
+  /// Cursor-paged snapshot: returns up to `max_records` records starting at
+  /// `cursor` (0 = first page; pass the previous page's next_cursor to
+  /// continue; max_records <= 0 selects a default page size). Pages taken
+  /// at the same epoch concatenate to exactly Snapshot(); when the epoch
+  /// changes between pages (a batch committed, or a reconfiguration
+  /// remapped the partitions), the caller must restart from cursor 0 — the
+  /// cursor encodes a partition/offset position that is only meaningful
+  /// within one committed state.
+  SnapshotPageResult SnapshotPage(uint64_t cursor,
+                                  int64_t max_records = 0) const;
+
   /// Current batch epoch; even = stable, odd = a round is in flight.
   uint64_t epoch() const { return epoch_.load(std::memory_order_acquire); }
+
+  /// Current partition count of the resident session. Dynamic: changes
+  /// when a Reconfigure commits.
+  int parallelism() const;
+
+  /// Live reconfiguration: repartitions the resident session to
+  /// `new_partitions` (0 = keep the current width) and/or moves it to
+  /// `new_engine` (null = keep). Blocking; executes on the admission
+  /// thread at a committed batch boundary, BEFORE any mutation batch that
+  /// is still pending — already-enqueued mutations replay after the remap
+  /// with their tickets preserved, and reads keep answering from the old
+  /// (epoch-stable) shards until the swap commits. A structural rejection
+  /// (InvalidArgument/Unsupported) leaves the service untouched; a
+  /// mid-rebuild failure fails the service like a failed round.
+  Status Reconfigure(int new_partitions, Engine* new_engine = nullptr);
 
   ServiceStats stats() const;
 
@@ -197,6 +240,12 @@ class IterationService {
                           Status* rejection);
   void AdmissionLoop();
   Status ProcessBatch(const std::vector<GraphMutation>& batch);
+  /// Runs one reconfiguration on the admission thread (the only thread
+  /// allowed to touch the session) under the writer lock.
+  Status DoReconfigure(int new_partitions, Engine* new_engine);
+  /// Engine/scheduling snapshot into stats_; caller holds state_mutex_
+  /// exclusively and runs on the admission thread.
+  void SnapshotEngineStats();
 
   const SeedFn translate_;
   const ValidateFn validate_;
@@ -217,10 +266,22 @@ class IterationService {
   /// guarded by state_mutex_ like the counters it accompanies.
   LatencyHistogram round_latency_;
 
+  /// One waiting Reconfigure call. Queued under queue_mutex_; the
+  /// admission thread executes waiters ahead of pending mutation batches
+  /// (so the admission queue is effectively held across the remap) and
+  /// reports back through `done`/`result`.
+  struct ReconfigRequest {
+    int new_partitions = 0;
+    Engine* new_engine = nullptr;
+    bool done = false;
+    Status result;
+  };
+
   /// Admission queue + ticket/ack state, guarded by queue_mutex_.
   mutable std::mutex queue_mutex_;
   std::condition_variable queue_cv_;
   std::deque<GraphMutation> pending_;
+  std::deque<ReconfigRequest*> reconfigs_;
   std::chrono::steady_clock::time_point oldest_arrival_{};
   uint64_t enqueued_seq_ = 0;  ///< ticket of the newest enqueued mutation
   uint64_t admitted_seq_ = 0;  ///< ticket of the newest admitted mutation

@@ -63,6 +63,66 @@ Result<IterationService*> ServiceHost::StartService(
   return slot->second.get();
 }
 
+Result<Engine*> ServiceHost::AddEnginePool(const std::string& name,
+                                           int workers) {
+  if (name.empty() || name == "primary") {
+    return Status::InvalidArgument(
+        "engine pool name must be non-empty and not 'primary' (the host's "
+        "built-in pool)");
+  }
+  if (workers < 0) {
+    return Status::InvalidArgument("engine pool workers must be >= 0");
+  }
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (stopping_) {
+    return Status::InvalidArgument("service host is stopping");
+  }
+  for (const auto& [existing, pool] : pools_) {
+    (void)pool;
+    if (existing == name) {
+      return Status::InvalidArgument("engine pool '" + name +
+                                     "' already exists");
+    }
+  }
+  pools_.emplace_back(
+      name, std::make_unique<Engine>(Engine::Options{.workers = workers}));
+  return pools_.back().second.get();
+}
+
+Status ServiceHost::ReconfigureService(const std::string& name,
+                                       int partitions,
+                                       const std::string& pool) {
+  IterationService* target = nullptr;
+  Engine* engine = nullptr;  // null = keep the tenant's current engine
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (stopping_) {
+      return Status::InvalidArgument("service host is stopping");
+    }
+    for (const auto& [existing, service] : services_) {
+      if (existing == name) target = service.get();
+    }
+    if (target == nullptr) {
+      return Status::NotFound("no hosted service named '" + name + "'");
+    }
+    if (pool == "primary") {
+      engine = &engine_;
+    } else if (!pool.empty()) {
+      for (const auto& [existing, owned] : pools_) {
+        if (existing == pool) engine = owned.get();
+      }
+      if (engine == nullptr) {
+        return Status::NotFound("no engine pool named '" + pool + "'");
+      }
+    }
+  }
+  // The remap blocks on the tenant's quiesce/resume cycle; run it outside
+  // the host lock so other tenants' starts and lookups proceed. Safe: the
+  // service and every pool outlive this call (StopAll tears services down
+  // under their own Stop, which serializes with the admission thread).
+  return target->Reconfigure(partitions, engine);
+}
+
 IterationService* ServiceHost::service(const std::string& name) const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& [existing, service] : services_) {

@@ -61,6 +61,22 @@ class ServiceHost {
   /// Hosted service by name; null if unknown.
   IterationService* service(const std::string& name) const;
 
+  /// Creates an additional named engine pool tenants can be moved onto
+  /// with ReconfigureService — e.g. an isolation pool for a noisy tenant,
+  /// or a bigger pool for a hot one. The pool lives until StopAll; names
+  /// must be unique and must not collide with "primary" (the host's
+  /// built-in pool). `workers` 0 = DefaultEngineWorkers().
+  Result<Engine*> AddEnginePool(const std::string& name, int workers);
+
+  /// Live reconfiguration of a hosted tenant: repartitions its resident
+  /// session to `partitions` (0 = keep) and/or moves it onto another
+  /// engine pool (`pool` "" = keep, "primary" = the host's built-in pool,
+  /// anything else = a pool from AddEnginePool). Blocking — runs the
+  /// tenant's quiesce/remap/resume cycle; other tenants are untouched (the
+  /// host lock is NOT held across the remap).
+  Status ReconfigureService(const std::string& name, int partitions,
+                            const std::string& pool = "");
+
   std::vector<std::string> service_names() const;
   int num_services() const;
 
@@ -74,6 +90,10 @@ class ServiceHost {
 
  private:
   Engine engine_;
+  /// Named extra pools (AddEnginePool). Declared after engine_ and before
+  /// services_ so every pool a tenant may have been moved onto outlives
+  /// the services (reverse destruction order tears services down first).
+  std::vector<std::pair<std::string, std::unique_ptr<Engine>>> pools_;
   mutable std::mutex mutex_;
   std::condition_variable starts_cv_;
   int starting_ = 0;      ///< StartService cold starts in flight

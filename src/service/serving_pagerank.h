@@ -88,6 +88,10 @@ class ServingPageRank {
 
   uint64_t epoch() const { return service_->epoch(); }
   ServiceStats stats() const { return service_->stats(); }
+  /// The underlying service, for admin paths (live reconfiguration, paged
+  /// snapshots) that operate below this façade.
+  IterationService* service() { return service_.get(); }
+  const IterationService* service() const { return service_.get(); }
   std::optional<ExecutionResult> final_result() const {
     return service_->final_result();
   }

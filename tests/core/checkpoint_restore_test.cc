@@ -128,5 +128,63 @@ TEST(CheckpointRestoreTest, SessionResumedFromCheckpointMatchesUninterrupted) {
   std::remove(path.c_str());
 }
 
+TEST(CheckpointRestoreTest, CheckpointRestoredAcrossPartitionWidths) {
+  // A checkpoint is placement-free: it materializes S_i/W_i+1 as flat
+  // record vectors, so a snapshot taken at K partitions must restore into
+  // a session running K' — the hash exchanges re-derive every record's
+  // placement with PartitionOf under the new width on the first superstep.
+  // This is the offline twin of live reconfiguration's shard remap.
+  RmatOptions ropt;
+  ropt.num_vertices = 256;
+  ropt.num_edges = 1024;
+  ropt.seed = 7;
+  Graph graph = GenerateRmat(ropt);
+
+  std::vector<Record> s0 =
+      BuildInitialRankRecords(graph.num_vertices(), kDamping);
+  std::vector<Record> w0 = BuildInitialPushRecords(graph, kDamping);
+
+  // Reference fixpoint and checkpoint, both at K = 3.
+  std::string path = testing::TempDir() + "/sfdf_restore_cross_width.bin";
+  std::vector<Record> reference_out;
+  {
+    Plan plan = BuildIncrPrPlan(s0, w0, graph, &reference_out);
+    auto physical =
+        Optimizer(OptimizerOptions{.parallelism = 3}).Optimize(plan);
+    ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+    ExecutionOptions eopt;
+    eopt.parallelism = 3;
+    eopt.checkpoint_superstep = 2;
+    eopt.checkpoint_path = path;
+    auto result = Executor(eopt).Run(*physical);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    ASSERT_TRUE(result->workset_reports[0].converged);
+  }
+  std::map<VertexId, double> reference = SinkRanks(reference_out);
+
+  // Restore at K' = 5. The checkpointed records carry no partition ids at
+  // all, so nothing needs translating — the K'=5 session simply routes
+  // them afresh.
+  auto checkpoint = LoadCheckpoint(path);
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  EXPECT_EQ(checkpoint->superstep, 2);
+  std::vector<Record> resumed_out;
+  Plan plan = BuildIncrPrPlan(checkpoint->solution, checkpoint->workset,
+                              graph, &resumed_out);
+  auto physical = Optimizer(OptimizerOptions{.parallelism = 5}).Optimize(plan);
+  ASSERT_TRUE(physical.ok()) << physical.status().ToString();
+  auto result =
+      Executor(ExecutionOptions{.parallelism = 5}).Run(*physical);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_TRUE(result->workset_reports[0].converged);
+
+  std::map<VertexId, double> resumed = SinkRanks(resumed_out);
+  ASSERT_EQ(resumed.size(), reference.size());
+  for (const auto& [v, rank] : reference) {
+    EXPECT_NEAR(resumed[v], rank, 1e-8) << "vertex " << v;
+  }
+  std::remove(path.c_str());
+}
+
 }  // namespace
 }  // namespace sfdf

@@ -1,0 +1,180 @@
+// The gateway's admin and auth surface: per-tenant auth tokens riding the
+// frame header's reserved space (rejections with kUnauthorized, both
+// directions unit-tested), the paged-snapshot opcode streaming bounded
+// frames, and the Reconfigure admin opcode driving a live repartition /
+// engine-pool move over the wire. Runs in the CI TSan job via the net/
+// suite prefix.
+#include "service/gateway.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/client.h"
+#include "service/serving_cc.h"
+
+namespace sfdf {
+namespace {
+
+using net::RpcClient;
+using net::StatField;
+
+constexpr uint16_t kSocialToken = 0xBEEF;
+
+class GatewayAdminTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    host_ = std::make_unique<ServiceHost>(ServiceHost::Options{.workers = 2});
+    ServingCc::Options options;
+    options.num_vertices = 8;
+    options.service.max_batch = 4;
+    options.service.max_linger = std::chrono::milliseconds(0);
+    for (const char* name : {"social", "roads"}) {
+      auto tenant = ServingCc::StartOn(host_.get(), name, options);
+      ASSERT_TRUE(tenant.ok()) << tenant.status().ToString();
+      tenants_.push_back(std::move(*tenant));
+    }
+    GatewayOptions gopt;
+    // "social" is secured; "roads" stays open (absent from the map).
+    gopt.tenant_tokens = {{"social", kSocialToken}};
+    auto gateway = RpcGateway::Start(host_.get(), gopt);
+    ASSERT_TRUE(gateway.ok()) << gateway.status().ToString();
+    gateway_ = std::move(*gateway);
+  }
+
+  void TearDown() override {
+    if (gateway_ != nullptr) EXPECT_TRUE(gateway_->Stop().ok());
+    if (host_ != nullptr) EXPECT_TRUE(host_->StopAll().ok());
+  }
+
+  std::unique_ptr<RpcClient> Client() {
+    auto client = RpcClient::Connect("127.0.0.1", gateway_->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(*client);
+  }
+
+  std::unique_ptr<ServiceHost> host_;
+  std::vector<std::unique_ptr<ServingCc>> tenants_;
+  std::unique_ptr<RpcGateway> gateway_;
+};
+
+TEST_F(GatewayAdminTest, AuthTokensGateSecuredTenantsBothDirections) {
+  auto client = Client();
+  // Direction 1 — a secured tenant rejects missing and wrong tokens, for
+  // reads AND writes, with PermissionDenied (WireCode::kUnauthorized).
+  auto unauthed = client->QueryKey("social", 3);
+  ASSERT_FALSE(unauthed.ok());
+  EXPECT_EQ(unauthed.status().code(), StatusCode::kPermissionDenied);
+
+  client->set_auth_token(0x1234);  // wrong token
+  auto wrong_read = client->QueryKey("social", 3);
+  ASSERT_FALSE(wrong_read.ok());
+  EXPECT_EQ(wrong_read.status().code(), StatusCode::kPermissionDenied);
+  auto wrong_write =
+      client->Mutate("social", {GraphMutation::EdgeInsert(1, 3)});
+  ASSERT_FALSE(wrong_write.ok());
+  EXPECT_EQ(wrong_write.status().code(), StatusCode::kPermissionDenied);
+  auto wrong_admin = client->Reconfigure("social", 4);
+  ASSERT_FALSE(wrong_admin.ok());
+  EXPECT_EQ(wrong_admin.status().code(), StatusCode::kPermissionDenied);
+  // An unauthorized caller cannot even distinguish hosted from unknown
+  // secured names... and the rejection left the connection alive.
+  EXPECT_TRUE(client->Ping().ok());
+
+  // Direction 2 — the matching token opens every opcode.
+  client->set_auth_token(kSocialToken);
+  auto read = client->QueryKey("social", 3);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_TRUE(read->found);
+  auto write = client->Mutate("social", {GraphMutation::EdgeInsert(1, 3)});
+  ASSERT_TRUE(write.ok()) << write.status().ToString();
+  auto page = client->SnapshotPage("social");
+  ASSERT_TRUE(page.ok()) << page.status().ToString();
+  EXPECT_EQ(page->records.size(), 8u);
+
+  // Unsecured tenants ignore the token entirely — any value passes.
+  auto open = client->QueryKey("roads", 3);
+  ASSERT_TRUE(open.ok());
+  client->set_auth_token(0);
+  auto still_open = client->QueryKey("roads", 3);
+  ASSERT_TRUE(still_open.ok());
+}
+
+TEST_F(GatewayAdminTest, SnapshotPageStreamsBoundedFramesOverTheWire) {
+  auto client = Client();
+  auto full = client->Snapshot("roads");
+  ASSERT_TRUE(full.ok());
+  ASSERT_EQ(full->records.size(), 8u);
+
+  // Explicit paging: every frame bounded by max_records, cursor chains to
+  // exhaustion, concatenation equals the unpaged snapshot exactly.
+  std::vector<Record> paged;
+  uint64_t cursor = 0;
+  int pages = 0;
+  do {
+    auto page = client->SnapshotPage("roads", cursor, 3);
+    ASSERT_TRUE(page.ok()) << page.status().ToString();
+    EXPECT_LE(page->records.size(), 3u);
+    EXPECT_EQ(page->epoch, full->epoch);
+    for (Record& rec : page->records) paged.push_back(std::move(rec));
+    cursor = page->next_cursor;
+    ASSERT_LT(++pages, 64) << "cursor failed to make progress";
+  } while (cursor != 0);
+  EXPECT_GE(pages, 3);
+  ASSERT_EQ(paged.size(), full->records.size());
+  for (size_t i = 0; i < paged.size(); ++i) {
+    EXPECT_EQ(paged[i].GetInt(0), full->records[i].GetInt(0)) << i;
+    EXPECT_EQ(paged[i].GetInt(1), full->records[i].GetInt(1)) << i;
+  }
+
+  // The convenience loop stitches the pages back together client-side.
+  auto all = client->SnapshotAll("roads", 3);
+  ASSERT_TRUE(all.ok()) << all.status().ToString();
+  EXPECT_EQ(all->records.size(), full->records.size());
+  EXPECT_EQ(all->epoch, full->epoch);
+}
+
+TEST_F(GatewayAdminTest, ReconfigureOpcodeResizesAndMovesTenants) {
+  ASSERT_TRUE(host_->AddEnginePool("isolation", 3).ok());
+  auto client = Client();
+
+  // Admin errors come back on the wire taxonomy, not as closed sockets.
+  auto unknown_tenant = client->Reconfigure("ghost", 4);
+  ASSERT_FALSE(unknown_tenant.ok());
+  EXPECT_EQ(unknown_tenant.status().code(), StatusCode::kNotFound);
+  auto unknown_pool = client->Reconfigure("roads", 4, "ghost-pool");
+  ASSERT_FALSE(unknown_pool.ok());
+  EXPECT_EQ(unknown_pool.status().code(), StatusCode::kNotFound);
+
+  // Live resize + pool move in one opcode; the reply reports the new
+  // width. The tenant keeps serving across it.
+  auto resized = client->Reconfigure("roads", 4, "isolation");
+  ASSERT_TRUE(resized.ok()) << resized.status().ToString();
+  EXPECT_EQ(*resized, 4u);
+  auto mutate = client->Mutate("roads", {GraphMutation::EdgeInsert(2, 5)});
+  ASSERT_TRUE(mutate.ok()) << mutate.status().ToString();
+  auto query = client->QueryKey("roads", 5);
+  ASSERT_TRUE(query.ok());
+  EXPECT_EQ(query->record.GetInt(1), 2);
+
+  // Partitions 0 = keep: a pure engine move reports the unchanged width.
+  auto moved = client->Reconfigure("roads", 0, "primary");
+  ASSERT_TRUE(moved.ok());
+  EXPECT_EQ(*moved, 4u);
+
+  // The reconfiguration counters are on the wire (satellite: StatFields
+  // 13–16 — parks/wakes and reconfigs/reconfig_ms_last).
+  auto stats = client->Stats("roads");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->fields.size(), 16u);
+  EXPECT_EQ(stats->Get(StatField::kReconfigs), 2.0);
+  EXPECT_GT(stats->Get(StatField::kReconfigMsLast), 0.0);
+  EXPECT_EQ(stats->Get(StatField::kEngineWorkers), 2.0);  // back on primary
+  EXPECT_GE(stats->Get(StatField::kEngineParks), 0.0);
+  EXPECT_GE(stats->Get(StatField::kEngineWakes), 0.0);
+}
+
+}  // namespace
+}  // namespace sfdf

@@ -135,6 +135,75 @@ TEST(PartitionTest, FastRangeCoversAndBalancesPartitions) {
   }
 }
 
+TEST(PartitionTest, IntegerSplitRemapIsARefinement) {
+  // Fast-range remap law: PartitionOf(k, m*K) / m == PartitionOf(k, K).
+  // Proof sketch: with a = hash*K/2^64 (real), floor(m*a) = m*floor(a) +
+  // floor(m*frac(a)) and the second term is < m, so dividing by m gives
+  // floor(a) back. Live reconfiguration leans on this: an integer-factor
+  // resize (4→8, 8→2) only splits shards or merges sibling shards — no key
+  // ever crosses into an unrelated shard's key space.
+  for (int i = 0; i < 10000; ++i) {
+    Record rec = Record::OfInts(static_cast<int64_t>(i) * 2654435761LL);
+    for (int k : {1, 2, 3, 5, 8}) {
+      const int coarse = PartitionOf(rec, KeySpec{0}, k);
+      for (int m : {2, 3, 4}) {
+        EXPECT_EQ(PartitionOf(rec, KeySpec{0}, m * k) / m, coarse)
+            << "key " << i << " K=" << k << " m=" << m;
+      }
+    }
+  }
+}
+
+TEST(PartitionTest, GrowRemapTouchesOnlyTheSplitSubset) {
+  // The 4→8 resize of the reconfiguration gate test, as a pure placement
+  // property: shard p splits into exactly {2p, 2p+1}, and the keys that
+  // "move" (land on 2p+1) are a proper, non-empty subset of p's keys —
+  // the remap reshuffles within old shard boundaries, never across them.
+  // Shrinking 8→2 is the same law read backwards: new = old / 4.
+  const int kKeys = 4096;
+  int moved = 0;
+  for (int i = 0; i < kKeys; ++i) {
+    Record rec = Record::OfInts(i);
+    const int p4 = PartitionOf(rec, KeySpec{0}, 4);
+    const int p8 = PartitionOf(rec, KeySpec{0}, 8);
+    ASSERT_TRUE(p8 == 2 * p4 || p8 == 2 * p4 + 1)
+        << "key " << i << " escaped its split: p4=" << p4 << " p8=" << p8;
+    if (p8 == 2 * p4 + 1) ++moved;
+    const int p2 = PartitionOf(rec, KeySpec{0}, 2);
+    EXPECT_EQ(p8 / 4, p2) << "key " << i;
+  }
+  // Roughly half the keys land on the new sibling; none may leave, and a
+  // remap that moves nothing (or everything) would be equally broken.
+  EXPECT_GT(moved, kKeys / 4);
+  EXPECT_LT(moved, 3 * kKeys / 4);
+}
+
+TEST(PartitionTest, PinnedGoldenRemapAssignments) {
+  // Companion goldens to PinnedGoldenAssignments for the widths the live
+  // reconfiguration gate exercises (4→8, 8→2). Computed once from the
+  // committed HashKey + fast-range pair; they also demonstrate the
+  // refinement chain p8/2 == p4, p4/2 == p2 on concrete values.
+  struct Golden {
+    int64_t value;
+    int p2, p4, p8;
+  };
+  const Golden goldens[] = {
+      {0LL, 1, 3, 6},
+      {1LL, 1, 2, 4},
+      {7LL, 0, 1, 2},
+      {12345LL, 0, 0, 1},
+      {1000000007LL, 0, 1, 3},
+  };
+  for (const Golden& g : goldens) {
+    Record rec = Record::OfInts(g.value);
+    EXPECT_EQ(PartitionOf(rec, KeySpec{0}, 2), g.p2) << g.value;
+    EXPECT_EQ(PartitionOf(rec, KeySpec{0}, 4), g.p4) << g.value;
+    EXPECT_EQ(PartitionOf(rec, KeySpec{0}, 8), g.p8) << g.value;
+    EXPECT_EQ(g.p8 / 2, g.p4) << g.value;
+    EXPECT_EQ(g.p4 / 2, g.p2) << g.value;
+  }
+}
+
 TEST(RemapKeyTest, ForwardRemap) {
   std::vector<FieldMapping> mapping = {{0, 1}, {2, 0}};
   KeySpec out;
