@@ -1,0 +1,143 @@
+// Barrier-free iteration sweep: the Figure-10 convergence workload
+// (INCR-CC on Webbase, fig10_workload.h) executed under every barrier
+// discipline — synchronized supersteps, fully asynchronous local rounds,
+// and bounded staleness with windows k ∈ {1, 2, 4, 8}.
+//
+// Expected shape: the superstep run pays a global barrier per iteration,
+// and Figure 10's long tail is hundreds of near-empty iterations — so once
+// partitions can make progress on whatever their lanes hold, wall-clock
+// drops. Async is the upper bound on reordering freedom; bounded_stale:k
+// interpolates between it and the superstep schedule (k=1 is the tightest
+// coupling that still needs no global barrier). Every mode must converge
+// to EXACTLY the superstep labels: min-label propagation is monotone under
+// the ∪̇ comparator, so update order cannot change the fixpoint — the
+// sweep checks that on every run and fails loudly on any mismatch.
+//
+// The speedup floor (best barrier-free mode >= 1.3x over superstep) is
+// only enforced where barriers actually cost something: at full scale and
+// on hosts with >= 4 hardware threads. On smaller hosts the partitions are
+// time-sliced onto one core, a barrier costs a handful of context
+// switches, and the protocol-overhead comparison is reported for the
+// record, not gated — the same policy bench_exchange applies to its
+// contention floor.
+#include <cstdio>
+#include <thread>
+#include <vector>
+
+#include "algos/connected_components.h"
+#include "bench_common.h"
+#include "common/stopwatch.h"
+#include "fig10_workload.h"
+
+int main() {
+  using namespace sfdf;
+  bench::Header(
+      "Async", "Barrier-free CC convergence: superstep vs async vs "
+               "bounded_stale(k)",
+      "identical labels in every mode; barrier-free modes shed the per-"
+      "iteration barrier, so best-of >= 1.3x over superstep where >= 4 "
+      "hardware threads give barriers a real cost");
+
+  Graph graph = bench::Fig10Graph();
+  std::printf("graph: %s\n", graph.ToString().c_str());
+
+  const char* kModes[] = {"superstep",       "async",
+                          "bounded_stale:1", "bounded_stale:2",
+                          "bounded_stale:4", "bounded_stale:8"};
+  std::printf("%-16s %10s %10s %12s %12s %10s %9s\n", "mode", "seconds",
+              "rounds", "local_rounds", "revocations", "staleness",
+              "speedup");
+
+  std::vector<VertexId> reference_labels;
+  double superstep_seconds = 0;
+  double best_barrier_free = 0;
+  const char* best_mode = "none";
+  for (const char* spec : kModes) {
+    auto parsed = bench::ParseExecMode(spec);
+    if (!parsed.ok()) {
+      std::printf("error: %s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    // Best-of-3 per mode: the whole sweep is oversubscribed on small
+    // hosts, and one descheduled partition stalls a superstep barrier (or
+    // a staleness window) for a full quantum.
+    const int kReps = 3;
+    double seconds = 0;
+    CcResult result;
+    for (int rep = 0; rep < kReps; ++rep) {
+      Stopwatch watch;
+      auto run = RunConnectedComponents(graph, bench::Fig10CcOptions(*parsed));
+      if (!run.ok()) {
+        std::printf("error (%s): %s\n", spec, run.status().ToString().c_str());
+        return 1;
+      }
+      const double elapsed = watch.ElapsedSeconds();
+      if (rep == 0 || elapsed < seconds) {
+        seconds = elapsed;
+        result = std::move(*run);
+      }
+    }
+    if (!result.converged) {
+      std::printf("FAIL: %s did not converge\n", spec);
+      return 1;
+    }
+    // Fixpoint equivalence: every discipline must produce the superstep
+    // labels bit-for-bit.
+    if (reference_labels.empty()) {
+      reference_labels = result.labels;
+    } else if (result.labels != reference_labels) {
+      std::printf("FAIL: %s labels diverge from the superstep fixpoint\n",
+                  spec);
+      return 1;
+    }
+
+    int64_t local_rounds = 0;
+    for (int64_t r : result.exec.async_local_rounds) local_rounds += r;
+    const bool barrier_free = parsed->sync_mode != SyncMode::kSuperstep;
+    if (!barrier_free) superstep_seconds = seconds;
+    const double speedup =
+        (barrier_free && seconds > 0) ? superstep_seconds / seconds : 1.0;
+    if (barrier_free && speedup > best_barrier_free) {
+      best_barrier_free = speedup;
+      best_mode = spec;
+    }
+    std::printf("%-16s %10.3f %10d %12lld %12lld %10lld %8.2fx\n", spec,
+                seconds, result.iterations,
+                static_cast<long long>(local_rounds),
+                static_cast<long long>(result.exec.async_vote_revocations),
+                static_cast<long long>(result.exec.async_max_staleness),
+                speedup);
+    std::printf(
+        "row mode=%s seconds=%.3f rounds=%d local_rounds=%lld "
+        "revocations=%lld max_staleness=%lld speedup=%.3f converged=%d\n",
+        spec, seconds, result.iterations,
+        static_cast<long long>(local_rounds),
+        static_cast<long long>(result.exec.async_vote_revocations),
+        static_cast<long long>(result.exec.async_max_staleness), speedup,
+        result.converged ? 1 : 0);
+  }
+
+  std::printf("summary best_mode=%s best_speedup=%.3f superstep_s=%.3f\n",
+              best_mode, best_barrier_free, superstep_seconds);
+
+  // Acceptance floor: the best barrier-free mode must beat supersteps by
+  // >= 1.3x — but only where the comparison is measurable (full scale, so
+  // the tail has hundreds of iterations; >= 4 hardware threads, so a
+  // barrier actually idles cores). Elsewhere: reported, not enforced.
+  const unsigned hw = std::thread::hardware_concurrency();
+  if (ScaleFactor() < 1.0) return 0;
+  if (hw < 4) {
+    std::printf(
+        "note: %u hardware thread(s) — partitions are time-sliced, so the "
+        "1.3x barrier-elimination floor is reported, not enforced "
+        "(measured %.2fx)\n",
+        hw, best_barrier_free);
+    return 0;
+  }
+  if (best_barrier_free < 1.3) {
+    std::printf("FAIL: best barrier-free speedup %.2fx below the 1.3x floor\n",
+                best_barrier_free);
+    return 1;
+  }
+  return 0;
+}

@@ -9,53 +9,86 @@
 // for hundreds of supersteps; after the initial flood both per-iteration
 // time and messages drop by orders of magnitude and stay tiny for the long
 // tail (time bounded below by superstep synchronization).
+//
+// --mode=superstep|async|bounded_stale:K re-runs the same incremental
+// workload (fig10_workload.h, shared with bench_async_staleness) under a
+// different barrier discipline. Barrier-free modes have no supersteps, so
+// the per-iteration series is only printed for --mode=superstep; the
+// bulk-extrapolation baseline always runs in superstep mode (bulk plans
+// reject barrier-free execution by design).
 #include <cstdio>
 
 #include "algos/connected_components.h"
 #include "bench_common.h"
 #include "common/stopwatch.h"
-#include "graph/datasets.h"
+#include "fig10_workload.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace sfdf;
+  auto parsed = bench::ExecModeFromArgs(argc, argv);
+  if (!parsed.ok()) {
+    std::printf("error: %s\n", parsed.status().ToString().c_str());
+    return 1;
+  }
+  const bench::ExecMode mode = *parsed;
   bench::Header(
       "Figure 10", "CC on Webbase: per-iteration time & messages, full run",
       "hundreds of iterations; time and messages drop by orders of "
       "magnitude after the initial flood; bulk extrapolates to ~2 orders "
       "of magnitude slower");
+  std::printf("mode: %s\n", mode.name.c_str());
 
-  Graph graph = DatasetByName("webbase").generate(ScaleFactor());
+  Graph graph = bench::Fig10Graph();
   std::printf("graph: %s\n", graph.ToString().c_str());
 
   // --- Incremental plan to full convergence ---
-  CcOptions options;
-  options.variant = CcVariant::kIncrementalCoGroup;
-  options.max_iterations = 1000000;
   Stopwatch incr_watch;
-  auto incr = RunConnectedComponents(graph, options);
+  auto incr = RunConnectedComponents(graph, bench::Fig10CcOptions(mode));
   if (!incr.ok()) {
     std::printf("error: %s\n", incr.status().ToString().c_str());
     return 1;
   }
   double incr_total = incr_watch.ElapsedSeconds();
-  const auto& steps = incr->exec.workset_reports[0].supersteps;
   std::printf("incremental: %d iterations, %.3f s total, converged=%d\n",
               incr->iterations, incr_total, incr->converged ? 1 : 0);
 
-  // Print a decimating sample of the long series (like the log-scale plot).
-  std::printf("%-10s %14s %14s\n", "iteration", "millis", "messages");
-  int stride = std::max<int>(1, static_cast<int>(steps.size()) / 40);
-  for (size_t i = 0; i < steps.size();
-       i += (i < 10 ? 1 : static_cast<size_t>(stride))) {
-    std::printf("%-10d %14.3f %14lld\n", steps[i].superstep + 1,
-                steps[i].millis,
-                static_cast<long long>(steps[i].workset_size));
-    std::printf("row iteration=%d millis=%.3f messages=%lld\n",
-                steps[i].superstep + 1, steps[i].millis,
-                static_cast<long long>(steps[i].workset_size));
+  if (mode.sync_mode == SyncMode::kSuperstep) {
+    // Print a decimating sample of the long series (the log-scale plot).
+    const auto& steps = incr->exec.workset_reports[0].supersteps;
+    std::printf("%-10s %14s %14s\n", "iteration", "millis", "messages");
+    int stride = std::max<int>(1, static_cast<int>(steps.size()) / 40);
+    for (size_t i = 0; i < steps.size();
+         i += (i < 10 ? 1 : static_cast<size_t>(stride))) {
+      std::printf("%-10d %14.3f %14lld\n", steps[i].superstep + 1,
+                  steps[i].millis,
+                  static_cast<long long>(steps[i].workset_size));
+      std::printf("row iteration=%d millis=%.3f messages=%lld\n",
+                  steps[i].superstep + 1, steps[i].millis,
+                  static_cast<long long>(steps[i].workset_size));
+    }
+  } else {
+    // Barrier-free rounds are per-partition and unsynchronized — there is
+    // no global per-iteration series to plot. Report the run-level
+    // quiescence-protocol counters instead.
+    int64_t local_rounds = 0;
+    for (int64_t r : incr->exec.async_local_rounds) local_rounds += r;
+    std::printf(
+        "barrier-free run: no superstep series; local_rounds=%lld "
+        "revocations=%lld max_staleness=%lld\n",
+        static_cast<long long>(local_rounds),
+        static_cast<long long>(incr->exec.async_vote_revocations),
+        static_cast<long long>(incr->exec.async_max_staleness));
+    std::printf(
+        "row mode=%s local_rounds=%lld revocations=%lld max_staleness=%lld "
+        "incr_total_s=%.3f\n",
+        mode.name.c_str(), static_cast<long long>(local_rounds),
+        static_cast<long long>(incr->exec.async_vote_revocations),
+        static_cast<long long>(incr->exec.async_max_staleness), incr_total);
   }
 
   // --- Bulk plan, first 20 iterations, extrapolated to convergence ---
+  // Always superstep: ValidateSyncMode rejects barrier-free bulk plans, and
+  // the figure's baseline is the paper's synchronized bulk iteration.
   CcOptions bulk_options;
   bulk_options.variant = CcVariant::kBulk;
   bulk_options.max_iterations = 20;
@@ -74,8 +107,9 @@ int main() {
       bulk20, incr->iterations, bulk_extrapolated);
   std::printf(
       "summary incr_total_s=%.3f bulk20_s=%.3f bulk_extrapolated_s=%.1f "
-      "speedup=%.1f iterations=%d\n",
+      "speedup=%.1f iterations=%d mode=%s\n",
       incr_total, bulk20, bulk_extrapolated,
-      incr_total > 0 ? bulk_extrapolated / incr_total : 0, incr->iterations);
+      incr_total > 0 ? bulk_extrapolated / incr_total : 0, incr->iterations,
+      mode.name.c_str());
   return 0;
 }

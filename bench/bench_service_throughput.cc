@@ -153,6 +153,12 @@ int main() {
               stats.reconfig_ms_last);
   std::printf("%-34s %12llu\n", "batched rounds (streaming phase)",
               static_cast<unsigned long long>(stats.rounds));
+  std::printf("%-34s %12lld\n", "async local rounds",
+              static_cast<long long>(stats.async_local_rounds));
+  std::printf("%-34s %12lld\n", "async vote revocations",
+              static_cast<long long>(stats.async_vote_revocations));
+  std::printf("%-34s %12lld\n", "async max staleness",
+              static_cast<long long>(stats.async_max_staleness));
   std::printf("%-34s %12llu\n", "mutations rejected",
               static_cast<unsigned long long>(stats.mutations_rejected));
   std::printf("%-34s %12llu\n", "admission queue depth (final)",
@@ -171,7 +177,8 @@ int main() {
       "engine_workers=%d engine_tasks=%lld engine_queue_wait_ms=%.3f "
       "engine_queue_wait_max_ms=%.3f engine_parks=%lld engine_wakes=%lld "
       "reconfigs=%llu reconfig_ms_last=%.3f mutations_rejected=%llu "
-      "admission_queue_depth=%llu\n",
+      "admission_queue_depth=%llu async_local_rounds=%lld "
+      "async_vote_revocations=%lld async_max_staleness=%lld\n",
       cold_seconds, cold_serve_seconds, p50, p99, speedup, sustained,
       static_cast<unsigned long long>(streamed),
       static_cast<unsigned long long>(stats.rounds),
@@ -189,7 +196,10 @@ int main() {
       static_cast<unsigned long long>(stats.reconfigs),
       stats.reconfig_ms_last,
       static_cast<unsigned long long>(stats.mutations_rejected),
-      static_cast<unsigned long long>(stats.admission_queue_depth));
+      static_cast<unsigned long long>(stats.admission_queue_depth),
+      static_cast<long long>(stats.async_local_rounds),
+      static_cast<long long>(stats.async_vote_revocations),
+      static_cast<long long>(stats.async_max_staleness));
 
   // Acceptance floor: warm beats cold by >= 5x on a single-edge batch.
   // Only gated at full scale — in smoke mode the cold recompute is a few

@@ -1,0 +1,94 @@
+// The Figure-10 convergence workload, shared between the figure harness
+// (bench_fig10_webbase_convergence) and the barrier-free mode sweep
+// (bench_async_staleness): Connected Components on the Webbase stand-in,
+// incremental (workset) plan, run to full convergence. Keeping the
+// dataset, variant and iteration cap in one place guarantees the mode
+// sweep measures exactly the workload the figure reports — a speedup on a
+// subtly different graph would be meaningless.
+//
+// The execution-mode flag both binaries accept is parsed here too:
+//   --mode=superstep          synchronized supersteps (paper default)
+//   --mode=async              barrier-free local rounds, quiescence stop
+//   --mode=bounded_stale:K    barrier-free, capped at K rounds of lead
+#pragma once
+
+#include <cstdlib>
+#include <string>
+
+#include "algos/connected_components.h"
+#include "common/env.h"
+#include "common/result.h"
+#include "graph/datasets.h"
+#include "graph/graph.h"
+
+namespace sfdf {
+namespace bench {
+
+struct ExecMode {
+  SyncMode sync_mode = SyncMode::kSuperstep;
+  int staleness_bound = 1;
+  std::string name = "superstep";
+};
+
+inline Result<ExecMode> ParseExecMode(const std::string& spec) {
+  ExecMode mode;
+  mode.name = spec;
+  if (spec == "superstep") {
+    mode.sync_mode = SyncMode::kSuperstep;
+    return mode;
+  }
+  if (spec == "async") {
+    mode.sync_mode = SyncMode::kAsync;
+    return mode;
+  }
+  const std::string prefix = "bounded_stale:";
+  if (spec.rfind(prefix, 0) == 0) {
+    const int k = std::atoi(spec.c_str() + prefix.size());
+    if (k < 1) {
+      return Status::InvalidArgument("bounded_stale window must be >= 1: " +
+                                     spec);
+    }
+    mode.sync_mode = SyncMode::kBoundedStale;
+    mode.staleness_bound = k;
+    return mode;
+  }
+  return Status::InvalidArgument(
+      "unknown mode '" + spec +
+      "' (expected superstep | async | bounded_stale:K)");
+}
+
+/// Scans argv for --mode=...; anything else is rejected so a typo cannot
+/// silently fall back to the superstep default.
+inline Result<ExecMode> ExecModeFromArgs(int argc, char** argv) {
+  ExecMode mode;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    const std::string prefix = "--mode=";
+    if (arg.rfind(prefix, 0) != 0) {
+      return Status::InvalidArgument("unexpected argument '" + arg +
+                                     "' (only --mode=... is accepted)");
+    }
+    SFDF_ASSIGN_OR_RETURN(mode, ParseExecMode(arg.substr(prefix.size())));
+  }
+  return mode;
+}
+
+inline Graph Fig10Graph() {
+  return DatasetByName("webbase").generate(ScaleFactor());
+}
+
+/// The figure's incremental plan (INCR-CC as an InnerCoGroup workset
+/// iteration), in the requested barrier discipline. Min-label propagation
+/// is monotone under the ∪̇ comparator, so every mode converges to the
+/// same labels — the sweep asserts that.
+inline CcOptions Fig10CcOptions(const ExecMode& mode) {
+  CcOptions options;
+  options.variant = CcVariant::kIncrementalCoGroup;
+  options.max_iterations = 1000000;
+  options.sync_mode = mode.sync_mode;
+  options.staleness_bound = mode.staleness_bound;
+  return options;
+}
+
+}  // namespace bench
+}  // namespace sfdf

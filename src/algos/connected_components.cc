@@ -88,6 +88,10 @@ Result<CcResult> RunBulk(const Graph& graph, const CcOptions& options,
   ExecutionOptions eopt;
   eopt.parallelism = options.parallelism;
   eopt.record_superstep_stats = options.record_superstep_stats;
+  // Forwarded so a non-superstep request fails loudly (bulk iterations
+  // have no record-level ∪̇ to reorder) instead of silently running sync.
+  eopt.sync_mode = options.sync_mode;
+  eopt.staleness_bound = options.staleness_bound;
   Executor executor(eopt);
   auto exec = executor.Run(*physical);
   if (!exec.ok()) return exec.status();
@@ -172,6 +176,8 @@ Result<CcResult> RunIncremental(const Graph& graph, const CcOptions& options,
   ExecutionOptions eopt;
   eopt.parallelism = options.parallelism;
   eopt.record_superstep_stats = options.record_superstep_stats;
+  eopt.sync_mode = options.sync_mode;
+  eopt.staleness_bound = options.staleness_bound;
   Executor executor(eopt);
   auto exec = executor.Run(*physical);
   if (!exec.ok()) return exec.status();

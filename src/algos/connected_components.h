@@ -44,6 +44,14 @@ struct CcOptions {
   int force_solution_index = 0;  ///< 0 auto, 1 hash, 2 B+-tree
   bool enable_caching = true;
   bool disable_immediate_apply = false;  ///< buffer D until superstep end
+  /// Barrier coupling of the workset loop (see ExecutionOptions::sync_mode).
+  /// Min-label propagation is monotone under the ∪̇ comparator ("smaller
+  /// cid wins"), so all modes converge to the same labels. Only meaningful
+  /// for the incremental (workset) variants; the bulk variant always runs
+  /// supersteps, and kAsyncMicrostep has its own microstep execution.
+  SyncMode sync_mode = SyncMode::kSuperstep;
+  /// Staleness window for SyncMode::kBoundedStale.
+  int staleness_bound = 1;
 };
 
 struct CcResult {

@@ -99,6 +99,8 @@ Result<IncrementalPageRankResult> RunIncrementalPageRank(
   ExecutionOptions eopt;
   eopt.parallelism = options.parallelism;
   eopt.record_superstep_stats = options.record_superstep_stats;
+  eopt.sync_mode = options.sync_mode;
+  eopt.staleness_bound = options.staleness_bound;
   Executor executor(eopt);
   auto exec = executor.Run(*physical);
   if (!exec.ok()) return exec.status();

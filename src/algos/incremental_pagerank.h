@@ -44,6 +44,12 @@ struct IncrementalPageRankOptions {
   int max_iterations = 10000;
   int parallelism = 0;
   bool record_superstep_stats = true;
+  /// Barrier coupling of the workset loop (see ExecutionOptions::sync_mode).
+  /// Residual pushes are additive and applied through the ∪̇ merge, so all
+  /// modes reach the same fixpoint up to O(ε) per page.
+  SyncMode sync_mode = SyncMode::kSuperstep;
+  /// Staleness window for SyncMode::kBoundedStale.
+  int staleness_bound = 1;
 };
 
 struct IncrementalPageRankResult {

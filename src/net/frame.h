@@ -104,6 +104,11 @@ enum class StatField : uint16_t {
   kEngineWakes = 14,
   kReconfigs = 15,
   kReconfigMsLast = 16,
+  // Barrier-free (async / bounded-stale) execution; zero on superstep
+  // tenants.
+  kAsyncLocalRounds = 17,
+  kAsyncVoteRevocations = 18,
+  kAsyncMaxStaleness = 19,
 };
 
 struct Frame {

@@ -278,6 +278,67 @@ class Exchange {
     }
   }
 
+  /// Consumer-visible state of one lane, for barrier-free partial-phase
+  /// reads: a lane with nothing queued is only *done* when its producer
+  /// closed it (kEndStream) — "open but currently empty" means more data
+  /// may still arrive and a quiescence vote must account for the producer,
+  /// not just the queue.
+  enum class LaneState {
+    kReadable,   ///< at least one envelope is currently published
+    kOpenEmpty,  ///< nothing queued, producer may still push
+    kClosed,     ///< kEndStream observed; the lane ended for good
+  };
+
+  /// Single consumer thread only (it reads consumer-owned phase state).
+  LaneState lane_state(int lane) const {
+    const Lane& ln = *lanes_[static_cast<size_t>(lane)];
+    if (ln.queue.Readable()) return LaneState::kReadable;
+    return ln.closed ? LaneState::kClosed : LaneState::kOpenEmpty;
+  }
+
+  /// True if any lane currently has an envelope published. Consumer-side
+  /// probe; a false result is instantaneous, not a phase statement — an
+  /// open lane may receive data right after.
+  bool HasQueued() const {
+    for (const auto& lane : lanes_) {
+      if (lane->queue.Readable()) return true;
+    }
+    return false;
+  }
+
+  /// Barrier-free read: drains every envelope the lanes currently hold and
+  /// returns immediately — no marker accounting, no blocking. Calls
+  /// `fn(batch)` per data batch (recycled afterwards, same retention rule
+  /// as ReadPhase) and returns the number of records delivered. kEndStream
+  /// closes its lane (final-flush markers of a terminated loop);
+  /// kEndSuperstep is a protocol violation — barrier-free producers flush
+  /// without phase markers.
+  template <typename Fn>
+  int64_t DrainOpen(Fn&& fn) {
+    int64_t records = 0;
+    for (auto& lane_ptr : lanes_) {
+      Lane& lane = *lane_ptr;
+      Envelope envelope;
+      while (PopLane(lane, &envelope)) {
+        switch (envelope.kind) {
+          case MarkerKind::kData:
+            records += static_cast<int64_t>(envelope.batch.size());
+            fn(envelope.batch);
+            Recycle(lane, std::move(envelope.batch));
+            break;
+          case MarkerKind::kEndSuperstep:
+            SFDF_CHECK(false)
+                << "end-of-superstep marker on a barrier-free lane";
+            break;
+          case MarkerKind::kEndStream:
+            lane.closed = true;
+            break;
+        }
+      }
+    }
+    return records;
+  }
+
   // --- controller side (requires external quiescence) ---------------------
 
   /// Drops every queued envelope so the exchange can be reused for another
@@ -294,6 +355,26 @@ class Exchange {
       while (PopLane(*lane, &envelope)) ++dropped;
     }
     return dropped;
+  }
+
+  /// Salvages every queued data record into `out` (markers are dropped) and
+  /// returns how many records were appended. Same legality contract as
+  /// Reset — controller only, under quiescence: a destructive drain for
+  /// controllers that must preserve queued records instead of asserting
+  /// there are none (Reset's job).
+  size_t DrainTo(std::vector<Record>* out) {
+    SyncWithProducers();
+    size_t drained = 0;
+    for (auto& lane : lanes_) {
+      Envelope envelope;
+      while (PopLane(*lane, &envelope)) {
+        if (envelope.kind != MarkerKind::kData) continue;
+        drained += envelope.batch.size();
+        for (const Record& rec : envelope.batch) out->push_back(rec);
+        Recycle(*lane, std::move(envelope.batch));
+      }
+    }
+    return drained;
   }
 
   /// Reopens a drained exchange for one more production phase and seeds it:

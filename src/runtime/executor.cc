@@ -113,6 +113,34 @@ struct WorksetRuntime {
   std::unique_ptr<QuiescenceDetector> detector;
   std::atomic<int64_t> micro_processed{0};
 
+  /// Barrier-free mode (sync_mode != kSuperstep): the double-buffered
+  /// front/back queues are replaced by per-partition feedback exchanges —
+  /// async_feedback[p] is drained by head instance p, with one lane per
+  /// producing tail instance — so a tail's routed records become visible
+  /// (and creditable) the moment they are pushed, not at a phase flip.
+  bool barrier_free = false;
+  std::vector<std::unique_ptr<Exchange>> async_feedback;
+  struct AsyncPart {
+    /// Records this partition popped from in-loop lanes during the local
+    /// round that is currently executing; their quiescence credits are
+    /// returned in one batch at the end of the round, after the round's
+    /// own children were published (exact-credit rule). Only touched by
+    /// the partition's own round task.
+    int64_t popped_this_round = 0;
+    /// The head still owes a read of its external W_0 port (set by the
+    /// controller at round seed time, cleared by the head's first local
+    /// round of the service round).
+    bool w0_pending = true;
+  };
+  std::vector<std::unique_ptr<AsyncPart>> async_parts;
+  /// Executed-local-rounds snapshot per partition at the current service
+  /// round's start; the per-round iteration cap counts against it.
+  /// Controller-written under round quiescence.
+  std::vector<int64_t> async_round_base;
+  /// Wakes partition p's round task (installed by the scheduler once the
+  /// async node's park slots exist; only called from inside round tasks).
+  std::function<void(int)> async_wake;
+
   IterationReport report;
   Stopwatch watch;
   Metrics* metrics = nullptr;
@@ -144,6 +172,10 @@ struct ExecContext {
   int64_t cache_spill_budget = INT64_MAX;
   int checkpoint_superstep = -1;
   std::string checkpoint_path;
+  /// Barrier discipline of this run's workset iterations (validated before
+  /// setup: != kSuperstep implies every workset iteration qualifies).
+  SyncMode sync_mode = SyncMode::kSuperstep;
+  int staleness_bound = 0;  ///< local rounds ahead allowed; 0 = unbounded
   Metrics metrics;
 
   /// channels[task][port][partition]: the consumer-side exchanges. Each
@@ -204,6 +236,39 @@ class TaskInstance {
   /// Loop tasks: the resumable per-superstep program.
   LoopProgram MakeLoopProgram();
 
+  int partition() const { return partition_; }
+
+  /// Barrier-free scheduling probe: does any in-loop input currently hold
+  /// an envelope? (Instantaneous; the quiescence credits, not this probe,
+  /// prove global emptiness.)
+  bool AnyLoopInputReadable() {
+    for (size_t port = 0; port < task_->inputs.size(); ++port) {
+      const int p = static_cast<int>(port);
+      if (PortInLoop(p) && Input(p)->HasQueued()) return true;
+    }
+    return false;
+  }
+
+  /// Brackets every in-loop data publish of this instance with the
+  /// barrier-free credit/vote/wake protocol (see OutputPort::
+  /// set_async_hooks). Called once by the scheduler after the async node's
+  /// park slots exist.
+  void InstallAsyncHooks() {
+    WorksetRuntime* rt = &WsRt();
+    const int self = partition_;
+    for (OutputPort* port : out_ptrs_) {
+      if (!port->in_loop()) continue;
+      port->set_async_hooks(
+          [rt](int target, int64_t records) {
+            rt->coordinator->CreditEnqueued(records);
+            rt->coordinator->RevokeQuiescentVote(target);
+          },
+          [rt, self](int target) {
+            if (target != self) rt->async_wake(target);
+          });
+    }
+  }
+
  private:
   // --- wiring helpers -----------------------------------------------------
   void BuildOutputs() {
@@ -235,9 +300,25 @@ class TaskInstance {
     return IsLoopTask(producer) && SameLoop(producer, *task_);
   }
 
+  /// True if this instance's loop executes barrier-free: its in-loop ports
+  /// are drained non-blockingly (partial phases) and no phase markers are
+  /// sent. External ports keep the marker protocol either way.
+  bool AsyncMode() const {
+    return task_->workset_iteration >= 0 &&
+           ctx_->sync_mode != SyncMode::kSuperstep;
+  }
+
   void SendSuperstepMarkers() {
+    const bool async = AsyncMode();
     for (OutputPort* port : out_ptrs_) {
-      if (port->in_loop()) port->SendMarker(MarkerKind::kEndSuperstep);
+      if (!port->in_loop()) continue;
+      // Barrier-free: there is no phase to delimit — just make the
+      // buffered records visible (the port's async hooks credit them).
+      if (async) {
+        port->Flush();
+      } else {
+        port->SendMarker(MarkerKind::kEndSuperstep);
+      }
     }
   }
 
@@ -248,9 +329,19 @@ class TaskInstance {
   }
 
   /// Reads `port` for the current phase: loop ports until END_SUPERSTEP,
-  /// external ports until END_STREAM.
+  /// external ports until END_STREAM. Barrier-free loops instead drain
+  /// whatever the in-loop lanes currently hold (no blocking, no marker
+  /// accounting) and count the popped records against the partition's
+  /// quiescence credits at the end of its local round.
   template <typename Fn>
   void ReadPort(int port, Fn&& fn) {
+    if (PortInLoop(port) && AsyncMode()) {
+      WsRt().async_parts[partition_]->popped_this_round +=
+          Input(port)->DrainOpen([&](const RecordBatch& batch) {
+            for (const Record& rec : batch) fn(rec);
+          });
+      return;
+    }
     MarkerKind until = PortInLoop(port) ? MarkerKind::kEndSuperstep
                                         : MarkerKind::kEndStream;
     Input(port)->ReadPhase(until, [&](const RecordBatch& batch) {
@@ -783,6 +874,34 @@ LoopProgram TaskInstance::MakeWorksetHead() {
   prog.body = [this, st](int64_t superstep) {
     WorksetRuntime& rt = WsRt();
     int64_t count = 0;
+    if (rt.barrier_free) {
+      // Local round of a barrier-free iteration: consume the external W_0
+      // phase once per service round (blocking is safe — the seed stream
+      // is complete before any round task is scheduled), then whatever
+      // the tails' feedback lanes currently hold.
+      WorksetRuntime::AsyncPart& ap = *rt.async_parts[partition_];
+      if (ap.w0_pending) {
+        ReadPort(0, [&](const Record& rec) {
+          st->collector.Emit(rec);
+          ++count;
+        });
+        // The startup credit is NOT released here: the scheduler returns
+        // it at the end of this local round, after the round's children
+        // were published — otherwise `pending` could dip to zero while
+        // W_0-derived records are still buffered in output ports.
+        ap.w0_pending = false;
+      }
+      const int64_t fed =
+          rt.async_feedback[partition_]->DrainOpen([&](const RecordBatch& b) {
+            for (const Record& rec : b) st->collector.Emit(rec);
+          });
+      ap.popped_this_round += fed;
+      count += fed;
+      rt.coordinator->workset_consumed.fetch_add(count,
+                                                 std::memory_order_relaxed);
+      SendSuperstepMarkers();  // barrier-free: flush, no markers
+      return;
+    }
     auto drain_front = [&] {
       std::vector<Record> records = std::move(rt.front[partition_]);
       rt.front[partition_].clear();
@@ -816,6 +935,42 @@ LoopProgram TaskInstance::MakeWorksetTail() {
   prog.body = [this](int64_t) {
     WorksetRuntime& rt = WsRt();
     const int P = rt.parallelism;
+    if (rt.barrier_free) {
+      // Route W_{i+1} into the per-partition feedback exchanges. Credits
+      // are taken and the target's quiescence vote revoked BEFORE the
+      // push makes the batch visible; the wake follows the push (a lost
+      // wake is impossible — the engine's wake-pending handshake catches
+      // a wake racing the target's park).
+      std::vector<RecordBatch> out(static_cast<size_t>(P));
+      std::vector<bool> cut(static_cast<size_t>(P), false);
+      int64_t count = 0;
+      int64_t remote = 0;
+      ReadPort(0, [&](const Record& rec) {
+        const int target = PartitionOf(rec, rt.route_key, P);
+        if (!cut[target]) {
+          out[target] = rt.async_feedback[target]->AcquireBatch(partition_);
+          cut[target] = true;
+        }
+        out[target].Add(rec);
+        ++count;
+        if (target != partition_) ++remote;
+      });
+      for (int p = 0; p < P; ++p) {
+        if (!cut[p] || out[p].empty()) continue;
+        const int64_t records = static_cast<int64_t>(out[p].size());
+        rt.coordinator->CreditEnqueued(records);
+        rt.coordinator->RevokeQuiescentVote(p);
+        Envelope envelope;
+        envelope.kind = MarkerKind::kData;
+        envelope.batch = std::move(out[p]);
+        rt.async_feedback[p]->Push(partition_, std::move(envelope));
+        if (p != partition_) rt.async_wake(p);
+      }
+      ctx_->metrics.CountShipped(count, count * sizeof(Record), remote);
+      rt.coordinator->workset_produced.fetch_add(count,
+                                                 std::memory_order_relaxed);
+      return;
+    }
     // Route W_{i+1} records into the back buffers by the workset key.
     std::vector<std::vector<Record>> local(P);
     int64_t count = 0;
@@ -1499,6 +1654,62 @@ Status ValidateExecutionOptions(const ExecutionOptions& options) {
         "got " +
         std::to_string(options.checkpoint_superstep));
   }
+  if (options.sync_mode == SyncMode::kBoundedStale &&
+      options.staleness_bound < 1) {
+    return Status::InvalidArgument(
+        "ExecutionOptions.staleness_bound must be >= 1 for bounded_stale "
+        "(a bound of k lets a partition run k local rounds ahead), got " +
+        std::to_string(options.staleness_bound));
+  }
+  if (options.sync_mode != SyncMode::kSuperstep &&
+      options.checkpoint_superstep >= 0) {
+    return Status::InvalidArgument(
+        "checkpointing is superstep-aligned and unavailable under "
+        "sync_mode async/bounded_stale — there is no global superstep to "
+        "checkpoint at");
+  }
+  return Status::OK();
+}
+
+/// Plan-level gate for barrier-free execution. Async / bounded-stale runs
+/// re-order and re-group the delta merges (partial phases split workset
+/// groups across local rounds), so the plan's ∪̇ must be idempotent-safe:
+/// either a CPO comparator decides every conflict (order-free by
+/// construction, §5.1) or the delta is applied immediately and locally, so
+/// every partial merge folds into S before the next one reads it. A plan
+/// with neither resolves conflicts by arrival order at a barrier — exactly
+/// the order a barrier-free run no longer fixes.
+Status ValidateSyncMode(const PhysicalPlan& plan,
+                        const ExecutionOptions& options) {
+  if (options.sync_mode == SyncMode::kSuperstep) return Status::OK();
+  if (plan.workset_iterations.empty()) {
+    return Status::Unsupported(
+        "sync_mode async/bounded_stale applies to workset iterations; this "
+        "plan has none");
+  }
+  if (!plan.bulk_iterations.empty()) {
+    return Status::Unsupported(
+        "sync_mode async/bounded_stale cannot run bulk iterations — a bulk "
+        "body consumes the WHOLE previous partial solution, which only "
+        "exists at a superstep boundary");
+  }
+  for (const PhysicalWorksetIteration& spec : plan.workset_iterations) {
+    if (spec.microstep) {
+      return Status::Unsupported(
+          "sync_mode async/bounded_stale does not apply to microstep plans "
+          "— the fused microstep loop is already barrier-free "
+          "(record-level, not round-level); run it with sync_mode "
+          "superstep");
+    }
+    if (!spec.immediate_apply && !spec.comparator) {
+      return Status::Unsupported(
+          "sync_mode async/bounded_stale requires an idempotent-safe ∪̇: "
+          "give the iteration a CPO comparator or let the optimizer apply "
+          "deltas immediately (this plan resolves solution-set conflicts "
+          "by arrival order, which barrier-free execution does not "
+          "preserve)");
+    }
+  }
   return Status::OK();
 }
 
@@ -1517,6 +1728,10 @@ Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
   ctx.cache_spill_budget = options.cache_spill_budget_bytes;
   ctx.checkpoint_superstep = options.checkpoint_superstep;
   ctx.checkpoint_path = options.checkpoint_path;
+  ctx.sync_mode = options.sync_mode;
+  ctx.staleness_bound =
+      options.sync_mode == SyncMode::kBoundedStale ? options.staleness_bound
+                                                   : 0;
 
   // --- channels & consumer index ---
   ctx.channels.resize(plan.tasks.size());
@@ -1591,6 +1806,21 @@ Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
       WorksetRuntime* raw = rt.get();
       rt->coordinator = std::make_unique<SuperstepCoordinator>(
           loop_tasks_ws[i] * P, MakeWorksetDecide(&ctx, raw));
+      if (ctx.sync_mode != SyncMode::kSuperstep) {
+        // Barrier-free: feedback flows through per-partition exchanges
+        // (one lane per tail instance), bookkept by the coordinator's
+        // quiescence/staleness side. ValidateSyncMode vouched for the
+        // plan (idempotent-safe ∪̇, no bulk, no microstep).
+        rt->barrier_free = true;
+        rt->report.ran_async = true;
+        rt->coordinator->EnableBarrierFree(P, ctx.staleness_bound);
+        rt->async_round_base.assign(static_cast<size_t>(P), 0);
+        for (int p = 0; p < P; ++p) {
+          rt->async_feedback.push_back(std::make_unique<Exchange>(P));
+          rt->async_parts.push_back(
+              std::make_unique<WorksetRuntime::AsyncPart>());
+        }
+      }
     }
     ctx.workset.push_back(std::move(rt));
   }
@@ -1656,6 +1886,33 @@ ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
       stats.delta_discarded = discarded;
       rt->report.supersteps.push_back(stats);
     }
+    if (rt->barrier_free) {
+      // Local rounds have no global superstep rows; synthesize one like
+      // the microstep path (the report's iteration/convergence fields were
+      // filled by the round's last-finishing unit). Plus the barrier-free
+      // observability counters.
+      const SuperstepCoordinator& co = *rt->coordinator;
+      if (rt->record_stats) {
+        SuperstepStats stats;
+        stats.superstep = 0;
+        stats.millis = result.total_millis;
+        stats.workset_size = co.records_processed();
+        int64_t lookups;
+        int64_t applied;
+        int64_t discarded;
+        rt->SumIndexStats(&lookups, &applied, &discarded);
+        stats.solution_lookups = lookups;
+        stats.delta_applied = applied;
+        stats.delta_discarded = discarded;
+        rt->report.supersteps.push_back(stats);
+      }
+      for (int p = 0; p < P; ++p) {
+        result.async_local_rounds.push_back(co.rounds_executed(p));
+      }
+      result.async_vote_revocations += co.vote_revocations();
+      result.async_max_staleness =
+          std::max(result.async_max_staleness, co.max_staleness());
+    }
     result.workset_reports.push_back(std::move(rt->report));
   }
   return result;
@@ -1682,8 +1939,12 @@ struct LoopUnit {
 ///   kWave  — one superstep iteration: self-scheduling superstep waves
 ///            (see ScheduleWave); completes after its final flush.
 ///   kMicro — one fused microstep iteration: P cooperative polling units.
+///   kAsync — one barrier-free workset iteration (sync_mode != superstep):
+///            P cooperative per-partition round tasks, each running its
+///            partition's whole loop pipeline over whatever the lanes
+///            currently hold (see RunAsyncRound).
 struct SchedNode {
-  enum class Kind { kTask, kWave, kMicro };
+  enum class Kind { kTask, kWave, kMicro, kAsync };
   Kind kind = Kind::kTask;
   int task_id = -1;    ///< kTask
   bool is_bulk = false;
@@ -1709,7 +1970,14 @@ struct SchedNode {
   std::atomic<int> micro_remaining{0};
   /// One engine park slot per micro unit (indexed by partition): idle units
   /// park there instead of busy re-polling; destroyed in NodeComplete.
+  /// kAsync reuses both — micro_remaining counts its per-round unit
+  /// countdown, micro_park_slots holds its per-partition idle/staleness
+  /// park slots.
   std::vector<uint64_t> micro_park_slots;
+  // kAsync: partition p's loop units in stage order (views into `stages`,
+  // which BuildWave still populates — ScheduleFinalFlush and the shutdown
+  // path run unchanged off the stages).
+  std::vector<std::vector<LoopUnit*>> async_pipeline;
 };
 
 class PlanSchedule {
@@ -1780,6 +2048,14 @@ class PlanSchedule {
       SFDF_CHECK(!round_running_) << "BeginRound while a round is in flight";
       round_running_ = true;
     }
+    if (node->kind == SchedNode::Kind::kAsync) {
+      // Barrier-free warm round: every partition restarts its local-round
+      // loop from the reseeded W_0.
+      const int P = ctx_->parallelism;
+      node->micro_remaining.store(P, std::memory_order_relaxed);
+      for (int p = 0; p < P; ++p) SubmitAsyncRound(node, p);
+      return;
+    }
     ScheduleWave(node);
   }
 
@@ -1826,8 +2102,10 @@ class PlanSchedule {
     }
     for (size_t i = 0; i < plan_->workset_iterations.size(); ++i) {
       const bool micro = plan_->workset_iterations[i].microstep;
-      int id = add_node(micro ? SchedNode::Kind::kMicro
-                              : SchedNode::Kind::kWave);
+      const bool async = !micro && ctx_->workset[i]->barrier_free;
+      int id = add_node(micro   ? SchedNode::Kind::kMicro
+                        : async ? SchedNode::Kind::kAsync
+                                : SchedNode::Kind::kWave);
       nodes_[id]->iteration = static_cast<int>(i);
       if (!micro) nodes_[id]->coordinator = ctx_->workset[i]->coordinator.get();
       ws_node[i] = id;
@@ -1896,6 +2174,13 @@ class PlanSchedule {
         for (auto& unit : node->micro_units) {
           SubmitMicroStep(node, unit.get());
         }
+        break;
+      }
+      case SchedNode::Kind::kAsync: {
+        BuildWave(node);  // stages (final flush / shutdown reuse them)
+        BuildAsyncPipelines(node);
+        node->micro_remaining.store(P, std::memory_order_relaxed);
+        for (int p = 0; p < P; ++p) SubmitAsyncRound(node, p);
         break;
       }
     }
@@ -2100,6 +2385,167 @@ class PlanSchedule {
     }
   }
 
+  // --- barrier-free (kAsync) scheduling ------------------------------------
+  //
+  // One cooperative task per partition runs that partition's whole loop
+  // pipeline (head → body → tail, stage order) as one "local round" over
+  // whatever the lanes currently hold, then re-enqueues itself; with
+  // nothing queued it votes quiescent and parks on its slot. Exactly one
+  // continuation per partition is ever pending (self-resubmit, park, or
+  // nothing after FinishAsyncUnit), so each unit finishes at most once per
+  // round. Termination reuses the microstep kDone broadcast: whoever
+  // observes quiescence (or trips the per-round iteration cap) sets the
+  // coordinator's terminated flag, wakes every peer, and each unit counts
+  // itself out through micro_remaining.
+
+  void BuildAsyncPipelines(SchedNode* node) {
+    const int P = ctx_->parallelism;
+    WorksetRuntime& rt = *ctx_->workset[node->iteration];
+    node->async_pipeline.assign(static_cast<size_t>(P), {});
+    // stages outer, partitions inner: each partition's list stays in stage
+    // order (same-depth tasks are mutually independent).
+    for (auto& stage : node->stages) {
+      for (LoopUnit& unit : stage) {
+        node->async_pipeline[unit.instance->partition()].push_back(&unit);
+      }
+    }
+    for (int p = 0; p < P; ++p) {
+      node->micro_park_slots.push_back(engine_->CreateParkSlot(client_));
+    }
+    rt.async_wake = [this, node](int target) {
+      engine_->Wake(node->micro_park_slots[static_cast<size_t>(target)]);
+    };
+    for (auto& stage : node->stages) {
+      for (LoopUnit& unit : stage) unit.instance->InstallAsyncHooks();
+    }
+  }
+
+  void SubmitAsyncRound(SchedNode* node, int p) {
+    engine_->Submit(client_, [this, node, p] { RunAsyncRound(node, p); });
+  }
+
+  void BroadcastAsyncWake(SchedNode* node, int self) {
+    // Same liveness rule as the microstep kDone broadcast: peers may be
+    // parked on empty lanes and can only learn about termination — or an
+    // advanced staleness minimum — from us. Runs before this unit's own
+    // countdown decrement, so every slot is still alive.
+    for (size_t p = 0; p < node->micro_park_slots.size(); ++p) {
+      if (static_cast<int>(p) != self) {
+        engine_->Wake(node->micro_park_slots[p]);
+      }
+    }
+  }
+
+  void RunAsyncRound(SchedNode* node, int p) {
+    WorksetRuntime& rt = *ctx_->workset[node->iteration];
+    SuperstepCoordinator* co = rt.coordinator.get();
+    WorksetRuntime::AsyncPart& ap = *rt.async_parts[p];
+
+    // A peer ended the round. One exception: a partition that never read
+    // its W_0 share (the cap fired before its first local round) must
+    // still consume it — the records would otherwise be dropped by the
+    // next round's seed Reset instead of continuing as leftover.
+    if (co->terminated() && !ap.w0_pending) {
+      FinishAsyncUnit(node, p);
+      return;
+    }
+
+    bool has_work = ap.w0_pending || rt.async_feedback[p]->HasQueued();
+    if (!has_work) {
+      for (LoopUnit* unit : node->async_pipeline[p]) {
+        if (unit->instance->AnyLoopInputReadable()) {
+          has_work = true;
+          break;
+        }
+      }
+    }
+    if (!has_work) {
+      if (co->Quiescent()) {
+        // Nothing queued anywhere, nobody mid-round: this partition ends
+        // the iteration for everyone (the decide step of the barrier-free
+        // protocol).
+        co->FinishBarrierFree(/*capped=*/false);
+        BroadcastAsyncWake(node, p);
+        FinishAsyncUnit(node, p);
+        return;
+      }
+      co->CastQuiescentVote(p);
+      // Idle ≠ behind: bump to the fastest peer so this partition never
+      // holds the staleness minimum down while contributing nothing. If
+      // the bump advanced the minimum, staleness-parked peers must hear
+      // about it — they gate on the minimum we just moved.
+      const bool advanced = co->SyncIdleRound(p);
+      if (advanced && co->staleness_bound() > 0) BroadcastAsyncWake(node, p);
+      engine_->Park(node->micro_park_slots[static_cast<size_t>(p)],
+                    [this, node, p] { RunAsyncRound(node, p); });
+      return;
+    }
+
+    if (co->staleness_bound() > 0 &&
+        co->local_round(p) - co->MinLocalRound() >=
+            static_cast<int64_t>(co->staleness_bound())) {
+      // Bounded staleness: too far ahead of the slowest peer — park until
+      // the minimum advances. Liveness: the minimum partition itself can
+      // never take this branch, and every working round in bounded mode
+      // ends in a broadcast wake, so the bound is re-evaluated each time
+      // any peer advances.
+      engine_->Park(node->micro_park_slots[static_cast<size_t>(p)],
+                    [this, node, p] { RunAsyncRound(node, p); });
+      return;
+    }
+
+    co->BeginWorkRound(p);
+    const bool had_w0 = ap.w0_pending;  // the head consumes W_0 below
+    const int64_t round = co->local_round(p);
+    for (LoopUnit* unit : node->async_pipeline[p]) {
+      unit->program.body(round);
+    }
+    // Credits of everything this round consumed return only now — after
+    // the round's own children were published (and credited), so
+    // `pending` can never dip to zero while derived work is in flight.
+    // The same rule covers the startup credit: it pins `pending` above
+    // zero for the whole first round, not just until the W_0 read.
+    co->CreditProcessed(ap.popped_this_round);
+    ap.popped_this_round = 0;
+    if (had_w0) co->ReleaseStartupCredit();
+    co->AdvanceLocalRound(p);
+
+    if (co->rounds_executed(p) - rt.async_round_base[p] >=
+        static_cast<int64_t>(rt.max_iterations)) {
+      // Per-round iteration cap: stop everyone; queued leftovers keep
+      // their credits and continue in the next service round.
+      co->FinishBarrierFree(/*capped=*/true);
+      BroadcastAsyncWake(node, p);
+      FinishAsyncUnit(node, p);
+      return;
+    }
+    if (co->staleness_bound() > 0) BroadcastAsyncWake(node, p);
+    SubmitAsyncRound(node, p);
+  }
+
+  void FinishAsyncUnit(SchedNode* node, int p) {
+    (void)p;
+    if (node->micro_remaining.fetch_sub(1, std::memory_order_acq_rel) != 1) {
+      return;
+    }
+    // Last unit out fills the round report (every peer's writes are
+    // ordered before this point by the acq_rel countdown).
+    WorksetRuntime& rt = *ctx_->workset[node->iteration];
+    SuperstepCoordinator* co = rt.coordinator.get();
+    rt.report.ran_async = true;
+    rt.report.iterations = static_cast<int>(co->RoundLocalRounds());
+    rt.report.converged = !co->capped();
+    rt.report.vote_revocations = co->RoundRevocations();
+    rt.report.max_staleness = co->max_staleness();
+    if (node->session_resident) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      round_running_ = false;
+      cv_.notify_all();
+      return;
+    }
+    ScheduleFinalFlush(node);
+  }
+
   void NodeComplete(SchedNode* node) {
     for (uint64_t slot : node->micro_park_slots) {
       engine_->DestroyParkSlot(slot);
@@ -2170,6 +2616,7 @@ Executor::Executor(ExecutionOptions options) : options_(std::move(options)) {}
 
 Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
   SFDF_RETURN_NOT_OK(ValidateExecutionOptions(options_));
+  SFDF_RETURN_NOT_OK(ValidateSyncMode(plan, options_));
   const int P =
       options_.parallelism > 0 ? options_.parallelism : DefaultParallelism();
 
@@ -2245,6 +2692,7 @@ struct SessionState {
 Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
     const PhysicalPlan& plan) {
   SFDF_RETURN_NOT_OK(ValidateExecutionOptions(options_));
+  SFDF_RETURN_NOT_OK(ValidateSyncMode(plan, options_));
   if (plan.workset_iterations.size() != 1 || !plan.bulk_iterations.empty()) {
     return Status::InvalidArgument(
         "session mode requires exactly one workset iteration and no bulk "
@@ -2353,8 +2801,23 @@ Result<IterationReport> ExecutionSession::RunRound(
   // Fresh per-round report; the *_mark counters deliberately survive — they
   // are absolute marks against the cumulative session metrics.
   rt.report = IterationReport{};
-  rt.round_start_superstep = rt.coordinator->superstep();
-  rt.coordinator->Rearm();
+  if (rt.barrier_free) {
+    // Barrier-free re-arm: fresh termination/vote state and one startup
+    // credit per partition (returned when it finishes its first local
+    // round of this service round). Leftover queued work from a capped
+    // previous round kept its credits and simply continues. Local-round
+    // bases snapshot here so the per-round iteration cap and the round's
+    // local-round report count only this round's work.
+    rt.report.ran_async = true;
+    rt.coordinator->RearmBarrierFree();
+    for (int p = 0; p < P; ++p) {
+      rt.async_parts[p]->w0_pending = true;
+      rt.async_round_base[p] = rt.coordinator->rounds_executed(p);
+    }
+  } else {
+    rt.round_start_superstep = rt.coordinator->superstep();
+    rt.coordinator->Rearm();
+  }
   rt.watch.Restart();
 
   // Route the seed workset into the head's external W_0 port, partitioned
@@ -2462,6 +2925,19 @@ Result<IterationReport> ExecutionSession::Reconfigure(int new_partitions,
   // end-of-round markers — the controller owns the resident state.
   s.schedule->WaitRoundDone();
   WorksetRuntime& rt = s.runtime();
+
+  if (rt.barrier_free && !rt.coordinator->Quiescent()) {
+    // A capped barrier-free round parks with records mid-pipeline: queued
+    // batches in in-loop lanes carry intermediate schemas, not reseedable
+    // workset records (unlike the superstep path, where the barrier
+    // guarantees leftovers live only in the front workset buffers). The
+    // remap would need a drain-to-fixpoint protocol first; require the
+    // caller to run the round to convergence instead.
+    return Status::Unsupported(
+        "Reconfigure after a capped barrier-free round: in-flight records "
+        "are mid-pipeline and cannot be reseeded — run a round to "
+        "convergence first (async leftovers salvage only at quiescence)");
+  }
 
   // Extract the warm state. The back buffers are empty after any round's
   // final swap; the front buffers are non-empty only when the round stopped

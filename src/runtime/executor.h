@@ -28,6 +28,24 @@
 
 namespace sfdf {
 
+/// Synchronization discipline for workset loops (§4.2 vs barrier-free).
+enum class SyncMode {
+  /// Synchronized supersteps: every loop task waits at the arrival gate
+  /// until the whole wave finished the phase (the paper's default).
+  kSuperstep,
+  /// Barrier-free: each partition runs "local rounds" over whatever its
+  /// exchange lanes currently hold; termination is a distributed
+  /// quiescence protocol (credits + votes) instead of an empty workset at
+  /// a barrier. Requires an idempotent-safe ∪̇ — a CPO comparator or
+  /// immediate local application of the delta (see README, Execution
+  /// modes).
+  kAsync,
+  /// kAsync plus a staleness bound: a partition may run at most
+  /// `staleness_bound` local rounds ahead of the slowest peer before it
+  /// parks until the peer catches up.
+  kBoundedStale,
+};
+
 struct ExecutionOptions {
   /// Degree of parallelism ("nodes"): the number of partitions each task is
   /// instantiated with — solution-set partitions, exchange lanes, sink
@@ -64,6 +82,15 @@ struct ExecutionOptions {
   /// Values below -1 are rejected with InvalidArgument.
   int checkpoint_superstep = -1;
   std::string checkpoint_path;
+  /// Barrier discipline for workset iterations. kAsync / kBoundedStale
+  /// require a plan whose ∪̇ is idempotent-safe (a comparator or immediate
+  /// apply), no bulk iterations, no microstep plans, and no checkpointing
+  /// (checkpoints are superstep-aligned); Run/StartSession reject anything
+  /// else with Unsupported.
+  SyncMode sync_mode = SyncMode::kSuperstep;
+  /// For kBoundedStale: how many local rounds a partition may run ahead of
+  /// the slowest peer (k >= 1). Ignored in other modes.
+  int staleness_bound = 1;
 };
 
 /// Outcome of one iteration construct.
@@ -74,6 +101,14 @@ struct IterationReport {
   bool converged = false;
   /// True if the iteration executed as asynchronous microsteps.
   bool ran_microsteps = false;
+  /// True if the iteration executed barrier-free (sync_mode != kSuperstep).
+  /// `iterations` then counts the deepest partition's local rounds.
+  bool ran_async = false;
+  /// Barrier-free observability: how often a partition's quiescence vote
+  /// was revoked by an arriving batch, and the largest "rounds ahead of the
+  /// slowest peer" any partition observed (this round / run).
+  int64_t vote_revocations = 0;
+  int64_t max_staleness = 0;
   std::vector<SuperstepStats> supersteps;
 
   /// Sum of a SuperstepStats field over all supersteps.
@@ -108,6 +143,13 @@ struct ExecutionResult {
   /// a peer's wake. parks == wakes at the end of a clean run.
   int64_t engine_parks = 0;
   int64_t engine_wakes = 0;
+  /// Barrier-free observability (empty / zero unless a workset iteration
+  /// ran with sync_mode != kSuperstep): per-partition local-round counters
+  /// (concatenated across async iterations), total quiescence-vote
+  /// revocations and the maximum observed staleness.
+  std::vector<int64_t> async_local_rounds;
+  int64_t async_vote_revocations = 0;
+  int64_t async_max_staleness = 0;
   /// Reports indexed like PhysicalPlan::bulk_iterations /
   /// workset_iterations.
   std::vector<IterationReport> bulk_reports;

@@ -75,7 +75,9 @@ void OutputPort::FlushPartition(int partition) {
   envelope.kind = MarkerKind::kData;
   envelope.batch = std::move(buffer);
   buffer = RecordBatch();
+  if (before_publish_) before_publish_(partition, records);
   targets_[partition]->Push(my_partition_, std::move(envelope));
+  if (after_publish_) after_publish_(partition);
 }
 
 void OutputPort::FlushCombiner() {

@@ -7,6 +7,8 @@
 // target lane's recycle pool.
 #pragma once
 
+#include <cstdint>
+#include <functional>
 #include <memory>
 #include <unordered_map>
 #include <vector>
@@ -44,6 +46,18 @@ class OutputPort {
   /// end-of-superstep markers).
   bool in_loop() const { return in_loop_; }
 
+  /// Barrier-free execution hooks, bracketing every DATA publish of this
+  /// port: `before(target, records)` runs before the envelope becomes
+  /// visible in the target exchange (quiescence credits must be taken and
+  /// the target's vote revoked first), `after(target)` runs once it is
+  /// (a parked target may need a wake). Marker publishes are not
+  /// bracketed — markers carry no records and take no credits.
+  void set_async_hooks(std::function<void(int, int64_t)> before,
+                       std::function<void(int)> after) {
+    before_publish_ = std::move(before);
+    after_publish_ = std::move(after);
+  }
+
   int64_t records_sent() const { return records_sent_; }
 
  private:
@@ -67,6 +81,10 @@ class OutputPort {
   KeySpec combine_key_;
   std::vector<std::unordered_map<CompositeKey, Record, CompositeKeyHash>>
       combine_buffers_;
+
+  // Barrier-free publish hooks (null in superstep mode).
+  std::function<void(int, int64_t)> before_publish_;
+  std::function<void(int)> after_publish_;
 
   int64_t records_sent_ = 0;
 };

@@ -21,11 +21,25 @@
 // The completion runs while no participant task is live, exactly like the
 // old std::barrier completion step ran while every thread was parked; the
 // acq_rel countdown publishes every participant's superstep writes to it.
+// Barrier-free mode (ExecutionOptions::sync_mode != kSuperstep): the gate
+// stays idle and the coordinator instead tracks a distributed quiescence
+// protocol. Every record published into an in-loop exchange takes a credit
+// BEFORE it becomes visible; a partition returns the credits of everything
+// it consumed only at the END of its local round, after its own children
+// were published (and credited). pending == 0 therefore means "no record is
+// queued anywhere and no partition is mid-round" — exact quiescence, the
+// workset-is-empty criterion without a barrier. Layered on top, for
+// observability and the protocol's narrative: a partition with nothing to
+// do CASTS a quiescent vote before parking; any producer publishing toward
+// it REVOKES the vote first. Votes are advisory (credits are the proof);
+// revocation counts surface how often "done" partitions were reactivated.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <memory>
+#include <vector>
 
 #include "common/logging.h"
 
@@ -96,12 +110,203 @@ class SuperstepCoordinator {
   std::atomic<int64_t> workset_consumed{0}; ///< records emitted by heads
   std::atomic<int64_t> workset_produced{0}; ///< records routed by tails
 
+  // --- barrier-free mode (see file header) --------------------------------
+
+  /// Switches this coordinator to barrier-free bookkeeping for `partitions`
+  /// loop pipelines. `staleness_bound` > 0 caps how many local rounds a
+  /// partition may run ahead of the slowest peer (kBoundedStale); 0 means
+  /// unbounded (kAsync). Seeds one startup credit per partition, released
+  /// when that partition consumed its initial-workset phase.
+  void EnableBarrierFree(int partitions, int staleness_bound) {
+    SFDF_CHECK(bf_ == nullptr) << "barrier-free mode enabled twice";
+    bf_ = std::make_unique<BarrierFree>(partitions, staleness_bound);
+  }
+  bool barrier_free() const { return bf_ != nullptr; }
+  int staleness_bound() const { return bf_->staleness_bound; }
+
+  // Credits: + before a record is visible, - after its children are.
+  void CreditEnqueued(int64_t n) {
+    bf_->pending.fetch_add(n, std::memory_order_acq_rel);
+  }
+  void CreditProcessed(int64_t n) {
+    bf_->processed.fetch_add(n, std::memory_order_relaxed);
+    SFDF_DCHECK(bf_->pending.fetch_sub(n, std::memory_order_acq_rel) >= n)
+        << "barrier-free credit counter went negative";
+  }
+  /// Releases the one startup credit EnableBarrierFree / RearmBarrierFree
+  /// seeded for a partition, once its W_0 phase is consumed. The startup
+  /// credits keep `pending` from hitting zero before every partition has
+  /// even looked at its share of the initial workset.
+  void ReleaseStartupCredit() {
+    SFDF_DCHECK(bf_->pending.load(std::memory_order_acquire) >= 1);
+    bf_->pending.fetch_sub(1, std::memory_order_acq_rel);
+  }
+  bool Quiescent() const {
+    return bf_->pending.load(std::memory_order_acquire) == 0;
+  }
+  /// Total records processed by local rounds since EnableBarrierFree.
+  int64_t records_processed() const {
+    return bf_->processed.load(std::memory_order_relaxed);
+  }
+
+  // Votes (advisory; see file header).
+  void CastQuiescentVote(int p) {
+    bf_->voted[static_cast<size_t>(p)].store(true, std::memory_order_release);
+  }
+  /// Called by a producer BEFORE publishing records toward partition `p`:
+  /// a standing vote is withdrawn (and counted as a revocation).
+  void RevokeQuiescentVote(int p) {
+    if (bf_->voted[static_cast<size_t>(p)].exchange(
+            false, std::memory_order_acq_rel)) {
+      bf_->revocations.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  int64_t vote_revocations() const {
+    return bf_->revocations.load(std::memory_order_relaxed);
+  }
+
+  // Local rounds and staleness. local_round[p] is written only by
+  // partition p's task; cross-partition reads are monotonic approximations
+  // (the staleness bound tolerates lag by construction — a stale MinLocal
+  // Round only parks a partition that a peer's next broadcast re-wakes).
+  int64_t local_round(int p) const {
+    return bf_->local_round[static_cast<size_t>(p)].load(
+        std::memory_order_relaxed);
+  }
+  int64_t MinLocalRound() const {
+    int64_t min = bf_->local_round[0].load(std::memory_order_relaxed);
+    for (size_t p = 1; p < bf_->local_round.size(); ++p) {
+      const int64_t r = bf_->local_round[p].load(std::memory_order_relaxed);
+      if (r < min) min = r;
+    }
+    return min;
+  }
+  /// Entry of a working local round: withdraws any stale self-vote and
+  /// records the observed staleness (rounds ahead of the slowest peer).
+  void BeginWorkRound(int p) {
+    bf_->voted[static_cast<size_t>(p)].store(false, std::memory_order_relaxed);
+    const int64_t stale = local_round(p) - MinLocalRound();
+    int64_t seen = bf_->max_staleness.load(std::memory_order_relaxed);
+    while (stale > seen &&
+           !bf_->max_staleness.compare_exchange_weak(
+               seen, stale, std::memory_order_relaxed)) {
+    }
+  }
+  void AdvanceLocalRound(int p) {
+    bf_->local_round[static_cast<size_t>(p)].fetch_add(
+        1, std::memory_order_relaxed);
+    bf_->rounds_executed[static_cast<size_t>(p)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+  /// An idle partition is caught up, not behind: before parking it bumps
+  /// its round to the fastest peer's, so it never holds the staleness
+  /// minimum down while contributing nothing (which would deadlock a
+  /// bounded-stale run whose only active partition is k rounds ahead).
+  /// Returns true if the bump raised this partition's round — i.e. the
+  /// staleness minimum may have advanced and parked peers need a wake.
+  bool SyncIdleRound(int p) {
+    int64_t max = 0;
+    for (const auto& r : bf_->local_round) {
+      const int64_t v = r.load(std::memory_order_relaxed);
+      if (v > max) max = v;
+    }
+    auto& mine = bf_->local_round[static_cast<size_t>(p)];
+    if (mine.load(std::memory_order_relaxed) < max) {
+      mine.store(max, std::memory_order_relaxed);
+      return true;
+    }
+    return false;
+  }
+  int64_t rounds_executed(int p) const {
+    return bf_->rounds_executed[static_cast<size_t>(p)].load(
+        std::memory_order_relaxed);
+  }
+  int64_t max_staleness() const {
+    return bf_->max_staleness.load(std::memory_order_relaxed);
+  }
+
+  // Round lifecycle. Termination reuses `terminated_`: any partition that
+  // observes Quiescent() (or trips the iteration cap) finishes the round
+  // for everyone; idempotent because every partition's unit finishes at
+  // most once per round.
+  void FinishBarrierFree(bool capped) {
+    if (capped) bf_->capped.store(true, std::memory_order_relaxed);
+    terminated_.store(true, std::memory_order_release);
+  }
+  bool capped() const {
+    return bf_->capped.load(std::memory_order_relaxed);
+  }
+  /// Service-session re-arm (controller side, under round quiescence):
+  /// clears termination/cap/votes, seeds fresh startup credits and
+  /// snapshots the per-round report bases. Leftover credits of an
+  /// iteration-capped round intentionally survive — their records are
+  /// still queued and the next round must not be quiescent before draining
+  /// them.
+  void RearmBarrierFree() {
+    terminated_.store(false, std::memory_order_release);
+    bf_->capped.store(false, std::memory_order_relaxed);
+    for (auto& v : bf_->voted) v.store(false, std::memory_order_relaxed);
+    bf_->pending.fetch_add(bf_->partitions, std::memory_order_acq_rel);
+    for (size_t p = 0; p < bf_->round_base.size(); ++p) {
+      bf_->round_base[p] =
+          bf_->rounds_executed[p].load(std::memory_order_relaxed);
+    }
+    bf_->revocations_base =
+        bf_->revocations.load(std::memory_order_relaxed);
+  }
+  /// Per-round report deltas (read by the round's last-finishing unit; the
+  /// bases are controller-written under quiescence, ordered by the engine
+  /// submit path).
+  int64_t RoundLocalRounds() const {
+    int64_t max = 0;
+    for (size_t p = 0; p < bf_->round_base.size(); ++p) {
+      const int64_t d =
+          bf_->rounds_executed[p].load(std::memory_order_relaxed) -
+          bf_->round_base[p];
+      if (d > max) max = d;
+    }
+    return max;
+  }
+  int64_t RoundRevocations() const {
+    return bf_->revocations.load(std::memory_order_relaxed) -
+           bf_->revocations_base;
+  }
+
  private:
+  struct BarrierFree {
+    BarrierFree(int partitions, int staleness_bound)
+        : partitions(partitions),
+          staleness_bound(staleness_bound),
+          pending(partitions),  // one startup credit per partition
+          local_round(static_cast<size_t>(partitions)),
+          rounds_executed(static_cast<size_t>(partitions)),
+          voted(static_cast<size_t>(partitions)),
+          round_base(static_cast<size_t>(partitions), 0) {
+      for (auto& r : local_round) r.store(0, std::memory_order_relaxed);
+      for (auto& r : rounds_executed) r.store(0, std::memory_order_relaxed);
+      for (auto& v : voted) v.store(false, std::memory_order_relaxed);
+    }
+    const int partitions;
+    const int staleness_bound;
+    std::atomic<int64_t> pending;
+    std::atomic<int64_t> processed{0};
+    std::vector<std::atomic<int64_t>> local_round;
+    std::vector<std::atomic<int64_t>> rounds_executed;
+    std::vector<std::atomic<bool>> voted;
+    std::atomic<int64_t> revocations{0};
+    std::atomic<int64_t> max_staleness{0};
+    std::atomic<bool> capped{false};
+    // Controller-written under round quiescence.
+    std::vector<int64_t> round_base;
+    int64_t revocations_base = 0;
+  };
+
   std::function<bool(int64_t)> decide_;
   const int num_participants_;
   std::atomic<int> pending_;
   std::atomic<int64_t> superstep_{0};
   std::atomic<bool> terminated_{false};
+  std::unique_ptr<BarrierFree> bf_;
 };
 
 }  // namespace sfdf

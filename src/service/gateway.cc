@@ -432,6 +432,12 @@ struct RpcGateway::Impl {
         {StatField::kEngineWakes, static_cast<double>(stats.engine_wakes)},
         {StatField::kReconfigs, static_cast<double>(stats.reconfigs)},
         {StatField::kReconfigMsLast, stats.reconfig_ms_last},
+        {StatField::kAsyncLocalRounds,
+         static_cast<double>(stats.async_local_rounds)},
+        {StatField::kAsyncVoteRevocations,
+         static_cast<double>(stats.async_vote_revocations)},
+        {StatField::kAsyncMaxStaleness,
+         static_cast<double>(stats.async_max_staleness)},
     };
     net::PutU32(static_cast<uint32_t>(std::size(fields)), &reply->payload);
     for (const auto& [field, value] : fields) {

@@ -367,6 +367,12 @@ Status IterationService::ProcessBatch(
     ++stats_.rounds;
     stats_.mutations_applied += batch.size();
     stats_.total_supersteps += report.iterations;
+    if (report.ran_async) {
+      stats_.async_local_rounds += report.iterations;
+      stats_.async_vote_revocations += report.vote_revocations;
+      stats_.async_max_staleness =
+          std::max(stats_.async_max_staleness, report.max_staleness);
+    }
     const double round_millis = watch.ElapsedMillis();
     stats_.total_round_millis += round_millis;
     round_latency_.Record(round_millis);

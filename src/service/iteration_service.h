@@ -99,6 +99,14 @@ struct ServiceStats {
   /// warm resume round's completion — the serving pause a resize costs.
   uint64_t reconfigs = 0;
   double reconfig_ms_last = 0;
+  /// Barrier-free (async / bounded-stale) rounds only; all zero when the
+  /// session runs supersteps. Local rounds are the per-round maximum over
+  /// partitions, summed across warm rounds; revocations count producers
+  /// yanking a peer's quiescence vote (termination-protocol churn); max
+  /// staleness is the largest local-round lead any partition ever had.
+  int64_t async_local_rounds = 0;
+  int64_t async_vote_revocations = 0;
+  int64_t async_max_staleness = 0;
 };
 
 /// A long-running serving instance of one incremental iteration. Construct

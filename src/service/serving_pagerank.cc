@@ -105,6 +105,8 @@ Result<std::unique_ptr<ServingPageRank>> ServingPageRank::Start(
   sopt.exec.parallelism = options.parallelism;
   sopt.exec.worker_threads = options.worker_threads;
   sopt.exec.engine = options.engine;
+  sopt.exec.sync_mode = options.sync_mode;
+  sopt.exec.staleness_bound = options.staleness_bound;
   ServingPageRank* raw = serving.get();
   auto service = IterationService::Start(
       std::move(*physical),

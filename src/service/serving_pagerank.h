@@ -52,6 +52,15 @@ struct ServingPageRankOptions {
   /// force an arbitrarily large adjacency allocation). 0 = 16 × the initial
   /// vertex count + 1024.
   int64_t max_vertices = 0;
+  /// Barrier coupling of the resident loop's rounds (cold convergence and
+  /// every warm round; see ExecutionOptions::sync_mode). Residual pushes
+  /// are additive and merged through immediate apply, so every mode reaches
+  /// the same fixpoint up to ε; the epoch/seqlock read contract is
+  /// unchanged — a warm round commits only at full quiescence, exactly
+  /// where the superstep round commits.
+  SyncMode sync_mode = SyncMode::kSuperstep;
+  /// Staleness window for SyncMode::kBoundedStale.
+  int staleness_bound = 1;
 };
 
 class ServingPageRank {

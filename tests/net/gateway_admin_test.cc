@@ -165,15 +165,20 @@ TEST_F(GatewayAdminTest, ReconfigureOpcodeResizesAndMovesTenants) {
   EXPECT_EQ(*moved, 4u);
 
   // The reconfiguration counters are on the wire (satellite: StatFields
-  // 13–16 — parks/wakes and reconfigs/reconfig_ms_last).
+  // 13–16 — parks/wakes and reconfigs/reconfig_ms_last), plus the
+  // barrier-free counters (StatFields 17–19), zero on this superstep
+  // tenant.
   auto stats = client->Stats("roads");
   ASSERT_TRUE(stats.ok());
-  EXPECT_EQ(stats->fields.size(), 16u);
+  EXPECT_EQ(stats->fields.size(), 19u);
   EXPECT_EQ(stats->Get(StatField::kReconfigs), 2.0);
   EXPECT_GT(stats->Get(StatField::kReconfigMsLast), 0.0);
   EXPECT_EQ(stats->Get(StatField::kEngineWorkers), 2.0);  // back on primary
   EXPECT_GE(stats->Get(StatField::kEngineParks), 0.0);
   EXPECT_GE(stats->Get(StatField::kEngineWakes), 0.0);
+  EXPECT_EQ(stats->Get(StatField::kAsyncLocalRounds), 0.0);
+  EXPECT_EQ(stats->Get(StatField::kAsyncVoteRevocations), 0.0);
+  EXPECT_EQ(stats->Get(StatField::kAsyncMaxStaleness), 0.0);
 }
 
 }  // namespace

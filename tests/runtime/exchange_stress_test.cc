@@ -270,5 +270,56 @@ TEST(ExchangeStressTest, ParkedConsumerAlwaysWakes) {
   EXPECT_EQ(total, kProducers * kPerProducer);
 }
 
+TEST(ExchangeStressTest, ProducersRaceABarrierFreeConsumer) {
+  // TSan witness for partial-phase lane reads (the async execution mode):
+  // producers push with no phase discipline while the consumer polls
+  // DrainOpen mid-stream. Every record must arrive exactly once, in
+  // per-lane FIFO order, and each lane must end Closed once its final
+  // kEndStream is consumed.
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 5000;
+  Exchange exchange(kProducers);
+  std::vector<std::thread> producers;
+  producers.reserve(kProducers);
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&exchange, p] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        Envelope envelope;
+        envelope.kind = MarkerKind::kData;
+        envelope.batch = RecordBatch({Record::OfInts(p, i)});
+        exchange.Push(p, std::move(envelope));
+      }
+      Envelope end;
+      end.kind = MarkerKind::kEndStream;
+      exchange.Push(p, std::move(end));
+    });
+  }
+
+  int64_t total = 0;
+  std::vector<int64_t> next(kProducers, 0);
+  auto all_closed = [&exchange] {
+    for (int p = 0; p < kProducers; ++p) {
+      if (exchange.lane_state(p) != Exchange::LaneState::kClosed) {
+        return false;
+      }
+    }
+    return true;
+  };
+  // A lane turns kClosed only after DrainOpen consumed its kEndStream,
+  // which FIFO orders after every record of that lane — so once all lanes
+  // read closed, everything was delivered.
+  while (!all_closed()) {
+    total += exchange.DrainOpen([&next](const RecordBatch& batch) {
+      for (const Record& rec : batch) {
+        const int64_t p = rec.GetInt(0);
+        EXPECT_EQ(rec.GetInt(1), next[static_cast<size_t>(p)]++);
+      }
+    });
+    std::this_thread::yield();
+  }
+  for (std::thread& t : producers) t.join();
+  EXPECT_EQ(total, static_cast<int64_t>(kProducers) * kPerProducer);
+}
+
 }  // namespace
 }  // namespace sfdf

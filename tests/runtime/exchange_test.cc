@@ -179,6 +179,68 @@ TEST(ExchangeTest, BatchPoolRecyclesRetiredBuffers) {
   EXPECT_EQ(stats.pool_misses, 1);
 }
 
+TEST(ExchangeTest, LaneStateDistinguishesOpenEmptyFromClosed) {
+  // The barrier-free consumer contract: an empty lane is only *finished*
+  // when its producer closed it — "open but currently empty" means more
+  // data may still arrive, so a quiescence vote must account for the
+  // producer, not just the queue.
+  Exchange exchange(2);
+  EXPECT_EQ(exchange.lane_state(0), Exchange::LaneState::kOpenEmpty);
+  EXPECT_EQ(exchange.lane_state(1), Exchange::LaneState::kOpenEmpty);
+  EXPECT_FALSE(exchange.HasQueued());
+
+  exchange.Push(0, DataEnvelope({Record::OfInts(1)}));
+  exchange.Push(1, Marker(MarkerKind::kEndStream));
+  // Queued envelopes — data or the closing marker — make a lane readable.
+  EXPECT_EQ(exchange.lane_state(0), Exchange::LaneState::kReadable);
+  EXPECT_EQ(exchange.lane_state(1), Exchange::LaneState::kReadable);
+  EXPECT_TRUE(exchange.HasQueued());
+
+  std::vector<int64_t> seen;
+  exchange.DrainOpen([&](const RecordBatch& batch) {
+    for (const Record& rec : batch) seen.push_back(rec.GetInt(0));
+  });
+  EXPECT_EQ(seen, (std::vector<int64_t>{1}));
+  // After the drain the states diverge: lane 0 may produce again, lane 1
+  // ended for good.
+  EXPECT_EQ(exchange.lane_state(0), Exchange::LaneState::kOpenEmpty);
+  EXPECT_EQ(exchange.lane_state(1), Exchange::LaneState::kClosed);
+  EXPECT_FALSE(exchange.HasQueued());
+
+  exchange.Push(0, DataEnvelope({Record::OfInts(2)}));
+  EXPECT_EQ(exchange.lane_state(0), Exchange::LaneState::kReadable);
+}
+
+TEST(ExchangeTest, DrainOpenReturnsImmediatelyMidPhase) {
+  // Unlike ReadPhase, DrainOpen never waits for markers: it delivers what
+  // is currently published, reports the record count, and an empty
+  // exchange yields zero instead of blocking.
+  Exchange exchange(2);
+  std::vector<int64_t> seen;
+  auto take = [&](const RecordBatch& batch) {
+    for (const Record& rec : batch) seen.push_back(rec.GetInt(0));
+  };
+  EXPECT_EQ(exchange.DrainOpen(take), 0);
+  exchange.Push(0, DataEnvelope({Record::OfInts(1), Record::OfInts(2)}));
+  EXPECT_EQ(exchange.DrainOpen(take), 2);
+  EXPECT_EQ(exchange.DrainOpen(take), 0);
+  exchange.Push(1, DataEnvelope({Record::OfInts(3)}));
+  EXPECT_EQ(exchange.DrainOpen(take), 1);
+  EXPECT_EQ(seen, (std::vector<int64_t>{1, 2, 3}));
+}
+
+TEST(ExchangeTest, DrainToSalvagesQueuedRecords) {
+  Exchange exchange(2);
+  exchange.Push(0, DataEnvelope({Record::OfInts(1)}));
+  exchange.Push(1, DataEnvelope({Record::OfInts(2)}));
+  exchange.Push(1, Marker(MarkerKind::kEndStream));
+  std::vector<Record> out;
+  EXPECT_EQ(exchange.DrainTo(&out), 2u);
+  ASSERT_EQ(out.size(), 2u);
+  // Markers were dropped along with the queue: nothing left to Reset.
+  EXPECT_EQ(exchange.Reset(), 0u);
+}
+
 TEST(ExchangeTest, StatsTrackQueueDepthHighWater) {
   Exchange exchange(2);
   for (int i = 0; i < 5; ++i) {

@@ -1,0 +1,162 @@
+// Barrier-free warm rounds through the serving subsystem: a resident
+// session running in async / bounded-stale mode must keep the epoch/seqlock
+// read contract intact (a batch commits only at full quiescence — exactly
+// where the superstep round commits) and re-converge to the same fixpoint
+// the superstep session reaches. Runs under the CI TSan job via the
+// service/ suite prefix.
+#include <atomic>
+#include <cmath>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "graph/dynamic_graph.h"
+#include "graph/graph.h"
+#include "service/serving_cc.h"
+#include "service/serving_pagerank.h"
+#include "service/service_host.h"
+
+namespace sfdf {
+namespace {
+
+constexpr int64_t kVertices = 24;
+
+Graph Ring(int64_t n) {
+  GraphBuilder builder(n);
+  for (int64_t v = 0; v < n; ++v) builder.AddEdge(v, (v + 1) % n);
+  return builder.Build();
+}
+
+/// The deterministic chord sequence both services replay: warm rounds fold
+/// the same final adjacency regardless of how batches were cut.
+std::vector<GraphMutation> ChordMutations() {
+  std::vector<GraphMutation> chords;
+  for (int64_t v = 0; v < kVertices; ++v) {
+    chords.push_back(GraphMutation::EdgeInsert(v, (v + 5) % kVertices));
+  }
+  return chords;
+}
+
+ServingPageRankOptions PrOptions(SyncMode mode, int staleness = 1) {
+  ServingPageRankOptions options;
+  options.epsilon = 1e-12;
+  options.parallelism = 2;
+  options.max_batch = 4;  // several warm rounds, not one big one
+  options.max_linger = std::chrono::milliseconds(1);
+  options.sync_mode = mode;
+  options.staleness_bound = staleness;
+  return options;
+}
+
+TEST(AsyncServingTest, AsyncWarmRoundsMatchSuperstepWithConcurrentReaders) {
+  const Graph graph = Ring(kVertices);
+  const std::vector<GraphMutation> chords = ChordMutations();
+
+  // Reference: the same cold start + mutation stream on a superstep
+  // session.
+  auto sync_started = ServingPageRank::Start(graph, PrOptions(SyncMode::kSuperstep));
+  ASSERT_TRUE(sync_started.ok()) << sync_started.status().ToString();
+  ASSERT_TRUE((*sync_started)->Apply(chords).ok());
+
+  for (auto [mode, staleness] :
+       {std::pair<SyncMode, int>{SyncMode::kAsync, 1},
+        std::pair<SyncMode, int>{SyncMode::kBoundedStale, 2}}) {
+    auto started = ServingPageRank::Start(graph, PrOptions(mode, staleness));
+    ASSERT_TRUE(started.ok()) << started.status().ToString();
+    ServingPageRank& serving = **started;
+
+    // Readers race the barrier-free warm rounds: every read must still
+    // observe an even, monotonically advancing epoch and a finite rank —
+    // a partially quiesced round must never become visible.
+    std::atomic<bool> done{false};
+    std::vector<std::thread> readers;
+    for (int r = 0; r < 2; ++r) {
+      readers.emplace_back([&serving, &done, r] {
+        uint64_t last_epoch = 0;
+        int64_t vid = r;
+        while (!done.load(std::memory_order_acquire)) {
+          uint64_t epoch = 0;
+          auto rank = serving.Rank(vid % kVertices, &epoch);
+          ASSERT_TRUE(rank.ok());
+          ASSERT_TRUE(std::isfinite(*rank));
+          ASSERT_GT(*rank, 0.0);
+          ASSERT_EQ(epoch % 2, 0u) << "read overlapped a round";
+          ASSERT_GE(epoch, last_epoch) << "epoch went backwards";
+          last_epoch = epoch;
+          ++vid;
+        }
+      });
+    }
+
+    // Stream the chords one by one so max_batch splits them into several
+    // barrier-free warm rounds racing the readers above.
+    uint64_t last_ticket = 0;
+    for (const GraphMutation& m : chords) {
+      last_ticket = serving.Mutate({m});
+      ASSERT_GT(last_ticket, 0u);
+    }
+    ASSERT_TRUE(serving.Await(last_ticket).ok());
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : readers) t.join();
+
+    const ServiceStats stats = serving.stats();
+    EXPECT_GT(stats.rounds, 1u);
+    EXPECT_GT(stats.async_local_rounds, 0);
+    EXPECT_GE(stats.async_vote_revocations, 0);
+
+    // Warm async fixpoint == warm superstep fixpoint. Residual pushes are
+    // additive, so update order cannot change the served sum; both runs
+    // strand at most O(ε · rounds) residual, far inside 1e-8.
+    auto sync_ranks = (*sync_started)->Ranks();
+    auto async_ranks = serving.Ranks();
+    ASSERT_EQ(sync_ranks.ranks.size(), async_ranks.ranks.size());
+    for (size_t i = 0; i < sync_ranks.ranks.size(); ++i) {
+      EXPECT_EQ(sync_ranks.ranks[i].first, async_ranks.ranks[i].first);
+      EXPECT_NEAR(sync_ranks.ranks[i].second, async_ranks.ranks[i].second,
+                  1e-8)
+          << "vertex " << sync_ranks.ranks[i].first;
+    }
+    EXPECT_TRUE(serving.Stop().ok());
+  }
+  // Superstep sessions must report no barrier-free activity.
+  EXPECT_EQ((*sync_started)->stats().async_local_rounds, 0);
+  EXPECT_TRUE((*sync_started)->Stop().ok());
+}
+
+TEST(AsyncServingTest, AsyncCcTenantConvergesToExactLabels) {
+  // A hosted CC tenant with a barrier-free resident session: min-label
+  // propagation is monotone under the "smaller cid wins" comparator, so
+  // the served labels are EXACTLY the superstep tenant's labels.
+  ServiceHost host(ServiceHost::Options{.workers = 2});
+
+  auto start_tenant = [&host](const std::string& name, SyncMode mode) {
+    ServingCc::Options options;
+    options.num_vertices = 16;
+    options.service.max_batch = 4;
+    options.service.max_linger = std::chrono::milliseconds(1);
+    options.service.exec.parallelism = 2;
+    options.service.exec.sync_mode = mode;
+    auto cc = ServingCc::StartOn(&host, name, options);
+    EXPECT_TRUE(cc.ok()) << cc.status().ToString();
+    return std::move(*cc);
+  };
+  auto sync_cc = start_tenant("cc-sync", SyncMode::kSuperstep);
+  auto async_cc = start_tenant("cc-async", SyncMode::kAsync);
+
+  // Stitch the 16 singleton components into two rings of 8.
+  std::vector<GraphMutation> edges;
+  for (int64_t v = 0; v < 16; ++v) {
+    edges.push_back(GraphMutation::EdgeInsert(v, (v + 2) % 16));
+  }
+  ASSERT_TRUE(sync_cc->service().Apply(edges).ok());
+  ASSERT_TRUE(async_cc->service().Apply(edges).ok());
+
+  EXPECT_EQ(sync_cc->Labels(), async_cc->Labels());
+  EXPECT_GT(async_cc->service().stats().async_local_rounds, 0);
+  EXPECT_EQ(sync_cc->service().stats().async_local_rounds, 0);
+  ASSERT_TRUE(host.StopAll().ok());
+}
+
+}  // namespace
+}  // namespace sfdf
