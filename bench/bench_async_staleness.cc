@@ -119,6 +119,7 @@ int main() {
 
   std::printf("summary best_mode=%s best_speedup=%.3f superstep_s=%.3f\n",
               best_mode, best_barrier_free, superstep_seconds);
+  bench::PrintPeakRss();
 
   // Acceptance floor: the best barrier-free mode must beat supersteps by
   // >= 1.3x — but only where the comparison is measurable (full scale, so

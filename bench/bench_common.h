@@ -8,6 +8,8 @@
 // SFDF_THREADS sets the worker count ("nodes").
 #pragma once
 
+#include <sys/resource.h>
+
 #include <cstdint>
 #include <cstdio>
 #include <string>
@@ -18,6 +20,21 @@
 
 namespace sfdf {
 namespace bench {
+
+/// Peak resident set size of this process in MB (ru_maxrss, which Linux
+/// reports in KB). Monotone over the process lifetime — a bench that wants
+/// per-measurement peaks must fork per measurement (see bench_pipeline_rss).
+inline double PeakRssMb() {
+  struct rusage usage {};
+  getrusage(RUSAGE_SELF, &usage);
+  return static_cast<double>(usage.ru_maxrss) / 1024.0;
+}
+
+/// Standard memory footer: every row-format bench prints this last, so the
+/// harness (bench/run_all) can track peak RSS per figure across runs.
+inline void PrintPeakRss() {
+  std::printf("row metric=peak_rss peak_rss_mb=%.1f\n", PeakRssMb());
+}
 
 /// Memory budget of the Spark-like baseline (boxed shuffle buffers).
 /// Sized so the Wikipedia/Hollywood stand-ins fit and the Webbase/Twitter

@@ -202,6 +202,7 @@ int main() {
   std::printf("row config=summary share_ratio=%.3f idle_ratio=%.3f\n",
               share_ratio, idle_ratio);
 
+  bench::PrintPeakRss();
   // Acceptance floor, full scale only: the shared pool keeps >= 0.8x the
   // dedicated teams' aggregate throughput. (In smoke mode the per-round
   // work is microseconds and the admission linger dominates everything, so

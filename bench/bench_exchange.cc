@@ -225,6 +225,7 @@ int main() {
           static_cast<long long>(exchange.depth_high_water));
     }
   }
+  bench::PrintPeakRss();
 
   // Acceptance floor: the lock-light exchange must at least double the
   // mutex channel's envelope throughput under 8-producer contention.

@@ -89,5 +89,6 @@ int main() {
     std::printf(" %lld", static_cast<long long>(s.workset_size));
   }
   std::printf("\n");
+  bench::PrintPeakRss();
   return 0;
 }

@@ -57,5 +57,6 @@ int main() {
                           : 0;
     std::printf("late/first workset ratio = %.6f (paper: <0.01)\n", collapse);
   }
+  bench::PrintPeakRss();
   return 0;
 }

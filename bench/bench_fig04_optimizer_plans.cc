@@ -123,5 +123,6 @@ int main() {
                 static_cast<long long>(pages), chosen,
                 physical->estimated_cost);
   }
+  bench::PrintPeakRss();
   return 0;
 }

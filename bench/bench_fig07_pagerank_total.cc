@@ -80,5 +80,6 @@ int main() {
         bench::Cell(giraph_time).c_str(), bench::Cell(part_time).c_str(),
         bench::Cell(bc_time).c_str());
   }
+  bench::PrintPeakRss();
   return 0;
 }

@@ -70,5 +70,6 @@ int main() {
     std::printf("row iteration=%d spark_ms=%.2f giraph_ms=%.2f strato_ms=%.2f\n",
                 i + 1, cell(spark_ms), cell(giraph_ms), cell(strato_ms));
   }
+  bench::PrintPeakRss();
   return 0;
 }

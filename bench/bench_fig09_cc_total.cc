@@ -97,5 +97,6 @@ int main() {
                   *full_time / *incr_time);
     }
   }
+  bench::PrintPeakRss();
   return 0;
 }

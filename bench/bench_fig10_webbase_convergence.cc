@@ -111,5 +111,6 @@ int main(int argc, char** argv) {
       incr_total, bulk20, bulk_extrapolated,
       incr_total > 0 ? bulk_extrapolated / incr_total : 0, incr->iterations,
       mode.name.c_str());
+  bench::PrintPeakRss();
   return 0;
 }

@@ -104,5 +104,6 @@ int main() {
         i + 1, cell(spark_full, i), cell(spark_sim, i), cell(giraph_ms, i),
         cell(full_ms, i), cell(micro_ms, i), cell(incr_ms, i));
   }
+  bench::PrintPeakRss();
   return 0;
 }

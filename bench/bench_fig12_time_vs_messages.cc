@@ -100,5 +100,6 @@ int main() {
   std::printf("slope_ratio cogroup/match=%.2f (paper: match slope is much "
               "lower)\n",
               s_micro > 0 ? s_incr / s_micro : 0);
+  bench::PrintPeakRss();
   return 0;
 }

@@ -244,6 +244,7 @@ int main() {
       static_cast<unsigned long long>(counters.frames_received),
       static_cast<unsigned long long>(counters.reads_paused));
 
+  bench::PrintPeakRss();
   // Acceptance floor, full scale only: the gateway must sustain >= 1000
   // end-to-end mutations/s over loopback.
   if (scale < 1.0) return 0;

@@ -119,6 +119,7 @@ int main() {
         static_cast<unsigned long long>(stats.reconfigs));
   }
 
+  bench::PrintPeakRss();
   // Gate only at full scale: in smoke mode the cold run is a couple of
   // milliseconds while the pause pays fixed rebuild overhead, so the ratio
   // is meaningless there (reported, not enforced).

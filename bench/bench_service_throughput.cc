@@ -201,6 +201,7 @@ int main() {
       static_cast<long long>(stats.async_vote_revocations),
       static_cast<long long>(stats.async_max_staleness));
 
+  bench::PrintPeakRss();
   // Acceptance floor: warm beats cold by >= 5x on a single-edge batch.
   // Only gated at full scale — in smoke mode the cold recompute is a few
   // milliseconds while warm rounds pay a fixed admission-linger floor, so

@@ -35,5 +35,6 @@ int main() {
                 static_cast<long long>(stats.num_directed_edges),
                 stats.avg_degree);
   }
+  bench::PrintPeakRss();
   return 0;
 }

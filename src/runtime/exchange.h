@@ -38,11 +38,39 @@
 //   width; the hash partitioners then re-route by PartitionOf under the new
 //   count on the first warm round.
 //
-// * Unboundedness. Lanes grow without limit (linked fixed-size segments),
-//   so a push never blocks. This keeps the task DAG deadlock-free: diamond
-//   topologies where a consumer drains one port to end-of-stream before
-//   touching the next would deadlock under bounded-queue backpressure.
-//   Memory stays modest at the scales this runtime targets.
+// * Unboundedness (default). Lanes grow without limit (linked fixed-size
+//   segments), so a push never blocks. This keeps the task DAG
+//   deadlock-free: diamond topologies where a consumer drains one port to
+//   end-of-stream before touching the next would deadlock under
+//   bounded-queue backpressure. Memory stays modest at the scales this
+//   runtime targets.
+//
+// * Bounded capacity (opt-in, pipelined regions). set_lane_capacity(k)
+//   arms a per-lane budget of k queued envelopes; producers then publish
+//   through TryPush, which rejects a DATA envelope with kBackpressured
+//   while `pushed - popped >= k` on that lane. The rules:
+//     - Only data is ever rejected. Markers (kEndSuperstep/kEndStream) are
+//       always accepted — their count is bounded by the number of phases,
+//       and refusing them would wedge stream termination behind the very
+//       consumer that is waiting for it.
+//     - TryPush never blocks and mutates nothing on rejection (the caller
+//       keeps the envelope); a rejected attempt only bumps the lane's
+//       backpressure-reject counter. The producing *task* is expected to
+//       yield and retry — pool workers must never spin-wait in here.
+//     - Capacity is skeleton wiring: set it before any producer or
+//       consumer task is scheduled (the engine submit path publishes it),
+//       never while the dataflow runs.
+//     - Credit returns implicitly: the consumer popping an envelope moves
+//       `popped` forward, and the retired buffer comes back through the
+//       returns queue — the batch pool doubly serves as the flow-control
+//       window. A stale `popped` read can only under-estimate the drain,
+//       so the bound is conservative, never violated.
+//     - Deadlock safety is the *caller's* obligation: bounded lanes are
+//       only safe on edges whose consumer drains incrementally
+//       (DrainOpen-style), never on edges a consumer reads to
+//       end-of-stream port by port. The executor's ValidateRegionMode
+//       enforces exactly that (pipeline breakers and loop edges stay
+//       unbounded).
 //
 // * Batch pool. Each lane owns a return queue of retired record buffers
 //   (the same unbounded SPSC structure, pointed the other way): ReadPhase
@@ -65,6 +93,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <utility>
@@ -159,9 +188,11 @@ class SpscSegmentQueue {
     return head_ < seg->tail.load(std::memory_order_acquire);
   }
 
- private:
+  /// Slots per ring segment — public so capacity accounting (peak resident
+  /// segments) can convert envelope counts without duplicating the number.
   static constexpr size_t kSlots = 64;
 
+ private:
   struct Segment {
     std::atomic<size_t> tail{0};  ///< producer publish index
     std::atomic<Segment*> next{nullptr};
@@ -188,6 +219,25 @@ class Exchange {
 
   int num_producers() const { return num_producers_; }
 
+  // --- wiring (before any producer/consumer task is scheduled) ------------
+
+  /// Arms bounded-capacity mode: each lane admits at most `envelopes`
+  /// queued data envelopes before TryPush starts rejecting (0 = unbounded,
+  /// the default). Skeleton wiring only — call before the dataflow runs;
+  /// the engine submit path publishes the value to producers.
+  void set_lane_capacity(int64_t envelopes) { lane_capacity_ = envelopes; }
+
+  int64_t lane_capacity() const { return lane_capacity_; }
+
+  /// Installs an extra consumer wake callback, invoked at the end of every
+  /// Push. Pipelined regions hang their engine park-slot wake here: Push is
+  /// the single funnel for ALL publishes (data flushes, markers, Seed,
+  /// microstep emissions), so a parked polling consumer can never miss an
+  /// end-of-stream. Same wiring-time-only contract as set_lane_capacity.
+  void set_consumer_waker(std::function<void()> waker) {
+    consumer_waker_ = std::move(waker);
+  }
+
   // --- producer side (one thread per lane) --------------------------------
 
   /// Appends `envelope` to lane `lane` (the calling producer's own lane).
@@ -212,6 +262,33 @@ class Exchange {
     // store costs the same as a relaxed one.
     ln.pushed.store(pushed, std::memory_order_release);
     WakeConsumer();
+    if (consumer_waker_) consumer_waker_();
+  }
+
+  enum class PushResult : uint8_t {
+    kOk,
+    kBackpressured,  ///< lane at capacity; caller keeps the envelope
+  };
+
+  /// Capacity-respecting publish. With bounded capacity armed
+  /// (set_lane_capacity), a DATA envelope is rejected while the lane holds
+  /// `capacity` or more envelopes; on rejection `*envelope` is left
+  /// untouched — the caller keeps it and is expected to yield its task and
+  /// retry after the consumer drained. Markers always pass (see the
+  /// contract comment). Never blocks. The `popped` read is relaxed and may
+  /// lag the consumer — the bound errs conservative, never over-admits.
+  PushResult TryPush(int lane, Envelope* envelope) {
+    if (lane_capacity_ > 0 && envelope->kind == MarkerKind::kData) {
+      Lane& ln = LaneAt(lane);
+      const uint64_t depth = ln.pushed.load(std::memory_order_relaxed) -
+                             ln.popped.load(std::memory_order_relaxed);
+      if (depth >= static_cast<uint64_t>(lane_capacity_)) {
+        ln.backpressure_rejects.fetch_add(1, std::memory_order_relaxed);
+        return PushResult::kBackpressured;
+      }
+    }
+    Push(lane, std::move(*envelope));
+    return PushResult::kOk;
   }
 
   /// Cuts a batch buffer for lane `lane`: a recycled buffer from the lane's
@@ -315,11 +392,23 @@ class Exchange {
   /// without phase markers.
   template <typename Fn>
   int64_t DrainOpen(Fn&& fn) {
+    return DrainOpenUntil(std::forward<Fn>(fn), [] { return false; });
+  }
+
+  /// DrainOpen with an early-exit predicate: `stop()` is evaluated before
+  /// each envelope pop, and a true result returns immediately, leaving the
+  /// remaining envelopes queued for the next call. Pipelined consumers use
+  /// it to stop consuming while their own downstream lane is backpressured
+  /// — continuing would just migrate the queue into the stalled output
+  /// buffer and defeat the flow-control window. Same marker contract as
+  /// DrainOpen (kEndSuperstep is a violation, kEndStream closes the lane).
+  template <typename Fn, typename Stop>
+  int64_t DrainOpenUntil(Fn&& fn, Stop&& stop) {
     int64_t records = 0;
     for (auto& lane_ptr : lanes_) {
       Lane& lane = *lane_ptr;
       Envelope envelope;
-      while (PopLane(lane, &envelope)) {
+      while (!stop() && PopLane(lane, &envelope)) {
         switch (envelope.kind) {
           case MarkerKind::kData:
             records += static_cast<int64_t>(envelope.batch.size());
@@ -335,8 +424,18 @@ class Exchange {
             break;
         }
       }
+      if (stop()) break;
     }
     return records;
+  }
+
+  /// True once every lane delivered its kEndStream (via DrainOpen-family
+  /// reads). Consumer thread only — reads consumer-owned phase state.
+  bool AllClosed() const {
+    for (const auto& lane : lanes_) {
+      if (!lane->closed) return false;
+    }
+    return true;
   }
 
   // --- controller side (requires external quiescence) ---------------------
@@ -402,11 +501,19 @@ class Exchange {
   // --- observability -------------------------------------------------------
 
   struct Stats {
-    /// Deepest any lane's queue ever got, in envelopes.
+    /// Deepest any lane's queue ever got, in envelopes. Recorded on the
+    /// producer side of Push (since the v2 data plane landed), so a fully
+    /// materialized, never-yet-read exchange reports its true peak.
     int64_t depth_high_water = 0;
     /// Batch-pool acquisitions served from recycled buffers / fresh heap.
     int64_t pool_hits = 0;
     int64_t pool_misses = 0;
+    /// Data envelopes TryPush refused because the lane was at capacity
+    /// (bounded mode only; each retry attempt counts).
+    int64_t backpressure_rejects = 0;
+    /// Upper bound on ring segments this exchange ever held resident at
+    /// once: per-lane ceil(depth high-water / slots-per-segment), summed.
+    int64_t peak_resident_segments = 0;
   };
 
   /// Aggregated counters over all lanes. Relaxed reads: exact after the
@@ -414,6 +521,8 @@ class Exchange {
   /// run — fine for both AssembleResult and live monitoring.
   Stats stats() const {
     Stats s;
+    constexpr int64_t kSeg =
+        static_cast<int64_t>(SpscSegmentQueue<Envelope>::kSlots);
     for (const auto& lane : lanes_) {
       const int64_t hw = static_cast<int64_t>(
           lane->depth_high_water.load(std::memory_order_relaxed));
@@ -422,6 +531,9 @@ class Exchange {
           lane->pool_hits.load(std::memory_order_relaxed));
       s.pool_misses += static_cast<int64_t>(
           lane->pool_misses.load(std::memory_order_relaxed));
+      s.backpressure_rejects += static_cast<int64_t>(
+          lane->backpressure_rejects.load(std::memory_order_relaxed));
+      s.peak_resident_segments += (hw + kSeg - 1) / kSeg;
     }
     return s;
   }
@@ -442,6 +554,7 @@ class Exchange {
     std::atomic<uint64_t> depth_high_water{0};
     std::atomic<uint64_t> pool_hits{0};
     std::atomic<uint64_t> pool_misses{0};
+    std::atomic<uint64_t> backpressure_rejects{0};
 
     // Consumer-owned phase state.
     bool closed = false;      ///< kEndStream observed (reset by Seed)
@@ -534,6 +647,12 @@ class Exchange {
 
   const int num_producers_;
   std::vector<std::unique_ptr<Lane>> lanes_;
+
+  /// Bounded-capacity budget per lane, in envelopes (0 = unbounded) and
+  /// the pipelined-consumer wake hook. Both are skeleton wiring: written
+  /// once before any task runs, read-only afterwards.
+  int64_t lane_capacity_ = 0;
+  std::function<void()> consumer_waker_;
 
   std::atomic<bool> consumer_waiting_{false};
   std::mutex park_mutex_;

@@ -57,6 +57,31 @@ bool SameLoop(const PhysicalTask& a, const PhysicalTask& b) {
           a.workset_iteration == b.workset_iteration);
 }
 
+/// Record-at-a-time operators that can run as streaming pipelined units:
+/// they emit as they read and never need a complete input before producing.
+/// Everything else (Reduce/Match/Cross/CoGroup) is a *pipeline breaker* —
+/// it materializes an input (sort, hash build) or must read one port to
+/// end-of-stream before another, which under bounded lanes would deadlock
+/// diamond topologies (see the exchange.h contract comment).
+bool IsStreamingKind(OperatorKind kind) {
+  switch (kind) {
+    case OperatorKind::kSource:
+    case OperatorKind::kSink:
+    case OperatorKind::kMap:
+    case OperatorKind::kFilter:
+    case OperatorKind::kUnion:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// True if `task` runs as a cooperative pipelined unit under region_mode
+/// kPipelined. Loop tasks always keep their superstep/async scheduling.
+bool IsPipelinedTask(const PhysicalTask& task) {
+  return !IsLoopTask(task) && IsStreamingKind(task.kind);
+}
+
 // ---------------------------------------------------------------------------
 // Per-iteration runtime state
 // ---------------------------------------------------------------------------
@@ -176,6 +201,10 @@ struct ExecContext {
   /// setup: != kSuperstep implies every workset iteration qualifies).
   SyncMode sync_mode = SyncMode::kSuperstep;
   int staleness_bound = 0;  ///< local rounds ahead allowed; 0 = unbounded
+  /// Scheduling of non-loop regions (validated by ValidateRegionMode):
+  /// kPipelined runs streaming tasks as cooperative polling units over
+  /// bounded exchange lanes; kMaterialize keeps one-shot region barriers.
+  RegionMode region_mode = RegionMode::kMaterialize;
   Metrics metrics;
 
   /// channels[task][port][partition]: the consumer-side exchanges. Each
@@ -1502,6 +1531,201 @@ class MicrostepInstance {
 };
 
 // ---------------------------------------------------------------------------
+// PipelinedInstance: one partition of a streaming non-loop task (kPipelined)
+// ---------------------------------------------------------------------------
+
+/// Outcome of one cooperative poll of a pipelined unit.
+enum class PipeStatus : uint8_t {
+  kWorked,  ///< consumed input / emitted output — resubmit immediately
+  kYield,   ///< no progress, an output lane is at capacity — resubmit
+  kIdle,    ///< no progress, every open input lane is empty — park
+  kDone,    ///< inputs exhausted, end-of-stream delivered downstream
+};
+
+/// One cooperative polling unit of a pipelined region (ExecutionOptions::
+/// region_mode == kPipelined). Where materialize mode runs a non-loop task
+/// as a single blocking RunOnce after its producer regions completed, a
+/// pipelined unit is scheduled the moment the plan starts and advances in
+/// short Step() calls. Pool workers never block: a unit that cannot
+/// progress returns kYield (outputs backpressured — the engine's
+/// per-client FIFO places the resubmitted retry behind the consumer's
+/// already-queued poll, so the consumer drains first even on one worker)
+/// or kIdle (inputs empty — park; any producer Push into an input lane
+/// fires the exchange's consumer waker). The wake-pending handshake in
+/// Engine::Park/Wake closes the race between the emptiness check inside
+/// Step() and the park that follows it.
+class PipelinedInstance {
+ public:
+  PipelinedInstance(ExecContext* ctx, const PhysicalTask* task, int partition)
+      : ctx_(ctx), task_(task), partition_(partition) {
+    for (const auto& [consumer_id, port] : ctx_->consumer_edges[task_->id]) {
+      const PhysicalTask& consumer = ctx_->task(consumer_id);
+      const PhysicalInput& edge = consumer.inputs[port];
+      std::vector<Exchange*> targets;
+      targets.reserve(ctx_->parallelism);
+      for (int p = 0; p < ctx_->parallelism; ++p) {
+        targets.push_back(ctx_->channels[consumer_id][port][p].get());
+      }
+      // A pipelined task is never a loop member, so none of its output
+      // ports carry loop data.
+      outputs_.push_back(std::make_unique<OutputPort>(
+          std::move(targets), edge.ship, edge.ship_key, partition_,
+          &ctx_->metrics, /*in_loop=*/false, edge.combiner, edge.combine_key));
+      out_ptrs_.push_back(outputs_.back().get());
+    }
+    if (task_->kind == OperatorKind::kSource) {
+      const auto it = ctx_->source_override.find(task_->id);
+      source_data_ = it != ctx_->source_override.end()
+                         ? &it->second
+                         : task_->source_data.get();
+      cursor_ = static_cast<size_t>(partition_);
+    }
+  }
+
+  int partition() const { return partition_; }
+
+  PipeStatus Step() {
+    // Retry stalled output batches/markers first: while a target lane sits
+    // at capacity, consuming more input would only grow the stalled
+    // buffers and defeat the flow-control window.
+    bool outputs_clear = TryDrainOutputs();
+    int64_t worked = 0;
+    if (outputs_clear) {
+      worked += task_->kind == OperatorKind::kSource ? EmitSource()
+                                                     : DrainInputs();
+      outputs_clear = !AnyOutputStalled();
+    }
+    if (outputs_clear && InputExhausted()) {
+      if (!end_sent_) {
+        // Flush-and-close every output. SendMarker defers the marker on
+        // any target whose tail data stalls; TryDrainOutputs (below, and
+        // on later polls) delivers it once the consumer drained.
+        for (OutputPort* port : out_ptrs_) {
+          port->SendMarker(MarkerKind::kEndStream);
+        }
+        end_sent_ = true;
+        ++worked;
+      }
+      if (TryDrainOutputs()) return PipeStatus::kDone;
+    }
+    if (worked > 0) return PipeStatus::kWorked;
+    if (AnyOutputStalled()) return PipeStatus::kYield;
+    return PipeStatus::kIdle;
+  }
+
+ private:
+  Exchange* Input(int port) {
+    return ctx_->channels[task_->id][port][partition_].get();
+  }
+
+  bool AnyOutputStalled() const {
+    for (const OutputPort* port : out_ptrs_) {
+      if (port->has_stalled()) return true;
+    }
+    return false;
+  }
+
+  bool TryDrainOutputs() {
+    bool clear = true;
+    for (OutputPort* port : out_ptrs_) {
+      if (!port->TryDrainStalled()) clear = false;
+    }
+    return clear;
+  }
+
+  /// Source exhausted / every input lane of every port closed. Closed lanes
+  /// are fully drained (the end-stream marker is a lane's last envelope),
+  /// so exhausted means there is nothing left to pop anywhere.
+  bool InputExhausted() {
+    if (task_->kind == OperatorKind::kSource) {
+      return cursor_ >= source_data_->size();
+    }
+    for (size_t port = 0; port < task_->inputs.size(); ++port) {
+      if (!Input(static_cast<int>(port))->AllClosed()) return false;
+    }
+    return true;
+  }
+
+  /// Resumable source scan: same `partition + i*P` stride as RunSource, but
+  /// the cursor persists across polls so a backpressured source picks up
+  /// exactly where it stopped.
+  int64_t EmitSource() {
+    const std::vector<Record>& data = *source_data_;
+    const size_t stride = static_cast<size_t>(ctx_->parallelism);
+    PortsCollector collector(out_ptrs_);
+    int64_t emitted = 0;
+    while (cursor_ < data.size()) {
+      collector.Emit(data[cursor_]);
+      cursor_ += stride;
+      ++emitted;
+      // Per-record check: one Emit can flush a full batch and stall, and
+      // emitting past that would overrun the window into port buffers.
+      if (AnyOutputStalled()) break;
+    }
+    return emitted;
+  }
+
+  /// Drains whatever the input lanes currently hold, stopping early when an
+  /// output stalls. Returns the number of records popped.
+  int64_t DrainInputs() {
+    const auto stalled = [this] { return AnyOutputStalled(); };
+    PortsCollector collector(out_ptrs_);
+    switch (task_->kind) {
+      case OperatorKind::kMap:
+        return Input(0)->DrainOpenUntil(
+            [&](const RecordBatch& batch) {
+              for (const Record& rec : batch) task_->map_udf(rec, &collector);
+            },
+            stalled);
+      case OperatorKind::kFilter:
+        return Input(0)->DrainOpenUntil(
+            [&](const RecordBatch& batch) {
+              for (const Record& rec : batch) {
+                if (task_->filter_udf(rec)) collector.Emit(rec);
+              }
+            },
+            stalled);
+      case OperatorKind::kUnion: {
+        int64_t popped = 0;
+        for (size_t port = 0; port < task_->inputs.size(); ++port) {
+          popped += Input(static_cast<int>(port))
+                        ->DrainOpenUntil(
+                            [&](const RecordBatch& batch) {
+                              for (const Record& rec : batch) {
+                                collector.Emit(rec);
+                              }
+                            },
+                            stalled);
+        }
+        return popped;
+      }
+      case OperatorKind::kSink: {
+        // Sinks have no outputs, so they never stall — the chain always
+        // drains from the bottom, which is what makes backpressure
+        // deadlock-free on an acyclic region graph.
+        std::vector<Record>& slot = ctx_->sink_slots[task_->id][partition_];
+        return Input(0)->DrainOpen([&](const RecordBatch& batch) {
+          for (const Record& rec : batch) slot.push_back(rec);
+        });
+      }
+      default:
+        SFDF_CHECK(false) << "pipelined step on "
+                          << OperatorKindName(task_->kind);
+        return 0;
+    }
+  }
+
+  ExecContext* ctx_;
+  const PhysicalTask* task_;
+  int partition_;
+  std::vector<std::unique_ptr<OutputPort>> outputs_;
+  std::vector<OutputPort*> out_ptrs_;
+  const std::vector<Record>* source_data_ = nullptr;
+  size_t cursor_ = 0;  ///< next source index for this partition (stride P)
+  bool end_sent_ = false;
+};
+
+// ---------------------------------------------------------------------------
 // Setup helpers
 // ---------------------------------------------------------------------------
 
@@ -1713,6 +1937,57 @@ Status ValidateSyncMode(const PhysicalPlan& plan,
   return Status::OK();
 }
 
+/// Plan-level gate for pipelined region execution. The mode itself accepts
+/// any plan — loop regions and pipeline breakers simply keep materialized
+/// edges — but the per-consumer capacity overrides must name tasks whose
+/// input edges can actually be bounded: a loop task's exchanges carry the
+/// multi-marker superstep protocol (a bounded lane could deadlock a wave
+/// mid-superstep), and a breaker materializes an input before producing,
+/// so a bounded edge into it could never drain.
+Status ValidateRegionMode(const PhysicalPlan& plan,
+                          const ExecutionOptions& options) {
+  if (options.region_mode == RegionMode::kMaterialize) return Status::OK();
+  if (options.pipeline_lane_capacity < 1) {
+    return Status::InvalidArgument(
+        "ExecutionOptions.pipeline_lane_capacity must be >= 1 under "
+        "region_mode pipelined (it is the per-lane flow-control window in "
+        "envelopes), got " +
+        std::to_string(options.pipeline_lane_capacity));
+  }
+  for (const auto& [name, capacity] : options.pipeline_capacity_overrides) {
+    if (capacity < 1) {
+      return Status::InvalidArgument(
+          "pipeline_capacity_overrides[\"" + name + "\"] must be >= 1, got " +
+          std::to_string(capacity));
+    }
+    bool found = false;
+    for (const PhysicalTask& task : plan.tasks) {
+      if (task.name != name) continue;
+      found = true;
+      if (IsLoopTask(task)) {
+        return Status::InvalidArgument(
+            "pipeline_capacity_overrides[\"" + name +
+            "\"] names a loop task — loop exchanges keep superstep phase "
+            "semantics and are never bounded; pipelining applies to "
+            "non-loop edges only");
+      }
+      if (!IsStreamingKind(task.kind)) {
+        return Status::InvalidArgument(
+            "pipeline_capacity_overrides[\"" + name +
+            "\"] names a pipeline breaker (" +
+            std::string(OperatorKindName(task.kind)) +
+            ") — it materializes its input before producing, so its input "
+            "edges stay unbounded");
+      }
+    }
+    if (!found) {
+      return Status::InvalidArgument(
+          "pipeline_capacity_overrides names unknown task \"" + name + "\"");
+    }
+  }
+  return Status::OK();
+}
+
 /// One-shot setup: validates the plan and builds the channels, consumer
 /// index, iteration runtimes and sink slots for degree-of-parallelism P.
 /// Shared between Run (setup → schedule → tear down) and StartSession
@@ -1732,6 +2007,7 @@ Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
   ctx.staleness_bound =
       options.sync_mode == SyncMode::kBoundedStale ? options.staleness_bound
                                                    : 0;
+  ctx.region_mode = options.region_mode;
 
   // --- channels & consumer index ---
   ctx.channels.resize(plan.tasks.size());
@@ -1750,6 +2026,29 @@ Status SetupContext(const PhysicalPlan& plan, const ExecutionOptions& options,
       ctx.sink_slots[task.id].resize(P);
       SFDF_CHECK(task.sink_out != nullptr) << "sink without output vector";
       task.sink_out->clear();
+    }
+  }
+
+  // --- pipelined-region lane capacities ---
+  // An edge is bounded exactly when BOTH endpoints run as streaming
+  // pipelined units: the producer can be backpressured (it yields and
+  // resumes) and the consumer drains incrementally (so credit flows back).
+  // Loop edges, edges touching a loop region and breaker edges stay
+  // unbounded — zero behavior change for everything already working.
+  if (ctx.region_mode == RegionMode::kPipelined) {
+    for (const PhysicalTask& task : plan.tasks) {
+      if (!IsPipelinedTask(task)) continue;
+      int64_t capacity = options.pipeline_lane_capacity;
+      const auto it = options.pipeline_capacity_overrides.find(task.name);
+      if (it != options.pipeline_capacity_overrides.end()) {
+        capacity = it->second;
+      }
+      for (size_t port = 0; port < task.inputs.size(); ++port) {
+        if (!IsPipelinedTask(plan.tasks[task.inputs[port].producer])) continue;
+        for (int p = 0; p < P; ++p) {
+          ctx.channels[task.id][port][p]->set_lane_capacity(capacity);
+        }
+      }
     }
   }
 
@@ -1852,6 +2151,7 @@ ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
         const Exchange::Stats s = exchange->stats();
         ctx.metrics.RecordQueueDepth(s.depth_high_water);
         ctx.metrics.CountBatchPool(s.pool_hits, s.pool_misses);
+        ctx.metrics.AddPeakResidentSegments(s.peak_resident_segments);
       }
     }
   }
@@ -1866,6 +2166,9 @@ ExecutionResult AssembleResult(const PhysicalPlan& plan, ExecContext* ctx_ptr,
   result.queue_depth_high_water = ctx.metrics.queue_depth_high_water();
   result.batch_pool_hits = ctx.metrics.batch_pool_hits();
   result.batch_pool_misses = ctx.metrics.batch_pool_misses();
+  result.backpressure_stalls = ctx.metrics.backpressure_stalls();
+  result.producer_yields = ctx.metrics.producer_yields();
+  result.peak_resident_segments = ctx.metrics.peak_resident_segments();
   for (auto& rt : ctx.bulk) {
     result.bulk_reports.push_back(std::move(rt->report));
   }
@@ -1947,6 +2250,10 @@ struct SchedNode {
   enum class Kind { kTask, kWave, kMicro, kAsync };
   Kind kind = Kind::kTask;
   int task_id = -1;    ///< kTask
+  /// kTask under region_mode kPipelined, streaming operator: the node runs
+  /// as P cooperative polling units (PipelinedInstance) scheduled at
+  /// Start() — it has no region predecessors, only successors.
+  bool pipelined = false;
   bool is_bulk = false;
   int iteration = -1;  ///< index into ctx.bulk / ctx.workset
   std::vector<int> dependents;
@@ -1978,6 +2285,13 @@ struct SchedNode {
   // which BuildWave still populates — ScheduleFinalFlush and the shutdown
   // path run unchanged off the stages).
   std::vector<std::vector<LoopUnit*>> async_pipeline;
+  // pipelined kTask: the P polling units and their park slots. The slots
+  // outlive NodeComplete (unlike micro_park_slots) because a producer can
+  // still be inside Push→waker while this consumer node completes; they
+  // are destroyed in ~PlanSchedule, after WaitPlanDone proved no task is
+  // running. micro_remaining doubles as the unit countdown.
+  std::vector<std::unique_ptr<PipelinedInstance>> pipe_units;
+  std::vector<uint64_t> pipe_park_slots;
 };
 
 class PlanSchedule {
@@ -1991,11 +2305,21 @@ class PlanSchedule {
     client_ = engine_->RegisterClient(std::move(client_name));
     BuildInstances();
     BuildNodes();
+    BuildPipelined();
   }
 
   /// The owner destroys the schedule only after WaitPlanDone (or, for an
-  /// abandoned session, after Finish ran) — the client queue is drained.
-  ~PlanSchedule() { engine_->UnregisterClient(client_); }
+  /// abandoned session, after Finish ran) — the client queue is drained,
+  /// so the pipelined park slots (kept alive past NodeComplete, see
+  /// SchedNode) can be freed here.
+  ~PlanSchedule() {
+    for (auto& node : nodes_) {
+      for (uint64_t slot : node->pipe_park_slots) {
+        engine_->DestroyParkSlot(slot);
+      }
+    }
+    engine_->UnregisterClient(client_);
+  }
 
   PlanSchedule(const PlanSchedule&) = delete;
   PlanSchedule& operator=(const PlanSchedule&) = delete;
@@ -2078,6 +2402,10 @@ class PlanSchedule {
           IsLoopTask(task)) {
         continue;  // fused into MicrostepInstance units
       }
+      if (ctx_->region_mode == RegionMode::kPipelined &&
+          IsPipelinedTask(task)) {
+        continue;  // runs as PipelinedInstance units (BuildPipelined)
+      }
       for (int p = 0; p < P; ++p) {
         instances_[static_cast<size_t>(task.id) * P + p] =
             std::make_unique<TaskInstance>(ctx_, &task, p);
@@ -2119,17 +2447,22 @@ class PlanSchedule {
       } else {
         int id = add_node(SchedNode::Kind::kTask);
         nodes_[id]->task_id = task.id;
+        nodes_[id]->pipelined = ctx_->region_mode == RegionMode::kPipelined &&
+                                IsPipelinedTask(task);
         node_of_task_[task.id] = id;
       }
     }
     // Region dependencies: every exchange edge whose endpoints live in
-    // different regions, deduplicated.
+    // different regions, deduplicated. A pipelined consumer registers NO
+    // predecessors — its polling units start at Start() and park until
+    // data arrives — but it still counts as a producer, so a breaker
+    // downstream of it waits for its completion as before.
     std::vector<std::set<int>> preds(nodes_.size());
     for (const PhysicalTask& task : plan_->tasks) {
       for (const PhysicalInput& input : task.inputs) {
         int a = node_of_task_[input.producer];
         int b = node_of_task_[task.id];
-        if (a != b) preds[b].insert(a);
+        if (a != b && !nodes_[b]->pipelined) preds[b].insert(a);
       }
     }
     for (size_t b = 0; b < nodes_.size(); ++b) {
@@ -2146,11 +2479,47 @@ class PlanSchedule {
     }
   }
 
+  /// Builds the polling units, park slots and wake wiring of every
+  /// pipelined node. Runs in the constructor, strictly before Start()
+  /// submits anything: the consumer wakers installed here are read by
+  /// producer Pushes, and the engine submit is the publish between the two.
+  void BuildPipelined() {
+    const int P = ctx_->parallelism;
+    for (auto& node_ptr : nodes_) {
+      SchedNode* node = node_ptr.get();
+      if (node->kind != SchedNode::Kind::kTask || !node->pipelined) continue;
+      const PhysicalTask& task = plan_->tasks[node->task_id];
+      for (int p = 0; p < P; ++p) {
+        node->pipe_units.push_back(
+            std::make_unique<PipelinedInstance>(ctx_, &task, p));
+        node->pipe_park_slots.push_back(engine_->CreateParkSlot(client_));
+      }
+      // Wake-on-publish: every Push into any input lane of partition p's
+      // exchanges wakes its unit if parked (Exchange::Push invokes the
+      // waker after the envelope is visible, and the park/wake handshake
+      // absorbs wakes that land while the unit is running).
+      for (size_t port = 0; port < task.inputs.size(); ++port) {
+        for (int p = 0; p < P; ++p) {
+          const uint64_t slot = node->pipe_park_slots[p];
+          ctx_->channels[task.id][port][p]->set_consumer_waker(
+              [this, slot] { engine_->Wake(slot); });
+        }
+      }
+    }
+  }
+
   void ScheduleNodeById(int id) {
     SchedNode* node = nodes_[id].get();
     const int P = ctx_->parallelism;
     switch (node->kind) {
       case SchedNode::Kind::kTask: {
+        if (node->pipelined) {
+          node->micro_remaining.store(P, std::memory_order_relaxed);
+          for (auto& unit : node->pipe_units) {
+            SubmitPipeStep(node, unit.get());
+          }
+          break;
+        }
         node->units_remaining.store(P, std::memory_order_relaxed);
         for (int p = 0; p < P; ++p) {
           TaskInstance* inst = instance(node->task_id, p);
@@ -2377,6 +2746,42 @@ class PlanSchedule {
             engine_->Wake(node->micro_park_slots[p]);
           }
         }
+        if (node->micro_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
+            1) {
+          NodeComplete(node);
+        }
+        return;
+    }
+  }
+
+  // --- pipelined region (kTask, pipelined) scheduling ----------------------
+
+  void SubmitPipeStep(SchedNode* node, PipelinedInstance* unit) {
+    engine_->Submit(client_, [this, node, unit] { RunPipeStep(node, unit); });
+  }
+
+  void RunPipeStep(SchedNode* node, PipelinedInstance* unit) {
+    switch (unit->Step()) {
+      case PipeStatus::kWorked:
+        SubmitPipeStep(node, unit);  // cooperative re-enqueue
+        return;
+      case PipeStatus::kYield:
+        // Backpressured: the outputs are stalled and there is nothing else
+        // to do. Re-enqueue rather than park — the per-client FIFO places
+        // this retry behind the consumer's already-queued poll, so the
+        // consumer gets a worker first and opens the window again.
+        ctx_->metrics.CountProducerYield(1);
+        SubmitPipeStep(node, unit);
+        return;
+      case PipeStatus::kIdle:
+        // Every open input lane is empty: park until a producer publishes
+        // (Exchange::Push fires this node's consumer waker). A wake that
+        // raced this decision is pending inside the slot and re-enqueues
+        // immediately.
+        engine_->Park(node->pipe_park_slots[unit->partition()],
+                      [this, node, unit] { RunPipeStep(node, unit); });
+        return;
+      case PipeStatus::kDone:
         if (node->micro_remaining.fetch_sub(1, std::memory_order_acq_rel) ==
             1) {
           NodeComplete(node);
@@ -2617,6 +3022,7 @@ Executor::Executor(ExecutionOptions options) : options_(std::move(options)) {}
 Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
   SFDF_RETURN_NOT_OK(ValidateExecutionOptions(options_));
   SFDF_RETURN_NOT_OK(ValidateSyncMode(plan, options_));
+  SFDF_RETURN_NOT_OK(ValidateRegionMode(plan, options_));
   const int P =
       options_.parallelism > 0 ? options_.parallelism : DefaultParallelism();
 
@@ -2693,6 +3099,13 @@ Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
     const PhysicalPlan& plan) {
   SFDF_RETURN_NOT_OK(ValidateExecutionOptions(options_));
   SFDF_RETURN_NOT_OK(ValidateSyncMode(plan, options_));
+  if (options_.region_mode == RegionMode::kPipelined) {
+    return Status::Unsupported(
+        "session mode requires region_mode materialize — the resident "
+        "round/shutdown protocol assumes downstream regions stay "
+        "unscheduled between rounds, which always-live pipelined polling "
+        "units would violate");
+  }
   if (plan.workset_iterations.size() != 1 || !plan.bulk_iterations.empty()) {
     return Status::InvalidArgument(
         "session mode requires exactly one workset iteration and no bulk "

@@ -16,6 +16,7 @@
 #pragma once
 
 #include <cstdint>
+#include <map>
 #include <memory>
 #include <string>
 #include <vector>
@@ -44,6 +45,24 @@ enum class SyncMode {
   /// `staleness_bound` local rounds ahead of the slowest peer before it
   /// parks until the peer catches up.
   kBoundedStale,
+};
+
+/// Scheduling discipline for non-loop (one-shot) plan regions. Orthogonal
+/// to SyncMode, which governs the loop *interior*: region_mode decides how
+/// the regions *around* the loops hand data to each other.
+enum class RegionMode {
+  /// A consumer region runs only after every producer region completed —
+  /// cross-region exchanges materialize the full edge stream (peak memory
+  /// O(data) per edge). The default; matches runtime v3 behavior.
+  kMaterialize,
+  /// Streaming: record-at-a-time regions (Source/Map/Filter/Union/Sink
+  /// chains) run concurrently with their producers as cooperative polling
+  /// tasks over bounded exchange lanes; a producer that outruns its
+  /// consumer is backpressured and yields its task until the lane drains.
+  /// Peak memory per pipelined edge is O(pipeline_lane_capacity), not
+  /// O(data). Pipeline breakers (Reduce/Match/Cross/CoGroup) and loop
+  /// regions keep materialized edges and their existing semantics.
+  kPipelined,
 };
 
 struct ExecutionOptions {
@@ -91,6 +110,22 @@ struct ExecutionOptions {
   /// For kBoundedStale: how many local rounds a partition may run ahead of
   /// the slowest peer (k >= 1). Ignored in other modes.
   int staleness_bound = 1;
+  /// Scheduling of non-loop regions (see RegionMode). kPipelined streams
+  /// eligible regions over bounded exchanges; Run rejects invalid
+  /// combinations (capacity < 1) with InvalidArgument and StartSession
+  /// rejects kPipelined with Unsupported (a resident session's shutdown
+  /// contract requires downstream regions unscheduled between rounds).
+  RegionMode region_mode = RegionMode::kMaterialize;
+  /// Flow-control window of each pipelined exchange lane, in envelopes
+  /// (batches of up to RecordBatch::kDefaultBatchSize records). Only read
+  /// under kPipelined; must be >= 1 then.
+  int64_t pipeline_lane_capacity = 8;
+  /// Per-exchange capacity overrides, keyed by the *consumer* task's
+  /// PhysicalTask::name: every pipelined edge into that task gets the
+  /// given capacity instead of pipeline_lane_capacity. Naming a task that
+  /// is not a pipelined-streaming consumer (a loop task, a pipeline
+  /// breaker, or an unknown name) is rejected with InvalidArgument.
+  std::map<std::string, int64_t> pipeline_capacity_overrides;
 };
 
 /// Outcome of one iteration construct.
@@ -143,6 +178,15 @@ struct ExecutionResult {
   /// a peer's wake. parks == wakes at the end of a clean run.
   int64_t engine_parks = 0;
   int64_t engine_wakes = 0;
+  /// Pipelined-region observability (zero under kMaterialize): how often a
+  /// bounded lane backpressured a flush (flowing->stalled transitions),
+  /// how often a producer task re-enqueued itself with its outputs still
+  /// stalled, and an upper bound on ring segments resident across all
+  /// exchanges (summed per-lane high-water ceilings) — the memory the
+  /// flow-control window actually admitted.
+  int64_t backpressure_stalls = 0;
+  int64_t producer_yields = 0;
+  int64_t peak_resident_segments = 0;
   /// Barrier-free observability (empty / zero unless a workset iteration
   /// ran with sync_mode != kSuperstep): per-partition local-round counters
   /// (concatenated across async iterations), total quiescence-vote

@@ -101,6 +101,25 @@ class Metrics {
     batch_pool_misses_.fetch_add(misses, std::memory_order_relaxed);
   }
 
+  /// Pipelined-region flow control: an output-port flush transitioning
+  /// from flowing to stalled (bounded lane at capacity) counts one stall;
+  /// a producer task re-enqueueing itself because its outputs stayed
+  /// stalled counts one yield. Retry attempts within one stall don't
+  /// re-count — the pair measures how often backpressure engaged and how
+  /// much producer time it displaced.
+  void CountBackpressureStall(int64_t stalls) {
+    backpressure_stalls_.fetch_add(stalls, std::memory_order_relaxed);
+  }
+  void CountProducerYield(int64_t yields) {
+    producer_yields_.fetch_add(yields, std::memory_order_relaxed);
+  }
+
+  /// Accumulates one exchange's peak resident ring segments (an upper
+  /// bound — per-lane high-water marks need not have coincided).
+  void AddPeakResidentSegments(int64_t segments) {
+    peak_resident_segments_.fetch_add(segments, std::memory_order_relaxed);
+  }
+
   int64_t records_shipped() const {
     return records_shipped_.load(std::memory_order_relaxed);
   }
@@ -122,6 +141,15 @@ class Metrics {
   int64_t batch_pool_misses() const {
     return batch_pool_misses_.load(std::memory_order_relaxed);
   }
+  int64_t backpressure_stalls() const {
+    return backpressure_stalls_.load(std::memory_order_relaxed);
+  }
+  int64_t producer_yields() const {
+    return producer_yields_.load(std::memory_order_relaxed);
+  }
+  int64_t peak_resident_segments() const {
+    return peak_resident_segments_.load(std::memory_order_relaxed);
+  }
 
  private:
   std::atomic<int64_t> records_shipped_{0};
@@ -131,6 +159,9 @@ class Metrics {
   std::atomic<int64_t> queue_depth_high_water_{0};
   std::atomic<int64_t> batch_pool_hits_{0};
   std::atomic<int64_t> batch_pool_misses_{0};
+  std::atomic<int64_t> backpressure_stalls_{0};
+  std::atomic<int64_t> producer_yields_{0};
+  std::atomic<int64_t> peak_resident_segments_{0};
 };
 
 /// Per-superstep measurements of one iteration (Figures 2, 8, 10, 11, 12).

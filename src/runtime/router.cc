@@ -12,6 +12,9 @@ OutputPort::OutputPort(std::vector<Exchange*> targets, ShipStrategy ship,
       metrics_(metrics),
       in_loop_(in_loop),
       buffers_(targets_.size()),
+      stalled_(targets_.size(), 0),
+      has_pending_marker_(targets_.size(), 0),
+      pending_marker_(targets_.size(), MarkerKind::kData),
       combiner_(std::move(combiner)),
       combine_key_(combine_key) {
   if (combiner_) {
@@ -64,20 +67,62 @@ void OutputPort::Send(const Record& rec) {
   }
 }
 
-void OutputPort::FlushPartition(int partition) {
+bool OutputPort::FlushPartition(int partition) {
   RecordBatch& buffer = buffers_[partition];
-  if (buffer.empty()) return;
-  int64_t records = static_cast<int64_t>(buffer.size());
-  int64_t remote = partition == my_partition_ ? 0 : records;
-  metrics_->CountShipped(records, static_cast<int64_t>(buffer.ByteSize()),
-                         remote);
+  if (buffer.empty()) return true;
+  const int64_t records = static_cast<int64_t>(buffer.size());
+  const int64_t bytes = static_cast<int64_t>(buffer.ByteSize());
+  const int64_t remote = partition == my_partition_ ? 0 : records;
   Envelope envelope;
   envelope.kind = MarkerKind::kData;
   envelope.batch = std::move(buffer);
   buffer = RecordBatch();
+  // Async hooks and bounded (backpressuring) targets never coexist: hooks
+  // are installed only on loop-internal ports, capacity only on non-loop
+  // pipelined edges — so a pre-push credit can never be taken for an
+  // envelope that then fails to publish.
   if (before_publish_) before_publish_(partition, records);
-  targets_[partition]->Push(my_partition_, std::move(envelope));
+  if (targets_[partition]->TryPush(my_partition_, &envelope) ==
+      Exchange::PushResult::kBackpressured) {
+    // Keep the batch for TryDrainStalled to retry; count the stall only on
+    // the unstalled->stalled transition, not per retry attempt.
+    buffer = std::move(envelope.batch);
+    if (!stalled_[partition]) {
+      stalled_[partition] = 1;
+      if (!has_pending_marker_[partition]) ++stalled_count_;
+      metrics_->CountBackpressureStall(1);
+    }
+    return false;
+  }
+  if (stalled_[partition]) {
+    stalled_[partition] = 0;
+    if (!has_pending_marker_[partition]) --stalled_count_;
+  }
+  // Shipped counters move only on a successful publish, so a stalled batch
+  // retried N times still counts once.
+  metrics_->CountShipped(records, bytes, remote);
   if (after_publish_) after_publish_(partition);
+  return true;
+}
+
+void OutputPort::DeliverDeferredMarker(int partition) {
+  SFDF_DCHECK(!stalled_[partition] && buffers_[partition].empty())
+      << "deferred marker delivered ahead of stalled data";
+  Envelope envelope;
+  envelope.kind = pending_marker_[partition];
+  targets_[partition]->Push(my_partition_, std::move(envelope));
+  has_pending_marker_[partition] = 0;
+  --stalled_count_;
+}
+
+bool OutputPort::TryDrainStalled() {
+  if (stalled_count_ == 0) return true;
+  for (size_t p = 0; p < targets_.size(); ++p) {
+    const int partition = static_cast<int>(p);
+    if (stalled_[p] && !FlushPartition(partition)) continue;
+    if (has_pending_marker_[p]) DeliverDeferredMarker(partition);
+  }
+  return stalled_count_ == 0;
 }
 
 void OutputPort::FlushCombiner() {
@@ -100,12 +145,22 @@ void OutputPort::Flush() {
 void OutputPort::SendMarker(MarkerKind kind) {
   // Combined and buffered data must reach the lane before the marker does:
   // a lane's marker ends its phase, and anything pushed after it would leak
-  // into the consumer's next phase.
+  // into the consumer's next phase. On a bounded edge that ordering demands
+  // deferral: a target whose data is stalled gets its marker parked behind
+  // it (TryDrainStalled delivers both in order). Loop edges are never
+  // bounded, so the multi-marker superstep protocol can't hit this path.
   Flush();
-  for (Exchange* target : targets_) {
+  for (size_t p = 0; p < targets_.size(); ++p) {
+    if (stalled_[p]) {
+      SFDF_DCHECK(!has_pending_marker_[p])
+          << "two markers deferred on one bounded edge";
+      has_pending_marker_[p] = 1;
+      pending_marker_[p] = kind;
+      continue;
+    }
     Envelope envelope;
     envelope.kind = kind;
-    target->Push(my_partition_, std::move(envelope));
+    targets_[p]->Push(my_partition_, std::move(envelope));
   }
 }
 

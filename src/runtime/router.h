@@ -37,10 +37,25 @@ class OutputPort {
   void Send(const Record& rec);
 
   /// Flushes buffers and sends the marker to every target partition.
+  /// On a bounded (pipelined) edge a target whose stalled data could not
+  /// be delivered gets its marker *deferred* — data must precede the
+  /// marker in the lane — and it is delivered by a later TryDrainStalled.
   void SendMarker(MarkerKind kind);
 
-  /// Flushes data buffers without a marker.
+  /// Flushes data buffers without a marker. On bounded edges a flush that
+  /// hits backpressure keeps the batch buffered (the partition is
+  /// "stalled") for TryDrainStalled to retry; unbounded targets never
+  /// stall, so non-pipelined callers see unchanged behavior.
   void Flush();
+
+  /// True while any target partition holds stalled data or a deferred
+  /// marker — the producing task should yield and retry via
+  /// TryDrainStalled instead of emitting more.
+  bool has_stalled() const { return stalled_count_ > 0; }
+
+  /// Retries every stalled partition (data first, then any deferred
+  /// marker). Returns true when nothing is left stalled.
+  bool TryDrainStalled();
 
   /// True if this edge stays within the iteration body (receives
   /// end-of-superstep markers).
@@ -62,8 +77,9 @@ class OutputPort {
 
  private:
   void SendTo(int partition, const Record& rec);
-  void FlushPartition(int partition);
+  bool FlushPartition(int partition);
   void FlushCombiner();
+  void DeliverDeferredMarker(int partition);
 
   std::vector<Exchange*> targets_;
   ShipStrategy ship_;
@@ -75,6 +91,16 @@ class OutputPort {
   /// One pending batch per target partition, cut from the target lane's
   /// buffer pool on first use after each flush.
   std::vector<RecordBatch> buffers_;
+
+  /// Backpressure state per target partition (bounded edges only).
+  /// stalled_[p]: the last flush was refused, the batch is still in
+  /// buffers_[p]. pending_marker_[p]: a marker waiting behind that data.
+  /// stalled_count_ tracks partitions with either condition, so
+  /// has_stalled() is O(1) on the hot path.
+  std::vector<uint8_t> stalled_;
+  std::vector<uint8_t> has_pending_marker_;
+  std::vector<MarkerKind> pending_marker_;
+  int stalled_count_ = 0;
 
   // Combiner state: per target partition, merged records by key.
   CombineFn combiner_;
