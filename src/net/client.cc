@@ -293,5 +293,21 @@ Result<RpcClient::StatsReply> RpcClient::Stats(const std::string& tenant) {
   return result;
 }
 
+Result<RpcClient::TelemetryReply> RpcClient::Telemetry(
+    bool include_trace, uint32_t max_events_per_thread) {
+  std::vector<uint8_t> payload;
+  PutU8(include_trace ? 1 : 0, &payload);
+  PutU32(max_events_per_thread, &payload);
+  auto reply = Call(Opcode::kTelemetry, std::move(payload));
+  if (!reply.ok()) return reply.status();
+  PayloadReader reader(reply->payload);
+  TelemetryReply result;
+  result.metrics_text = reader.Bytes();
+  result.has_trace = reader.U8() != 0;
+  if (result.has_trace) result.trace_json = reader.Bytes();
+  if (!reader.AtEnd()) return Status::Internal("malformed Telemetry reply");
+  return result;
+}
+
 }  // namespace net
 }  // namespace sfdf

@@ -96,6 +96,21 @@ class RpcClient {
   };
   Result<StatsReply> Stats(const std::string& tenant);
 
+  /// Process-wide telemetry (tenant-less, like Ping): the gateway's full
+  /// metrics exposition text — every tenant's serving stats under
+  /// tenant="..." labels plus the gateway's own counters — and, when
+  /// `include_trace` is set, a Chrome-trace JSON dump of the flight
+  /// recorder (empty `trace_json` with has_trace=false when the server
+  /// dropped it to fit the frame). `max_events_per_thread` bounds the trace
+  /// window (0 = server default); the server halves it further if needed.
+  struct TelemetryReply {
+    std::string metrics_text;
+    bool has_trace = false;
+    std::string trace_json;
+  };
+  Result<TelemetryReply> Telemetry(bool include_trace = false,
+                                   uint32_t max_events_per_thread = 0);
+
   /// Admin: live-reconfigures a tenant — `partitions` (0 = keep) and/or
   /// engine pool (`""` = keep, `"primary"` = the host's built-in pool).
   /// Blocks through the tenant's quiesce/remap/resume cycle; returns the

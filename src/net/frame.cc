@@ -17,6 +17,7 @@ std::string_view OpcodeName(Opcode opcode) {
     case Opcode::kStats: return "Stats";
     case Opcode::kReconfigure: return "Reconfigure";
     case Opcode::kSnapshotPage: return "SnapshotPage";
+    case Opcode::kTelemetry: return "Telemetry";
   }
   return "Unknown";
 }
@@ -88,6 +89,12 @@ void PutString(std::string_view s, std::vector<uint8_t>* out) {
   out->insert(out->end(), s.begin(), s.end());
 }
 
+void PutBytes(std::string_view s, std::vector<uint8_t>* out) {
+  SFDF_CHECK(s.size() <= UINT32_MAX) << "wire blob too long";
+  PutU32(static_cast<uint32_t>(s.size()), out);
+  out->insert(out->end(), s.begin(), s.end());
+}
+
 void PutRecord(const Record& rec, std::vector<uint8_t>* out) {
   SerializeRecord(rec, out);
 }
@@ -152,6 +159,14 @@ double PayloadReader::F64() {
 
 std::string PayloadReader::String() {
   const uint16_t len = U16();
+  if (!Need(len)) return std::string();
+  std::string s(reinterpret_cast<const char*>(data_.data()) + pos_, len);
+  pos_ += len;
+  return s;
+}
+
+std::string PayloadReader::Bytes() {
+  const uint32_t len = U32();
   if (!Need(len)) return std::string();
   std::string s(reinterpret_cast<const char*>(data_.data()) + pos_, len);
   pos_ += len;

@@ -63,6 +63,11 @@ enum class Opcode : uint8_t {
                       ///< string pool ("" = keep) -> u32 new parallelism
   kSnapshotPage = 7,  ///< tenant + u64 cursor + u32 max records -> one
                       ///< bounded page (epoch, next cursor, records)
+  kTelemetry = 8,     ///< u8 include_trace + u32 max events/thread ->
+                      ///< metrics exposition text + optional trace JSON.
+                      ///< Tenant-less (like Ping): the exposition carries
+                      ///< per-tenant labels instead. Supersedes kStats for
+                      ///< new fields — the StatField array stays frozen.
 };
 std::string_view OpcodeName(Opcode opcode);
 
@@ -159,6 +164,10 @@ void PutI64(int64_t v, std::vector<uint8_t>* out);
 void PutF64(double v, std::vector<uint8_t>* out);
 /// u16 length + raw bytes; strings above 64 KiB are a programming error.
 void PutString(std::string_view s, std::vector<uint8_t>* out);
+/// u32 length + raw bytes — the large-blob sibling of PutString, for
+/// payloads that outgrow 64 KiB (telemetry exposition text, trace dumps).
+/// Still bounded by the frame payload cap at encode time.
+void PutBytes(std::string_view s, std::vector<uint8_t>* out);
 /// Reuses record/serde's SerializeRecord image.
 void PutRecord(const Record& rec, std::vector<uint8_t>* out);
 /// Wire image of one graph mutation: u8 kind, i64 u, i64 v, f64 value.
@@ -175,6 +184,8 @@ class PayloadReader {
   int64_t I64();
   double F64();
   std::string String();
+  /// u32-length counterpart of String() (PutBytes image).
+  std::string Bytes();
   Record ReadRecord();
   /// Fails the reader on an unknown kind byte (untrusted input).
   GraphMutation ReadMutation();

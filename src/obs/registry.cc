@@ -1,0 +1,196 @@
+#include "obs/registry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+namespace sfdf {
+
+namespace {
+
+void AppendLabelEscaped(const std::string& value, std::string* out) {
+  for (char c : value) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (c == '\n') {
+      *out += "\\n";
+      continue;
+    }
+    out->push_back(c);
+  }
+}
+
+// Renders {k="v",...}; an extra label (e.g. quantile) is appended last.
+std::string RenderLabels(const MetricLabels& labels,
+                         const std::pair<std::string, std::string>* extra) {
+  if (labels.empty() && extra == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  auto append = [&](const std::string& key, const std::string& value) {
+    if (!first) out += ',';
+    first = false;
+    out += key;
+    out += "=\"";
+    AppendLabelEscaped(value, &out);
+    out += '"';
+  };
+  for (const auto& [key, value] : labels) append(key, value);
+  if (extra != nullptr) append(extra->first, extra->second);
+  out += '}';
+  return out;
+}
+
+std::string RenderValue(double value) {
+  char buffer[64];
+  // %.17g round-trips doubles but litters integers with noise; %g at 12
+  // significant digits keeps counters exact (they are < 2^40 in practice)
+  // and latencies readable.
+  std::snprintf(buffer, sizeof(buffer), "%.12g", value);
+  return buffer;
+}
+
+const char* KindName(MetricsRegistry::Kind kind) {
+  switch (kind) {
+    case MetricsRegistry::Kind::kCounter:
+      return "counter";
+    case MetricsRegistry::Kind::kGauge:
+      return "gauge";
+    case MetricsRegistry::Kind::kHistogram:
+      return "histogram";
+  }
+  return "gauge";
+}
+
+}  // namespace
+
+void MetricsRegistry::Registration::Release() {
+  if (registry_ != nullptr) {
+    registry_->Remove(id_);
+    registry_ = nullptr;
+  }
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterCounter(
+    std::string name, MetricLabels labels, std::function<double()> value) {
+  Entry entry;
+  entry.kind = Kind::kCounter;
+  entry.name = std::move(name);
+  entry.labels = std::move(labels);
+  entry.value = std::move(value);
+  return Add(std::move(entry));
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterGauge(
+    std::string name, MetricLabels labels, std::function<double()> value) {
+  Entry entry;
+  entry.kind = Kind::kGauge;
+  entry.name = std::move(name);
+  entry.labels = std::move(labels);
+  entry.value = std::move(value);
+  return Add(std::move(entry));
+}
+
+MetricsRegistry::Registration MetricsRegistry::RegisterHistogram(
+    std::string name, MetricLabels labels,
+    std::function<LatencyHistogram()> snapshot) {
+  Entry entry;
+  entry.kind = Kind::kHistogram;
+  entry.name = std::move(name);
+  entry.labels = std::move(labels);
+  entry.histogram = std::move(snapshot);
+  return Add(std::move(entry));
+}
+
+MetricsRegistry::Registration MetricsRegistry::Add(Entry entry) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entry.id = next_id_++;
+  const uint64_t id = entry.id;
+  entries_.push_back(std::move(entry));
+  return Registration(this, id);
+}
+
+void MetricsRegistry::Remove(uint64_t id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  entries_.erase(std::remove_if(entries_.begin(), entries_.end(),
+                                [id](const Entry& e) { return e.id == id; }),
+                 entries_.end());
+}
+
+std::optional<double> MetricsRegistry::Value(const std::string& name,
+                                             const MetricLabels& labels) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const Entry& entry : entries_) {
+    if (entry.name != name || entry.labels != labels) continue;
+    if (entry.kind == Kind::kHistogram) {
+      return entry.histogram().Quantile(0.5);
+    }
+    return entry.value();
+  }
+  return std::nullopt;
+}
+
+std::string MetricsRegistry::RenderText() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // Stable exposition: sort an index by (name, rendered labels) so repeated
+  // scrapes diff cleanly regardless of registration order.
+  std::vector<const Entry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const Entry& entry : entries_) sorted.push_back(&entry);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Entry* a, const Entry* b) {
+              if (a->name != b->name) return a->name < b->name;
+              return RenderLabels(a->labels, nullptr) <
+                     RenderLabels(b->labels, nullptr);
+            });
+  std::string out;
+  const std::string* last_name = nullptr;
+  for (const Entry* entry : sorted) {
+    if (last_name == nullptr || *last_name != entry->name) {
+      out += "# TYPE ";
+      out += entry->name;
+      out += ' ';
+      out += KindName(entry->kind);
+      out += '\n';
+      last_name = &entry->name;
+    }
+    if (entry->kind == Kind::kHistogram) {
+      const LatencyHistogram histogram = entry->histogram();
+      static constexpr struct {
+        double q;
+        const char* label;
+      } kQuantiles[] = {{0.5, "0.5"}, {0.95, "0.95"}, {0.99, "0.99"}};
+      for (const auto& [q, label] : kQuantiles) {
+        const std::pair<std::string, std::string> extra{"quantile", label};
+        out += entry->name;
+        out += RenderLabels(entry->labels, &extra);
+        out += ' ';
+        out += RenderValue(histogram.Quantile(q));
+        out += '\n';
+      }
+      out += entry->name;
+      out += "_count";
+      out += RenderLabels(entry->labels, nullptr);
+      out += ' ';
+      out += RenderValue(static_cast<double>(histogram.count()));
+      out += '\n';
+    } else {
+      out += entry->name;
+      out += RenderLabels(entry->labels, nullptr);
+      out += ' ';
+      out += RenderValue(entry->value());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+size_t MetricsRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return entries_.size();
+}
+
+MetricsRegistry& MetricsRegistry::Default() {
+  // Leaked: subsystems may unregister from static destructors after main.
+  static MetricsRegistry* registry = new MetricsRegistry;
+  return *registry;
+}
+
+}  // namespace sfdf

@@ -1,0 +1,123 @@
+// Process-wide metrics registry: one named, labeled, queryable surface over
+// the counters that previously lived scattered across `Metrics`,
+// `ServiceStats`, engine `ClientStats` and the gateway's positional
+// StatField array. Metrics are *callback-backed*: the owning subsystem
+// keeps its cheap atomic counters and registers a reader; the registry
+// never stores values, so registration costs nothing on any hot path.
+//
+// Exposition is Prometheus-style text, one sample per line:
+//
+//   # TYPE sfdf_service_rounds counter
+//   sfdf_service_rounds{tenant="social"} 42
+//   sfdf_service_round_latency_ms{tenant="social",quantile="0.99"} 1.375
+//
+// Histograms reuse LatencyHistogram: the callback returns a snapshot copy
+// and the registry renders p50/p95/p99 plus a _count line.
+//
+// Lifetime: RegisterX returns an RAII Registration that unregisters on
+// destruction. Value callbacks run under the registry mutex (so a
+// Registration destructor blocks until any in-flight render finishes, and
+// a rendered callback can never outlive its owner) — callbacks must not
+// call back into the registry.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "runtime/metrics.h"
+
+namespace sfdf {
+
+/// Label set rendered inside the exposition braces, in insertion order.
+using MetricLabels = std::vector<std::pair<std::string, std::string>>;
+
+class MetricsRegistry {
+ public:
+  enum class Kind { kCounter, kGauge, kHistogram };
+
+  /// RAII unregistration handle. Movable; the moved-from handle is inert.
+  class Registration {
+   public:
+    Registration() = default;
+    Registration(Registration&& other) noexcept
+        : registry_(other.registry_), id_(other.id_) {
+      other.registry_ = nullptr;
+    }
+    Registration& operator=(Registration&& other) noexcept {
+      if (this != &other) {
+        Release();
+        registry_ = other.registry_;
+        id_ = other.id_;
+        other.registry_ = nullptr;
+      }
+      return *this;
+    }
+    ~Registration() { Release(); }
+    Registration(const Registration&) = delete;
+    Registration& operator=(const Registration&) = delete;
+
+   private:
+    friend class MetricsRegistry;
+    Registration(MetricsRegistry* registry, uint64_t id)
+        : registry_(registry), id_(id) {}
+    void Release();
+    MetricsRegistry* registry_ = nullptr;
+    uint64_t id_ = 0;
+  };
+
+  /// Monotonically increasing value (renders with `# TYPE ... counter`).
+  [[nodiscard]] Registration RegisterCounter(std::string name,
+                                             MetricLabels labels,
+                                             std::function<double()> value);
+
+  /// Point-in-time value that can go up and down.
+  [[nodiscard]] Registration RegisterGauge(std::string name,
+                                           MetricLabels labels,
+                                           std::function<double()> value);
+
+  /// Latency distribution; `snapshot` returns a copy of the owner's
+  /// histogram taken under the owner's own lock.
+  [[nodiscard]] Registration RegisterHistogram(
+      std::string name, MetricLabels labels,
+      std::function<LatencyHistogram()> snapshot);
+
+  /// Current value of the metric matching `name` + `labels` exactly
+  /// (histograms answer with their p50). nullopt when absent.
+  std::optional<double> Value(const std::string& name,
+                              const MetricLabels& labels = {}) const;
+
+  /// Full text exposition, sorted by metric name then label set, with one
+  /// `# TYPE` comment per name.
+  std::string RenderText() const;
+
+  /// Number of live registrations (histograms count once).
+  size_t size() const;
+
+  /// The process-wide registry every subsystem registers into and the
+  /// gateway's kTelemetry opcode exports.
+  static MetricsRegistry& Default();
+
+ private:
+  struct Entry {
+    uint64_t id = 0;
+    Kind kind = Kind::kGauge;
+    std::string name;
+    MetricLabels labels;
+    std::function<double()> value;                 // counter/gauge
+    std::function<LatencyHistogram()> histogram;   // histogram
+  };
+
+  Registration Add(Entry entry);
+  void Remove(uint64_t id);
+
+  mutable std::mutex mutex_;
+  uint64_t next_id_ = 1;
+  std::vector<Entry> entries_;
+};
+
+}  // namespace sfdf

@@ -1,0 +1,256 @@
+#include "obs/trace.h"
+
+#include <algorithm>
+#include <array>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <unordered_map>
+
+namespace sfdf {
+namespace trace {
+
+namespace internal {
+std::atomic<bool> g_enabled{false};
+}  // namespace internal
+
+namespace {
+
+// One ring per thread. Slots are quadruples of relaxed-atomic words; the
+// owner thread is the only writer and publishes via the release store of
+// `count`. 8192 events × 32 bytes = 256 KiB per recording thread,
+// allocated lazily on the thread's first event.
+struct ThreadBuffer {
+  static constexpr uint64_t kCapacity = 8192;  // power of two
+  static_assert((kCapacity & (kCapacity - 1)) == 0);
+
+  std::atomic<uint64_t> count{0};  // events ever written by this thread
+  std::array<std::atomic<uint64_t>, 4 * kCapacity> words{};
+  uint32_t tid = 0;
+};
+
+// meta word layout: name_id in bits [0,16), kind in bits [16,24).
+constexpr uint64_t kKindSpan = 0;
+constexpr uint64_t kKindInstant = 1;
+
+struct Recorder {
+  std::mutex mutex;  // guards buffers (growth) and the name table
+  std::vector<std::unique_ptr<ThreadBuffer>> buffers;
+  std::vector<std::string> names;
+  std::unordered_map<std::string, uint16_t> name_ids;
+};
+
+// Intentionally leaked: exporter and atexit hooks may run during process
+// teardown while detached threads still hold ring pointers.
+Recorder& R() {
+  static Recorder* recorder = [] {
+    auto* r = new Recorder;
+    r->names.push_back("?");  // id 0: name-table overflow sentinel
+    return r;
+  }();
+  return *recorder;
+}
+
+thread_local ThreadBuffer* tls_buffer = nullptr;
+
+ThreadBuffer* Buffer() {
+  if (tls_buffer == nullptr) {
+    auto owned = std::make_unique<ThreadBuffer>();
+    Recorder& r = R();
+    std::lock_guard<std::mutex> lock(r.mutex);
+    owned->tid = static_cast<uint32_t>(r.buffers.size() + 1);
+    tls_buffer = owned.get();
+    r.buffers.push_back(std::move(owned));
+  }
+  return tls_buffer;
+}
+
+void WriteEvent(int64_t ts_ns, int64_t dur_ns, uint64_t kind,
+                uint16_t name_id, int64_t arg) {
+  ThreadBuffer* b = Buffer();
+  const uint64_t i = b->count.load(std::memory_order_relaxed);
+  const uint64_t base = (i & (ThreadBuffer::kCapacity - 1)) * 4;
+  b->words[base + 0].store(static_cast<uint64_t>(ts_ns),
+                           std::memory_order_relaxed);
+  b->words[base + 1].store(static_cast<uint64_t>(dur_ns),
+                           std::memory_order_relaxed);
+  b->words[base + 2].store(static_cast<uint64_t>(name_id) | (kind << 16),
+                           std::memory_order_relaxed);
+  b->words[base + 3].store(static_cast<uint64_t>(arg),
+                           std::memory_order_relaxed);
+  b->count.store(i + 1, std::memory_order_release);
+}
+
+std::string& TraceOutPath() {
+  static std::string path;
+  return path;
+}
+
+void AtExitDump() {
+  const std::string& path = TraceOutPath();
+  if (!path.empty()) WriteChromeTrace(path);
+}
+
+// Static-init env reader. Runs before main in any binary that links an
+// instrumented translation unit; events emitted by earlier static
+// initializers are silently dropped (the gate is still false), which is
+// harmless.
+const bool g_env_init = [] {
+  const char* flag = std::getenv("SFDF_TRACE");
+  if (flag != nullptr && flag[0] != '\0' && std::string_view(flag) != "0") {
+    internal::g_enabled.store(true, std::memory_order_relaxed);
+  }
+  const char* out = std::getenv("SFDF_TRACE_OUT");
+  if (out != nullptr && out[0] != '\0') {
+    TraceOutPath() = out;
+    std::atexit(&AtExitDump);
+  }
+  return true;
+}();
+
+void AppendJsonEscaped(const std::string& text, std::string* out) {
+  for (char c : text) {
+    if (c == '"' || c == '\\') out->push_back('\\');
+    if (static_cast<unsigned char>(c) < 0x20) continue;  // never in our names
+    out->push_back(c);
+  }
+}
+
+}  // namespace
+
+void SetEnabled(bool enabled) {
+  internal::g_enabled.store(enabled, std::memory_order_relaxed);
+}
+
+uint16_t RegisterName(const char* name) {
+  Recorder& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  auto it = r.name_ids.find(name);
+  if (it != r.name_ids.end()) return it->second;
+  if (r.names.size() > 0xFFFF) return 0;  // overflow → "?"
+  const uint16_t id = static_cast<uint16_t>(r.names.size());
+  r.names.emplace_back(name);
+  r.name_ids.emplace(name, id);
+  return id;
+}
+
+int64_t NowNs() {
+  static const std::chrono::steady_clock::time_point origin =
+      std::chrono::steady_clock::now();
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now() - origin)
+      .count();
+}
+
+void Instant(uint16_t name_id, int64_t arg) {
+  if (!Enabled()) return;
+  WriteEvent(NowNs(), -1, kKindInstant, name_id, arg);
+}
+
+void EmitSpan(uint16_t name_id, int64_t start_ns, int64_t arg) {
+  if (!Enabled()) return;
+  const int64_t now = NowNs();
+  WriteEvent(start_ns, now >= start_ns ? now - start_ns : 0, kKindSpan,
+             name_id, arg);
+}
+
+std::vector<TraceEvent> Snapshot(size_t max_events_per_thread) {
+  std::vector<TraceEvent> events;
+  Recorder& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& b : r.buffers) {
+    const uint64_t end = b->count.load(std::memory_order_acquire);
+    uint64_t begin = end > ThreadBuffer::kCapacity
+                         ? end - ThreadBuffer::kCapacity
+                         : 0;
+    if (max_events_per_thread != 0 && end - begin > max_events_per_thread) {
+      begin = end - max_events_per_thread;
+    }
+    for (uint64_t i = begin; i < end; ++i) {
+      const uint64_t base = (i & (ThreadBuffer::kCapacity - 1)) * 4;
+      const uint64_t ts = b->words[base + 0].load(std::memory_order_relaxed);
+      const uint64_t dur = b->words[base + 1].load(std::memory_order_relaxed);
+      const uint64_t meta = b->words[base + 2].load(std::memory_order_relaxed);
+      const uint64_t arg = b->words[base + 3].load(std::memory_order_relaxed);
+      // Lap detection: the owner writes event i + kCapacity into this slot
+      // while its count is still i + kCapacity, so the copy above is only
+      // trustworthy if the count has not reached that index yet.
+      if (b->count.load(std::memory_order_acquire) >=
+          i + ThreadBuffer::kCapacity) {
+        continue;  // overwritten (or mid-overwrite) while copying — discard
+      }
+      TraceEvent event;
+      const uint16_t name_id = static_cast<uint16_t>(meta & 0xFFFF);
+      event.name = name_id < r.names.size() ? r.names[name_id] : "?";
+      event.ts_ns = static_cast<int64_t>(ts);
+      const uint64_t kind = (meta >> 16) & 0xFF;
+      event.dur_ns =
+          kind == kKindSpan ? static_cast<int64_t>(dur) : int64_t{-1};
+      event.tid = b->tid;
+      event.arg = static_cast<int64_t>(arg);
+      events.push_back(std::move(event));
+    }
+  }
+  std::sort(events.begin(), events.end(),
+            [](const TraceEvent& a, const TraceEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return events;
+}
+
+std::string ExportChromeTraceJson(size_t max_events_per_thread) {
+  const std::vector<TraceEvent> events = Snapshot(max_events_per_thread);
+  std::string out;
+  out.reserve(64 + events.size() * 128);
+  out += "{\"traceEvents\":[";
+  char buffer[160];
+  bool first = true;
+  for (const TraceEvent& event : events) {
+    if (!first) out += ',';
+    first = false;
+    out += "{\"name\":\"";
+    AppendJsonEscaped(event.name, &out);
+    out += "\",\"cat\":\"sfdf\"";
+    if (event.is_span()) {
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"ph\":\"X\",\"ts\":%.3f,\"dur\":%.3f",
+                    static_cast<double>(event.ts_ns) / 1000.0,
+                    static_cast<double>(event.dur_ns) / 1000.0);
+    } else {
+      std::snprintf(buffer, sizeof(buffer),
+                    ",\"ph\":\"i\",\"s\":\"t\",\"ts\":%.3f",
+                    static_cast<double>(event.ts_ns) / 1000.0);
+    }
+    out += buffer;
+    std::snprintf(buffer, sizeof(buffer),
+                  ",\"pid\":1,\"tid\":%u,\"args\":{\"v\":%lld}}", event.tid,
+                  static_cast<long long>(event.arg));
+    out += buffer;
+  }
+  out += "]}";
+  return out;
+}
+
+bool WriteChromeTrace(const std::string& path,
+                      size_t max_events_per_thread) {
+  const std::string json = ExportChromeTraceJson(max_events_per_thread);
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  const size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  const bool ok = std::fclose(file) == 0 && written == json.size();
+  return ok;
+}
+
+void ResetForTesting() {
+  Recorder& r = R();
+  std::lock_guard<std::mutex> lock(r.mutex);
+  for (const auto& b : r.buffers) {
+    b->count.store(0, std::memory_order_release);
+  }
+}
+
+}  // namespace trace
+}  // namespace sfdf

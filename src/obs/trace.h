@@ -1,0 +1,126 @@
+// Flight recorder: always-on low-overhead tracing spans and instants.
+//
+// Every participating thread owns a bounded ring buffer of 32-byte events
+// (a span = name + start timestamp + duration + one integer argument; an
+// instant = the same minus the duration). Writers are wait-free and never
+// synchronize with each other: each ring has exactly one writer (its owner
+// thread) and publishes a monotonically increasing event count with release
+// ordering. The exporter reads the rings from any thread and uses
+// lap-detection (re-load the count after copying a slot; if the writer has
+// since wrapped past the slot, discard it) so a hot writer can never hand
+// the reader a torn event — at the price of the oldest events being
+// overwritten once a ring laps.
+//
+// Cost model:
+//   * tracing disabled (the default): every instrumentation site is one
+//     relaxed atomic load and a predictable branch. No ring buffer memory
+//     is allocated until a thread records its first event.
+//   * tracing enabled: a steady-clock read plus four relaxed stores and one
+//     release store per event. No locks, no allocation on the hot path.
+//
+// Enablement: SFDF_TRACE=1 in the environment, SetEnabled(true), or
+// ExecutionOptions::trace (which force-enables process-wide). When
+// SFDF_TRACE_OUT=<path> is set, the recorder installs an atexit hook that
+// writes the Chrome trace-event JSON there; the file loads directly in
+// Perfetto (ui.perfetto.dev) or chrome://tracing.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sfdf {
+namespace trace {
+
+namespace internal {
+// Constant-initialized (no static-init-order hazard); flipped by the env
+// reader in trace.cc during static init and by SetEnabled at runtime.
+extern std::atomic<bool> g_enabled;
+}  // namespace internal
+
+/// The hot-path gate: one relaxed load. Instrumentation sites check this
+/// before touching the clock or the ring buffer.
+inline bool Enabled() {
+  return internal::g_enabled.load(std::memory_order_relaxed);
+}
+
+/// Runtime toggle. Enabling is sticky for the process (matches the flight-
+/// recorder model: once on, the rings keep recording until toggled off).
+void SetEnabled(bool enabled);
+
+/// Interns `name` and returns its id. Call once per site and cache the
+/// result in a `static const uint16_t`; ids are never recycled. The name
+/// table is capped at 65535 entries; overflow maps to id 0 ("?").
+uint16_t RegisterName(const char* name);
+
+/// Nanoseconds since a process-wide steady-clock origin. Monotonic across
+/// all threads (single origin, steady clock).
+int64_t NowNs();
+
+/// Records an instant event on the calling thread's ring. No-op when
+/// tracing is disabled.
+void Instant(uint16_t name_id, int64_t arg = 0);
+
+/// Records a complete span [start_ns, NowNs()] on the calling thread's
+/// ring. Use when the span's start was stashed manually (e.g. a wave whose
+/// opening and closing happen in different callbacks); otherwise prefer the
+/// RAII Span. No-op when tracing is disabled.
+void EmitSpan(uint16_t name_id, int64_t start_ns, int64_t arg = 0);
+
+/// RAII span: captures the start time at construction (when tracing is
+/// enabled) and emits one complete event at destruction. Cheap to place in
+/// hot code — one relaxed load when tracing is off.
+class Span {
+ public:
+  explicit Span(uint16_t name_id, int64_t arg = 0)
+      : name_id_(name_id), arg_(arg), start_ns_(Enabled() ? NowNs() : -1) {}
+  ~Span() {
+    if (start_ns_ >= 0) EmitSpan(name_id_, start_ns_, arg_);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+
+  /// Updates the argument recorded at destruction (e.g. a result count
+  /// that is only known at the end of the span).
+  void set_arg(int64_t arg) { arg_ = arg; }
+
+ private:
+  const uint16_t name_id_;
+  int64_t arg_;
+  const int64_t start_ns_;
+};
+
+/// One decoded event, as handed to tests and the JSON exporter.
+struct TraceEvent {
+  std::string name;
+  int64_t ts_ns = 0;
+  int64_t dur_ns = -1;  // < 0 → instant, >= 0 → complete span
+  uint32_t tid = 0;     // recorder-assigned monotonic thread id
+  int64_t arg = 0;
+
+  bool is_span() const { return dur_ns >= 0; }
+};
+
+/// Copies the current ring contents (all threads), oldest first per thread,
+/// sorted by timestamp across threads. `max_events_per_thread` == 0 means
+/// "everything still resident in the rings". Safe to call concurrently with
+/// active writers: events the writers overwrite mid-copy are discarded, not
+/// torn.
+std::vector<TraceEvent> Snapshot(size_t max_events_per_thread = 0);
+
+/// Renders the ring contents as Chrome trace-event JSON (the
+/// {"traceEvents": [...]} envelope Perfetto and chrome://tracing load).
+std::string ExportChromeTraceJson(size_t max_events_per_thread = 0);
+
+/// Writes ExportChromeTraceJson() to `path`. Returns false on I/O failure.
+bool WriteChromeTrace(const std::string& path,
+                      size_t max_events_per_thread = 0);
+
+/// Zeroes every ring's event count. Only for tests, and only while no
+/// thread is concurrently recording (writers assume they own their ring's
+/// count).
+void ResetForTesting();
+
+}  // namespace trace
+}  // namespace sfdf

@@ -5,6 +5,7 @@
 
 #include "common/env.h"
 #include "common/logging.h"
+#include "obs/trace.h"
 
 namespace sfdf {
 
@@ -77,6 +78,8 @@ void Engine::Park(uint64_t slot, TaskFn fn) {
     auto client = clients_.find(parked.client);
     SFDF_CHECK(client != clients_.end()) << "park on dead engine client";
     client->second.stats.tasks_parked += 1;
+    static const uint16_t kPark = trace::RegisterName("engine.park");
+    trace::Instant(kPark, static_cast<int64_t>(slot));
     if (parked.wake_pending) {
       // The wake raced ahead of the park: consume it and run immediately
       // (this is what makes the peer's wake-then-park interleaving safe).
@@ -98,6 +101,8 @@ void Engine::Wake(uint64_t slot) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = park_slots_.find(slot);
     SFDF_CHECK(it != park_slots_.end()) << "wake on unknown slot";
+    static const uint16_t kWake = trace::RegisterName("engine.wake");
+    trace::Instant(kWake, static_cast<int64_t>(slot));
     ParkSlot& parked = it->second;
     if (parked.fn) {
       auto client = clients_.find(parked.client);
@@ -172,7 +177,13 @@ void Engine::WorkerLoop() {
       stats->queue_wait_ns_total += wait_ns;
       stats->queue_wait_ns_max = std::max(stats->queue_wait_ns_max, wait_ns);
       lock.unlock();
-      task.fn();
+      {
+        // The span's argument is the queue wait in nanoseconds, so a trace
+        // shows both where worker time went and how long tasks sat queued.
+        static const uint16_t kTask = trace::RegisterName("engine.task");
+        trace::Span span(kTask, wait_ns);
+        task.fn();
+      }
       // Drop the closure (and everything it captures) outside the lock.
       task.fn = nullptr;
       lock.lock();

@@ -18,6 +18,7 @@
 #include "core/solution_set.h"
 #include "core/termination.h"
 #include "dataflow/udf.h"
+#include "obs/trace.h"
 #include "runtime/engine.h"
 #include "runtime/exchange.h"
 #include "runtime/hash_table.h"
@@ -2271,6 +2272,10 @@ struct SchedNode {
   /// boundary to the session controller instead of final-flushing; the
   /// node only completes when Finish schedules the flush.
   bool session_resident = false;
+  /// Flight-recorder stash: the wave's start time, written by ScheduleWave
+  /// and read by the wave-closing arrival in OnLoopUnitDone (ordered by the
+  /// arrival gate).
+  int64_t wave_start_ns = 0;
   std::atomic<int> flush_remaining{0};
   // kMicro:
   std::vector<std::unique_ptr<MicrostepInstance>> micro_units;
@@ -2361,6 +2366,20 @@ class PlanSchedule {
   void WaitRoundDone() {
     std::unique_lock<std::mutex> lock(mutex_);
     cv_.wait(lock, [this] { return !round_running_; });
+  }
+
+  /// Like WaitRoundDone, but additionally waits until every region that can
+  /// run before Finish has fully completed — its last unit has left
+  /// NodeComplete. Required before destroying the schedule (Reconfigure's
+  /// teardown): the resident wave can close the cold round while an
+  /// upstream source's final unit is still between its dependent hand-off
+  /// and the nodes_remaining_ decrement, and WaitRoundDone alone would let
+  /// the destructor free the mutex under that thread.
+  void WaitQuiesced() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    cv_.wait(lock, [this] {
+      return !round_running_ && nodes_remaining_ <= resident_pending_;
+    });
   }
 
   /// Releases a warm round: the controller has reseeded W_0 and re-armed
@@ -2476,6 +2495,25 @@ class PlanSchedule {
     if (session_mode_) {
       resident_node_ = ws_node[0];
       nodes_[resident_node_]->session_resident = true;
+      // Regions that cannot complete before Finish: the resident loop and
+      // everything downstream of it (never released while the session
+      // serves). Everything else must have fully completed — its last unit
+      // out of NodeComplete — before the schedule may be torn down
+      // (WaitQuiesced).
+      std::vector<char> held(nodes_.size(), 0);
+      std::vector<int> stack = {resident_node_};
+      held[resident_node_] = 1;
+      while (!stack.empty()) {
+        const int id = stack.back();
+        stack.pop_back();
+        for (int dep : nodes_[id]->dependents) {
+          if (!held[dep]) {
+            held[dep] = 1;
+            stack.push_back(dep);
+          }
+        }
+      }
+      for (char h : held) resident_pending_ += h;
     }
   }
 
@@ -2613,6 +2651,7 @@ class PlanSchedule {
   /// Enqueues one superstep: stage 0 now, later stages as their
   /// predecessors drain, everyone through the arrival gate at the end.
   void ScheduleWave(SchedNode* node) {
+    node->wave_start_ns = trace::NowNs();
     const int64_t superstep = node->coordinator->superstep();
     for (size_t k = 0; k < node->stages.size(); ++k) {
       node->stage_remaining[k]->store(static_cast<int>(node->stages[k].size()),
@@ -2645,6 +2684,8 @@ class PlanSchedule {
       return;
     }
     if (!wave_closed) return;
+    static const uint16_t kWave = trace::RegisterName("superstep.wave");
+    trace::EmitSpan(kWave, node->wave_start_ns, superstep);
     if (!node->coordinator->terminated()) {
       ScheduleWave(node);  // next superstep's task wave
       return;
@@ -2771,6 +2812,10 @@ class PlanSchedule {
         // this retry behind the consumer's already-queued poll, so the
         // consumer gets a worker first and opens the window again.
         ctx_->metrics.CountProducerYield(1);
+        {
+          static const uint16_t kYield = trace::RegisterName("pipe.yield");
+          trace::Instant(kYield, unit->partition());
+        }
         SubmitPipeStep(node, unit);
         return;
       case PipeStatus::kIdle:
@@ -2778,6 +2823,10 @@ class PlanSchedule {
         // (Exchange::Push fires this node's consumer waker). A wake that
         // raced this decision is pending inside the slot and re-enqueues
         // immediately.
+        {
+          static const uint16_t kPipePark = trace::RegisterName("pipe.park");
+          trace::Instant(kPipePark, unit->partition());
+        }
         engine_->Park(node->pipe_park_slots[unit->partition()],
                       [this, node, unit] { RunPipeStep(node, unit); });
         return;
@@ -2881,6 +2930,8 @@ class PlanSchedule {
       // about it — they gate on the minimum we just moved.
       const bool advanced = co->SyncIdleRound(p);
       if (advanced && co->staleness_bound() > 0) BroadcastAsyncWake(node, p);
+      static const uint16_t kIdlePark = trace::RegisterName("async.idle.park");
+      trace::Instant(kIdlePark, p);
       engine_->Park(node->micro_park_slots[static_cast<size_t>(p)],
                     [this, node, p] { RunAsyncRound(node, p); });
       return;
@@ -2894,6 +2945,9 @@ class PlanSchedule {
       // never take this branch, and every working round in bounded mode
       // ends in a broadcast wake, so the bound is re-evaluated each time
       // any peer advances.
+      static const uint16_t kStalePark =
+          trace::RegisterName("async.stale.park");
+      trace::Instant(kStalePark, p);
       engine_->Park(node->micro_park_slots[static_cast<size_t>(p)],
                     [this, node, p] { RunAsyncRound(node, p); });
       return;
@@ -2902,8 +2956,12 @@ class PlanSchedule {
     co->BeginWorkRound(p);
     const bool had_w0 = ap.w0_pending;  // the head consumes W_0 below
     const int64_t round = co->local_round(p);
-    for (LoopUnit* unit : node->async_pipeline[p]) {
-      unit->program.body(round);
+    {
+      static const uint16_t kRound = trace::RegisterName("async.round");
+      trace::Span span(kRound, p);
+      for (LoopUnit* unit : node->async_pipeline[p]) {
+        unit->program.body(round);
+      }
     }
     // Credits of everything this round consumed return only now — after
     // the round's own children were published (and credited), so
@@ -2982,6 +3040,9 @@ class PlanSchedule {
   std::mutex mutex_;
   std::condition_variable cv_;
   int nodes_remaining_ = 0;
+  /// Nodes held incomplete while the session is resident (the loop and its
+  /// downstream regions); WaitQuiesced waits for everything else.
+  int resident_pending_ = 0;
   bool round_running_ = false;
 };
 
@@ -3023,6 +3084,7 @@ Result<ExecutionResult> Executor::Run(const PhysicalPlan& plan) {
   SFDF_RETURN_NOT_OK(ValidateExecutionOptions(options_));
   SFDF_RETURN_NOT_OK(ValidateSyncMode(plan, options_));
   SFDF_RETURN_NOT_OK(ValidateRegionMode(plan, options_));
+  if (options_.trace) trace::SetEnabled(true);
   const int P =
       options_.parallelism > 0 ? options_.parallelism : DefaultParallelism();
 
@@ -3116,6 +3178,7 @@ Result<std::unique_ptr<ExecutionSession>> Executor::StartSession(
         "session mode requires superstep execution — a microstep plan has "
         "no superstep boundary to park rounds at");
   }
+  if (options_.trace) trace::SetEnabled(true);
   const int P =
       options_.parallelism > 0 ? options_.parallelism : DefaultParallelism();
 
@@ -3333,10 +3396,16 @@ Result<IterationReport> ExecutionSession::Reconfigure(int new_partitions,
   }
   const int new_p = new_partitions > 0 ? new_partitions : s.ctx->parallelism;
 
-  // Quiesce at the committed round boundary: after WaitRoundDone no task of
-  // the resident iteration is scheduled and every lane is drained up to its
-  // end-of-round markers — the controller owns the resident state.
-  s.schedule->WaitRoundDone();
+  // Quiesce at the committed round boundary: after WaitQuiesced no task of
+  // the resident iteration is scheduled, every one-shot upstream region has
+  // fully completed, and every lane is drained up to its end-of-round
+  // markers — the controller owns the resident state and the skeleton may
+  // be torn down.
+  static const uint16_t kQuiesce =
+      trace::RegisterName("reconfigure.quiesce");
+  const int64_t quiesce_start = trace::NowNs();
+  s.schedule->WaitQuiesced();
+  trace::EmitSpan(kQuiesce, quiesce_start, new_p);
   WorksetRuntime& rt = s.runtime();
 
   if (rt.barrier_free && !rt.coordinator->Quiescent()) {
@@ -3355,6 +3424,8 @@ Result<IterationReport> ExecutionSession::Reconfigure(int new_partitions,
   // Extract the warm state. The back buffers are empty after any round's
   // final swap; the front buffers are non-empty only when the round stopped
   // at the iteration cap — that leftover workset continues after the remap.
+  static const uint16_t kRemap = trace::RegisterName("reconfigure.remap");
+  const int64_t remap_start = trace::NowNs();
   std::vector<Record> solution;
   int64_t total = 0;
   for (const auto& index : rt.index) total += index->size();
@@ -3429,13 +3500,17 @@ Result<IterationReport> ExecutionSession::Reconfigure(int new_partitions,
   s.ctx->source_override[w0_src] = std::move(leftover);
   s.schedule = std::make_unique<PlanSchedule>(
       s.plan, s.ctx.get(), s.engine, "session", /*session_mode=*/true);
+  trace::EmitSpan(kRemap, remap_start, new_p);
 
   // The resume round: the rebuilt coordinator restarts at superstep 0, so
   // every §4.3 constant-path cache and the solution index rebuild exactly
   // where a cold skeleton builds them. With no leftover workset the round
   // converges after the single barrier superstep (produced == 0).
+  static const uint16_t kResume = trace::RegisterName("reconfigure.resume");
+  const int64_t resume_start = trace::NowNs();
   s.schedule->Start();
   s.schedule->WaitRoundDone();
+  trace::EmitSpan(kResume, resume_start, new_p);
   return s.runtime().report;
 }
 

@@ -93,6 +93,12 @@ struct ExecutionOptions {
   Engine* engine = nullptr;
   /// Capture per-superstep statistics for every iteration.
   bool record_superstep_stats = true;
+  /// Force-enables the process-wide flight recorder (obs/trace.h) for this
+  /// run and everything after it — tracing is a process property (the ring
+  /// buffers are per-thread, threads are shared), so enabling is sticky,
+  /// exactly like SFDF_TRACE=1 in the environment. Export with
+  /// trace::WriteChromeTrace or SFDF_TRACE_OUT=<path>.
+  bool trace = false;
   /// Memory budget per constant-path record cache before it gradually
   /// spills to disk (§4.3). INT64_MAX = never spill.
   int64_t cache_spill_budget_bytes = INT64_MAX;

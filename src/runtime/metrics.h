@@ -12,6 +12,19 @@
 
 namespace sfdf {
 
+/// Lock-free max-fold: raises `target` to at least `value`. The CAS loop
+/// terminates because a failed exchange reloads `seen`, and the loop exits
+/// as soon as `seen >= value` (some other thread folded an equal or larger
+/// value). Relaxed ordering — high-water marks are advisory counters, not
+/// synchronization points.
+inline void FoldMax(std::atomic<int64_t>& target, int64_t value) {
+  int64_t seen = target.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !target.compare_exchange_weak(seen, value,
+                                       std::memory_order_relaxed)) {
+  }
+}
+
 /// Compact log-scale latency histogram: four linear sub-buckets per
 /// power-of-two octave of microseconds (HDR-histogram style), so quantile
 /// estimates carry at most ~12% relative error while the whole state is a
@@ -88,11 +101,7 @@ class Metrics {
   /// Folds one exchange's queue-depth high-water mark (envelopes) into the
   /// run-wide maximum.
   void RecordQueueDepth(int64_t high_water) {
-    int64_t seen = queue_depth_high_water_.load(std::memory_order_relaxed);
-    while (high_water > seen &&
-           !queue_depth_high_water_.compare_exchange_weak(
-               seen, high_water, std::memory_order_relaxed)) {
-    }
+    FoldMax(queue_depth_high_water_, high_water);
   }
 
   /// Accumulates batch-pool acquisition outcomes (recycled vs fresh).

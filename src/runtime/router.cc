@@ -1,5 +1,7 @@
 #include "runtime/router.h"
 
+#include "obs/trace.h"
+
 namespace sfdf {
 
 OutputPort::OutputPort(std::vector<Exchange*> targets, ShipStrategy ship,
@@ -42,7 +44,8 @@ void OutputPort::Send(const Record& rec) {
       SendTo(my_partition_, rec);
       break;
     case ShipStrategy::kHashPartition: {
-      int target = PartitionOf(rec, ship_key_, static_cast<int>(targets_.size()));
+      int target =
+          PartitionOf(rec, ship_key_, static_cast<int>(targets_.size()));
       if (combiner_) {
         // Pre-aggregate per target partition; ship merged records at flush.
         auto& map = combine_buffers_[target];
@@ -91,6 +94,9 @@ bool OutputPort::FlushPartition(int partition) {
       stalled_[partition] = 1;
       if (!has_pending_marker_[partition]) ++stalled_count_;
       metrics_->CountBackpressureStall(1);
+      static const uint16_t kStall =
+          trace::RegisterName("backpressure.stall");
+      trace::Instant(kStall, partition);
     }
     return false;
   }

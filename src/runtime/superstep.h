@@ -42,6 +42,8 @@
 #include <vector>
 
 #include "common/logging.h"
+#include "obs/trace.h"
+#include "runtime/metrics.h"
 
 namespace sfdf {
 
@@ -74,11 +76,18 @@ class SuperstepCoordinator {
   bool Arrive() {
     if (pending_.fetch_sub(1, std::memory_order_acq_rel) != 1) return false;
     const int64_t finished = superstep_.load(std::memory_order_relaxed);
-    if (decide_(finished)) {
-      terminated_.store(true, std::memory_order_release);
+    {
+      static const uint16_t kDecide =
+          trace::RegisterName("superstep.decide");
+      trace::Span span(kDecide, finished);
+      if (decide_(finished)) {
+        terminated_.store(true, std::memory_order_release);
+      }
     }
     superstep_.store(finished + 1, std::memory_order_release);
     pending_.store(num_participants_, std::memory_order_release);
+    static const uint16_t kFlip = trace::RegisterName("superstep.flip");
+    trace::Instant(kFlip, finished + 1);
     return true;
   }
 
@@ -185,12 +194,7 @@ class SuperstepCoordinator {
   /// records the observed staleness (rounds ahead of the slowest peer).
   void BeginWorkRound(int p) {
     bf_->voted[static_cast<size_t>(p)].store(false, std::memory_order_relaxed);
-    const int64_t stale = local_round(p) - MinLocalRound();
-    int64_t seen = bf_->max_staleness.load(std::memory_order_relaxed);
-    while (stale > seen &&
-           !bf_->max_staleness.compare_exchange_weak(
-               seen, stale, std::memory_order_relaxed)) {
-    }
+    FoldMax(bf_->max_staleness, local_round(p) - MinLocalRound());
   }
   void AdvanceLocalRound(int p) {
     bf_->local_round[static_cast<size_t>(p)].fetch_add(

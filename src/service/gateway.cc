@@ -20,6 +20,8 @@
 
 #include "common/logging.h"
 #include "net/event_loop.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 
 namespace sfdf {
 
@@ -88,6 +90,35 @@ struct RpcGateway::Impl {
   std::atomic<uint64_t> frames_sent{0};
   std::atomic<uint64_t> protocol_errors{0};
   std::atomic<uint64_t> reads_paused{0};
+  /// High-water mark over every connection's queued response bytes — how
+  /// close the gateway ever came to the write_queue_limit_bytes pause.
+  std::atomic<int64_t> write_queue_high_water{0};
+  /// MetricsRegistry registrations (label listen=<addr:port>). Declared
+  /// after the atomics they read: reverse destruction order tears the
+  /// registrations down first, and a Registration's destructor blocks until
+  /// any in-flight RenderText finishes.
+  std::vector<MetricsRegistry::Registration> registrations;
+
+  void RegisterMetrics(const std::string& listen) {
+    MetricsRegistry& reg = MetricsRegistry::Default();
+    const MetricLabels labels = {{"listen", listen}};
+    auto counter = [&](const char* name, std::atomic<uint64_t>* v) {
+      registrations.push_back(reg.RegisterCounter(name, labels, [v] {
+        return static_cast<double>(v->load(std::memory_order_relaxed));
+      }));
+    };
+    counter("sfdf_gateway_connections_accepted", &connections_accepted);
+    counter("sfdf_gateway_connections_closed", &connections_closed);
+    counter("sfdf_gateway_frames_received", &frames_received);
+    counter("sfdf_gateway_frames_sent", &frames_sent);
+    counter("sfdf_gateway_protocol_errors", &protocol_errors);
+    counter("sfdf_gateway_reads_paused", &reads_paused);
+    registrations.push_back(reg.RegisterGauge(
+        "sfdf_gateway_write_queue_high_water_bytes", labels, [this] {
+          return static_cast<double>(
+              write_queue_high_water.load(std::memory_order_relaxed));
+        }));
+  }
 
   // --- loop thread -------------------------------------------------------
 
@@ -146,6 +177,8 @@ struct RpcGateway::Impl {
       }
       if (!got) break;
       frames_received.fetch_add(1, std::memory_order_relaxed);
+      static const uint16_t kFrameIn = trace::RegisterName("gateway.frame.in");
+      trace::Instant(kFrameIn, static_cast<int64_t>(frame.opcode));
       Dispatch(id, std::move(frame));
     }
   }
@@ -154,8 +187,12 @@ struct RpcGateway::Impl {
     std::vector<uint8_t> bytes;
     net::EncodeFrame(reply, &bytes);
     frames_sent.fetch_add(1, std::memory_order_relaxed);
+    static const uint16_t kReply = trace::RegisterName("gateway.reply");
+    trace::Instant(kReply, static_cast<int64_t>(bytes.size()));
     conn->write_queue_bytes += bytes.size();
     conn->write_queue.push_back(std::move(bytes));
+    FoldMax(write_queue_high_water,
+            static_cast<int64_t>(conn->write_queue_bytes));
     FlushWrites(conn->id);
   }
 
@@ -280,30 +317,42 @@ struct RpcGateway::Impl {
     Frame reply;
     reply.opcode = request.opcode;
     reply.request_id = request.request_id;
-    switch (request.opcode) {
-      case Opcode::kPing:
-        reply.payload = std::move(request.payload);  // echo
-        break;
-      case Opcode::kQuery:
-        HandleQuery(request, &reply);
-        break;
-      case Opcode::kSnapshot:
-        HandleSnapshot(request, &reply);
-        break;
-      case Opcode::kStats:
-        HandleStats(request, &reply);
-        break;
-      case Opcode::kSnapshotPage:
-        HandleSnapshotPage(request, &reply);
-        break;
-      case Opcode::kReconfigure:
-        HandleReconfigure(request, &reply);
-        break;
-      case Opcode::kMutateBatch:
-        if (HandleMutate(conn_id, request, &reply)) return;  // deferred
-        break;
-      default:
-        Fail(&reply, WireCode::kBadRequest, "unknown opcode");
+    {
+      // Spans the dispatch-side handling (parse + service call + encode),
+      // closed BEFORE the reply is posted so that by the time a client
+      // sees the answer the span is already in the ring — a follow-up
+      // kTelemetry dump reliably carries it. A deferred MutateBatch reply
+      // is traced separately by its awaiter's gateway.reply instant.
+      static const uint16_t kRequest = trace::RegisterName("gateway.request");
+      trace::Span span(kRequest, static_cast<int64_t>(request.opcode));
+      switch (request.opcode) {
+        case Opcode::kPing:
+          reply.payload = std::move(request.payload);  // echo
+          break;
+        case Opcode::kQuery:
+          HandleQuery(request, &reply);
+          break;
+        case Opcode::kSnapshot:
+          HandleSnapshot(request, &reply);
+          break;
+        case Opcode::kStats:
+          HandleStats(request, &reply);
+          break;
+        case Opcode::kSnapshotPage:
+          HandleSnapshotPage(request, &reply);
+          break;
+        case Opcode::kTelemetry:
+          HandleTelemetry(request, &reply);
+          break;
+        case Opcode::kReconfigure:
+          HandleReconfigure(request, &reply);
+          break;
+        case Opcode::kMutateBatch:
+          if (HandleMutate(conn_id, request, &reply)) return;  // deferred
+          break;
+        default:
+          Fail(&reply, WireCode::kBadRequest, "unknown opcode");
+      }
     }
     PostReply(conn_id, std::move(reply));
   }
@@ -443,6 +492,50 @@ struct RpcGateway::Impl {
     for (const auto& [field, value] : fields) {
       net::PutU16(static_cast<uint16_t>(field), &reply->payload);
       net::PutF64(value, &reply->payload);
+    }
+  }
+
+  /// Telemetry is tenant-less (like Ping): the exposition text carries
+  /// per-tenant labels, and the trace buffers are process-wide. Request:
+  /// u8 include_trace + u32 max events per thread (0 = default). Reply:
+  /// u32-length metrics exposition + u8 has_trace + (if set) u32-length
+  /// Chrome-trace JSON. The trace dump self-limits: the export is retried
+  /// at halved per-thread caps until the frame fits, and dropped entirely
+  /// (has_trace=0) rather than failing the request when even the smallest
+  /// window will not fit next to the metrics.
+  void HandleTelemetry(const Frame& request, Frame* reply) {
+    PayloadReader reader(request.payload);
+    const bool include_trace = reader.U8() != 0;
+    const uint32_t max_events = reader.U32();
+    if (!reader.AtEnd()) {
+      Fail(reply, WireCode::kBadRequest, "malformed Telemetry payload");
+      return;
+    }
+    const std::string metrics = MetricsRegistry::Default().RenderText();
+    std::string trace_json;
+    bool has_trace = false;
+    if (include_trace) {
+      // Even a disabled recorder may still hold events from an earlier
+      // enabled window — export whatever the rings retain.
+      size_t cap = max_events == 0 ? 4096 : max_events;
+      const size_t overhead = metrics.size() + 16;  // lengths + flag byte
+      const size_t budget =
+          overhead < net::kMaxPayloadBytes ? net::kMaxPayloadBytes - overhead
+                                           : 0;
+      trace_json = trace::ExportChromeTraceJson(cap);
+      while (trace_json.size() > budget && cap > 64) {
+        cap /= 2;
+        trace_json = trace::ExportChromeTraceJson(cap);
+      }
+      has_trace = trace_json.size() <= budget;
+      if (!has_trace) trace_json.clear();
+    }
+    net::PutBytes(metrics, &reply->payload);
+    net::PutU8(has_trace ? 1 : 0, &reply->payload);
+    if (has_trace) net::PutBytes(trace_json, &reply->payload);
+    if (reply->payload.size() > net::kMaxPayloadBytes) {
+      Fail(reply, WireCode::kInternal,
+           "telemetry exposition exceeds the frame payload limit");
     }
   }
 
@@ -589,6 +682,8 @@ Result<std::unique_ptr<RpcGateway>> RpcGateway::Start(ServiceHost* host,
   ::getsockname(fd, reinterpret_cast<sockaddr*>(&bound), &len);
   gateway->port_ = ntohs(bound.sin_port);
   impl->listen_fd = fd;
+  impl->RegisterMetrics(options.bind_address + ":" +
+                        std::to_string(gateway->port_));
 
   // Registering before the loop thread exists satisfies Add's loop-thread
   // contract trivially (no concurrent loop yet).
@@ -622,6 +717,9 @@ Status RpcGateway::Stop() {
     if (impl->stopped) return Status::OK();
     impl->stopped = true;
   }
+  // Unregister the gateway's metrics first so a concurrent RenderText (via
+  // a peer gateway's kTelemetry) never reads frozen counters as live.
+  impl->registrations.clear();
   // A gateway that never finished Start() (socket/bind/listen failed before
   // the loop thread spawned) has nothing to drain — and posting to a loop
   // nobody runs would wait forever.

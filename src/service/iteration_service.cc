@@ -6,6 +6,7 @@
 #include "common/logging.h"
 #include "common/stopwatch.h"
 #include "core/solution_set.h"
+#include "obs/trace.h"
 
 namespace sfdf {
 
@@ -313,6 +314,9 @@ Status IterationService::DoReconfigure(int new_partitions,
   // round boundary inside ExecutionSession::Reconfigure.
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   Stopwatch watch;
+  static const uint16_t kReconfigure =
+      trace::RegisterName("service.reconfigure");
+  trace::Span span(kReconfigure, new_partitions);
   auto report = session_->Reconfigure(new_partitions, new_engine);
   if (report.ok()) {
     // Commit: stamp every partition of the NEW width with the new even
@@ -343,6 +347,8 @@ Status IterationService::ProcessBatch(
   // a lock-free observer can tell the state is mid-batch.
   epoch_.fetch_add(1, std::memory_order_acq_rel);
   Stopwatch watch;
+  static const uint16_t kRound = trace::RegisterName("service.round");
+  trace::Span span(kRound, static_cast<int64_t>(batch.size()));
 
   auto seeds = translate_(*session_, batch);
   Status status = seeds.ok() ? Status::OK() : seeds.status();
@@ -364,6 +370,9 @@ Status IterationService::ProcessBatch(
     for (int p = 0; p < session_->parallelism(); ++p) {
       session_->solution_partition(p)->set_epoch(epoch);
     }
+    static const uint16_t kCommit =
+        trace::RegisterName("service.epoch.commit");
+    trace::Instant(kCommit, static_cast<int64_t>(epoch));
     ++stats_.rounds;
     stats_.mutations_applied += batch.size();
     stats_.total_supersteps += report.iterations;
@@ -457,6 +466,8 @@ void IterationService::AdmissionLoop() {
     pending_.erase(pending_.begin(), pending_.begin() + take);
     admitted_seq_ += take;
     const uint64_t ticket = admitted_seq_;
+    static const uint16_t kAdmit = trace::RegisterName("service.admit");
+    trace::Instant(kAdmit, static_cast<int64_t>(take));
     // Remaining mutations restart their linger clock (conservative: they
     // wait at most one extra max_linger).
     oldest_arrival_ = std::chrono::steady_clock::now();

@@ -221,6 +221,14 @@ class IterationService {
 
   ServiceStats stats() const;
 
+  /// Snapshot of the per-committed-round latency histogram, for registry
+  /// exposition (obs/registry.h renders its quantiles). Taken under the
+  /// shared state lock, like the stats() percentiles derived from it.
+  LatencyHistogram round_latency_histogram() const {
+    std::shared_lock<std::shared_mutex> lock(state_mutex_);
+    return round_latency_;
+  }
+
   /// Report of the initial cold convergence.
   const IterationReport& initial_report() const {
     return session_->initial_report();

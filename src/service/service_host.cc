@@ -6,6 +6,76 @@
 
 namespace sfdf {
 
+namespace {
+
+// Registers one tenant's serving stats into the default MetricsRegistry so
+// the gateway's kTelemetry exposition covers every ServiceStats field
+// without the positional StatField array growing. The raw service pointer
+// is safe: the host destroys `registrations_` before `services_`, and a
+// Registration's destructor blocks until any in-flight render completes.
+void RegisterTenantMetrics(IterationService* svc, const std::string& tenant,
+                           std::vector<MetricsRegistry::Registration>* out) {
+  MetricsRegistry& reg = MetricsRegistry::Default();
+  const MetricLabels labels = {{"tenant", tenant}};
+  auto counter = [&](const char* name, auto get) {
+    out->push_back(reg.RegisterCounter(name, labels, std::move(get)));
+  };
+  auto gauge = [&](const char* name, auto get) {
+    out->push_back(reg.RegisterGauge(name, labels, std::move(get)));
+  };
+  counter("sfdf_service_rounds",
+          [svc] { return static_cast<double>(svc->stats().rounds); });
+  counter("sfdf_service_mutations_applied", [svc] {
+    return static_cast<double>(svc->stats().mutations_applied);
+  });
+  counter("sfdf_service_mutations_rejected", [svc] {
+    return static_cast<double>(svc->stats().mutations_rejected);
+  });
+  counter("sfdf_service_reconfigs",
+          [svc] { return static_cast<double>(svc->stats().reconfigs); });
+  counter("sfdf_service_supersteps", [svc] {
+    return static_cast<double>(svc->stats().total_supersteps);
+  });
+  counter("sfdf_service_round_millis", [svc] {
+    return svc->stats().total_round_millis;
+  });
+  counter("sfdf_service_engine_tasks",
+          [svc] { return static_cast<double>(svc->stats().engine_tasks); });
+  counter("sfdf_service_engine_parks",
+          [svc] { return static_cast<double>(svc->stats().engine_parks); });
+  counter("sfdf_service_engine_wakes",
+          [svc] { return static_cast<double>(svc->stats().engine_wakes); });
+  counter("sfdf_service_async_local_rounds", [svc] {
+    return static_cast<double>(svc->stats().async_local_rounds);
+  });
+  counter("sfdf_service_async_vote_revocations", [svc] {
+    return static_cast<double>(svc->stats().async_vote_revocations);
+  });
+  gauge("sfdf_service_epoch",
+        [svc] { return static_cast<double>(svc->epoch()); });
+  gauge("sfdf_service_admission_queue_depth", [svc] {
+    return static_cast<double>(svc->stats().admission_queue_depth);
+  });
+  gauge("sfdf_service_engine_workers",
+        [svc] { return static_cast<double>(svc->stats().engine_workers); });
+  gauge("sfdf_service_engine_queue_wait_total_ms", [svc] {
+    return svc->stats().engine_queue_wait_total_ms;
+  });
+  gauge("sfdf_service_engine_queue_wait_max_ms", [svc] {
+    return svc->stats().engine_queue_wait_max_ms;
+  });
+  gauge("sfdf_service_reconfig_ms_last",
+        [svc] { return svc->stats().reconfig_ms_last; });
+  gauge("sfdf_service_async_max_staleness", [svc] {
+    return static_cast<double>(svc->stats().async_max_staleness);
+  });
+  out->push_back(reg.RegisterHistogram(
+      "sfdf_service_round_latency_ms", labels,
+      [svc] { return svc->round_latency_histogram(); }));
+}
+
+}  // namespace
+
 ServiceHost::ServiceHost(Options options)
     : engine_(Engine::Options{.workers = options.workers}) {}
 
@@ -60,6 +130,7 @@ Result<IterationService*> ServiceHost::StartService(
   // If StopAll raced in after the reservation, it is now waiting on
   // starting_ and will stop this tenant too, right after we publish it.
   slot->second = std::move(*service);
+  RegisterTenantMetrics(slot->second.get(), name, &registrations_);
   return slot->second.get();
 }
 
@@ -155,12 +226,17 @@ Status ServiceHost::StopAll() {
   // blocks on round drains and must not hold the host lock while doing so.
   std::vector<std::pair<std::string, std::unique_ptr<IterationService>>>
       services;
+  std::vector<MetricsRegistry::Registration> registrations;
   {
     std::unique_lock<std::mutex> lock(mutex_);
     stopping_ = true;
     starts_cv_.wait(lock, [this] { return starting_ == 0; });
     services.swap(services_);
+    registrations.swap(registrations_);
   }
+  // Unregister before stopping: exposition callbacks must never observe a
+  // stopped (or destroyed) tenant. Destruction blocks on in-flight renders.
+  registrations.clear();
   Status first;
   for (auto& [name, service] : services) {
     (void)name;

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "obs/registry.h"
 #include "runtime/engine.h"
 #include "service/iteration_service.h"
 
@@ -100,6 +101,11 @@ class ServiceHost {
   bool stopping_ = false; ///< StopAll ran; new starts are rejected
   std::vector<std::pair<std::string, std::unique_ptr<IterationService>>>
       services_;
+  /// Per-tenant MetricsRegistry registrations (label tenant=<name>).
+  /// Declared after services_ so they are destroyed FIRST: a registration's
+  /// destructor blocks until any in-flight RenderText finishes, which
+  /// guarantees no exposition callback ever reads a dead service.
+  std::vector<MetricsRegistry::Registration> registrations_;
 };
 
 }  // namespace sfdf

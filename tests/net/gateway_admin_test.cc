@@ -13,6 +13,8 @@
 #include <vector>
 
 #include "net/client.h"
+#include "obs/registry.h"
+#include "obs/trace.h"
 #include "service/serving_cc.h"
 
 namespace sfdf {
@@ -179,6 +181,72 @@ TEST_F(GatewayAdminTest, ReconfigureOpcodeResizesAndMovesTenants) {
   EXPECT_EQ(stats->Get(StatField::kAsyncLocalRounds), 0.0);
   EXPECT_EQ(stats->Get(StatField::kAsyncVoteRevocations), 0.0);
   EXPECT_EQ(stats->Get(StatField::kAsyncMaxStaleness), 0.0);
+}
+
+TEST_F(GatewayAdminTest, TelemetryOpcodeSupersedesThePositionalStatsArray) {
+  auto client = Client();
+
+  // The positional Stats payload is FROZEN at 19 fields — new observability
+  // goes through kTelemetry's labeled exposition, never through growing the
+  // StatField array (old clients index it positionally).
+  auto stats = client->Stats("roads");
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->fields.size(), 19u);
+
+  // Telemetry is tenant-less: no token needed even though "social" is
+  // secured — tenants appear as labels in the exposition instead.
+  auto telemetry = client->Telemetry();
+  ASSERT_TRUE(telemetry.ok()) << telemetry.status().ToString();
+  EXPECT_FALSE(telemetry->has_trace);
+  const std::string& text = telemetry->metrics_text;
+  // Every hosted tenant's serving stats, under tenant="..." labels.
+  EXPECT_NE(text.find("sfdf_service_rounds{tenant=\"roads\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("sfdf_service_rounds{tenant=\"social\"}"),
+            std::string::npos);
+  EXPECT_NE(text.find(
+                "sfdf_service_round_latency_ms{tenant=\"roads\",quantile="
+                "\"0.5\"}"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("# TYPE sfdf_service_epoch gauge"), std::string::npos);
+  // The gateway's own serving-plane counters ride along.
+  EXPECT_NE(text.find("sfdf_gateway_frames_received{listen=\""),
+            std::string::npos)
+      << text;
+
+  // Exposition values agree with the frozen wire stats for the same tenant.
+  auto mutate = client->Mutate("roads", {GraphMutation::EdgeInsert(1, 3)});
+  ASSERT_TRUE(mutate.ok());
+  auto after = client->Stats("roads");
+  ASSERT_TRUE(after.ok());
+  const auto rounds = MetricsRegistry::Default().Value(
+      "sfdf_service_rounds", {{"tenant", "roads"}});
+  ASSERT_TRUE(rounds.has_value());
+  EXPECT_EQ(*rounds, after->Get(StatField::kRounds));
+  const auto applied = MetricsRegistry::Default().Value(
+      "sfdf_service_mutations_applied", {{"tenant", "roads"}});
+  ASSERT_TRUE(applied.has_value());
+  EXPECT_EQ(*applied, after->Get(StatField::kMutationsApplied));
+}
+
+TEST_F(GatewayAdminTest, TelemetryTraceDumpCarriesGatewayRequestSpans) {
+  trace::ResetForTesting();
+  trace::SetEnabled(true);
+  auto client = Client();
+  // Any traced round-trip records a gateway.request span on the dispatch
+  // thread before the telemetry request itself is handled.
+  ASSERT_TRUE(client->Ping().ok());
+  auto telemetry = client->Telemetry(/*include_trace=*/true);
+  trace::SetEnabled(false);
+  ASSERT_TRUE(telemetry.ok()) << telemetry.status().ToString();
+  ASSERT_TRUE(telemetry->has_trace);
+  EXPECT_NE(telemetry->trace_json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(telemetry->trace_json.find("gateway.request"), std::string::npos);
+  EXPECT_NE(telemetry->trace_json.find("gateway.frame.in"),
+            std::string::npos);
+  trace::ResetForTesting();
 }
 
 }  // namespace

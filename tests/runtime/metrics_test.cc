@@ -1,0 +1,140 @@
+// Pins the LatencyHistogram's log-scale bucket assignment and quantile
+// error bound (the serving stats and the registry's histogram exposition
+// both lean on them), plus the FoldMax lock-free max-fold helper.
+#include "runtime/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+namespace sfdf {
+namespace {
+
+TEST(LatencyHistogramTest, EmptyHistogramReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+}
+
+TEST(LatencyHistogramTest, SubMicrosecondSamplesTruncateToBucketZero) {
+  // Record() converts millis to whole microseconds by truncation, so
+  // anything under 1us lands in bucket 0, whose midpoint is exactly 0 —
+  // sub-microsecond latencies are deliberately reported as 0 ms.
+  LatencyHistogram h;
+  h.Record(0.0005);  // 0.5 us
+  h.Record(0.0009);  // 0.9 us
+  EXPECT_EQ(h.count(), 2);
+  EXPECT_EQ(h.Quantile(0.5), 0.0);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, TinyMicrosecondValuesAreExact) {
+  // Buckets 0..3 hold exactly 0, 1, 2, 3 us: no midpoint rounding below
+  // the first octave.
+  for (int us = 1; us < 4; ++us) {
+    LatencyHistogram h;
+    h.Record(us / 1000.0);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.5), us / 1000.0) << "us=" << us;
+  }
+}
+
+TEST(LatencyHistogramTest, OctaveBoundaryMidpointIsPinned) {
+  // 4 us is the first value past the exact range: octave 2, sub-bucket 0,
+  // covering [4, 5) us with midpoint 4.5 us.
+  {
+    LatencyHistogram h;
+    h.Record(0.004);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.5), 0.0045);
+  }
+  // 1024 us opens octave 10: sub-bucket width 256 us, midpoint 1152 us.
+  {
+    LatencyHistogram h;
+    h.Record(1.024);
+    EXPECT_DOUBLE_EQ(h.Quantile(0.5), 1.152);
+  }
+}
+
+TEST(LatencyHistogramTest, QuantileRelativeErrorStaysUnderOneEighth) {
+  // Four linear sub-buckets per octave bound the midpoint's relative error
+  // by half a sub-bucket over the octave floor: (2^(o-3)) / (2^o) = 12.5%.
+  for (double ms : {0.01, 0.1, 1.0, 10.0, 123.0, 4567.0, 98765.0}) {
+    LatencyHistogram h;
+    h.Record(ms);
+    EXPECT_NEAR(h.Quantile(0.5), ms, ms * 0.125) << "ms=" << ms;
+  }
+}
+
+TEST(LatencyHistogramTest, NegativeSamplesClampToZero) {
+  LatencyHistogram h;
+  h.Record(-123.0);
+  EXPECT_EQ(h.count(), 1);
+  EXPECT_EQ(h.Quantile(1.0), 0.0);
+}
+
+TEST(LatencyHistogramTest, HugeSamplesClampToTopBucket) {
+  // 1e14 ms = 1e17 us, far past the 40-octave range: clamps to the last
+  // bucket (octave 39, sub 3), whose midpoint is 2^39 + 3.5 * 2^37 us.
+  LatencyHistogram h;
+  h.Record(1e14);
+  const double top_mid_us =
+      static_cast<double>(int64_t{1} << 39) +
+      3.5 * static_cast<double>(int64_t{1} << 37);
+  EXPECT_DOUBLE_EQ(h.Quantile(1.0), top_mid_us / 1000.0);
+}
+
+TEST(LatencyHistogramTest, QuantileArgumentIsClamped) {
+  LatencyHistogram h;
+  h.Record(1.0);
+  h.Record(100.0);
+  EXPECT_DOUBLE_EQ(h.Quantile(-1.0), h.Quantile(0.0));
+  EXPECT_DOUBLE_EQ(h.Quantile(2.0), h.Quantile(1.0));
+}
+
+TEST(LatencyHistogramTest, QuantilesOrderAcrossASpread) {
+  LatencyHistogram h;
+  for (int i = 1; i <= 100; ++i) h.Record(static_cast<double>(i));
+  EXPECT_EQ(h.count(), 100);
+  const double p50 = h.Quantile(0.5);
+  const double p95 = h.Quantile(0.95);
+  const double p99 = h.Quantile(0.99);
+  EXPECT_LE(p50, p95);
+  EXPECT_LE(p95, p99);
+  EXPECT_NEAR(p50, 50.0, 50.0 * 0.125);
+  EXPECT_NEAR(p99, 99.0, 99.0 * 0.125);
+}
+
+TEST(FoldMaxTest, RaisesAndIgnoresLowerValues) {
+  std::atomic<int64_t> target{0};
+  FoldMax(target, 7);
+  EXPECT_EQ(target.load(), 7);
+  FoldMax(target, 3);  // lower: no change
+  EXPECT_EQ(target.load(), 7);
+  FoldMax(target, 7);  // equal: no change
+  EXPECT_EQ(target.load(), 7);
+  FoldMax(target, 11);
+  EXPECT_EQ(target.load(), 11);
+  FoldMax(target, -5);  // never lowers
+  EXPECT_EQ(target.load(), 11);
+}
+
+TEST(FoldMaxTest, ConcurrentFoldsConvergeOnTheMaximum) {
+  std::atomic<int64_t> target{0};
+  constexpr int kThreads = 8;
+  constexpr int64_t kPerThread = 10000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&target, t] {
+      for (int64_t i = 0; i < kPerThread; ++i) {
+        FoldMax(target, t * kPerThread + i);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  EXPECT_EQ(target.load(), (kThreads - 1) * kPerThread + kPerThread - 1);
+}
+
+}  // namespace
+}  // namespace sfdf
